@@ -1,0 +1,160 @@
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure of the paper (scaled-down
+   parameters; pass --full for paper-scale runs, --only fig6 for one
+   experiment). Pass --micro to run the Bechamel micro-benchmarks of the
+   hot paths instead (event heap, ALI update, RED decision, response
+   function, full dumbbell step). *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  (* Event heap: push+pop cycles on a warm heap. *)
+  let heap_test =
+    Test.make ~name:"event_queue push/pop"
+      (Staged.stage (fun () ->
+           let q = Engine.Event_queue.create () in
+           for i = 0 to 255 do
+             Engine.Event_queue.push q ~time:(float_of_int (i * 7919 mod 997)) i
+           done;
+           let rec drain () =
+             match Engine.Event_queue.pop q with
+             | Some _ -> drain ()
+             | None -> ()
+           in
+           drain ()))
+  in
+  let ali_test =
+    Test.make ~name:"average loss interval update"
+      (Staged.stage (fun () ->
+           let t = Tfrc.Loss_intervals.create () in
+           for i = 1 to 64 do
+             Tfrc.Loss_intervals.set_open_interval t
+               ~packets:(float_of_int (i * 13 mod 200));
+             Tfrc.Loss_intervals.record_interval t
+               ~length:(float_of_int (50 + (i mod 100)));
+             ignore (Tfrc.Loss_intervals.average t)
+           done))
+  in
+  let response_test =
+    Test.make ~name:"response function (PFTK)"
+      (Staged.stage (fun () ->
+           let acc = ref 0. in
+           for i = 1 to 100 do
+             let p = float_of_int i /. 101. in
+             acc :=
+               !acc
+               +. Tfrc.Response_function.rate Tfrc.Response_function.Pftk
+                    ~s:1000 ~r:0.1 ~t_rto:0.4 ~p
+           done;
+           ignore !acc))
+  in
+  let red_test =
+    Test.make ~name:"RED enqueue/dequeue"
+      (Staged.stage (fun () ->
+           let now = ref 0. in
+           let q =
+             Netsim.Red.create
+               ~params:(Netsim.Red.params ~min_th:5. ~max_th:15. ~limit_pkts:50 ())
+               ~now:(fun () -> !now)
+               ~ptc:1000.
+           in
+           for i = 0 to 199 do
+             now := float_of_int i *. 1e-3;
+             let pkt =
+               Netsim.Packet.make ~flow:1 ~seq:i ~size:1000 ~now:!now
+                 Netsim.Packet.Data
+             in
+             ignore (q.Netsim.Queue_disc.enqueue pkt);
+             if i mod 2 = 0 then ignore (q.Netsim.Queue_disc.dequeue ())
+           done))
+  in
+  let sim_test =
+    Test.make ~name:"1s dumbbell sim (1 TFRC + 1 TCP)"
+      (Staged.stage (fun () ->
+           let sim = Engine.Sim.create () in
+           let db =
+             Netsim.Dumbbell.create sim
+               ~bandwidth:(Engine.Units.mbps 2.)
+               ~delay:0.01
+               ~queue:(Netsim.Dumbbell.Droptail_q 20)
+               ()
+           in
+           let tcp =
+             Exp.Scenario.attach_tcp db ~flow:1 ~rtt_base:0.05
+               ~config:Tcpsim.Tcp_common.ns_sack
+           in
+           Tcpsim.Tcp_sender.start tcp.tcp_sender ~at:0.;
+           let tfrc =
+             Exp.Scenario.attach_tfrc db ~flow:2 ~rtt_base:0.05
+               ~config:(Tfrc.Tfrc_config.default ())
+           in
+           Tfrc.Tfrc_sender.start tfrc.tfrc_sender ~at:0.;
+           Engine.Sim.run sim ~until:1.0))
+  in
+  let tests =
+    Test.make_grouped ~name:"tfrc"
+      [ heap_test; ali_test; response_test; red_test; sim_test ]
+  in
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
+    Benchmark.all cfg instances tests
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  let results = analyze (benchmark ()) in
+  Hashtbl.iter
+    (fun name result ->
+      match Bechamel.Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "%-40s (no estimate)\n" name)
+    results
+
+let () =
+  let full = Array.exists (( = ) "--full") Sys.argv in
+  let run_micro = Array.exists (( = ) "--micro") Sys.argv in
+  let seed = 42 in
+  let only =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = "--only" then Some Sys.argv.(i + 1)
+      else find (i + 1)
+    in
+    find 1
+  in
+  if run_micro then micro ()
+  else begin
+    let ppf = Format.std_formatter in
+    Format.fprintf ppf
+      "TFRC reproduction benchmark harness — regenerating the paper's \
+       figures (%s scale, seed %d)@.@."
+      (if full then "paper" else "scaled-down")
+      seed;
+    let todo =
+      match only with
+      | Some id -> (
+          match Exp.Registry.find id with
+          | Some e -> [ e ]
+          | None ->
+              Format.eprintf "unknown experiment %s@." id;
+              exit 1)
+      | None -> Exp.Registry.all
+    in
+    List.iter
+      (fun e ->
+        let started = Unix.gettimeofday () in
+        Format.fprintf ppf
+          "==================================================================@.";
+        Format.fprintf ppf "=== %s: %s@.@." e.Exp.Registry.id
+          e.Exp.Registry.title;
+        e.Exp.Registry.run ~full ~seed ppf;
+        Format.fprintf ppf "@.[%s done in %.1f s wall clock]@.@."
+          e.Exp.Registry.id
+          (Unix.gettimeofday () -. started))
+      todo
+  end

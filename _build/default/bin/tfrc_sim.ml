@@ -1,0 +1,184 @@
+(* tfrc_sim: command-line driver for the TFRC reproduction.
+
+   Subcommands:
+     list                      enumerate the paper's experiments
+     exp <id> [--full] [--seed n]   regenerate one figure/table
+     all [--full] [--seed n]        regenerate everything
+     duel [options]            ad-hoc TCP-vs-TFRC dumbbell run *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Random seed for reproducible runs." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let full_arg =
+  let doc =
+    "Run at the paper's full scale (longer simulations, full parameter \
+     grids) instead of the scaled-down defaults."
+  in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let list_cmd =
+  let run () =
+    let ppf = Format.std_formatter in
+    Exp.Table.print ppf ~header:[ "id"; "title" ]
+      (List.map
+         (fun e -> [ e.Exp.Registry.id; e.Exp.Registry.title ])
+         Exp.Registry.all)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper's experiments.")
+    Term.(const run $ const ())
+
+let run_one ~full ~seed id =
+  match Exp.Registry.find id with
+  | None ->
+      Format.eprintf "unknown experiment %s; try `tfrc_sim list'@." id;
+      exit 1
+  | Some e ->
+      let ppf = Format.std_formatter in
+      Format.fprintf ppf "=== %s: %s ===@.@." e.id e.title;
+      e.run ~full ~seed ppf;
+      Format.fprintf ppf "@."
+
+let exp_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
+  in
+  let run full seed id = run_one ~full ~seed id in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Regenerate one figure or table from the paper.")
+    Term.(const run $ full_arg $ seed_arg $ id_arg)
+
+let all_cmd =
+  let run full seed =
+    List.iter (fun e -> run_one ~full ~seed e.Exp.Registry.id) Exp.Registry.all
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure and table.")
+    Term.(const run $ full_arg $ seed_arg)
+
+let duel_cmd =
+  let n_tcp =
+    Arg.(value & opt int 2 & info [ "tcp" ] ~docv:"N" ~doc:"Number of TCP flows.")
+  in
+  let n_tfrc =
+    Arg.(
+      value & opt int 2 & info [ "tfrc" ] ~docv:"N" ~doc:"Number of TFRC flows.")
+  in
+  let mbps =
+    Arg.(
+      value & opt float 15.
+      & info [ "mbps" ] ~docv:"RATE" ~doc:"Bottleneck bandwidth, Mb/s.")
+  in
+  let red =
+    Arg.(value & flag & info [ "red" ] ~doc:"Use RED instead of DropTail.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 60.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
+  in
+  let run n_tcp n_tfrc mbps red duration seed =
+    let bandwidth = Engine.Units.mbps mbps in
+    let params =
+      {
+        (Exp.Scenario.default_mixed ()) with
+        bandwidth;
+        queue =
+          Exp.Scenario.scaled_queue (if red then `Red else `Droptail) ~bandwidth;
+        n_tcp;
+        n_tfrc;
+        duration;
+        warmup = duration /. 3.;
+        seed;
+      }
+    in
+    let r = Exp.Scenario.run_mixed params in
+    let ppf = Format.std_formatter in
+    Format.fprintf ppf
+      "%d TCP + %d TFRC over %.1f Mb/s (%s), %.0f s, fair share %.1f KB/s@.@."
+      n_tcp n_tfrc mbps
+      (if red then "RED" else "DropTail")
+      duration (r.fair_share /. 1e3);
+    let rows label flows =
+      List.map
+        (fun (f : Exp.Scenario.flow_stats) ->
+          [
+            Printf.sprintf "%s %d" label f.flow_id;
+            Printf.sprintf "%.1f" (f.mean_recv_rate /. 1e3);
+            Printf.sprintf "%.2f" (f.mean_recv_rate /. r.fair_share);
+          ])
+        flows
+    in
+    Exp.Table.print ppf
+      ~header:[ "flow"; "KB/s"; "normalized" ]
+      (rows "tcp" r.tcp_flows @ rows "tfrc" r.tfrc_flows);
+    Format.fprintf ppf "@.utilization %.3f, drop rate %.4f@." r.utilization
+      r.drop_rate
+  in
+  Cmd.v
+    (Cmd.info "duel" ~doc:"Ad-hoc TCP vs TFRC dumbbell simulation.")
+    Term.(const run $ n_tcp $ n_tfrc $ mbps $ red $ duration $ seed_arg)
+
+let trace_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt string "tfrc_trace.txt"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
+  in
+  let run out duration seed =
+    (* One TFRC + one TCP over a small bottleneck, packet events traced at
+       the congested link in ns-2 format. *)
+    let sim = Engine.Sim.create () in
+    let rng = Engine.Rng.create ~seed in
+    let db =
+      Netsim.Dumbbell.create sim
+        ~bandwidth:(Engine.Units.mbps 2.)
+        ~delay:0.01
+        ~queue:(Netsim.Dumbbell.Droptail_q 20)
+        ()
+    in
+    let tracer = Netsim.Tracer.create (fun () -> Engine.Sim.now sim) in
+    Netsim.Tracer.attach_link tracer (Netsim.Dumbbell.forward_link db);
+    let tcp =
+      Exp.Scenario.attach_tcp db ~flow:1
+        ~rtt_base:(Engine.Rng.uniform rng 0.05 0.07)
+        ~config:Tcpsim.Tcp_common.ns_sack
+    in
+    Tcpsim.Tcp_sender.start tcp.tcp_sender ~at:0.1;
+    let tfrc =
+      Exp.Scenario.attach_tfrc db ~flow:2
+        ~rtt_base:(Engine.Rng.uniform rng 0.05 0.07)
+        ~config:(Tfrc.Tfrc_config.default ())
+    in
+    Tfrc.Tfrc_sender.start tfrc.tfrc_sender ~at:0.;
+    Engine.Sim.run sim ~until:duration;
+    Netsim.Tracer.write tracer out;
+    Format.printf
+      "wrote %d events to %s (codes: r = delivered by the bottleneck, d = \
+       dropped at its queue)@."
+      (Netsim.Tracer.n_events tracer)
+      out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a small TFRC-vs-TCP simulation and write an ns-2-style packet \
+          trace of the bottleneck link.")
+    Term.(const run $ out_arg $ duration $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "tfrc_sim" ~version:"1.0.0"
+      ~doc:
+        "Equation-based congestion control (TFRC, SIGCOMM 2000): simulator \
+         and experiment harness."
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; all_cmd; duel_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/ecn_streaming.ml: Engine Exp List Netsim Printf Tcpsim Tfrc

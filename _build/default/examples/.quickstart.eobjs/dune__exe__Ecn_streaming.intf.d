@@ -1,0 +1,1 @@
+examples/ecn_streaming.mli:

@@ -1,0 +1,1 @@
+examples/loss_predictor.ml: Engine Float List Printf Stats Tfrc

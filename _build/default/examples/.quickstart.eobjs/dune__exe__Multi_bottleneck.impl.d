@@ -1,0 +1,1 @@
+examples/multi_bottleneck.ml: Engine List Netsim Printf String Tcpsim Tfrc

@@ -1,0 +1,1 @@
+examples/protocol_shootout.ml: Baselines Engine Exp Float Netsim Printf Stats Tcpsim Tfrc

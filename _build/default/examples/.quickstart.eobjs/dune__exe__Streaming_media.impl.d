@@ -1,0 +1,1 @@
+examples/streaming_media.ml: Array Engine Exp Float Netsim Printf Stats Tcpsim Tfrc Traffic

@@ -1,0 +1,42 @@
+(* Fairness duel: n TCP vs n TFRC on one bottleneck.
+
+   The deployment question the paper answers: if TFRC streams share a
+   congested FIFO queue with TCP, does either side starve? Prints per-flow
+   normalized throughput for DropTail and RED.
+
+     dune exec examples/fairness_duel.exe *)
+
+let () =
+  let bandwidth = Engine.Units.mbps 15. in
+  let run queue_kind label =
+    let params =
+      {
+        (Exp.Scenario.default_mixed ()) with
+        bandwidth;
+        queue = Exp.Scenario.scaled_queue queue_kind ~bandwidth;
+        n_tcp = 8;
+        n_tfrc = 8;
+        duration = 90.;
+        warmup = 30.;
+        seed = 2;
+      }
+    in
+    let r = Exp.Scenario.run_mixed params in
+    let tcp, tfrc = Exp.Scenario.normalized_throughputs r in
+    Printf.printf "%s: 8 TCP + 8 TFRC on 15 Mb/s\n" label;
+    let spark l =
+      Exp.Table.sparkline (Array.of_list l)
+    in
+    Printf.printf "  TCP  mean %.2f of fair share  per-flow %s\n"
+      (Exp.Scenario.mean tcp) (spark tcp);
+    Printf.printf "  TFRC mean %.2f of fair share  per-flow %s\n"
+      (Exp.Scenario.mean tfrc) (spark tfrc);
+    Printf.printf "  utilization %.1f%%, drop rate %.2f%%\n\n"
+      (100. *. r.utilization)
+      (100. *. r.drop_rate)
+  in
+  run `Droptail "DropTail";
+  run `Red "RED";
+  Printf.printf
+    "Both protocols hold close to the fair share — equation-based control \
+     with the TCP response function coexists with TCP (paper section 4.1).\n"

@@ -1,0 +1,82 @@
+(* Streaming media: the paper's motivating scenario.
+
+   A "video stream" needs a rate that does not lurch every time one packet
+   is lost. We run the same stream twice over a congested link shared with
+   web traffic — once as TCP, once as TFRC — and compare how often the
+   stream's 0.5 s rate falls below what a player buffer could absorb.
+
+     dune exec examples/streaming_media.exe *)
+
+let duration = 120.
+let bandwidth = Engine.Units.mbps 3.
+
+let run_stream ~use_tfrc ~seed =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
+      ~queue:
+        (Netsim.Dumbbell.Red_q
+           (Netsim.Red.params ~min_th:5. ~max_th:20. ~limit_pkts:40 ()))
+      ()
+  in
+  (* Competing web-like traffic at ~half the link. *)
+  let web =
+    Traffic.Web_mix.create db
+      (Engine.Rng.split rng)
+      ~first_flow_id:100
+      ~arrival_rate:(0.5 *. bandwidth /. 8. /. 1000. /. 20.)
+      ~mean_size:20. ~rtt_base:0.08 ()
+  in
+  Traffic.Web_mix.start web ~at:0.;
+  (* The monitored media stream. *)
+  let series =
+    if use_tfrc then begin
+      let h =
+        Exp.Scenario.attach_tfrc db ~flow:1 ~rtt_base:0.08
+          ~config:(Tfrc.Tfrc_config.default ())
+      in
+      Tfrc.Tfrc_sender.start h.tfrc_sender ~at:0.5;
+      Netsim.Flowmon.series h.tfrc_recv_mon
+    end
+    else begin
+      let h =
+        Exp.Scenario.attach_tcp db ~flow:1 ~rtt_base:0.08
+          ~config:Tcpsim.Tcp_common.ns_sack
+      in
+      Tcpsim.Tcp_sender.start h.tcp_sender ~at:0.5;
+      Netsim.Flowmon.series h.tcp_recv_mon
+    end
+  in
+  Engine.Sim.run sim ~until:duration;
+  Stats.Time_series.rates series ~t0:20. ~t1:duration ~bin:0.5
+
+let () =
+  let tcp = run_stream ~use_tfrc:false ~seed:11 in
+  let tfrc = run_stream ~use_tfrc:true ~seed:11 in
+  let summarize label rates =
+    let r = Stats.Running.of_array rates in
+    let mean = Stats.Running.mean r in
+    (* "Stall": a half-second bin below 50% of the stream's own mean — the
+       kind of dip a playout buffer has to ride out. *)
+    let stalls =
+      Array.fold_left
+        (fun acc v -> if v < 0.5 *. mean then acc + 1 else acc)
+        0 rates
+    in
+    Printf.printf
+      "%-5s mean %6.1f KB/s   CoV %.2f   bins below half-rate: %d/%d\n" label
+      (mean /. 1e3) (Stats.Running.cov r) stalls (Array.length rates);
+    (Stats.Running.cov r, stalls)
+  in
+  Printf.printf
+    "A media stream competing with web traffic on a 3 Mb/s link (0.5 s \
+     bins):\n\n";
+  let tcp_cov, tcp_stalls = summarize "TCP" tcp in
+  let tfrc_cov, tfrc_stalls = summarize "TFRC" tfrc in
+  Printf.printf
+    "\nTFRC delivers the same order of throughput with %.1fx lower rate \
+     variation and %d fewer sub-half-rate dips — the paper's case for \
+     equation-based congestion control for streaming media.\n"
+    (tcp_cov /. Float.max 0.01 tfrc_cov)
+    (tcp_stalls - tfrc_stalls)

@@ -1,0 +1,1 @@
+lib/baselines/echo_sink.ml: Engine Netsim

@@ -1,0 +1,1 @@
+lib/baselines/echo_sink.mli: Engine Netsim

@@ -1,0 +1,1 @@
+lib/baselines/rap.ml: Engine Float Netsim

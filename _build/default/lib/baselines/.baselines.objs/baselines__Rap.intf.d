@@ -1,0 +1,1 @@
+lib/baselines/rap.mli: Engine Netsim

@@ -1,0 +1,1 @@
+lib/baselines/tear.ml: Engine Float Netsim

@@ -1,0 +1,1 @@
+lib/baselines/tear.mli: Engine Netsim

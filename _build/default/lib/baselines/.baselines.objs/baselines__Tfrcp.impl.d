@@ -1,0 +1,1 @@
+lib/baselines/tfrcp.ml: Engine Float Netsim Tfrc

@@ -1,0 +1,1 @@
+lib/baselines/tfrcp.mli: Engine Netsim

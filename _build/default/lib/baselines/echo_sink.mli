@@ -1,0 +1,19 @@
+(** Receiver for unreliable rate-based protocols (RAP, TFRCP): echoes every
+    data packet individually as an ack carrying [seq + 1], with no
+    cumulative semantics — the sender infers losses from gaps in the echo
+    stream. (A cumulative-ack sink would stall at the first hole, since
+    these protocols never retransmit.) *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  ?ack_size:int ->
+  flow:int ->
+  transmit:Netsim.Packet.handler ->
+  unit ->
+  t
+
+val recv : t -> Netsim.Packet.handler
+val packets_received : t -> int
+val bytes_received : t -> int

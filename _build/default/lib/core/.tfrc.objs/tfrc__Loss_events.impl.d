@@ -1,0 +1,1 @@
+lib/core/loss_events.ml: Float List Loss_intervals

@@ -1,0 +1,1 @@
+lib/core/loss_events.mli: Loss_intervals

@@ -1,0 +1,1 @@
+lib/core/response_function.mli:

@@ -1,0 +1,1 @@
+lib/core/rtt_estimator.ml:

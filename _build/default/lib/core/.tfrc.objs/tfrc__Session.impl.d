@@ -1,0 +1,1 @@
+lib/core/session.ml: Netsim Tfrc_config Tfrc_receiver Tfrc_sender

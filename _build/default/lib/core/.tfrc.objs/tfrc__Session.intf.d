@@ -1,0 +1,1 @@
+lib/core/session.mli: Engine Netsim Tfrc_config Tfrc_receiver Tfrc_sender

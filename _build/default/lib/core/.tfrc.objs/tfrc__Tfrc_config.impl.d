@@ -1,0 +1,1 @@
+lib/core/tfrc_config.ml: Response_function

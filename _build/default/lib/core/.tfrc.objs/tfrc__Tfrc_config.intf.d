@@ -1,0 +1,1 @@
+lib/core/tfrc_config.mli: Response_function

@@ -1,0 +1,1 @@
+lib/core/tfrc_receiver.ml: Engine Float Loss_events Loss_intervals Netsim Response_function Tfrc_config

@@ -1,0 +1,1 @@
+lib/core/tfrc_receiver.mli: Engine Loss_events Loss_intervals Netsim Tfrc_config

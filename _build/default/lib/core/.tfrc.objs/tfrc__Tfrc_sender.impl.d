@@ -1,0 +1,1 @@
+lib/core/tfrc_sender.ml: Engine Float List Netsim Response_function Rtt_estimator Tfrc_config

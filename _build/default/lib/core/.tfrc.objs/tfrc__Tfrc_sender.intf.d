@@ -1,0 +1,1 @@
+lib/core/tfrc_sender.mli: Engine Netsim Tfrc_config

@@ -1,0 +1,55 @@
+(** Receiver-side loss detection and loss-event coalescing (Section 3.5.1).
+
+    Sequence gaps become candidate losses; a candidate is confirmed once
+    [ndupack] packets with higher sequence numbers have arrived (tolerating
+    reordering). Confirmed losses are coalesced into {e loss events}: a lost
+    packet starts a new event only if its send time is more than one RTT
+    after the send time of the packet that started the previous event —
+    losses within the same round-trip count as one congestion signal, which
+    is the loss-event (rather than loss-fraction) measurement that
+    distinguishes TFRC.
+
+    Send times are interpolated between the timestamps of the surrounding
+    arrived packets. Closed intervals are pushed into the supplied
+    {!Loss_intervals} history and the open interval is kept up to date. *)
+
+type t
+
+val create : ?ndupack:int (** default 3 *) -> unit -> t
+
+type outcome = {
+  new_events : int;  (** loss events that started due to this arrival *)
+  first_loss : bool;
+      (** [true] when this arrival confirmed the first loss ever; the
+          caller should seed the interval history (Section 3.4.1) before the
+          next estimate *)
+}
+
+(** [on_packet t ~seq ~sent_at ~rtt ~intervals] processes a data-packet
+    arrival. [rtt] is the receiver's current estimate of the flow's
+    round-trip time (piggybacked on data packets by the sender). *)
+val on_packet :
+  t -> seq:int -> sent_at:float -> rtt:float -> intervals:Loss_intervals.t -> outcome
+
+(** Highest sequence number seen so far; -1 initially. *)
+val max_seq : t -> int
+
+(** [on_marked t ~seq ~sent_at ~rtt ~intervals] registers an ECN
+    congestion-experienced mark on an arrived packet: it is coalesced into
+    loss events exactly like a loss (the paper's Section 7 outlook;
+    RFC 5348 treats marks as congestion events), but no packet was
+    dropped. *)
+val on_marked :
+  t -> seq:int -> sent_at:float -> rtt:float -> intervals:Loss_intervals.t -> outcome
+
+(** Total packets confirmed lost (not loss events). *)
+val lost_packets : t -> int
+
+(** Total ECN marks registered. *)
+val marked_packets : t -> int
+
+(** Total loss events started. *)
+val loss_events : t -> int
+
+(** [true] once any loss event has been recorded. *)
+val in_loss : t -> bool

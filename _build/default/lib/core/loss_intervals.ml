@@ -1,0 +1,127 @@
+type t = {
+  n : int;
+  discounting : bool;
+  discount_threshold : float;
+  w : float array; (* w.(0) weights the most recent closed interval *)
+  intervals : float array; (* ring buffer, newest at [head] *)
+  df : float array; (* locked-in discount factors, aligned with intervals *)
+  mutable head : int;
+  mutable count : int; (* closed intervals stored, <= n *)
+  mutable s0 : float; (* open interval since last loss event *)
+}
+
+let weights ~n ~constant =
+  if n < 2 || n mod 2 <> 0 then invalid_arg "Loss_intervals.weights: n must be even >= 2";
+  Array.init n (fun j ->
+      if constant || j < n / 2 then 1.
+      else begin
+        (* Paper (1-based i, n/2 < i <= n): w_i = 1 - (i - n/2)/(n/2 + 1). *)
+        let i = float_of_int (j + 1) in
+        let half = float_of_int (n / 2) in
+        1. -. ((i -. half) /. (half +. 1.))
+      end)
+
+let create ?(n = 8) ?(discounting = true) ?(discount_threshold = 0.25)
+    ?(constant_weights = false) () =
+  {
+    n;
+    discounting;
+    discount_threshold;
+    w = weights ~n ~constant:constant_weights;
+    intervals = Array.make n 0.;
+    df = Array.make n 1.;
+    head = 0;
+    count = 0;
+    s0 = 0.;
+  }
+
+(* intervals are stored newest-first logically: index k in [0, count) maps to
+   the (k+1)-th most recent closed interval. *)
+let get t k = t.intervals.((t.head - 1 - k + (2 * t.n)) mod t.n)
+let get_df t k = t.df.((t.head - 1 - k + (2 * t.n)) mod t.n)
+
+let n_closed t = t.count
+let open_interval t = t.s0
+let set_open_interval t ~packets = t.s0 <- Float.max 0. packets
+
+let seed t ~interval =
+  if t.count <> 0 then invalid_arg "Loss_intervals.seed: history not empty";
+  if interval <= 0. then invalid_arg "Loss_intervals.seed: interval must be positive";
+  t.intervals.(t.head) <- interval;
+  t.df.(t.head) <- 1.;
+  t.head <- (t.head + 1) mod t.n;
+  t.count <- 1
+
+(* Weighted mean over closed intervals 1..count with optional extra discount
+   factor applied to every closed interval. *)
+let mean_with t ~extra_df =
+  if t.count = 0 then None
+  else begin
+    let num = ref 0. and den = ref 0. in
+    for k = 0 to t.count - 1 do
+      let w = t.w.(k) *. get_df t k *. extra_df in
+      num := !num +. (w *. get t k);
+      den := !den +. w
+    done;
+    if !den = 0. then None else Some (!num /. !den)
+  end
+
+let mean_closed t = mean_with t ~extra_df:1.
+
+(* Discount factor for the open interval relative to the undiscounted mean
+   of the closed intervals. *)
+let current_df t =
+  if not t.discounting then 1.
+  else
+    match mean_closed t with
+    | None -> 1.
+    | Some avg ->
+        if t.s0 > 2. *. avg && t.s0 > 0. then
+          Float.max t.discount_threshold (2. *. avg /. t.s0)
+        else 1.
+
+(* The estimator: max of the history-only mean and the mean that shifts s0
+   in as the most recent interval (both using locked-in DFs; the shifted-in
+   variant additionally discounts all closed intervals by current_df). *)
+let average t =
+  if t.count = 0 then None
+  else begin
+    let df0 = current_df t in
+    (* s_hat over closed intervals 1..n (discounted by locked DFs only). *)
+    let s_hat = mean_with t ~extra_df:1. in
+    (* s_hat_new over s0 and closed intervals, weights shifted by one:
+       w_1 on s0, w_2 on the most recent closed interval, ... The closed
+       intervals are further discounted by df0. *)
+    let num = ref (t.w.(0) *. t.s0) and den = ref t.w.(0) in
+    let m = min t.count (t.n - 1) in
+    for k = 0 to m - 1 do
+      let w = t.w.(k + 1) *. get_df t k *. df0 in
+      num := !num +. (w *. get t k);
+      den := !den +. w
+    done;
+    let s_hat_new = !num /. !den in
+    match s_hat with
+    | None -> Some s_hat_new
+    | Some s -> Some (Float.max s s_hat_new)
+  end
+
+let loss_event_rate t =
+  match average t with
+  | None -> 0.
+  | Some avg -> if avg <= 0. then 1. else Float.min 1. (1. /. avg)
+
+let record_interval t ~length =
+  let length = Float.max 0. length in
+  (* Lock the current discount into the history: everything that was closed
+     gets multiplied by the discount in force when this interval ended. *)
+  let df0 = current_df t in
+  if df0 < 1. then
+    for k = 0 to t.count - 1 do
+      let idx = (t.head - 1 - k + (2 * t.n)) mod t.n in
+      t.df.(idx) <- t.df.(idx) *. df0
+    done;
+  t.intervals.(t.head) <- length;
+  t.df.(t.head) <- 1.;
+  t.head <- (t.head + 1) mod t.n;
+  if t.count < t.n then t.count <- t.count + 1;
+  t.s0 <- 0.

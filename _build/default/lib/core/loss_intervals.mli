@@ -1,0 +1,60 @@
+(** The Average Loss Interval method (Section 3.3) with history discounting.
+
+    Maintains the last [n] closed loss intervals (packet counts between
+    consecutive loss-event starts). The estimate is
+    [max(s_hat, s_hat_new)] where [s_hat] weights intervals 1..n and
+    [s_hat_new] weights intervals 0..n-1 (interval 0 being the still-open
+    interval since the last loss), with weights 1,1,1,1,0.8,0.6,0.4,0.2 for
+    n = 8.
+
+    History discounting ([FHPW00] / RFC 5348 5.5): when the open interval
+    exceeds twice the average, older intervals' weights are smoothly
+    discounted by a factor [2*avg / s0], floored at [discount_threshold];
+    the factor is locked into the history when the open interval finally
+    closes. *)
+
+type t
+
+val create :
+  ?n:int (** history size, default 8 *) ->
+  ?discounting:bool (** default true *) ->
+  ?discount_threshold:float (** default 0.25 *) ->
+  ?constant_weights:bool
+    (** all weights 1 instead of the decreasing tail; for the Figure 18
+        comparison. Default false. *) ->
+  unit ->
+  t
+
+(** [weights ~n ~constant] is the weight vector w_1..w_n of Section 3.3. *)
+val weights : n:int -> constant:bool -> float array
+
+(** [seed t ~interval] installs a synthetic first interval; used when slow
+    start terminates (Section 3.4.1). Only valid while the history is
+    empty. *)
+val seed : t -> interval:float -> unit
+
+(** [record_interval t ~length] closes the open interval: [length] is the
+    packet distance between the previous loss-event start and the new one.
+    Resets the open-interval length to 0. *)
+val record_interval : t -> length:float -> unit
+
+(** [set_open_interval t ~packets] updates the length of the interval since
+    the last loss event (the paper's s_0). *)
+val set_open_interval : t -> packets:float -> unit
+
+val open_interval : t -> float
+
+(** Number of closed intervals stored (at most n). *)
+val n_closed : t -> int
+
+(** [average t] is the estimated average loss interval in packets, or
+    [None] while no loss has been recorded. *)
+val average : t -> float option
+
+(** [loss_event_rate t] is [1 / average], or 0. while loss-free. *)
+val loss_event_rate : t -> float
+
+(** [mean_closed t] is the plain weighted mean over closed intervals only
+    (no s_0 rule, no discounting); exposed for tests and for the Figure 18
+    predictor study. *)
+val mean_closed : t -> float option

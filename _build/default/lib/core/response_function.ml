@@ -1,0 +1,61 @@
+type kind = Pftk | Simple
+
+let check ~s ~r ~p =
+  if s <= 0 then invalid_arg "Response_function: packet size must be positive";
+  if r <= 0. then invalid_arg "Response_function: RTT must be positive";
+  if p <= 0. || p > 1. then invalid_arg "Response_function: p must be in (0,1]"
+
+let rate kind ~s ~r ~t_rto ~p =
+  check ~s ~r ~p;
+  let s = float_of_int s in
+  match kind with
+  | Simple -> s *. sqrt 1.5 /. (r *. sqrt p)
+  | Pftk ->
+      let denom =
+        (r *. sqrt (2. *. p /. 3.))
+        +. (t_rto *. (3. *. sqrt (3. *. p /. 8.)) *. p *. (1. +. (32. *. p *. p)))
+      in
+      s /. denom
+
+let rate_pkts_per_rtt kind ~t_rto_rtts ~p =
+  (* Dividing T by s/R gives packets per RTT; equivalently evaluate with
+     s = 1 byte, R = 1 s, t_RTO = t_rto_rtts seconds. *)
+  rate kind ~s:1 ~r:1. ~t_rto:t_rto_rtts ~p
+
+let inverse kind ~s ~r ~t_rto ~rate:target =
+  if target <= 0. then invalid_arg "Response_function.inverse: rate must be positive";
+  let f p = rate kind ~s ~r ~t_rto ~p in
+  let lo = 1e-8 and hi = 1.0 in
+  (* rate is decreasing in p *)
+  if f lo <= target then lo
+  else if f hi >= target then hi
+  else begin
+    let lo = ref lo and hi = ref hi in
+    for _ = 1 to 100 do
+      let mid = sqrt (!lo *. !hi) (* geometric: p spans many decades *) in
+      if f mid > target then lo := mid else hi := mid
+    done;
+    sqrt (!lo *. !hi)
+  end
+
+let loss_event_fraction ~p_loss ~n =
+  if p_loss < 0. || p_loss > 1. then
+    invalid_arg "Response_function.loss_event_fraction: bad p_loss";
+  if n <= 0. then invalid_arg "Response_function.loss_event_fraction: bad n";
+  if p_loss = 0. then 0. else (1. -. ((1. -. p_loss) ** n)) /. n
+
+let fixed_point_event_rate kind ~t_rto_rtts ~p_loss ~rate_factor =
+  if p_loss <= 0. then 0.
+  else begin
+    (* Damped fixed point: p_{k+1} = (1-d)*p_k + d*g(p_k). *)
+    let g p_event =
+      let p_event = Float.max 1e-8 (Float.min 1. p_event) in
+      let n = Float.max 1. (rate_factor *. rate_pkts_per_rtt kind ~t_rto_rtts ~p:p_event) in
+      loss_event_fraction ~p_loss ~n
+    in
+    let p = ref p_loss in
+    for _ = 1 to 200 do
+      p := (0.5 *. !p) +. (0.5 *. g !p)
+    done;
+    !p
+  end

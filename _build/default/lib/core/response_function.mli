@@ -1,0 +1,46 @@
+(** The TCP response function: the control equation of equation-based
+    congestion control (Section 2, Equation 1).
+
+    Two forms are provided:
+
+    - [Pftk] (Equation 1, from Padhye/Firoiu/Towsley/Kurose 1998):
+      {v T = s / ( R*sqrt(2p/3) + t_RTO * (3*sqrt(3p/8)) * p * (1+32p^2) ) v}
+      including the retransmit-timeout term that dominates at high loss.
+    - [Simple] (Mahdavi/Floyd 1997, used in Appendix A's analysis):
+      {v T = s*sqrt(3/2) / (R*sqrt(p)) v}
+
+    Rates are in bytes/second; [s] is the packet size in bytes, [r] the
+    round-trip time in seconds, [t_rto] the retransmit timeout in seconds,
+    and [p] the loss event rate. *)
+
+type kind = Pftk | Simple
+
+(** [rate kind ~s ~r ~t_rto ~p] is the allowed sending rate in bytes/s.
+    Requires [p > 0.], [r > 0.], [s > 0]. ([t_rto] is ignored by
+    [Simple].) *)
+val rate : kind -> s:int -> r:float -> t_rto:float -> p:float -> float
+
+(** [rate_pkts_per_rtt kind ~t_rto_rtts ~p] is the allowed rate expressed in
+    packets per round-trip time (independent of [s] and [r]);
+    [t_rto_rtts] is the timeout in units of RTTs (the paper's heuristic is
+    4). For [Simple] this is [sqrt(1.5/p) ~= 1.2/sqrt p]. *)
+val rate_pkts_per_rtt : kind -> t_rto_rtts:float -> p:float -> float
+
+(** [inverse kind ~s ~r ~t_rto ~rate] finds the loss event rate [p] at which
+    the control equation yields [rate], by bisection on [p] in
+    [\[1e-8, 1\]]. Used to seed the loss history when slow start ends
+    (Section 3.4.1). Result is clamped to that interval. *)
+val inverse : kind -> s:int -> r:float -> t_rto:float -> rate:float -> float
+
+(** [loss_event_fraction ~p_loss ~n] is the Bernoulli-model loss-event
+    fraction of Section 3.5.1: [(1 - (1 - p_loss)^n) / n] for a flow sending
+    [n] packets per RTT. *)
+val loss_event_fraction : p_loss:float -> n:float -> float
+
+(** [fixed_point_event_rate kind ~t_rto_rtts ~p_loss ~rate_factor] solves
+    the self-consistent loss-event fraction of Figure 5: the flow sends
+    [N = rate_factor * f(p_event)] packets per RTT where [f] is the control
+    equation, and [p_event = (1-(1-p_loss)^N)/N]. Returns [p_event].
+    Solved by damped fixed-point iteration. *)
+val fixed_point_event_rate :
+  kind -> t_rto_rtts:float -> p_loss:float -> rate_factor:float -> float

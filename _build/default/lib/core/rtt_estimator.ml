@@ -1,0 +1,42 @@
+type t = {
+  gain : float;
+  t_rto_factor : float;
+  initial_rtt : float;
+  mutable srtt : float;
+  mutable last : float;
+  mutable sqrt_mean : float;
+  mutable have : bool;
+}
+
+let create ~gain ~initial_rtt ~t_rto_factor =
+  if gain <= 0. || gain > 1. then invalid_arg "Rtt_estimator.create: bad gain";
+  if initial_rtt <= 0. then invalid_arg "Rtt_estimator.create: bad initial RTT";
+  {
+    gain;
+    t_rto_factor;
+    initial_rtt;
+    srtt = initial_rtt;
+    last = initial_rtt;
+    sqrt_mean = sqrt initial_rtt;
+    have = false;
+  }
+
+let sample t rtt =
+  if rtt <= 0. then invalid_arg "Rtt_estimator.sample: non-positive RTT";
+  if not t.have then begin
+    t.srtt <- rtt;
+    t.sqrt_mean <- sqrt rtt;
+    t.have <- true
+  end
+  else begin
+    t.srtt <- ((1. -. t.gain) *. t.srtt) +. (t.gain *. rtt);
+    t.sqrt_mean <- ((1. -. t.gain) *. t.sqrt_mean) +. (t.gain *. sqrt rtt)
+  end;
+  t.last <- rtt
+
+let rtt t = t.srtt
+let last_sample t = t.last
+let sqrt_mean t = t.sqrt_mean
+let t_rto t = t.t_rto_factor *. t.srtt
+let has_sample t = t.have
+let delay_factor t = if t.sqrt_mean <= 0. then 1. else sqrt t.last /. t.sqrt_mean

@@ -1,0 +1,47 @@
+type t = {
+  sender : Tfrc_sender.t;
+  receiver : Tfrc_receiver.t;
+}
+
+let create sim ?config ~flow ~data_path ~feedback_path () =
+  let config =
+    match config with Some c -> c | None -> Tfrc_config.default ()
+  in
+  (* The sender's transmit function needs the receiver, which needs the
+     sender's feedback handler: break the cycle with a forward cell. *)
+  let receiver_cell = ref None in
+  let deliver_to_receiver pkt =
+    match !receiver_cell with
+    | Some r -> Tfrc_receiver.recv r pkt
+    | None -> ()
+  in
+  let sender =
+    Tfrc_sender.create sim ~config ~flow
+      ~transmit:(data_path deliver_to_receiver)
+      ()
+  in
+  let receiver =
+    Tfrc_receiver.create sim ~config ~flow
+      ~transmit:(feedback_path (Tfrc_sender.recv sender))
+      ()
+  in
+  receiver_cell := Some receiver;
+  { sender; receiver }
+
+let start t ~at = Tfrc_sender.start t.sender ~at
+
+let stop t =
+  Tfrc_sender.stop t.sender;
+  Tfrc_receiver.stop t.receiver
+
+let over_dumbbell db ?config ~flow ~rtt_base () =
+  let sim = Netsim.Dumbbell.sim db in
+  Netsim.Dumbbell.add_flow db ~flow ~rtt_base;
+  create sim ?config ~flow
+    ~data_path:(fun deliver ->
+      Netsim.Dumbbell.set_dst_recv db ~flow deliver;
+      Netsim.Dumbbell.src_sender db ~flow)
+    ~feedback_path:(fun deliver ->
+      Netsim.Dumbbell.set_src_recv db ~flow deliver;
+      Netsim.Dumbbell.dst_sender db ~flow)
+    ()

@@ -1,0 +1,47 @@
+type t = {
+  packet_size : int;
+  feedback_size : int;
+  n_intervals : int;
+  history_discounting : bool;
+  discount_threshold : float;
+  constant_weights : bool;
+  rtt_gain : float;
+  delay_gain : bool;
+  t_rto_factor : float;
+  response : Response_function.kind;
+  initial_rtt : float;
+  ndupack : int;
+  slow_start : bool;
+  min_rate : float;
+  feedback_on_loss : bool;
+  ecn : bool;
+  burst_pkts : int;
+  rate_validation : bool;
+}
+
+let default ?(packet_size = 1000) ?(n_intervals = 8) ?(history_discounting = true)
+    ?(constant_weights = false) ?(rtt_gain = 0.1) ?(delay_gain = true)
+    ?(t_rto_factor = 4.) ?(response = Response_function.Pftk)
+    ?(initial_rtt = 0.5) ?(slow_start = true) ?(feedback_on_loss = true)
+    ?(ndupack = 3) ?(ecn = false) ?(burst_pkts = 1)
+    ?(rate_validation = false) () =
+  {
+    packet_size;
+    feedback_size = 40;
+    n_intervals;
+    history_discounting;
+    discount_threshold = 0.25;
+    constant_weights;
+    rtt_gain;
+    delay_gain;
+    t_rto_factor;
+    response;
+    initial_rtt;
+    ndupack;
+    slow_start;
+    min_rate = float_of_int packet_size /. 64.;
+    feedback_on_loss;
+    ecn;
+    burst_pkts = max 1 burst_pkts;
+    rate_validation;
+  }

@@ -1,0 +1,58 @@
+(** TFRC protocol parameters, with the paper's defaults. *)
+
+type t = {
+  packet_size : int;  (** s, bytes (paper: 1000) *)
+  feedback_size : int;  (** feedback packet size, bytes *)
+  n_intervals : int;  (** loss-interval history size, paper: 8 *)
+  history_discounting : bool;
+  discount_threshold : float;  (** maximum discount, 0.25 *)
+  constant_weights : bool;  (** disable the decreasing weight tail *)
+  rtt_gain : float;
+      (** EWMA weight on a new RTT sample; the paper recommends a small
+          value (0.05-0.1) paired with the interpacket-spacing
+          stabilization *)
+  delay_gain : bool;
+      (** scale interpacket spacing by sqrt(R0)/M (Section 3.4); the
+          short-term delay-based congestion-avoidance term *)
+  t_rto_factor : float;  (** t_RTO = factor * R; paper heuristic: 4 *)
+  response : Response_function.kind;  (** control equation (Equation 1) *)
+  initial_rtt : float;  (** RTT assumed before the first measurement *)
+  ndupack : int;  (** reordering tolerance at the receiver *)
+  slow_start : bool;  (** rate-doubling startup with receive-rate cap *)
+  min_rate : float;  (** floor on the sending rate, bytes/s *)
+  feedback_on_loss : bool;
+      (** send expedited feedback when a new loss event is detected *)
+  ecn : bool;
+      (** declare data packets ECN-capable and treat congestion marks as
+          loss events (Section 7 outlook) *)
+  burst_pkts : int;
+      (** send this many packets back to back every [burst_pkts]
+          interpacket intervals; the paper's Section 4.1 remark that
+          sending two packets every two intervals lets small-window TCP
+          compete more fairly. Default 1. *)
+  rate_validation : bool;
+      (** cap the allowed rate at twice the reported receive rate (RFC 5348
+          section 4.3): a sender that was application-limited or quiescent
+          cannot burst at a stale high rate afterwards — the rate-based
+          analogue of TCP congestion-window validation, which the paper's
+          Section 7 planned to add. Default false (paper behavior). *)
+}
+
+val default :
+  ?packet_size:int ->
+  ?n_intervals:int ->
+  ?history_discounting:bool ->
+  ?constant_weights:bool ->
+  ?rtt_gain:float ->
+  ?delay_gain:bool ->
+  ?t_rto_factor:float ->
+  ?response:Response_function.kind ->
+  ?initial_rtt:float ->
+  ?slow_start:bool ->
+  ?feedback_on_loss:bool ->
+  ?ndupack:int ->
+  ?ecn:bool ->
+  ?burst_pkts:int ->
+  ?rate_validation:bool ->
+  unit ->
+  t

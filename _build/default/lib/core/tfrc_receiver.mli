@@ -1,0 +1,34 @@
+(** TFRC receiver (Section 3.3).
+
+    Detects losses, coalesces them into loss events within one RTT,
+    maintains the Average Loss Interval history, measures the receive rate,
+    and reports feedback to the sender once per round-trip time (plus
+    expedited feedback when a new loss event is detected). On the first
+    loss event it seeds the interval history with the synthetic interval
+    that the control equation associates with half the current receive rate
+    (slow-start termination, Section 3.4.1). *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  config:Tfrc_config.t ->
+  flow:int ->
+  transmit:Netsim.Packet.handler (** feedback goes here *) ->
+  unit ->
+  t
+
+(** Feed arriving data packets here. *)
+val recv : t -> Netsim.Packet.handler
+
+(** Current loss event rate estimate (0. while loss-free). *)
+val loss_event_rate : t -> float
+
+val intervals : t -> Loss_intervals.t
+val detector : t -> Loss_events.t
+val packets_received : t -> int
+val bytes_received : t -> int
+val feedbacks_sent : t -> int
+
+(** Stops the feedback timer. *)
+val stop : t -> unit

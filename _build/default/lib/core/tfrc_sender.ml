@@ -1,0 +1,187 @@
+type t = {
+  sim : Engine.Sim.t;
+  config : Tfrc_config.t;
+  flow : int;
+  transmit : Netsim.Packet.handler;
+  rtt_est : Rtt_estimator.t;
+  mutable rate : float; (* allowed sending rate, bytes/s *)
+  mutable p : float; (* loss event rate from the last feedback *)
+  mutable slow_start : bool;
+  mutable running : bool;
+  mutable seq : int;
+  mutable packets : int;
+  mutable bytes : int;
+  mutable feedbacks : int;
+  mutable nofb_expiries : int;
+  mutable app_limit : float option; (* application ceiling on the pace, bytes/s *)
+  mutable send_timer : Engine.Sim.handle;
+  mutable nofb_timer : Engine.Sim.handle;
+  mutable listeners : (float -> rate:float -> rtt:float -> p:float -> unit) list;
+}
+
+let create sim ~config ~flow ~transmit () =
+  {
+    sim;
+    config;
+    flow;
+    transmit;
+    rtt_est =
+      Rtt_estimator.create ~gain:config.Tfrc_config.rtt_gain
+        ~initial_rtt:config.Tfrc_config.initial_rtt
+        ~t_rto_factor:config.Tfrc_config.t_rto_factor;
+    rate =
+      float_of_int config.Tfrc_config.packet_size /. config.Tfrc_config.initial_rtt;
+    p = 0.;
+    slow_start = config.Tfrc_config.slow_start;
+    running = false;
+    seq = 0;
+    packets = 0;
+    bytes = 0;
+    feedbacks = 0;
+    nofb_expiries = 0;
+    app_limit = None;
+    send_timer = Engine.Sim.null_handle;
+    nofb_timer = Engine.Sim.null_handle;
+    listeners = [];
+  }
+
+let s_bytes t = float_of_int t.config.Tfrc_config.packet_size
+
+let notify t =
+  let now = Engine.Sim.now t.sim in
+  List.iter
+    (fun f -> f now ~rate:t.rate ~rtt:(Rtt_estimator.rtt t.rtt_est) ~p:t.p)
+    t.listeners
+
+(* Pace at the allowed rate, unless the application asked for less. *)
+let pacing_rate t =
+  match t.app_limit with
+  | Some limit -> Float.max t.config.Tfrc_config.min_rate (Float.min t.rate limit)
+  | None -> t.rate
+
+let interpacket_interval t =
+  let base = s_bytes t /. pacing_rate t in
+  if t.config.Tfrc_config.delay_gain && Rtt_estimator.has_sample t.rtt_est then
+    base *. Rtt_estimator.delay_factor t.rtt_est
+  else base
+
+let rec send_packet t =
+  if t.running then begin
+    (* burst_pkts > 1: emit a small back-to-back burst every burst_pkts
+       interpacket intervals (Section 4.1's fairness aid for small-window
+       TCP competitors). The long-run rate is unchanged. *)
+    for _ = 1 to t.config.Tfrc_config.burst_pkts do
+      let pkt =
+        Netsim.Packet.make ~ecn:t.config.Tfrc_config.ecn ~flow:t.flow
+          ~seq:t.seq ~size:t.config.Tfrc_config.packet_size
+          ~now:(Engine.Sim.now t.sim)
+          (Netsim.Packet.Tfrc_data { rtt = Rtt_estimator.rtt t.rtt_est })
+      in
+      t.seq <- t.seq + 1;
+      t.packets <- t.packets + 1;
+      t.bytes <- t.bytes + pkt.size;
+      t.transmit pkt
+    done;
+    t.send_timer <-
+      Engine.Sim.after t.sim
+        (float_of_int t.config.Tfrc_config.burst_pkts
+        *. interpacket_interval t)
+        (fun () -> send_packet t)
+  end
+
+let nofb_interval t =
+  Float.max
+    (t.config.Tfrc_config.t_rto_factor *. Rtt_estimator.rtt t.rtt_est)
+    (2. *. s_bytes t /. t.rate)
+
+let rec restart_nofb_timer t =
+  Engine.Sim.cancel t.nofb_timer;
+  if t.running then
+    t.nofb_timer <-
+      Engine.Sim.after t.sim (nofb_interval t) (fun () -> on_nofb_expiry t)
+
+and on_nofb_expiry t =
+  if t.running then begin
+    t.nofb_expiries <- t.nofb_expiries + 1;
+    t.rate <- Float.max (t.rate /. 2.) t.config.Tfrc_config.min_rate;
+    notify t;
+    restart_nofb_timer t
+  end
+
+let on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay =
+  t.feedbacks <- t.feedbacks + 1;
+  let now = Engine.Sim.now t.sim in
+  let rtt_sample = now -. ts_echo -. ts_delay in
+  if rtt_sample > 0. then Rtt_estimator.sample t.rtt_est rtt_sample;
+  let r = Rtt_estimator.rtt t.rtt_est in
+  t.p <- p;
+  if p <= 0. then begin
+    (* Loss-free: slow start, doubling per RTT but no more than twice the
+       rate the receiver reports actually arriving (Section 3.4.1). *)
+    if t.slow_start then begin
+      let doubled = Float.min (2. *. t.rate) (2. *. recv_rate) in
+      t.rate <- Float.max t.rate doubled;
+      t.rate <- Float.max t.rate (s_bytes t /. r)
+    end
+  end
+  else begin
+    t.slow_start <- false;
+    let x_eq =
+      Response_function.rate t.config.Tfrc_config.response
+        ~s:t.config.Tfrc_config.packet_size ~r
+        ~t_rto:(Rtt_estimator.t_rto t.rtt_est)
+        ~p
+    in
+    (* "Decrease to T" (and increase directly to T): the damping already in
+       p and R makes further damping counterproductive (Section 3.2). With
+       rate validation the allowed rate additionally never exceeds twice
+       what the receiver actually got — an application-limited sender
+       cannot bank headroom (RFC 5348 4.3 / [HPF99]). *)
+    let x_eq =
+      if t.config.Tfrc_config.rate_validation && recv_rate > 0. then
+        Float.min x_eq (2. *. recv_rate)
+      else x_eq
+    in
+    t.rate <- Float.max x_eq t.config.Tfrc_config.min_rate
+  end;
+  notify t;
+  restart_nofb_timer t
+
+let recv t (pkt : Netsim.Packet.t) =
+  match pkt.payload with
+  | Tfrc_feedback { p; recv_rate; ts_echo; ts_delay } ->
+      if t.running then on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay
+  | Data | Tcp_ack _ | Tfrc_data _ -> ()
+
+let recv t = recv t
+
+let start t ~at =
+  ignore
+    (Engine.Sim.at t.sim at (fun () ->
+         t.running <- true;
+         send_packet t;
+         restart_nofb_timer t))
+
+let stop t =
+  t.running <- false;
+  Engine.Sim.cancel t.send_timer;
+  Engine.Sim.cancel t.nofb_timer
+
+let rate t = t.rate
+let rate_pkts_per_rtt t = t.rate *. Rtt_estimator.rtt t.rtt_est /. s_bytes t
+let rtt t = Rtt_estimator.rtt t.rtt_est
+let loss_event_rate t = t.p
+let in_slow_start t = t.slow_start
+let packets_sent t = t.packets
+let bytes_sent t = t.bytes
+let feedbacks_received t = t.feedbacks
+let no_feedback_expirations t = t.nofb_expiries
+let on_rate_update t f = t.listeners <- f :: t.listeners
+
+let set_app_limit t limit =
+  (match limit with
+  | Some l when l <= 0. -> invalid_arg "Tfrc_sender.set_app_limit: rate <= 0"
+  | _ -> ());
+  t.app_limit <- limit
+
+let app_limit t = t.app_limit

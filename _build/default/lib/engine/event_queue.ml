@@ -1,0 +1,77 @@
+(* Array-backed binary min-heap ordered by (time, seq). The sequence number
+   breaks ties so that simultaneous events run in insertion order. *)
+
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q =
+  let cap = max 16 (2 * Array.length q.heap) in
+  let h = Array.make cap q.heap.(0) in
+  Array.blit q.heap 0 h 0 q.size;
+  q.heap <- h
+
+let push q ~time v =
+  let e = { time; seq = q.next_seq; value = v } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = Array.length q.heap then
+    if q.size = 0 then q.heap <- Array.make 16 e else grow q;
+  (* Sift up. *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.heap.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less e q.heap.(parent) then begin
+      q.heap.(!i) <- q.heap.(parent);
+      q.heap.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down q =
+  let n = q.size in
+  let e = q.heap.(0) in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < n && less q.heap.(l) q.heap.(!smallest) then smallest := l;
+    if r < n && less q.heap.(r) q.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      q.heap.(!i) <- q.heap.(!smallest);
+      q.heap.(!smallest) <- e;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      q.heap.(q.size) <- top;
+      (* keep slot initialized; value is overwritten on next push *)
+      sift_down q
+    end;
+    Some (top.time, top.value)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let size q = q.size
+let is_empty q = q.size = 0
+let clear q = q.size <- 0

@@ -1,0 +1,23 @@
+(** Binary min-heap priority queue keyed by (time, insertion sequence).
+
+    Events with equal timestamps dequeue in insertion order, which keeps
+    simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push q ~time v] inserts [v] at priority [time]. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** [pop q] removes and returns the earliest element, or [None] if empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [peek_time q] is the timestamp of the earliest element, if any. *)
+val peek_time : 'a t -> float option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [clear q] removes all elements. *)
+val clear : 'a t -> unit

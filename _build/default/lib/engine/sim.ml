@@ -1,0 +1,53 @@
+type handle = { mutable state : [ `Pending | `Fired | `Cancelled ]; f : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  events : handle Event_queue.t;
+  mutable stopping : bool;
+}
+
+let create () = { clock = 0.; events = Event_queue.create (); stopping = false }
+
+let now t = t.clock
+
+let at t time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time t.clock);
+  let h = { state = `Pending; f } in
+  Event_queue.push t.events ~time h;
+  h
+
+let after t delay f =
+  if delay < 0. then invalid_arg "Sim.after: negative delay";
+  at t (t.clock +. delay) f
+
+let cancel h = if h.state = `Pending then h.state <- `Cancelled
+
+let is_pending h = h.state = `Pending
+
+let null_handle = { state = `Fired; f = ignore }
+
+let pending_events t = Event_queue.size t.events
+
+let stop t = t.stopping <- true
+
+let run t ~until =
+  t.stopping <- false;
+  let continue = ref true in
+  while !continue && not t.stopping do
+    match Event_queue.peek_time t.events with
+    | None -> continue := false
+    | Some time when time > until -> continue := false
+    | Some _ -> (
+        match Event_queue.pop t.events with
+        | None -> continue := false
+        | Some (time, h) -> (
+            match h.state with
+            | `Cancelled | `Fired -> ()
+            | `Pending ->
+                t.clock <- time;
+                h.state <- `Fired;
+                h.f ()))
+  done;
+  if until < infinity && t.clock < until && not t.stopping then t.clock <- until

@@ -1,0 +1,45 @@
+(** Discrete-event simulation scheduler.
+
+    A [Sim.t] owns a virtual clock and an event heap. Agents schedule
+    callbacks at absolute or relative virtual times; [run] executes events in
+    timestamp order, advancing the clock. This plays the role of the ns-2
+    scheduler in the paper's experiments. *)
+
+type t
+
+(** Cancellable handle for a scheduled event (a timer). *)
+type handle
+
+val create : unit -> t
+
+(** [now t] is the current virtual time in seconds. *)
+val now : t -> float
+
+(** [at t time f] schedules [f] to run at absolute virtual [time]. [time]
+    must not be earlier than [now t]. *)
+val at : t -> float -> (unit -> unit) -> handle
+
+(** [after t delay f] schedules [f] to run [delay] seconds from now. *)
+val after : t -> float -> (unit -> unit) -> handle
+
+(** [cancel h] prevents the event from firing. Idempotent. *)
+val cancel : handle -> unit
+
+(** [is_pending h] is [true] if the event has neither fired nor been
+    cancelled. *)
+val is_pending : handle -> bool
+
+(** A dummy handle that is never pending; useful as an initial value. *)
+val null_handle : handle
+
+(** [run t ~until] executes events in time order until the heap is empty or
+    the next event is past [until]; the clock ends at [until] (or at the
+    last event if the heap drains first and [until] is infinite). *)
+val run : t -> until:float -> unit
+
+(** [pending_events t] is the number of events still in the heap, including
+    cancelled events that have not yet been swept out. *)
+val pending_events : t -> int
+
+(** [stop t] makes [run] return after the currently executing event. *)
+val stop : t -> unit

@@ -1,0 +1,1 @@
+lib/exp/ablations.ml: Direct_path Engine Fig3_4 Format List Netsim Printf Scenario Stats Table Tcpsim Tfrc

@@ -1,0 +1,1 @@
+lib/exp/dataset.ml: Filename Fun List Printf String Sys

@@ -1,0 +1,1 @@
+lib/exp/direct_path.ml: Engine Tfrc

@@ -1,0 +1,1 @@
+lib/exp/direct_path.mli: Engine Netsim Tfrc

@@ -1,0 +1,1 @@
+lib/exp/fig11_13.ml: Engine Format List Netsim Option Printf Scenario Stats Table Tcpsim Tfrc Traffic

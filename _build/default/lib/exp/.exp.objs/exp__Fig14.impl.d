@@ -1,0 +1,1 @@
+lib/exp/fig14.ml: Array Engine Format List Netsim Scenario Stats Table Tcpsim Tfrc Traffic

@@ -1,0 +1,1 @@
+lib/exp/fig15_17.ml: Array Engine Format List Netsim Option Printf Scenario Stats Table Tcpsim Tfrc Traffic

@@ -1,0 +1,1 @@
+lib/exp/fig15_17.mli: Format Tcpsim

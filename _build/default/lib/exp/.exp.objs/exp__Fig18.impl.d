@@ -1,0 +1,1 @@
+lib/exp/fig18.ml: Array Engine Float Format List Stats Table Tfrc

@@ -1,0 +1,1 @@
+lib/exp/fig18.mli: Format

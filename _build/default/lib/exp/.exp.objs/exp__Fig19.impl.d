@@ -1,0 +1,1 @@
+lib/exp/fig19.ml: Dataset Direct_path Engine Format List Scenario Table Tfrc

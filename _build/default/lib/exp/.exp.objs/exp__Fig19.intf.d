@@ -1,0 +1,1 @@
+lib/exp/fig19.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/fig2.ml: Dataset Direct_path Engine Format List Netsim Option Plot Printf Table Tfrc

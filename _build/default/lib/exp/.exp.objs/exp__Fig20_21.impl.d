@@ -1,0 +1,1 @@
+lib/exp/fig20_21.ml: Dataset Direct_path Engine Format List Plot Table Tfrc

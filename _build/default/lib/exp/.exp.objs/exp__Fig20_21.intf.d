@@ -1,0 +1,1 @@
+lib/exp/fig20_21.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/fig3_4.ml: Engine Format List Netsim Scenario Stats Table Tfrc

@@ -1,0 +1,1 @@
+lib/exp/fig3_4.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/fig5.ml: Engine Float Format List Table Tfrc

@@ -1,0 +1,1 @@
+lib/exp/fig6.ml: Engine Float Format List Printf Scenario Table

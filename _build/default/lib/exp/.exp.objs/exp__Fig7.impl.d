@@ -1,0 +1,1 @@
+lib/exp/fig7.ml: Array Engine Format List Scenario Stats Table

@@ -1,0 +1,1 @@
+lib/exp/fig8.ml: Array Engine Format List Printf Scenario Stats Table

@@ -1,0 +1,1 @@
+lib/exp/fig9_10.ml: Array Dataset Engine Format List Netsim Option Scenario Stats Table

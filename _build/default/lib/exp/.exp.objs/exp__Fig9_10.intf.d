@@ -1,0 +1,1 @@
+lib/exp/fig9_10.mli: Format Stats

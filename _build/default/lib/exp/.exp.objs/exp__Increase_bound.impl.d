@@ -1,0 +1,1 @@
+lib/exp/increase_bound.ml: Format List Table Tfrc

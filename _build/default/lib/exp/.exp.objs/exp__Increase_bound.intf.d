@@ -1,0 +1,1 @@
+lib/exp/increase_bound.mli: Format

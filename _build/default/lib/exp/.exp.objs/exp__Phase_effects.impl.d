@@ -1,0 +1,1 @@
+lib/exp/phase_effects.ml: Engine Format List Netsim Scenario Stats Table Tcpsim Tfrc

@@ -1,0 +1,1 @@
+lib/exp/phase_effects.mli: Format

@@ -1,0 +1,1 @@
+lib/exp/plot.ml: Array Float Format List Printf String

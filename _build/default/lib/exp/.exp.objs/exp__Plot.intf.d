@@ -1,0 +1,1 @@
+lib/exp/plot.mli: Format

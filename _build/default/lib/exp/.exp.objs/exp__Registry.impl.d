@@ -1,0 +1,1 @@
+lib/exp/registry.ml: Ablations Fig11_13 Fig14 Fig15_17 Fig18 Fig19 Fig2 Fig20_21 Fig3_4 Fig5 Fig6 Fig7 Fig8 Fig9_10 Format Increase_bound List Phase_effects Traffic_model Variants

@@ -1,0 +1,1 @@
+lib/exp/scenario.ml: Engine Float List Netsim Stats Tcpsim Tfrc

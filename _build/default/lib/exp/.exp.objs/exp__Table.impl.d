@@ -1,0 +1,1 @@
+lib/exp/table.ml: Array Buffer Float Format List Printf String

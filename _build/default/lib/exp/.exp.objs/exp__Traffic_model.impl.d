@@ -1,0 +1,1 @@
+lib/exp/traffic_model.ml: Engine Format List Netsim Stats Table Traffic

@@ -1,0 +1,1 @@
+lib/exp/traffic_model.mli: Format

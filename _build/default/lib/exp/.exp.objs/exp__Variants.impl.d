@@ -1,0 +1,1 @@
+lib/exp/variants.ml: Engine Format List Scenario Stats Table Tcpsim

@@ -1,0 +1,12 @@
+(** Ablation studies over TFRC's design choices (beyond the paper's own
+    figures, but directly motivated by its Section 3 discussion):
+
+    - loss-interval history size n (the paper argues n=8 is the knee),
+    - history discounting on/off (recovery speed after congestion ends),
+    - RTT EWMA gain x interpacket-spacing stabilization (oscillations),
+    - expedited feedback on loss events on/off (response time),
+    - the Section 4.1 burstiness aid (two packets every two intervals)
+      against a small-window TCP competitor,
+    - ECN marking vs dropping at a RED bottleneck (Section 7 outlook). *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit

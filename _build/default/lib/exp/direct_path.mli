@@ -1,0 +1,25 @@
+(** A TFRC connection over an idealized path: fixed propagation delay, no
+    bandwidth limit, and an arbitrary drop function on the data direction.
+
+    This is the setup of the paper's controlled experiments: Figure 2
+    (periodic loss whose rate changes over time) and Figures 19-21
+    (deterministic every-Nth-packet drop patterns). *)
+
+type t = {
+  sim : Engine.Sim.t;
+  sender : Tfrc.Tfrc_sender.t;
+  receiver : Tfrc.Tfrc_receiver.t;
+}
+
+(** [create ?config ~rtt ~drop ()] wires sender and receiver over a
+    symmetric path of [rtt/2] one-way delay; data packets for which
+    [drop pkt] is true are discarded in flight. *)
+val create :
+  ?config:Tfrc.Tfrc_config.t ->
+  rtt:float ->
+  drop:(Netsim.Packet.t -> bool) ->
+  unit ->
+  t
+
+(** [run t ~until] starts the sender at time 0 and runs the simulation. *)
+val run : t -> until:float -> unit

@@ -1,0 +1,126 @@
+type result = {
+  sources : int;
+  loss_rate : float;
+  timescales : float list;
+  equivalence : float list;
+  cov_tfrc : float list;
+  cov_tcp : float list;
+}
+
+let timescales = [ 0.5; 1.; 2.; 5.; 10.; 20.; 50. ]
+
+let one ~sources ~duration ~seed =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let bandwidth = Engine.Units.mbps 15. in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
+      ~queue:
+        (Netsim.Dumbbell.Red_q
+           (Netsim.Red.params ~min_th:10. ~max_th:50. ~limit_pkts:100 ()))
+      ()
+  in
+  (* Monitored long-duration flows. *)
+  let tcp =
+    Scenario.attach_tcp db ~flow:1
+      ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12)
+      ~config:Tcpsim.Tcp_common.ns_sack
+  in
+  Tcpsim.Tcp_sender.start tcp.tcp_sender ~at:(Engine.Rng.float rng 2.);
+  let tfrc =
+    Scenario.attach_tfrc db ~flow:2
+      ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12)
+      ~config:(Tfrc.Tfrc_config.default ())
+  in
+  Tfrc.Tfrc_sender.start tfrc.tfrc_sender ~at:(Engine.Rng.float rng 2.);
+  (* Background ON/OFF UDP sources. *)
+  for i = 1 to sources do
+    let flow = 100 + i in
+    Netsim.Dumbbell.add_flow db ~flow
+      ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12);
+    Netsim.Dumbbell.set_dst_recv db ~flow ignore;
+    let src =
+      Traffic.On_off.create sim (Engine.Rng.split rng) ~flow
+        ~on_rate:(Engine.Units.kbps 500.) ~pkt_size:1000 ~mean_on:1.
+        ~mean_off:2.
+        ~transmit:(Netsim.Dumbbell.src_sender db ~flow)
+        ()
+    in
+    Traffic.On_off.start src ~at:(Engine.Rng.float rng 5.)
+  done;
+  Engine.Sim.run sim ~until:duration;
+  let t0 = duration /. 5. and t1 = duration in
+  let eq tau =
+    Option.value ~default:0.
+      (Stats.Metrics.equivalence_ratio
+         (Netsim.Flowmon.series tfrc.tfrc_send_mon)
+         (Netsim.Flowmon.series tcp.tcp_send_mon)
+         ~t0 ~t1 ~tau)
+  in
+  let cov mon tau =
+    Stats.Metrics.cov_at_timescale (Netsim.Flowmon.series mon) ~t0 ~t1 ~tau
+  in
+  {
+    sources;
+    loss_rate = Netsim.Dumbbell.forward_drop_rate db;
+    timescales;
+    equivalence = List.map eq timescales;
+    cov_tfrc = List.map (cov tfrc.tfrc_send_mon) timescales;
+    cov_tcp = List.map (cov tcp.tcp_send_mon) timescales;
+  }
+
+let run ~full ~seed ppf =
+  let duration = if full then 2500. else 200. in
+  let counts = if full then [ 50; 60; 100; 130; 150 ] else [ 50; 100; 150 ] in
+  let results =
+    List.map (fun sources -> one ~sources ~duration ~seed) counts
+  in
+  Format.fprintf ppf
+    "Figures 11-13: Pareto ON/OFF background traffic, 15 Mb/s RED, one \
+     monitored TCP + one TFRC (duration %.0f s)@.@." duration;
+  Format.fprintf ppf "Figure 11: loss rate at the bottleneck@.@.";
+  Table.print ppf
+    ~header:[ "ON/OFF sources"; "loss rate %" ]
+    (List.map
+       (fun r -> [ string_of_int r.sources; Table.f2 (100. *. r.loss_rate) ])
+       results);
+  Format.fprintf ppf "@.Figure 12: TFRC/TCP equivalence ratio vs timescale@.@.";
+  Table.print ppf
+    ~header:
+      ("sources \\ tau"
+      :: List.map (fun t -> Printf.sprintf "%.1f" t) timescales)
+    (List.map
+       (fun r ->
+         string_of_int r.sources :: List.map Table.f2 r.equivalence)
+       results);
+  Format.fprintf ppf "@.Figure 13: CoV vs timescale (TFRC | TCP)@.@.";
+  Table.print ppf
+    ~header:
+      ("sources \\ tau"
+      :: List.map (fun t -> Printf.sprintf "%.1f" t) timescales)
+    (List.map
+       (fun r ->
+         (string_of_int r.sources ^ " TFRC") :: List.map Table.f2 r.cov_tfrc)
+       results
+    @ List.map
+        (fun r ->
+          (string_of_int r.sources ^ " TCP") :: List.map Table.f2 r.cov_tcp)
+        results);
+  let low = List.hd results and high = List.nth results (List.length results - 1) in
+  (* At the heaviest loads both flows send around one packet per RTT — a
+     regime the paper itself flags as degenerate (Section 4.3) — and short
+     scaled runs give few bins; judge the smoothness claim at the loads
+     with meaningful statistics. *)
+  let moderate = List.filter (fun r -> r.loss_rate < 0.2) results in
+  Format.fprintf ppf
+    "@.loss grows with sources: %.2f%% -> %.2f%% (paper: up to ~40%% at 150 \
+     sources on 5000 s runs); TFRC smoother than TCP at 1 s timescale under \
+     light/moderate load: %s@."
+    (100. *. low.loss_rate)
+    (100. *. high.loss_rate)
+    (if
+       List.for_all
+         (fun r -> List.nth r.cov_tfrc 1 <= List.nth r.cov_tcp 1)
+         moderate
+     then "yes"
+     else "NO")

@@ -1,0 +1,19 @@
+(** Figure 18: quality of the loss-rate predictor. For history sizes
+    {2,4,8,16,32} and both constant and decreasing weights, the loss-
+    interval estimator is driven over loss traces from a range of synthetic
+    environments (steady Bernoulli at several rates, bursty Gilbert
+    channels, rate switching); at each loss event the estimator's predicted
+    loss rate is compared with the realized rate over the next loss
+    interval. Reports the mean absolute prediction error and its standard
+    deviation, averaged over environments. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit
+
+(** [evaluate ~history ~constant_weights ~traces] returns
+    (mean |error|, stddev of error) over all loss events in all traces;
+    each trace is a list of loss-interval lengths (packets). *)
+val evaluate :
+  history:int -> constant_weights:bool -> traces:float list list -> float * float
+
+(** Builds the standard trace set from a seed. *)
+val standard_traces : seed:int -> packets_per_trace:int -> float list list

@@ -1,0 +1,12 @@
+(** Figure 19 / Appendix A.1: the rate-increase bound. A TFRC flow sees
+    every 100th packet dropped until t=10 s, then no further loss. With a
+    fixed RTT and the simple control equation the allowed rate should stay
+    flat until the open interval exceeds the average (~t=10.75 in the
+    paper), then increase by ~0.12 packets/RTT per RTT, accelerating to
+    ~0.28 when history discounting kicks in. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit
+
+(** (time, allowed rate in pkts/RTT) samples at each sender rate update,
+    plus the RTT used. *)
+val trace : duration:float -> unit -> (float * float) list * float

@@ -1,0 +1,12 @@
+(** Figure 2: the Average Loss Interval method under idealized periodic
+    loss. Link loss rate is 1% before t=6 s, 10% until t=9 s, then 0.5%.
+    Reports the current loss interval s0, the estimated average interval,
+    the estimated loss event rate p (and sqrt p) and the sender's
+    transmission rate over time. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit
+
+(** Raw samples for tests: (time, s0, estimated_interval, p, tx_rate_bytes_s)
+    sampled at each sender rate update. *)
+val samples :
+  ?rtt:float -> duration:float -> unit -> (float * float * float * float * float) list

@@ -1,0 +1,18 @@
+(** Figures 3 and 4: oscillations of a single TFRC flow over a
+    Dummynet-like bottleneck as a function of the buffer size, with the RTT
+    EWMA weight at 0.05. Figure 3 runs without the interpacket-spacing
+    adjustment (oscillatory with DropTail); Figure 4 enables the
+    sqrt(R0)/M adjustment, damping the oscillations. The printed metric is
+    the per-buffer coefficient of variation of the send rate, plus a
+    sparkline of the rate evolution. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit
+
+(** [oscillation ~delay_gain ~buffer ~duration] returns (CoV of the send
+    rate over the second half, mean rate bytes/s); used by tests. *)
+val oscillation :
+  delay_gain:bool -> buffer:int -> duration:float -> float * float
+
+(** Same with an explicit RTT EWMA gain; used by the ablation bench. *)
+val oscillation_with :
+  rtt_gain:float -> delay_gain:bool -> buffer:int -> duration:float -> float * float

@@ -1,0 +1,17 @@
+(** Figure 5: loss-event fraction as a function of Bernoulli loss
+    probability, for a flow sending at the equation rate and at 2x / 0.5x
+    that rate (Section 3.5.1). Computed from the self-consistent
+    fixed point p_event = (1 - (1-p_loss)^N)/N with
+    N = factor * f(p_event) packets/RTT, and cross-checked against a
+    Monte-Carlo Bernoulli simulation. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit
+
+(** [analytic ~p_loss ~factor] is the fixed-point loss-event fraction. *)
+val analytic : p_loss:float -> factor:float -> float
+
+(** [monte_carlo rng ~p_loss ~factor ~packets] simulates a Bernoulli loss
+    process on a paced flow and measures loss events per packet, counting a
+    loss event at most once per N-packet round trip. *)
+val monte_carlo :
+  Engine.Rng.t -> p_loss:float -> factor:float -> packets:int -> float

@@ -1,0 +1,99 @@
+type cell = {
+  link_mbps : float;
+  total_flows : int;
+  norm_tcp : float;
+  norm_tfrc : float;
+  utilization : float;
+  drop_rate : float;
+}
+
+let cell ~queue ~link_mbps ~total_flows ~duration ~seed =
+  let bandwidth = Engine.Units.mbps link_mbps in
+  let n = max 1 (total_flows / 2) in
+  let params =
+    {
+      (Scenario.default_mixed ()) with
+      bandwidth;
+      queue = Scenario.scaled_queue queue ~bandwidth;
+      n_tcp = n;
+      n_tfrc = n;
+      duration;
+      warmup = duration /. 3.;
+      start_spread = Float.min 10. (duration /. 8.);
+      seed;
+    }
+  in
+  let r = Scenario.run_mixed params in
+  let tcp_norm, tfrc_norm = Scenario.normalized_throughputs r in
+  {
+    link_mbps;
+    total_flows;
+    norm_tcp = Scenario.mean tcp_norm;
+    norm_tfrc = Scenario.mean tfrc_norm;
+    utilization = r.utilization;
+    drop_rate = r.drop_rate;
+  }
+
+let grid ~full =
+  let links = if full then [ 1.; 2.; 4.; 8.; 16.; 32.; 64. ] else [ 1.; 4.; 16.; 64. ] in
+  let flows = if full then [ 2; 8; 32; 128 ] else [ 2; 8; 32 ] in
+  (links, flows)
+
+let surface ppf ~queue ~title ~full ~duration ~seed =
+  let links, flows = grid ~full in
+  Format.fprintf ppf "%s@.@." title;
+  let cells =
+    List.map
+      (fun total_flows ->
+        List.map
+          (fun link_mbps ->
+            cell ~queue ~link_mbps ~total_flows ~duration ~seed)
+          links)
+      flows
+  in
+  let header =
+    "flows \\ Mb/s" :: List.map (fun l -> Printf.sprintf "%.0f" l) links
+  in
+  let rows =
+    List.map2
+      (fun total_flows row ->
+        string_of_int total_flows
+        :: List.map (fun c -> Table.f2 c.norm_tcp) row)
+      flows cells
+  in
+  Table.print ppf ~header rows;
+  let all = List.concat cells in
+  let mean_util =
+    Scenario.mean (List.map (fun c -> c.utilization) all)
+  in
+  let n_above_90 =
+    List.length (List.filter (fun c -> c.utilization > 0.9) all)
+  in
+  Format.fprintf ppf
+    "mean utilization %.3f; %d/%d cells above 90%%; mean normalized TFRC %.2f@.@."
+    mean_util n_above_90 (List.length all)
+    (Scenario.mean (List.map (fun c -> c.norm_tfrc) all));
+  all
+
+let run ~full ~seed ppf =
+  let duration = if full then 90. else 30. in
+  Format.fprintf ppf
+    "Figure 6: normalized TCP throughput, n TCP + n TFRC sharing the \
+     bottleneck (1.0 = fair share)@.@.";
+  let dt =
+    surface ppf ~queue:`Droptail
+      ~title:"DropTail queueing (normalized mean TCP throughput)" ~full
+      ~duration ~seed
+  in
+  let red =
+    surface ppf ~queue:`Red ~title:"RED queueing (normalized mean TCP throughput)"
+      ~full ~duration ~seed
+  in
+  let overall =
+    Scenario.mean (List.map (fun c -> c.norm_tcp) (dt @ red))
+  in
+  Format.fprintf ppf
+    "overall mean normalized TCP throughput: %.2f (paper: close to fair \
+     share across the grid, TCP suffering somewhat where its window is \
+     smallest)@."
+    overall

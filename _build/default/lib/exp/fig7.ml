@@ -1,0 +1,61 @@
+let run ~full ~seed ppf =
+  let duration = if full then 90. else 40. in
+  let counts = if full then [ 4; 8; 16; 32; 64; 128 ] else [ 4; 16; 32 ] in
+  let bandwidth = Engine.Units.mbps 15. in
+  Format.fprintf ppf
+    "Figure 7: per-flow normalized throughput, 15 Mb/s RED (each row one \
+     simulation)@.@.";
+  let rows =
+    List.map
+      (fun total ->
+        let n = total / 2 in
+        let params =
+          {
+            (Scenario.default_mixed ()) with
+            bandwidth;
+            queue = Scenario.scaled_queue `Red ~bandwidth;
+            n_tcp = n;
+            n_tfrc = n;
+            duration;
+            warmup = duration /. 3.;
+            seed;
+          }
+        in
+        let r = Scenario.run_mixed params in
+        let tcp, tfrc = Scenario.normalized_throughputs r in
+        let spread l =
+          let arr = Array.of_list l in
+          let s = Stats.Running.of_array arr in
+          (Stats.Running.mean s, Stats.Running.stddev s)
+        in
+        let tm, ts = spread tcp and fm, fs = spread tfrc in
+        [
+          string_of_int total;
+          Table.f2 tm;
+          Table.f2 ts;
+          Table.f2 fm;
+          Table.f2 fs;
+          Table.f2 (Stats.Quantile.quantile (Array.of_list tcp) 0.05);
+          Table.f2 (Stats.Quantile.quantile (Array.of_list tcp) 0.95);
+          Table.f2 (Stats.Quantile.quantile (Array.of_list tfrc) 0.05);
+          Table.f2 (Stats.Quantile.quantile (Array.of_list tfrc) 0.95);
+        ])
+      counts
+  in
+  Table.print ppf
+    ~header:
+      [
+        "flows";
+        "TCP mean";
+        "TCP sd";
+        "TFRC mean";
+        "TFRC sd";
+        "TCP p5";
+        "TCP p95";
+        "TFRC p5";
+        "TFRC p95";
+      ]
+    rows;
+  Format.fprintf ppf
+    "@.(paper: means comparable; TCP flows show the larger per-flow \
+     variance, growing as bandwidth per flow shrinks)@."

@@ -1,0 +1,6 @@
+(** Figure 7: per-flow normalized throughput scatter at the 15 Mb/s RED
+    column of Figure 6, for total flow counts 2..128. Shows that while the
+    means are close to fair, individual TCP flows have higher variance than
+    TFRC flows. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit

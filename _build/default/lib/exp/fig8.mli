@@ -1,0 +1,6 @@
+(** Figure 8: throughput of individual TFRC and TCP flows over time
+    (0.15 s bins) for the 32-flow, 15 Mb/s case of Figure 6, under RED and
+    DropTail. The headline: TFRC's per-flow rate is visibly smoother than
+    TCP's at the timescales a multimedia user would notice. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit

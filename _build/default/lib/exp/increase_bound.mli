@@ -1,0 +1,6 @@
+(** The Section 3.5.3 / Appendix A.1 numbers: evaluates the closed-form
+    increase bound (Equation 4) for the normal weighting, maximal history
+    discounting and all-weight-on-recent cases, and cross-checks the
+    simulated TFRC increase rate against it. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit

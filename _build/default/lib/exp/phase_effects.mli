@@ -1,0 +1,25 @@
+(** Section 4.3's "apparent phase effect": on a heavily loaded DropTail
+    link shared by several TFRC flows and one TCP, TFRC's perfectly smooth
+    spacing can interact with a persistently full buffer so that bursty TCP
+    loses disproportionately; the interpacket-spacing adjustment introduces
+    enough short-term variation to break the phase and restore fairness
+    ("Adding the interpacket spacing adjustment ... fairness improved
+    greatly").
+
+    Also demonstrates the classic DropTail phase-locking between identical
+    TCP flows, and that RED or RTT randomization removes it. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit
+
+(** [nokia ~delay_gain ~duration ~seed] is the T1 scenario: 6 TFRC + 1 TCP
+    on 1.5 Mb/s DropTail; returns the TCP flow's share of its fair share. *)
+val nokia : delay_gain:bool -> duration:float -> seed:int -> float
+
+(** [tcp_phase ~queue ~identical_rtt ~duration ~seed] runs 4 TCP flows and
+    returns the Jain index of their throughputs. *)
+val tcp_phase :
+  queue:[ `Droptail | `Red ] ->
+  identical_rtt:bool ->
+  duration:float ->
+  seed:int ->
+  float

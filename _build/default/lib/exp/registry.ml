@@ -1,0 +1,103 @@
+type experiment = {
+  id : string;
+  title : string;
+  run : full:bool -> seed:int -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    {
+      id = "fig2";
+      title = "Average Loss Interval method under idealized periodic loss";
+      run = Fig2.run;
+    };
+    {
+      id = "fig3";
+      title = "Oscillations without interpacket-spacing adjustment (and fig4 with)";
+      run = Fig3_4.run;
+    };
+    {
+      id = "fig5";
+      title = "Loss-event fraction vs Bernoulli loss probability";
+      run = Fig5.run;
+    };
+    {
+      id = "fig6";
+      title = "Normalized TCP throughput vs link rate and flow count";
+      run = Fig6.run;
+    };
+    {
+      id = "fig7";
+      title = "Per-flow normalized throughput scatter at 15 Mb/s RED";
+      run = Fig7.run;
+    };
+    {
+      id = "fig8";
+      title = "Per-flow throughput over time at 0.15 s bins";
+      run = Fig8.run;
+    };
+    {
+      id = "fig9";
+      title = "Equivalence ratio and CoV vs timescale (steady state; fig10 too)";
+      run = Fig9_10.run;
+    };
+    {
+      id = "fig11";
+      title = "ON/OFF background traffic: loss, equivalence, CoV (figs 11-13)";
+      run = Fig11_13.run;
+    };
+    {
+      id = "fig14";
+      title = "Queue dynamics: 40 TCP vs 40 TFRC flows";
+      run = Fig14.run;
+    };
+    {
+      id = "fig15";
+      title = "Emulated Internet paths: fairness and smoothness (figs 15-17)";
+      run = Fig15_17.run;
+    };
+    {
+      id = "fig18";
+      title = "Loss predictor quality vs history size and weighting";
+      run = Fig18.run;
+    };
+    {
+      id = "fig19";
+      title = "Rate increase after congestion ends (Appendix A.1)";
+      run = Fig19.run;
+    };
+    {
+      id = "fig20";
+      title = "Rate halving under persistent congestion (figs 20-21, A.2)";
+      run = Fig20_21.run;
+    };
+    {
+      id = "tableA1";
+      title = "Closed-form increase bound (Equation 4)";
+      run = Increase_bound.run;
+    };
+    {
+      id = "variants";
+      title = "TFRC vs TCP flavors and timer granularities (Section 4.1)";
+      run = Variants.run;
+    };
+    {
+      id = "phase";
+      title = "Phase effects over DropTail and the interpacket-spacing fix (Section 4.3)";
+      run = Phase_effects.run;
+    };
+    {
+      id = "traffic-model";
+      title = "Self-similarity of the ON/OFF background model ([WTSW95])";
+      run = Traffic_model.run;
+    };
+    {
+      id = "ablations";
+      title =
+        "Design-choice ablations: history, discounting, RTT gain, feedback,          burstiness, ECN";
+      run = Ablations.run;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,13 @@
+(** Registry of all reproducible experiments: one entry per paper figure
+    (plus the Appendix A.1 table). Used by the CLI and the benchmark
+    harness. *)
+
+type experiment = {
+  id : string;  (** e.g. "fig6" *)
+  title : string;
+  run : full:bool -> seed:int -> Format.formatter -> unit;
+}
+
+val all : experiment list
+val find : string -> experiment option
+val ids : unit -> string list

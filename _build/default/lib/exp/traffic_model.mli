@@ -1,0 +1,16 @@
+(** Validation of the ON/OFF background-traffic model (Section 4.1.3).
+
+    The paper justifies Pareto ON/OFF sources by [WTSW95]: aggregating many
+    heavy-tailed ON/OFF sources produces self-similar traffic. This
+    experiment estimates the Hurst parameter of the aggregate arrival
+    process by the variance-time method for several tail indices, with
+    exponential (Poisson-like) sources as the control: heavy tails push H
+    toward (3 - shape) / 2, the control stays near 0.5. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit
+
+(** [hurst_of_aggregate ~sources ~shape ~duration ~seed] builds the
+    aggregate and estimates H. [shape <= 0.] selects exponential ON/OFF
+    durations instead of Pareto (the control). *)
+val hurst_of_aggregate :
+  sources:int -> shape:float -> duration:float -> seed:int -> float

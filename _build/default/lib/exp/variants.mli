@@ -1,0 +1,7 @@
+(** Section 4.1's side study: TFRC coexisting with different TCP flavors
+    and retransmit-timer granularities ("Although Sack TCP with relatively
+    low timer granularity does better against TFRC than the alternatives,
+    their performance is still quite respectable"). 4 TCP of the given
+    flavor + 4 TFRC share a 15 Mb/s RED bottleneck. *)
+
+val run : full:bool -> seed:int -> Format.formatter -> unit

@@ -1,0 +1,1 @@
+lib/netsim/dumbbell.ml: Droptail Engine Hashtbl Link Option Packet Printf Queue_disc Red

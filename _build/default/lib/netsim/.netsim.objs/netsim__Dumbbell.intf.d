@@ -1,0 +1,1 @@
+lib/netsim/dumbbell.mli: Engine Link Packet Red

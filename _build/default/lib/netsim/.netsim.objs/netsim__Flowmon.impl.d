@@ -1,0 +1,1 @@
+lib/netsim/flowmon.ml: Engine Packet Queue_disc Stats

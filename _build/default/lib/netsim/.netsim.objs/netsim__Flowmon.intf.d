@@ -1,0 +1,1 @@
+lib/netsim/flowmon.mli: Engine Packet Queue_disc Stats

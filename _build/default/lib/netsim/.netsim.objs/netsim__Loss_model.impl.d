@@ -1,0 +1,1 @@
+lib/netsim/loss_model.ml: Engine

@@ -1,0 +1,1 @@
+lib/netsim/parking_lot.ml: Array Engine Hashtbl Link Packet Printf Queue_disc

@@ -1,0 +1,1 @@
+lib/netsim/parking_lot.mli: Engine Link Packet Queue_disc

@@ -1,0 +1,1 @@
+lib/netsim/queue_disc.mli: Packet

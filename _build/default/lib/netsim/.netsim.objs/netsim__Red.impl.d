@@ -1,0 +1,1 @@
+lib/netsim/red.ml: Float List Packet Queue Queue_disc

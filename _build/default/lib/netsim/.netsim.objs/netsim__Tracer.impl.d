@@ -1,0 +1,1 @@
+lib/netsim/tracer.ml: Format Fun Link List Packet

@@ -1,0 +1,6 @@
+(** Drop-tail (FIFO) queue with a packet-count limit, matching ns-2's
+    default DropTail behavior used throughout the paper's simulations. *)
+
+(** [create ~limit_pkts] builds a FIFO that drops arrivals once [limit_pkts]
+    packets are buffered. *)
+val create : limit_pkts:int -> Queue_disc.t

@@ -1,0 +1,80 @@
+type queue_spec = Droptail_q of int | Red_q of Red.params
+
+type entry = {
+  access : float; (* one-way delay of each access segment *)
+  mutable src_recv : Packet.handler;
+  mutable dst_recv : Packet.handler;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  fwd : Link.t;
+  bwd : Link.t;
+  flows : (int, entry) Hashtbl.t;
+}
+
+let make_queue sim ~spec ~bandwidth ~mean_pktsize =
+  match spec with
+  | Droptail_q limit -> Droptail.create ~limit_pkts:limit
+  | Red_q params ->
+      Red.create ~params
+        ~now:(fun () -> Engine.Sim.now sim)
+        ~ptc:(bandwidth /. (8. *. float_of_int mean_pktsize))
+
+let create sim ~bandwidth ~delay ~queue ?reverse_queue ?(mean_pktsize = 1000) () =
+  let reverse_queue = Option.value reverse_queue ~default:queue in
+  let fwd_q = make_queue sim ~spec:queue ~bandwidth ~mean_pktsize in
+  let bwd_q = make_queue sim ~spec:reverse_queue ~bandwidth ~mean_pktsize in
+  let fwd = Link.create sim ~bandwidth ~delay ~queue:fwd_q () in
+  let bwd = Link.create sim ~bandwidth ~delay ~queue:bwd_q () in
+  let t = { sim; fwd; bwd; flows = Hashtbl.create 64 } in
+  (* Demultiplex by flow id after the bottleneck, applying the flow's
+     egress access delay. *)
+  let demux side pkt =
+    match Hashtbl.find_opt t.flows pkt.Packet.flow with
+    | None -> () (* unrouted packet: silently discarded *)
+    | Some e ->
+        let deliver () =
+          match side with `Fwd -> e.dst_recv pkt | `Bwd -> e.src_recv pkt
+        in
+        if e.access > 0. then
+          ignore (Engine.Sim.after sim e.access (fun () -> deliver ()))
+        else deliver ()
+  in
+  Link.set_dest fwd (demux `Fwd);
+  Link.set_dest bwd (demux `Bwd);
+  t
+
+let sim t = t.sim
+
+let add_flow t ~flow ~rtt_base =
+  if Hashtbl.mem t.flows flow then
+    invalid_arg (Printf.sprintf "Dumbbell.add_flow: flow %d already exists" flow);
+  let bneck_delay = Link.delay t.fwd in
+  let access = ((rtt_base /. 2.) -. bneck_delay) /. 2. in
+  if access < 0. then
+    invalid_arg "Dumbbell.add_flow: rtt_base smaller than bottleneck RTT";
+  Hashtbl.replace t.flows flow { access; src_recv = ignore; dst_recv = ignore }
+
+let find t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Dumbbell: unknown flow %d" flow)
+
+let set_src_recv t ~flow h = (find t flow).src_recv <- h
+let set_dst_recv t ~flow h = (find t flow).dst_recv <- h
+
+let inject t link ~flow pkt =
+  let e = find t flow in
+  if e.access > 0. then
+    ignore (Engine.Sim.after t.sim e.access (fun () -> Link.send link pkt))
+  else Link.send link pkt
+
+let src_send t ~flow pkt = inject t t.fwd ~flow pkt
+let dst_send t ~flow pkt = inject t t.bwd ~flow pkt
+let src_sender t ~flow pkt = src_send t ~flow pkt
+let dst_sender t ~flow pkt = dst_send t ~flow pkt
+let forward_link t = t.fwd
+let reverse_link t = t.bwd
+let on_forward_drop t f = Link.on_drop t.fwd f
+let forward_drop_rate t = Queue_disc.drop_rate (Link.queue t.fwd)

@@ -1,0 +1,48 @@
+type t = {
+  now : unit -> float;
+  series : Stats.Time_series.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let create now = { now; series = Stats.Time_series.create (); packets = 0; bytes = 0 }
+
+let record t (pkt : Packet.t) =
+  if Packet.is_data pkt then begin
+    t.packets <- t.packets + 1;
+    t.bytes <- t.bytes + pkt.size;
+    Stats.Time_series.add t.series ~time:(t.now ()) ~value:(float_of_int pkt.size)
+  end
+
+let wrap t handler pkt =
+  record t pkt;
+  handler pkt
+
+let tap t = wrap t ignore
+let series t = t.series
+let packets t = t.packets
+let bytes t = t.bytes
+let mean_rate t ~t0 ~t1 = Stats.Time_series.mean_rate t.series ~t0 ~t1
+
+module Queue_sampler = struct
+  type sampler = {
+    series : Stats.Time_series.t;
+    mutable running : bool;
+  }
+
+  let start sim ~period ~queue =
+    if period <= 0. then invalid_arg "Queue_sampler.start: period must be positive";
+    let s = { series = Stats.Time_series.create (); running = true } in
+    let rec tick () =
+      if s.running then begin
+        Stats.Time_series.add s.series ~time:(Engine.Sim.now sim)
+          ~value:(float_of_int (queue.Queue_disc.len_pkts ()));
+        ignore (Engine.Sim.after sim period tick)
+      end
+    in
+    ignore (Engine.Sim.after sim period tick);
+    s
+
+  let series s = s.series
+  let stop s = s.running <- false
+end

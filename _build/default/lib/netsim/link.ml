@@ -1,0 +1,62 @@
+type t = {
+  sim : Engine.Sim.t;
+  bandwidth : float;
+  delay : float;
+  queue : Queue_disc.t;
+  mutable dest : Packet.handler;
+  mutable busy : bool;
+  mutable drop_listeners : Packet.handler list;
+  mutable delivered_bytes : int;
+  mutable busy_time : float;
+}
+
+let create sim ~bandwidth ~delay ~queue () =
+  if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if delay < 0. then invalid_arg "Link.create: negative delay";
+  {
+    sim;
+    bandwidth;
+    delay;
+    queue;
+    dest = ignore;
+    busy = false;
+    drop_listeners = [];
+    delivered_bytes = 0;
+    busy_time = 0.;
+  }
+
+let set_dest t handler = t.dest <- handler
+let current_dest t = t.dest
+let on_drop t f = t.drop_listeners <- f :: t.drop_listeners
+let queue t = t.queue
+let bandwidth t = t.bandwidth
+let delay t = t.delay
+let delivered_bytes t = t.delivered_bytes
+let busy_time t = t.busy_time
+
+let utilization t ~duration =
+  if duration <= 0. then 0.
+  else 8. *. float_of_int t.delivered_bytes /. (t.bandwidth *. duration)
+
+(* Serialize the head-of-line packet; at end of serialization start the next
+   one and schedule the propagation-delayed delivery. *)
+let rec start_tx t =
+  match t.queue.Queue_disc.dequeue () with
+  | None -> t.busy <- false
+  | Some pkt ->
+      t.busy <- true;
+      let tx = Engine.Units.tx_time ~bits_per_s:t.bandwidth ~bytes:pkt.Packet.size in
+      t.busy_time <- t.busy_time +. tx;
+      ignore
+        (Engine.Sim.after t.sim tx (fun () ->
+             t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+             if t.delay > 0. then
+               ignore (Engine.Sim.after t.sim t.delay (fun () -> t.dest pkt))
+             else t.dest pkt;
+             start_tx t))
+
+let send t pkt =
+  if t.queue.Queue_disc.enqueue pkt then begin
+    if not t.busy then start_tx t
+  end
+  else List.iter (fun f -> f pkt) t.drop_listeners

@@ -1,0 +1,45 @@
+(** Unidirectional link: a queue discipline feeding a transmitter with a
+    fixed bandwidth and propagation delay.
+
+    Packets are serialized one at a time at [bandwidth] bits/s; each then
+    propagates for [delay] seconds before delivery to the destination
+    handler, so the link pipelines (a packet can be in flight while the next
+    is serializing), like a real link and like ns-2's DelayLink. *)
+
+type t
+
+(** [create sim ~bandwidth ~delay ~queue ()] makes a link. Set the
+    destination with [set_dest] before sending. *)
+val create :
+  Engine.Sim.t ->
+  bandwidth:float (** bits/s *) ->
+  delay:float (** seconds *) ->
+  queue:Queue_disc.t ->
+  unit ->
+  t
+
+val set_dest : t -> Packet.handler -> unit
+
+(** The currently installed destination ([ignore] until set). *)
+val current_dest : t -> Packet.handler
+
+(** [send t pkt] offers the packet to the queue; it is dropped if the
+    discipline rejects it (drop listeners fire). *)
+val send : t -> Packet.t -> unit
+
+(** [on_drop t f] registers a listener called with each dropped packet. *)
+val on_drop : t -> Packet.handler -> unit
+
+val queue : t -> Queue_disc.t
+val bandwidth : t -> float
+val delay : t -> float
+
+(** Bytes handed to the destination so far. *)
+val delivered_bytes : t -> int
+
+(** [utilization t ~duration] is delivered bits over capacity in
+    [duration] seconds. *)
+val utilization : t -> duration:float -> float
+
+(** [busy_time t] is the cumulative serialization time. *)
+val busy_time : t -> float

@@ -1,0 +1,51 @@
+type payload =
+  | Data
+  | Tcp_ack of { ack : int; sack : (int * int) list; ece : bool }
+  | Tfrc_data of { rtt : float }
+  | Tfrc_feedback of {
+      p : float;
+      recv_rate : float;
+      ts_echo : float;
+      ts_delay : float;
+    }
+
+type t = {
+  id : int;
+  flow : int;
+  seq : int;
+  size : int;
+  sent_at : float;
+  payload : payload;
+  ecn_capable : bool;
+  mutable ecn_marked : bool; (* set by an ECN queue in flight *)
+}
+
+type handler = t -> unit
+
+let next_id = ref 0
+
+let make ?(ecn = false) ~flow ~seq ~size ~now payload =
+  incr next_id;
+  {
+    id = !next_id;
+    flow;
+    seq;
+    size;
+    sent_at = now;
+    payload;
+    ecn_capable = ecn;
+    ecn_marked = false;
+  }
+
+let is_data p = match p.payload with Data | Tfrc_data _ -> true | _ -> false
+
+let pp ppf p =
+  let kind =
+    match p.payload with
+    | Data -> "data"
+    | Tcp_ack { ack; _ } -> Printf.sprintf "ack=%d" ack
+    | Tfrc_data _ -> "tfrc-data"
+    | Tfrc_feedback { p = lr; _ } -> Printf.sprintf "fb p=%.4f" lr
+  in
+  Format.fprintf ppf "[flow %d seq %d %dB %s @%.4f]" p.flow p.seq p.size kind
+    p.sent_at

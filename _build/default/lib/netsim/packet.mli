@@ -1,0 +1,50 @@
+(** Simulated packets.
+
+    A packet carries the common header fields (flow id, per-flow sequence
+    number, size in bytes, send timestamp) plus a protocol-specific payload
+    variant. Sizes include the transport/network header; serialization and
+    queueing cost is charged on [size]. *)
+
+type payload =
+  | Data  (** generic data: TCP segments, UDP datagrams *)
+  | Tcp_ack of {
+      ack : int;  (** next expected in-order sequence number (cumulative) *)
+      sack : (int * int) list;
+          (** SACK blocks as half-open ranges [lo, hi) of packet seqnos,
+              most recent first *)
+      ece : bool;  (** ECN-echo: the acked data carried a CE mark *)
+    }
+  | Tfrc_data of {
+      rtt : float;  (** sender's current RTT estimate, piggybacked so the
+                        receiver can coalesce losses into loss events *)
+    }
+  | Tfrc_feedback of {
+      p : float;  (** receiver's loss event rate estimate *)
+      recv_rate : float;  (** bytes/s received over the last RTT *)
+      ts_echo : float;  (** timestamp of the most recent data packet *)
+      ts_delay : float;  (** receiver dwell time between that packet's
+                             arrival and this feedback *)
+    }
+
+type t = {
+  id : int;  (** globally unique *)
+  flow : int;
+  seq : int;
+  size : int;  (** bytes *)
+  sent_at : float;  (** virtual time the source emitted the packet *)
+  payload : payload;
+  ecn_capable : bool;  (** sender supports Explicit Congestion Notification *)
+  mutable ecn_marked : bool;  (** CE mark set by an ECN-enabled queue *)
+}
+
+(** [make ?ecn ~flow ~seq ~size ~now payload] allocates a packet with a
+    fresh unique id. [ecn] (default false) declares the flow
+    ECN-capable. *)
+val make :
+  ?ecn:bool -> flow:int -> seq:int -> size:int -> now:float -> payload -> t
+
+(** Handler type: where packets go. *)
+type handler = t -> unit
+
+val is_data : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** Multi-bottleneck "parking lot" topology: a chain of hops where
+    long-haul flows traverse every hop and per-hop cross traffic congests
+    individual links. The standard generalization of the dumbbell for
+    studying multi-bottleneck fairness (a long flow competes at every hop,
+    cross flows only at one).
+
+    Flow kinds:
+    - a {e through} flow enters before hop 1 and exits after the last hop;
+    - a {e cross} flow of hop k enters before hop k and exits after it.
+
+    Reverse direction (acks/feedback) is modelled as a well-provisioned
+    fixed-delay path, since the paper's scenarios never congest it. *)
+
+type t
+
+(** [create sim ~hops ~bandwidth ~delay ~queue ()] builds a chain of
+    [hops] identical links. [queue] builds a fresh discipline per hop
+    (disciplines are stateful and cannot be shared). *)
+val create :
+  Engine.Sim.t ->
+  hops:int ->
+  bandwidth:float ->
+  delay:float ->
+  queue:(unit -> Queue_disc.t) ->
+  unit ->
+  t
+
+val sim : t -> Engine.Sim.t
+val n_hops : t -> int
+
+(** [add_through_flow t ~flow ~rtt_base] registers an end-to-end flow.
+    [rtt_base] must be at least the chain's round-trip propagation. *)
+val add_through_flow : t -> flow:int -> rtt_base:float -> unit
+
+(** [add_cross_flow t ~flow ~hop ~rtt_base] registers a flow crossing only
+    [hop] (1-based). *)
+val add_cross_flow : t -> flow:int -> hop:int -> rtt_base:float -> unit
+
+val set_src_recv : t -> flow:int -> Packet.handler -> unit
+val set_dst_recv : t -> flow:int -> Packet.handler -> unit
+val src_sender : t -> flow:int -> Packet.handler
+val dst_sender : t -> flow:int -> Packet.handler
+
+(** [link t ~hop] is the forward link of the given hop (1-based). *)
+val link : t -> hop:int -> Link.t
+
+(** Aggregate drop rate across all hops. *)
+val drop_rate : t -> float

@@ -1,0 +1,20 @@
+type stats = {
+  mutable arrivals : int;
+  mutable drops : int;
+  mutable departures : int;
+  mutable bytes_queued : int;
+}
+
+type t = {
+  enqueue : Packet.t -> bool;
+  dequeue : unit -> Packet.t option;
+  len_pkts : unit -> int;
+  len_bytes : unit -> int;
+  stats : stats;
+}
+
+let make_stats () = { arrivals = 0; drops = 0; departures = 0; bytes_queued = 0 }
+
+let drop_rate t =
+  if t.stats.arrivals = 0 then 0.
+  else float_of_int t.stats.drops /. float_of_int t.stats.arrivals

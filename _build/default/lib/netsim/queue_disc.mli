@@ -1,0 +1,25 @@
+(** Queue discipline interface shared by DropTail and RED.
+
+    A discipline owns the buffered packets; the link drives it with
+    [enqueue]/[dequeue]. Implementations record aggregate statistics. *)
+
+type stats = {
+  mutable arrivals : int;
+  mutable drops : int;
+  mutable departures : int;
+  mutable bytes_queued : int;  (** current occupancy in bytes *)
+}
+
+type t = {
+  enqueue : Packet.t -> bool;
+      (** [true] if accepted, [false] if the packet was dropped *)
+  dequeue : unit -> Packet.t option;
+  len_pkts : unit -> int;
+  len_bytes : unit -> int;
+  stats : stats;
+}
+
+val make_stats : unit -> stats
+
+(** [drop_rate t] is drops / arrivals (0. before any arrival). *)
+val drop_rate : t -> float

@@ -1,0 +1,152 @@
+type params = {
+  w_q : float;
+  min_th : float;
+  max_th : float;
+  max_p : float;
+  gentle : bool;
+  limit_pkts : int;
+  ecn : bool;
+}
+
+let params ?(w_q = 0.002) ?(max_p = 0.1) ?(gentle = true) ?(ecn = false)
+    ~min_th ~max_th ~limit_pkts () =
+  if min_th <= 0. || max_th <= min_th then
+    invalid_arg "Red.params: need 0 < min_th < max_th";
+  if limit_pkts <= 0 then invalid_arg "Red.params: limit must be positive";
+  { w_q; min_th; max_th; max_p; gentle; limit_pkts; ecn }
+
+type state = {
+  p : params;
+  now : unit -> float;
+  ptc : float;
+  q : Packet.t Queue.t;
+  mutable avg : float;
+  mutable count : int; (* packets since last drop while avg in drop region *)
+  mutable idle_since : float; (* < 0. when the queue is non-empty *)
+  mutable rng_state : int; (* deterministic xorshift for drop decisions *)
+}
+
+(* A small private xorshift keeps RED self-contained and deterministic
+   without threading an Engine.Rng through every topology builder. *)
+let next_uniform st =
+  let x = st.rng_state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  st.rng_state <- (if x = 0 then 0x9E3779B9 else x);
+  float_of_int st.rng_state /. float_of_int max_int
+
+let update_avg st =
+  let qlen = float_of_int (Queue.length st.q) in
+  if Queue.length st.q = 0 && st.idle_since >= 0. then begin
+    (* Age the average across the idle period: pretend m small packets
+       could have been transmitted. *)
+    let m = st.ptc *. (st.now () -. st.idle_since) in
+    st.avg <- st.avg *. ((1. -. st.p.w_q) ** Float.max 0. m)
+  end
+  else st.avg <- st.avg +. (st.p.w_q *. (qlen -. st.avg))
+
+(* Returns [true] when the arriving packet should be dropped early. *)
+let early_drop st =
+  let { min_th; max_th; max_p; gentle; _ } = st.p in
+  let avg = st.avg in
+  if avg < min_th then begin
+    st.count <- -1;
+    false
+  end
+  else begin
+    let p_b =
+      if avg < max_th then max_p *. (avg -. min_th) /. (max_th -. min_th)
+      else if gentle && avg < 2. *. max_th then
+        max_p +. ((1. -. max_p) *. (avg -. max_th) /. max_th)
+      else 1.
+    in
+    if p_b >= 1. then begin
+      st.count <- 0;
+      true
+    end
+    else begin
+      st.count <- st.count + 1;
+      let denom = 1. -. (float_of_int st.count *. p_b) in
+      let p_a = if denom <= 0. then 1. else Float.min 1. (p_b /. denom) in
+      if next_uniform st < p_a then begin
+        st.count <- 0;
+        true
+      end
+      else false
+    end
+  end
+
+(* Keyed by physical identity: the stats record is mutable, so structural
+   hashing would break as counters change. *)
+let avg_registry : (Queue_disc.stats * state) list ref = ref []
+
+let create ~params ~now ~ptc =
+  if ptc <= 0. then invalid_arg "Red.create: ptc must be positive";
+  let st =
+    {
+      p = params;
+      now;
+      ptc;
+      q = Queue.create ();
+      avg = 0.;
+      count = -1;
+      idle_since = 0.;
+      rng_state = 0x2545F491;
+    }
+  in
+  let stats = Queue_disc.make_stats () in
+  let enqueue (pkt : Packet.t) =
+    stats.arrivals <- stats.arrivals + 1;
+    update_avg st;
+    st.idle_since <- -1.;
+    let overflow = Queue.length st.q >= st.p.limit_pkts in
+    let early = (not overflow) && early_drop st in
+    (* With ECN, an early congestion indication marks an ECN-capable packet
+       instead of dropping it (RFC 3168 / the paper's Section 7 outlook);
+       physical overflow always drops. *)
+    let drop =
+      overflow
+      || (early && not (st.p.ecn && pkt.Packet.ecn_capable))
+    in
+    if early && not drop then pkt.Packet.ecn_marked <- true;
+    if drop then begin
+      stats.drops <- stats.drops + 1;
+      (* If the buffer is still empty after a drop, we are idle again. *)
+      if Queue.length st.q = 0 then st.idle_since <- st.now ();
+      false
+    end
+    else begin
+      Queue.add pkt st.q;
+      stats.bytes_queued <- stats.bytes_queued + pkt.Packet.size;
+      true
+    end
+  in
+  let dequeue () =
+    match Queue.take_opt st.q with
+    | None -> None
+    | Some pkt ->
+        stats.departures <- stats.departures + 1;
+        stats.bytes_queued <- stats.bytes_queued - pkt.Packet.size;
+        if Queue.length st.q = 0 then st.idle_since <- st.now ();
+        Some pkt
+  in
+  let disc =
+    {
+      Queue_disc.enqueue;
+      dequeue;
+      len_pkts = (fun () -> Queue.length st.q);
+      len_bytes = (fun () -> stats.bytes_queued);
+      stats;
+    }
+  in
+  avg_registry := (disc.Queue_disc.stats, st) :: !avg_registry;
+  disc
+
+let avg_queue disc =
+  match
+    List.find_opt (fun (k, _) -> k == disc.Queue_disc.stats) !avg_registry
+  with
+  | Some (_, st) -> st.avg
+  | None -> invalid_arg "Red.avg_queue: not a RED queue"

@@ -1,0 +1,74 @@
+type event_kind = Enqueue | Dequeue | Drop | Receive
+
+type event = {
+  time : float;
+  kind : event_kind;
+  flow : int;
+  seq : int;
+  size : int;
+  pkt_id : int;
+}
+
+type t = {
+  now : unit -> float;
+  limit : int;
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+  mutable truncated : bool;
+}
+
+let create ?(limit = 1_000_000) now =
+  { now; limit; events = []; count = 0; truncated = false }
+
+let record t kind (pkt : Packet.t) =
+  if t.count >= t.limit then t.truncated <- true
+  else begin
+    t.events <-
+      {
+        time = t.now ();
+        kind;
+        flow = pkt.flow;
+        seq = pkt.seq;
+        size = pkt.size;
+        pkt_id = pkt.id;
+      }
+      :: t.events;
+    t.count <- t.count + 1
+  end
+
+let attach_link t link =
+  Link.on_drop link (fun pkt -> record t Drop pkt);
+  let prev = ref ignore in
+  let dest pkt =
+    record t Receive pkt;
+    !prev pkt
+  in
+  (* Wrap whatever destination the link has when traffic starts flowing:
+     the tracer is installed as the link's dest and forwards to the
+     original one. *)
+  prev := Link.current_dest link;
+  Link.set_dest link dest
+
+let events t = List.rev t.events
+let n_events t = t.count
+let truncated t = t.truncated
+let filter t ~flow = List.filter (fun e -> e.flow = flow) (events t)
+
+let code = function
+  | Enqueue -> "+"
+  | Dequeue -> "-"
+  | Drop -> "d"
+  | Receive -> "r"
+
+let pp_event ppf e =
+  Format.fprintf ppf "%s %.6f %d %d %d %d" (code e.kind) e.time e.flow e.seq
+    e.size e.pkt_id
+
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t);
+      Format.pp_print_flush ppf ())

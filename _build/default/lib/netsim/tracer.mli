@@ -1,0 +1,49 @@
+(** ns-2-style packet event tracing.
+
+    A tracer records enqueue/dequeue/drop/receive events with timestamps
+    and packet identity, for debugging protocol dynamics or exporting
+    traces. Attach to a {!Link} with {!attach_link}, or record manually.
+
+    Event codes follow ns-2's trace format: [`Enqueue] "+", [`Dequeue] "-",
+    [`Drop] "d", [`Receive] "r". *)
+
+type event_kind = Enqueue | Dequeue | Drop | Receive
+
+type event = {
+  time : float;
+  kind : event_kind;
+  flow : int;
+  seq : int;
+  size : int;
+  pkt_id : int;
+}
+
+type t
+
+(** [create now] makes an empty tracer; [limit] (default 1_000_000) caps
+    stored events to bound memory — older events are retained, new ones
+    dropped once full ([truncated t] reports if that happened). *)
+val create : ?limit:int -> (unit -> float) -> t
+
+(** [record t kind pkt] appends an event. *)
+val record : t -> event_kind -> Packet.t -> unit
+
+(** [attach_link t link] records [Drop] for packets rejected by the link's
+    queue and [Receive] when the link delivers. Must be called before other
+    [Link.set_dest]/[on_drop] wiring is finalized downstream: it wraps the
+    link's current destination. *)
+val attach_link : t -> Link.t -> unit
+
+val events : t -> event list
+val n_events : t -> int
+val truncated : t -> bool
+
+(** [filter t ~flow] is the events of one flow, in order. *)
+val filter : t -> flow:int -> event list
+
+(** [pp_event ppf e] prints one event in ns-2 trace style:
+    ["<code> <time> <flow> <seq> <size> <id>"]. *)
+val pp_event : Format.formatter -> event -> unit
+
+(** [write t path] writes all events to a file, one per line. *)
+val write : t -> string -> unit

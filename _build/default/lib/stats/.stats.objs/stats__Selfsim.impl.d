@@ -1,0 +1,1 @@
+lib/stats/selfsim.ml: Array Float List Running

@@ -1,0 +1,9 @@
+(** Fairness indices over per-flow allocations. *)
+
+(** [jain xs] is Jain's fairness index: [(sum x)^2 / (n * sum x^2)].
+    1.0 means perfectly equal shares; 1/n means one flow has everything.
+    Raises [Invalid_argument] on an empty list. *)
+val jain : float list -> float
+
+(** [min_max_ratio xs] is [min/max] of the allocations (0. if max is 0). *)
+val min_max_ratio : float list -> float

@@ -1,0 +1,48 @@
+let cov_of_bins bins =
+  let r = Running.of_array bins in
+  Running.cov r
+
+let cov_at_timescale series ~t0 ~t1 ~tau =
+  cov_of_bins (Time_series.binned series ~t0 ~t1 ~bin:tau)
+
+let equivalence_of_bins a b =
+  let n = min (Array.length a) (Array.length b) in
+  let sum = ref 0. and defined = ref 0 in
+  for i = 0 to n - 1 do
+    let x = a.(i) and y = b.(i) in
+    if x > 0. || y > 0. then begin
+      incr defined;
+      if x > 0. && y > 0. then sum := !sum +. Float.min (x /. y) (y /. x)
+      (* one side zero: equivalence contribution is 0 *)
+    end
+  done;
+  if !defined = 0 then None else Some (!sum /. float_of_int !defined)
+
+let equivalence_ratio a b ~t0 ~t1 ~tau =
+  equivalence_of_bins
+    (Time_series.binned a ~t0 ~t1 ~bin:tau)
+    (Time_series.binned b ~t0 ~t1 ~bin:tau)
+
+let mean_of_defined l =
+  let defined = List.filter_map Fun.id l in
+  match defined with
+  | [] -> None
+  | _ ->
+      let sum = List.fold_left ( +. ) 0. defined in
+      Some (sum /. float_of_int (List.length defined))
+
+let mean_pairwise_equivalence series ~t0 ~t1 ~tau =
+  let binned = List.map (fun s -> Time_series.binned s ~t0 ~t1 ~bin:tau) series in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> equivalence_of_bins x y) rest @ pairs rest
+  in
+  mean_of_defined (pairs binned)
+
+let mean_cross_equivalence xs ys ~t0 ~t1 ~tau =
+  let bx = List.map (fun s -> Time_series.binned s ~t0 ~t1 ~bin:tau) xs in
+  let by = List.map (fun s -> Time_series.binned s ~t0 ~t1 ~bin:tau) ys in
+  let all =
+    List.concat_map (fun x -> List.map (fun y -> equivalence_of_bins x y) by) bx
+  in
+  mean_of_defined all

@@ -1,0 +1,36 @@
+(** Streaming univariate statistics (Welford's algorithm).
+
+    Constant-space accumulation of count, mean, variance, min and max. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+
+(** [mean t] is 0. when empty. *)
+val mean : t -> float
+
+(** [variance t] is the unbiased sample variance; 0. for fewer than two
+    samples. *)
+val variance : t -> float
+
+(** [population_variance t] divides by n rather than n-1. *)
+val population_variance : t -> float
+
+val stddev : t -> float
+val population_stddev : t -> float
+
+(** [cov t] is the coefficient of variation, [population_stddev /. mean];
+    0. when the mean is 0. *)
+val cov : t -> float
+
+val min_value : t -> float (* +infinity when empty *)
+val max_value : t -> float (* -infinity when empty *)
+val total : t -> float
+
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    streams. *)
+val merge : t -> t -> t
+
+val of_array : float array -> t

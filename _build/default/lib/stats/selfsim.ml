@@ -1,0 +1,39 @@
+let aggregate counts m =
+  if m <= 0 then invalid_arg "Selfsim.aggregate: m must be positive";
+  let n = Array.length counts / m in
+  Array.init n (fun i ->
+      let s = ref 0. in
+      for k = 0 to m - 1 do
+        s := !s +. counts.((i * m) + k)
+      done;
+      !s)
+
+let hurst_variance_time ?(min_m = 1) counts =
+  if Array.length counts < 16 then
+    invalid_arg "Selfsim.hurst_variance_time: need at least 16 points";
+  (* Normalized variance of the aggregated-and-averaged series. *)
+  let var_at m =
+    let agg = aggregate counts m in
+    let mean_agg = Array.map (fun v -> v /. float_of_int m) agg in
+    Running.population_variance (Running.of_array mean_agg)
+  in
+  let points = ref [] in
+  let m = ref 1 in
+  while Array.length counts / !m >= 8 do
+    if !m >= min_m then begin
+      let v = var_at !m in
+      if v > 0. then points := (log (float_of_int !m), log v) :: !points
+    end;
+    m := !m * 2
+  done;
+  match !points with
+  | [] | [ _ ] -> 0.5
+  | pts ->
+      let n = float_of_int (List.length pts) in
+      let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+      let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+      let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+      let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+      let slope = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
+      let h = 1. +. (slope /. 2.) in
+      Float.max 0.5 (Float.min 1.0 h)

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sender.ml: Engine Float Int List Netsim Rto Set Tcp_common

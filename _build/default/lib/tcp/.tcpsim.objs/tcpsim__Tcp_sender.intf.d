@@ -1,0 +1,1 @@
+lib/tcp/tcp_sender.mli: Engine Netsim Tcp_common

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sink.ml: Engine Int List Netsim Set Tcp_common

@@ -1,0 +1,1 @@
+lib/tcp/tcp_sink.mli: Engine Netsim Tcp_common

@@ -1,0 +1,65 @@
+type mode = [ `Normal | `Aggressive ]
+
+type t = {
+  granularity : float;
+  min_rto : float;
+  max_rto : float;
+  initial_rto : float;
+  mode : mode;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable have_sample : bool;
+  mutable backoff : float; (* multiplier, power of two *)
+}
+
+let create ?(granularity = 0.) ?(min_rto = 1.0) ?(max_rto = 64.) ?(initial_rto = 3.0)
+    ?(mode = `Normal) () =
+  if granularity < 0. then invalid_arg "Rto.create: negative granularity";
+  if min_rto <= 0. || max_rto < min_rto then invalid_arg "Rto.create: bad bounds";
+  {
+    granularity;
+    min_rto;
+    max_rto;
+    initial_rto;
+    mode;
+    srtt = 0.;
+    rttvar = 0.;
+    have_sample = false;
+    backoff = 1.;
+  }
+
+let sample t rtt =
+  if rtt < 0. then invalid_arg "Rto.sample: negative RTT";
+  if not t.have_sample then begin
+    t.srtt <- rtt;
+    t.rttvar <- rtt /. 2.;
+    t.have_sample <- true
+  end
+  else begin
+    (* RFC 6298 constants: alpha = 1/8, beta = 1/4. *)
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. rtt));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. rtt)
+  end
+
+let srtt t = if t.have_sample then Some t.srtt else None
+let rttvar t = t.rttvar
+
+let quantize t v =
+  if t.granularity <= 0. then v
+  else t.granularity *. ceil (v /. t.granularity)
+
+let rto t =
+  let base =
+    if not t.have_sample then t.initial_rto
+    else
+      match t.mode with
+      | `Normal -> t.srtt +. (4. *. t.rttvar)
+      | `Aggressive ->
+          (* Spurious-timeout-prone: barely above SRTT, tiny floor. *)
+          1.2 *. t.srtt
+  in
+  let floor_rto = match t.mode with `Normal -> t.min_rto | `Aggressive -> 0.05 in
+  Float.min t.max_rto (Float.max floor_rto (quantize t base) *. t.backoff)
+
+let backoff t = t.backoff <- Float.min 64. (t.backoff *. 2.)
+let reset_backoff t = t.backoff <- 1.

@@ -1,0 +1,377 @@
+module Int_set = Set.Make (Int)
+
+type stats = {
+  mutable packets_sent : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  mutable window_halvings : int;
+}
+
+type recovery = { recover : int (* highest seq outstanding at loss detection *) }
+
+type t = {
+  sim : Engine.Sim.t;
+  config : Tcp_common.config;
+  flow : int;
+  transmit : Netsim.Packet.handler;
+  rto : Rto.t;
+  mutable running : bool;
+  mutable cwnd : float; (* packets *)
+  mutable ssthresh : float;
+  mutable snd_una : int; (* lowest unacked seq *)
+  mutable snd_nxt : int; (* next seq to send (rolled back after a timeout) *)
+  mutable high_water : int; (* highest seq ever sent + 1 *)
+  mutable recover_point : int;
+      (* No new fast retransmit until snd_una passes this point (ns-2's
+         "bugfix": prevents false fast retransmits triggered by dup acks
+         for segments re-sent after a timeout, and Tahoe/Reno multiple
+         window reductions for one loss window). *)
+  mutable dupacks : int;
+  mutable recovery : recovery option;
+  mutable sacked : Int_set.t; (* seqs >= snd_una reported received *)
+  mutable rtx : Int_set.t; (* retransmitted during current recovery *)
+  mutable timing : (int * float) option;
+      (* One segment timed at a time (ns-2 style); cancelled when that
+         segment is retransmitted, so stale samples never poison the RTO
+         (Karn's algorithm). *)
+  mutable rto_timer : Engine.Sim.handle;
+  mutable limit : int option; (* total packets to transfer; None = infinite *)
+  mutable on_complete : unit -> unit;
+  stats : stats;
+}
+
+let create sim ~config ~flow ~transmit () =
+  {
+    sim;
+    config;
+    flow;
+    transmit;
+    rto =
+      Rto.create ~granularity:config.Tcp_common.granularity
+        ~min_rto:config.Tcp_common.min_rto ~mode:config.Tcp_common.rto_mode ();
+    running = false;
+    cwnd = config.Tcp_common.init_cwnd;
+    ssthresh = config.Tcp_common.max_cwnd;
+    snd_una = 0;
+    snd_nxt = 0;
+    high_water = 0;
+    recover_point = -1;
+    dupacks = 0;
+    recovery = None;
+    sacked = Int_set.empty;
+    rtx = Int_set.empty;
+    timing = None;
+    rto_timer = Engine.Sim.null_handle;
+    limit = None;
+    on_complete = ignore;
+    stats =
+      {
+        packets_sent = 0;
+        retransmits = 0;
+        timeouts = 0;
+        fast_retransmits = 0;
+        window_halvings = 0;
+      };
+  }
+
+let flight t = t.snd_nxt - t.snd_una
+
+let can_send_new t =
+  match t.limit with None -> true | Some l -> t.snd_nxt < l
+let window t = Float.max 1. (Float.min t.cwnd t.config.max_cwnd)
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let stats t = t.stats
+let srtt t = Rto.srtt t.rto
+let snd_una t = t.snd_una
+let snd_nxt t = t.snd_nxt
+let in_recovery t = t.recovery <> None
+
+(* --- retransmission timer ------------------------------------------------ *)
+
+let rec set_rto_timer t =
+  Engine.Sim.cancel t.rto_timer;
+  if t.running && flight t > 0 then
+    t.rto_timer <- Engine.Sim.after t.sim (Rto.rto t.rto) (fun () -> on_timeout t)
+
+and on_timeout t =
+  if t.running && flight t > 0 then begin
+    t.stats.timeouts <- t.stats.timeouts + 1;
+    t.recover_point <- t.high_water - 1;
+    t.stats.window_halvings <- t.stats.window_halvings + 1;
+    t.ssthresh <- Float.max 2. (float_of_int (flight t) *. t.config.md);
+    t.cwnd <- 1.;
+    t.dupacks <- 0;
+    t.recovery <- None;
+    t.rtx <- Int_set.empty;
+    (* Keep nothing from the scoreboard: be conservative after a timeout. *)
+    t.sacked <- Int_set.empty;
+    Rto.backoff t.rto;
+    (* Karn: nothing outstanding may be sampled after a timeout. *)
+    t.timing <- None;
+    (* Go-back-N: slow start resends everything from the hole (BSD / ns-2
+       behavior); the sink discards duplicates and the cumulative ack
+       advances past every hole in one RTT per window. *)
+    t.snd_nxt <- t.snd_una;
+    send_seq t t.snd_una;
+    t.snd_nxt <- t.snd_una + 1;
+    set_rto_timer t
+  end
+
+(* --- transmission -------------------------------------------------------- *)
+
+and send_seq t seq =
+  (* A retransmission is any send below the high-water mark. *)
+  let retransmit = seq < t.high_water in
+  if not retransmit then t.high_water <- seq + 1;
+  let pkt =
+    Netsim.Packet.make ~ecn:t.config.ecn ~flow:t.flow ~seq ~size:t.config.mss
+      ~now:(Engine.Sim.now t.sim) Netsim.Packet.Data
+  in
+  t.stats.packets_sent <- t.stats.packets_sent + 1;
+  if retransmit then begin
+    t.stats.retransmits <- t.stats.retransmits + 1;
+    (match t.timing with
+    | Some (s, _) when s = seq -> t.timing <- None (* Karn *)
+    | _ -> ())
+  end
+  else if t.timing = None then
+    t.timing <- Some (seq, Engine.Sim.now t.sim);
+  t.transmit pkt;
+  if not (Engine.Sim.is_pending t.rto_timer) then set_rto_timer t
+
+(* SACK loss inference, RFC 6675 style (simplified): a hole is deemed lost
+   once [dupack_thresh] sacked packets lie above it. *)
+let sacked_above t seq =
+  Int_set.fold (fun s n -> if s > seq then n + 1 else n) t.sacked 0
+
+let deemed_lost t seq = sacked_above t seq >= t.config.dupack_thresh
+
+(* Conservative pipe estimate: packets sent but presumed still in the
+   network — not sacked and (not deemed lost or retransmitted since). *)
+let pipe t =
+  let n = ref 0 in
+  for seq = t.snd_una to t.snd_nxt - 1 do
+    if Int_set.mem seq t.sacked then ()
+    else if deemed_lost t seq then begin
+      if Int_set.mem seq t.rtx then incr n
+    end
+    else incr n
+  done;
+  !n
+
+(* First hole eligible for SACK retransmission. *)
+let next_hole t =
+  let rec scan seq =
+    if seq >= t.snd_nxt then None
+    else if
+      (not (Int_set.mem seq t.sacked))
+      && (not (Int_set.mem seq t.rtx))
+      && deemed_lost t seq
+    then Some seq
+    else scan (seq + 1)
+  in
+  scan t.snd_una
+
+let rec sack_output t =
+  if t.running && pipe t < int_of_float (window t) then begin
+    match next_hole t with
+    | Some seq ->
+        t.rtx <- Int_set.add seq t.rtx;
+        send_seq t seq;
+        sack_output t
+    | None ->
+        if float_of_int (flight t) < window t && can_send_new t then begin
+          let seq = t.snd_nxt in
+          t.snd_nxt <- t.snd_nxt + 1;
+          send_seq t seq;
+          sack_output t
+        end
+  end
+
+let maybe_send t =
+  if t.running then
+    if t.config.variant = Tcp_common.Sack && t.recovery <> None then sack_output t
+    else begin
+      while float_of_int (flight t) < window t && t.running && can_send_new t do
+        let seq = t.snd_nxt in
+        t.snd_nxt <- t.snd_nxt + 1;
+        send_seq t seq
+      done
+    end
+
+(* --- congestion window updates ------------------------------------------- *)
+
+let open_window t =
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1. (* slow start *)
+  else t.cwnd <- t.cwnd +. (t.config.ai /. t.cwnd) (* AIMD(a, b): +a/RTT *);
+  if t.cwnd > t.config.max_cwnd then t.cwnd <- t.config.max_cwnd
+
+let enter_loss_recovery t =
+  t.stats.fast_retransmits <- t.stats.fast_retransmits + 1;
+  t.stats.window_halvings <- t.stats.window_halvings + 1;
+  t.ssthresh <- Float.max 2. (float_of_int (flight t) *. t.config.md);
+  let recover = t.snd_nxt - 1 in
+  t.recover_point <- t.high_water - 1;
+  (match t.config.variant with
+  | Tcp_common.Tahoe ->
+      t.cwnd <- 1.;
+      t.recovery <- None;
+      t.dupacks <- 0;
+      (* Tahoe slow-starts from the hole (go-back-N). *)
+      t.snd_nxt <- t.snd_una;
+      send_seq t t.snd_una;
+      t.snd_nxt <- t.snd_una + 1
+  | Tcp_common.Reno | Tcp_common.Newreno ->
+      t.recovery <- Some { recover };
+      t.cwnd <- t.ssthresh +. float_of_int t.config.dupack_thresh;
+      send_seq t t.snd_una
+  | Tcp_common.Sack ->
+      t.recovery <- Some { recover };
+      t.cwnd <- t.ssthresh;
+      t.rtx <- Int_set.add t.snd_una t.rtx;
+      send_seq t t.snd_una;
+      sack_output t);
+  set_rto_timer t
+
+(* --- ack processing ------------------------------------------------------ *)
+
+let note_sack t blocks =
+  List.iter
+    (fun (lo, hi) ->
+      for seq = lo to hi - 1 do
+        if seq >= t.snd_una then t.sacked <- Int_set.add seq t.sacked
+      done)
+    blocks
+
+let sample_rtt t ~ack =
+  match t.timing with
+  | Some (seq, sent) when ack > seq ->
+      Rto.sample t.rto (Engine.Sim.now t.sim -. sent);
+      Rto.reset_backoff t.rto;
+      t.timing <- None
+  | _ -> ()
+
+let prune_scoreboard t =
+  t.sacked <- Int_set.filter (fun s -> s >= t.snd_una) t.sacked;
+  t.rtx <- Int_set.filter (fun s -> s >= t.snd_una) t.rtx
+
+let exit_recovery t =
+  t.cwnd <- t.ssthresh;
+  t.recovery <- None;
+  t.dupacks <- 0;
+  t.rtx <- Int_set.empty
+
+let on_new_ack t ~ack =
+  let old_una = t.snd_una in
+  t.snd_una <- ack;
+  if t.snd_nxt < t.snd_una then t.snd_nxt <- t.snd_una;
+  sample_rtt t ~ack;
+  (* Any forward progress clears exponential backoff (BSD / ns-2
+     behavior); without this a flow whose timed segment was lost can stay
+     locked out behind a full DropTail queue for minutes. *)
+  Rto.reset_backoff t.rto;
+  prune_scoreboard t;
+  (match t.recovery with
+  | Some { recover } ->
+      if ack > recover then exit_recovery t
+      else begin
+        (* Partial ack. *)
+        match t.config.variant with
+        | Tcp_common.Reno ->
+            (* Classic Reno deflates and leaves recovery on any new ack;
+               remaining losses usually cost another halving or a timeout
+               (the "reduces the window twice" behavior of Section 3.5.1). *)
+            exit_recovery t
+        | Tcp_common.Newreno ->
+            (* Retransmit the next hole, partial window deflation. *)
+            let acked = float_of_int (ack - old_una) in
+            t.cwnd <- Float.max t.ssthresh (t.cwnd -. acked +. 1.);
+            t.dupacks <- 0;
+            send_seq t t.snd_una;
+            set_rto_timer t
+        | Tcp_common.Sack ->
+            t.rtx <- Int_set.remove old_una t.rtx;
+            sack_output t;
+            set_rto_timer t
+        | Tcp_common.Tahoe -> ()
+      end
+  | None ->
+      t.dupacks <- 0;
+      open_window t);
+  if t.recovery = None then t.dupacks <- 0;
+  set_rto_timer t;
+  maybe_send t
+
+let on_dupack t =
+  t.dupacks <- t.dupacks + 1;
+  match t.recovery with
+  | Some _ -> (
+      match t.config.variant with
+      | Tcp_common.Reno | Tcp_common.Newreno ->
+          (* Window inflation: each dupack signals a departure. *)
+          t.cwnd <- t.cwnd +. 1.;
+          maybe_send t
+      | Tcp_common.Sack -> sack_output t
+      | Tcp_common.Tahoe -> ())
+  | None ->
+      if
+        t.dupacks = t.config.dupack_thresh
+        && flight t > 0
+        && t.snd_una > t.recover_point
+      then enter_loss_recovery t
+      else if t.config.variant = Tcp_common.Sack && flight t > 0 then
+        (* Limited transmit would go here; keep strict windows instead. *)
+        ()
+
+let check_complete t =
+  match t.limit with
+  | Some l when t.snd_una >= l && t.running ->
+      t.running <- false;
+      Engine.Sim.cancel t.rto_timer;
+      t.on_complete ()
+  | _ -> ()
+
+(* ECE: congestion was signalled without loss — halve once per window
+   (RFC 3168 semantics, reusing the fast-retransmit suppression point). *)
+let on_ece t =
+  if t.snd_una > t.recover_point then begin
+    t.stats.window_halvings <- t.stats.window_halvings + 1;
+    t.ssthresh <- Float.max 2. (float_of_int (flight t) *. t.config.md);
+    t.cwnd <- t.ssthresh;
+    t.recover_point <- t.high_water - 1
+  end
+
+let recv t (pkt : Netsim.Packet.t) =
+  match pkt.payload with
+  | Tcp_ack { ack; sack; ece } ->
+      if t.running then begin
+        if ece && t.config.ecn then on_ece t;
+        note_sack t sack;
+        if ack > t.snd_una then begin
+          on_new_ack t ~ack;
+          check_complete t
+        end
+        else if flight t > 0 then on_dupack t
+      end
+  | Data | Tfrc_data _ | Tfrc_feedback _ -> ()
+
+let recv t = recv t
+
+let start t ~at =
+  ignore
+    (Engine.Sim.at t.sim at (fun () ->
+         t.running <- true;
+         maybe_send t))
+
+let stop t =
+  t.running <- false;
+  Engine.Sim.cancel t.rto_timer
+
+let set_limit t n =
+  if n <= 0 then invalid_arg "Tcp_sender.set_limit: must be positive";
+  t.limit <- Some n
+
+let on_complete t f = t.on_complete <- f
+let finished t = match t.limit with Some l -> t.snd_una >= l | None -> false

@@ -1,0 +1,104 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  sim : Engine.Sim.t;
+  config : Tcp_common.config;
+  flow : int;
+  transmit : Netsim.Packet.handler;
+  mutable next_expected : int;
+  mutable ooo : Int_set.t; (* out-of-order packets above next_expected *)
+  mutable last_arrival : int; (* most recently arrived seq, for SACK order *)
+  mutable packets : int;
+  mutable bytes : int;
+  mutable unacked : int; (* data packets since last ack (delack) *)
+  mutable delack_timer : Engine.Sim.handle;
+  mutable ce_pending : bool; (* a CE mark not yet echoed *)
+}
+
+let create sim ~config ~flow ~transmit () =
+  {
+    sim;
+    config;
+    flow;
+    transmit;
+    next_expected = 0;
+    ooo = Int_set.empty;
+    last_arrival = -1;
+    packets = 0;
+    bytes = 0;
+    unacked = 0;
+    delack_timer = Engine.Sim.null_handle;
+    ce_pending = false;
+  }
+
+(* Contiguous ranges of the out-of-order set, as half-open [lo, hi). *)
+let ranges set =
+  Int_set.fold
+    (fun s acc ->
+      match acc with
+      | (lo, hi) :: rest when s = hi -> (lo, s + 1) :: rest
+      | _ -> (s, s + 1) :: acc)
+    set []
+  |> List.rev
+
+let sack_blocks t =
+  let rs = ranges t.ooo in
+  (* Most recent arrival's block first (RFC 2018), then the rest in
+     descending order of lo. *)
+  let contains (lo, hi) = t.last_arrival >= lo && t.last_arrival < hi in
+  let recent, others = List.partition contains rs in
+  let others = List.sort (fun (a, _) (b, _) -> compare b a) others in
+  let blocks = recent @ others in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take 3 blocks
+
+let send_ack t =
+  t.unacked <- 0;
+  Engine.Sim.cancel t.delack_timer;
+  let pkt =
+    Netsim.Packet.make ~flow:t.flow ~seq:t.next_expected ~size:t.config.ack_size
+      ~now:(Engine.Sim.now t.sim)
+      (Netsim.Packet.Tcp_ack
+         { ack = t.next_expected; sack = sack_blocks t; ece = t.ce_pending })
+  in
+  t.ce_pending <- false;
+  t.transmit pkt
+
+let recv t (pkt : Netsim.Packet.t) =
+  match pkt.payload with
+  | Data | Tfrc_data _ ->
+      t.packets <- t.packets + 1;
+      t.bytes <- t.bytes + pkt.size;
+      if t.config.ecn && pkt.ecn_marked then t.ce_pending <- true;
+      t.last_arrival <- pkt.seq;
+      let in_order = pkt.seq = t.next_expected in
+      if in_order then begin
+        t.next_expected <- t.next_expected + 1;
+        while Int_set.mem t.next_expected t.ooo do
+          t.ooo <- Int_set.remove t.next_expected t.ooo;
+          t.next_expected <- t.next_expected + 1
+        done
+      end
+      else if pkt.seq > t.next_expected then t.ooo <- Int_set.add pkt.seq t.ooo;
+      (* Immediate ack on any gap/out-of-order or when delack is off;
+         otherwise ack every second segment or on timer. *)
+      let gap = (not in_order) || not (Int_set.is_empty t.ooo) in
+      if (not t.config.delack) || gap then send_ack t
+      else begin
+        t.unacked <- t.unacked + 1;
+        if t.unacked >= 2 then send_ack t
+        else if not (Engine.Sim.is_pending t.delack_timer) then
+          t.delack_timer <-
+            Engine.Sim.after t.sim t.config.delack_timeout (fun () ->
+                if t.unacked > 0 then send_ack t)
+      end
+  | Tcp_ack _ | Tfrc_feedback _ -> ()
+
+let recv t = recv t
+let packets_received t = t.packets
+let bytes_received t = t.bytes
+let next_expected t = t.next_expected

@@ -1,0 +1,1 @@
+lib/traffic/on_off.ml: Engine Float Netsim

@@ -1,0 +1,1 @@
+lib/traffic/on_off.mli: Engine Netsim

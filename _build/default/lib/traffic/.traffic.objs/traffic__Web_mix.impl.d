@@ -1,0 +1,1 @@
+lib/traffic/web_mix.ml: Engine Netsim Tcpsim

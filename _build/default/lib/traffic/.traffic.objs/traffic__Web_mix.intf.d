@@ -1,0 +1,1 @@
+lib/traffic/web_mix.mli: Engine Netsim Tcpsim

@@ -1,0 +1,41 @@
+type t = {
+  sim : Engine.Sim.t;
+  flow : int;
+  interval : float;
+  pkt_size : int;
+  transmit : Netsim.Packet.handler;
+  mutable running : bool;
+  mutable seq : int;
+}
+
+let create sim ~flow ~rate ~pkt_size ~transmit () =
+  if rate <= 0. then invalid_arg "Cbr.create: rate must be positive";
+  {
+    sim;
+    flow;
+    interval = 8. *. float_of_int pkt_size /. rate;
+    pkt_size;
+    transmit;
+    running = false;
+    seq = 0;
+  }
+
+let rec send t =
+  if t.running then begin
+    let pkt =
+      Netsim.Packet.make ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
+        ~now:(Engine.Sim.now t.sim) Netsim.Packet.Data
+    in
+    t.seq <- t.seq + 1;
+    t.transmit pkt;
+    ignore (Engine.Sim.after t.sim t.interval (fun () -> send t))
+  end
+
+let start t ~at =
+  ignore
+    (Engine.Sim.at t.sim at (fun () ->
+         t.running <- true;
+         send t))
+
+let stop t = t.running <- false
+let packets_sent t = t.seq

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Engine List Netsim Printf Tfrc

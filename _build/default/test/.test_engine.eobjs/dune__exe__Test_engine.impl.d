@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Engine Float Fun List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Buffer Engine Exp Float Format List Netsim Printf String

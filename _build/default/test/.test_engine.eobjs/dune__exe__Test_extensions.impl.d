@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Engine Float Gen List Netsim Printf QCheck QCheck_alcotest Stats Tcpsim Tfrc

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Baselines Engine Float Netsim Printf Stats Tcpsim Traffic

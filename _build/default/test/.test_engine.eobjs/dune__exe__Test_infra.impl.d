@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Buffer Engine Exp Filename Float Format List Netsim Printf String Sys Tfrc Unix

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Array Engine Float Format Gen List Netsim Printf QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Engine Exp List Netsim QCheck QCheck_alcotest Tcpsim Tfrc Traffic

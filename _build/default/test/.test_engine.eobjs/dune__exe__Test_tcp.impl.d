@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Engine Float List Netsim Printf Tcpsim

@@ -1,0 +1,1 @@
+test/test_tfrc_protocol.ml: Alcotest Engine Exp Float List Netsim Printf Stats Tfrc

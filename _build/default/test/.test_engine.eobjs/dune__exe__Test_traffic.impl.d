@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Engine Float Netsim Printf Stats Traffic

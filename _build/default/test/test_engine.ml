@@ -1,0 +1,307 @@
+(* Tests for the simulation kernel: RNG, event queue, scheduler, units. *)
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- Rng ------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Engine.Rng.create ~seed:7 and b = Engine.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Engine.Rng.bits32 a) (Engine.Rng.bits32 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Engine.Rng.create ~seed:1 and b = Engine.Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Engine.Rng.bits32 a <> Engine.Rng.bits32 b then differs := true
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let test_rng_copy () =
+  let a = Engine.Rng.create ~seed:3 in
+  ignore (Engine.Rng.bits32 a);
+  let b = Engine.Rng.copy a in
+  for _ = 1 to 50 do
+    check Alcotest.int "copy continues stream" (Engine.Rng.bits32 a)
+      (Engine.Rng.bits32 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Engine.Rng.create ~seed:3 in
+  let b = Engine.Rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 100 do
+    if Engine.Rng.bits32 a = Engine.Rng.bits32 b then incr matches
+  done;
+  Alcotest.(check bool) "split streams diverge" true (!matches < 5)
+
+let test_rng_uniform_mean () =
+  let rng = Engine.Rng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Engine.Rng.uniform rng 2. 4.
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "uniform(2,4) mean ~3" true (Float.abs (mean -. 3.) < 0.02)
+
+let test_rng_bool_frequency () =
+  let rng = Engine.Rng.create ~seed:13 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Engine.Rng.bool rng ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p=0.3 frequency" true (Float.abs (freq -. 0.3) < 0.01)
+
+let test_rng_exponential_mean () =
+  let rng = Engine.Rng.create ~seed:17 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Engine.Rng.exponential rng ~mean:2.5
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "exponential mean" true (Float.abs (mean -. 2.5) < 0.05)
+
+let test_rng_pareto_mean () =
+  let rng = Engine.Rng.create ~seed:19 in
+  let shape = 2.5 and scale = 1.0 in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Engine.Rng.pareto rng ~shape ~scale
+  done;
+  let mean = !sum /. float_of_int n in
+  let expect = Engine.Rng.pareto_mean ~shape ~scale in
+  Alcotest.(check bool)
+    (Printf.sprintf "pareto mean %.3f vs %.3f" mean expect)
+    true
+    (Float.abs (mean -. expect) /. expect < 0.05)
+
+let test_rng_pareto_minimum () =
+  let rng = Engine.Rng.create ~seed:23 in
+  for _ = 1 to 1000 do
+    let v = Engine.Rng.pareto rng ~shape:1.5 ~scale:3.0 in
+    Alcotest.(check bool) "pareto >= scale" true (v >= 3.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Engine.Rng.create ~seed:29 in
+  let a = Array.init 50 Fun.id in
+  Engine.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check
+    Alcotest.(array int)
+    "shuffle is a permutation" (Array.init 50 Fun.id) sorted
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Engine.Rng.create ~seed in
+      let v = Engine.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"Rng.float in [0, bound)" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, bound) ->
+      let rng = Engine.Rng.create ~seed in
+      let v = Engine.Rng.float rng bound in
+      v >= 0. && v < bound)
+
+(* --- Event_queue ------------------------------------------------------ *)
+
+let test_heap_ordering () =
+  let q = Engine.Event_queue.create () in
+  List.iter
+    (fun t -> Engine.Event_queue.push q ~time:t t)
+    [ 5.; 1.; 3.; 2.; 4.; 0.5 ];
+  let rec drain acc =
+    match Engine.Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (t, _) -> drain (t :: acc)
+  in
+  check
+    Alcotest.(list (float 1e-9))
+    "pops in time order"
+    [ 0.5; 1.; 2.; 3.; 4.; 5. ]
+    (drain [])
+
+let test_heap_fifo_ties () =
+  let q = Engine.Event_queue.create () in
+  List.iter (fun v -> Engine.Event_queue.push q ~time:1. v) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Engine.Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  check Alcotest.(list int) "ties pop in insertion order" [ 1; 2; 3; 4; 5 ]
+    (drain [])
+
+let test_heap_empty () =
+  let q = Engine.Event_queue.create () in
+  check Alcotest.bool "is_empty" true (Engine.Event_queue.is_empty q);
+  check Alcotest.(option (float 0.)) "peek empty" None
+    (Engine.Event_queue.peek_time q);
+  check Alcotest.bool "pop empty" true (Engine.Event_queue.pop q = None)
+
+let test_heap_size_and_clear () =
+  let q = Engine.Event_queue.create () in
+  for i = 1 to 10 do
+    Engine.Event_queue.push q ~time:(float_of_int i) i
+  done;
+  check Alcotest.int "size" 10 (Engine.Event_queue.size q);
+  Engine.Event_queue.clear q;
+  check Alcotest.int "cleared" 0 (Engine.Event_queue.size q)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"event queue sorts any input" ~count:200
+    QCheck.(list (float_range 0. 1e6))
+    (fun times ->
+      let q = Engine.Event_queue.create () in
+      List.iter (fun t -> Engine.Event_queue.push q ~time:t t) times;
+      let rec drain acc =
+        match Engine.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      drain [] = List.sort compare times)
+
+(* --- Sim --------------------------------------------------------------- *)
+
+let test_sim_runs_in_order () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  ignore (Engine.Sim.at sim 2. (fun () -> log := 2 :: !log));
+  ignore (Engine.Sim.at sim 1. (fun () -> log := 1 :: !log));
+  ignore (Engine.Sim.at sim 3. (fun () -> log := 3 :: !log));
+  Engine.Sim.run sim ~until:10.;
+  check Alcotest.(list int) "order" [ 1; 2; 3 ] (List.rev !log);
+  checkf "clock at until" 10. (Engine.Sim.now sim)
+
+let test_sim_until_stops () =
+  let sim = Engine.Sim.create () in
+  let fired = ref false in
+  ignore (Engine.Sim.at sim 5. (fun () -> fired := true));
+  Engine.Sim.run sim ~until:4.;
+  check Alcotest.bool "not fired" false !fired;
+  Engine.Sim.run sim ~until:6.;
+  check Alcotest.bool "fired" true !fired
+
+let test_sim_cancel () =
+  let sim = Engine.Sim.create () in
+  let fired = ref false in
+  let h = Engine.Sim.at sim 1. (fun () -> fired := true) in
+  Engine.Sim.cancel h;
+  Engine.Sim.run sim ~until:2.;
+  check Alcotest.bool "cancelled handler did not run" false !fired
+
+let test_sim_after_relative () =
+  let sim = Engine.Sim.create () in
+  let when_fired = ref 0. in
+  ignore
+    (Engine.Sim.at sim 1. (fun () ->
+         ignore
+           (Engine.Sim.after sim 0.5 (fun () -> when_fired := Engine.Sim.now sim))));
+  Engine.Sim.run sim ~until:3.;
+  checkf "after fires at now+delay" 1.5 !when_fired
+
+let test_sim_past_raises () =
+  let sim = Engine.Sim.create () in
+  ignore (Engine.Sim.at sim 5. ignore);
+  Engine.Sim.run sim ~until:6.;
+  Alcotest.check_raises "scheduling in the past"
+    (Invalid_argument "Sim.at: time 1 is in the past (now 6)") (fun () ->
+      ignore (Engine.Sim.at sim 1. ignore))
+
+let test_sim_stop () =
+  let sim = Engine.Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count >= 5 then Engine.Sim.stop sim
+    else ignore (Engine.Sim.after sim 1. tick)
+  in
+  ignore (Engine.Sim.after sim 1. tick);
+  Engine.Sim.run sim ~until:100.;
+  check Alcotest.int "stopped after 5 ticks" 5 !count
+
+let test_sim_cascading_events () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  ignore
+    (Engine.Sim.at sim 1. (fun () ->
+         log := "a" :: !log;
+         ignore (Engine.Sim.after sim 0. (fun () -> log := "b" :: !log))));
+  Engine.Sim.run sim ~until:1.5;
+  check Alcotest.(list string) "cascade" [ "a"; "b" ] (List.rev !log)
+
+let test_sim_is_pending () =
+  let sim = Engine.Sim.create () in
+  let h = Engine.Sim.at sim 1. ignore in
+  check Alcotest.bool "pending before run" true (Engine.Sim.is_pending h);
+  Engine.Sim.run sim ~until:2.;
+  check Alcotest.bool "not pending after firing" false (Engine.Sim.is_pending h);
+  check Alcotest.bool "null handle never pending" false
+    (Engine.Sim.is_pending Engine.Sim.null_handle)
+
+(* --- Units ------------------------------------------------------------- *)
+
+let test_units () =
+  checkf "mbps" 15e6 (Engine.Units.mbps 15.);
+  checkf "kbps" 500e3 (Engine.Units.kbps 500.);
+  checkf "byte rate" 1.875e6 (Engine.Units.bps_to_byte_rate 15e6);
+  checkf "tx time" 8e-3 (Engine.Units.tx_time ~bits_per_s:1e6 ~bytes:1000);
+  checkf "ms" 0.05 (Engine.Units.ms 50.);
+  checkf "bits of bytes" 8000. (Engine.Units.bits_of_bytes 1000);
+  checkf "mbps roundtrip" 15.
+    (Engine.Units.byte_rate_to_mbps (Engine.Units.bps_to_byte_rate 15e6))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+          Alcotest.test_case "bool frequency" `Quick test_rng_bool_frequency;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "pareto mean" `Quick test_rng_pareto_mean;
+          Alcotest.test_case "pareto minimum" `Quick test_rng_pareto_minimum;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_permutation;
+          qtest prop_int_in_bounds;
+          qtest prop_float_in_bounds;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "size and clear" `Quick test_heap_size_and_clear;
+          qtest prop_heap_sorts;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+          Alcotest.test_case "until stops" `Quick test_sim_until_stops;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "after relative" `Quick test_sim_after_relative;
+          Alcotest.test_case "past raises" `Quick test_sim_past_raises;
+          Alcotest.test_case "stop" `Quick test_sim_stop;
+          Alcotest.test_case "cascading events" `Quick test_sim_cascading_events;
+          Alcotest.test_case "is_pending" `Quick test_sim_is_pending;
+        ] );
+      ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+    ]

@@ -1,0 +1,446 @@
+(* Tests for the supporting infrastructure added beyond the paper's core:
+   packet tracer, parking-lot topology, dataset export, application-limited
+   TFRC sending with rate validation. *)
+
+let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
+
+let mk_pkt ?(flow = 1) ~seq () =
+  Netsim.Packet.make ~flow ~seq ~size:1000 ~now:0. Netsim.Packet.Data
+
+(* --- Tracer ----------------------------------------------------------------- *)
+
+let test_tracer_records_in_order () =
+  let now = ref 0. in
+  let tr = Netsim.Tracer.create (fun () -> !now) in
+  now := 1.;
+  Netsim.Tracer.record tr Netsim.Tracer.Enqueue (mk_pkt ~seq:1 ());
+  now := 2.;
+  Netsim.Tracer.record tr Netsim.Tracer.Receive (mk_pkt ~seq:2 ());
+  match Netsim.Tracer.events tr with
+  | [ a; b ] ->
+      checkf "first time" 1. a.Netsim.Tracer.time;
+      Alcotest.(check int) "first seq" 1 a.Netsim.Tracer.seq;
+      checkf "second time" 2. b.Netsim.Tracer.time;
+      Alcotest.(check bool) "kinds" true
+        (a.Netsim.Tracer.kind = Netsim.Tracer.Enqueue
+        && b.Netsim.Tracer.kind = Netsim.Tracer.Receive)
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+let test_tracer_limit () =
+  let tr = Netsim.Tracer.create ~limit:3 (fun () -> 0.) in
+  for i = 1 to 5 do
+    Netsim.Tracer.record tr Netsim.Tracer.Drop (mk_pkt ~seq:i ())
+  done;
+  Alcotest.(check int) "capped" 3 (Netsim.Tracer.n_events tr);
+  Alcotest.(check bool) "truncation flagged" true (Netsim.Tracer.truncated tr)
+
+let test_tracer_filter () =
+  let tr = Netsim.Tracer.create (fun () -> 0.) in
+  Netsim.Tracer.record tr Netsim.Tracer.Receive (mk_pkt ~flow:1 ~seq:1 ());
+  Netsim.Tracer.record tr Netsim.Tracer.Receive (mk_pkt ~flow:2 ~seq:2 ());
+  Netsim.Tracer.record tr Netsim.Tracer.Receive (mk_pkt ~flow:1 ~seq:3 ());
+  Alcotest.(check int) "flow 1 events" 2
+    (List.length (Netsim.Tracer.filter tr ~flow:1))
+
+let test_tracer_attach_link () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Netsim.Link.create sim ~bandwidth:1e5 ~delay:0.01
+      ~queue:(Netsim.Droptail.create ~limit_pkts:2)
+      ()
+  in
+  let received = ref 0 in
+  Netsim.Link.set_dest link (fun _ -> incr received);
+  let tr = Netsim.Tracer.create (fun () -> Engine.Sim.now sim) in
+  Netsim.Tracer.attach_link tr link;
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         for i = 1 to 6 do
+           Netsim.Link.send link (mk_pkt ~seq:i ())
+         done));
+  Engine.Sim.run sim ~until:2.;
+  let events = Netsim.Tracer.events tr in
+  let count k = List.length (List.filter (fun e -> e.Netsim.Tracer.kind = k) events) in
+  Alcotest.(check int) "receives traced" 3 (count Netsim.Tracer.Receive);
+  Alcotest.(check int) "drops traced" 3 (count Netsim.Tracer.Drop);
+  Alcotest.(check int) "original dest still called" 3 !received
+
+let test_tracer_pp () =
+  let tr = Netsim.Tracer.create (fun () -> 1.5) in
+  Netsim.Tracer.record tr Netsim.Tracer.Drop (mk_pkt ~flow:7 ~seq:3 ());
+  match Netsim.Tracer.events tr with
+  | [ e ] ->
+      let s = Format.asprintf "%a" Netsim.Tracer.pp_event e in
+      Alcotest.(check bool)
+        (Printf.sprintf "trace line %S" s)
+        true
+        (String.length s > 0 && s.[0] = 'd')
+  | _ -> Alcotest.fail "expected one event"
+
+(* --- Parking lot --------------------------------------------------------------- *)
+
+let make_lot ?(hops = 3) sim =
+  Netsim.Parking_lot.create sim ~hops ~bandwidth:1e7 ~delay:0.005
+    ~queue:(fun () -> Netsim.Droptail.create ~limit_pkts:50)
+    ()
+
+let test_lot_through_flow_traverses_all_hops () =
+  let sim = Engine.Sim.create () in
+  let lot = make_lot sim in
+  Netsim.Parking_lot.add_through_flow lot ~flow:1 ~rtt_base:0.1;
+  let got = ref 0 in
+  Netsim.Parking_lot.set_dst_recv lot ~flow:1 (fun _ -> incr got);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         Netsim.Parking_lot.src_sender lot ~flow:1 (mk_pkt ~seq:0 ())));
+  Engine.Sim.run sim ~until:1.;
+  Alcotest.(check int) "delivered end to end" 1 !got;
+  (* Every hop forwarded it. *)
+  for hop = 1 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "hop %d forwarded" hop)
+      1
+      (Netsim.Link.queue (Netsim.Parking_lot.link lot ~hop)).Netsim.Queue_disc
+        .stats
+        .departures
+  done
+
+let test_lot_cross_flow_single_hop () =
+  let sim = Engine.Sim.create () in
+  let lot = make_lot sim in
+  Netsim.Parking_lot.add_cross_flow lot ~flow:2 ~hop:2 ~rtt_base:0.05;
+  let got = ref 0 in
+  Netsim.Parking_lot.set_dst_recv lot ~flow:2 (fun _ -> incr got);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         Netsim.Parking_lot.src_sender lot ~flow:2 (mk_pkt ~flow:2 ~seq:0 ())));
+  Engine.Sim.run sim ~until:1.;
+  Alcotest.(check int) "delivered" 1 !got;
+  Alcotest.(check int) "hop 1 untouched" 0
+    (Netsim.Link.queue (Netsim.Parking_lot.link lot ~hop:1)).Netsim.Queue_disc
+      .stats
+      .arrivals;
+  Alcotest.(check int) "hop 3 untouched" 0
+    (Netsim.Link.queue (Netsim.Parking_lot.link lot ~hop:3)).Netsim.Queue_disc
+      .stats
+      .arrivals
+
+let test_lot_reverse_path () =
+  let sim = Engine.Sim.create () in
+  let lot = make_lot sim in
+  Netsim.Parking_lot.add_through_flow lot ~flow:1 ~rtt_base:0.1;
+  let echoed = ref 0. in
+  Netsim.Parking_lot.set_dst_recv lot ~flow:1 (fun pkt ->
+      Netsim.Parking_lot.dst_sender lot ~flow:1 pkt);
+  Netsim.Parking_lot.set_src_recv lot ~flow:1 (fun _ ->
+      echoed := Engine.Sim.now sim);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         Netsim.Parking_lot.src_sender lot ~flow:1 (mk_pkt ~seq:0 ())));
+  Engine.Sim.run sim ~until:1.;
+  Alcotest.(check bool)
+    (Printf.sprintf "round trip ~0.1 s (got %.4f)" !echoed)
+    true
+    (Float.abs (!echoed -. 0.1) < 0.01)
+
+let test_lot_validation () =
+  let sim = Engine.Sim.create () in
+  let lot = make_lot sim in
+  Alcotest.check_raises "bad hop" (Invalid_argument "Parking_lot: bad hop")
+    (fun () -> Netsim.Parking_lot.add_cross_flow lot ~flow:9 ~hop:4 ~rtt_base:0.1);
+  Netsim.Parking_lot.add_through_flow lot ~flow:1 ~rtt_base:0.1;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Parking_lot: flow 1 already exists") (fun () ->
+      Netsim.Parking_lot.add_through_flow lot ~flow:1 ~rtt_base:0.1)
+
+(* A TFRC through-flow on a parking lot shares each hop with cross TCP. *)
+let test_lot_tfrc_end_to_end () =
+  let sim = Engine.Sim.create () in
+  let lot =
+    Netsim.Parking_lot.create sim ~hops:2
+      ~bandwidth:(Engine.Units.mbps 2.)
+      ~delay:0.01
+      ~queue:(fun () -> Netsim.Droptail.create ~limit_pkts:25)
+      ()
+  in
+  Netsim.Parking_lot.add_through_flow lot ~flow:1 ~rtt_base:0.08;
+  let config = Tfrc.Tfrc_config.default () in
+  let mon = Netsim.Flowmon.create (fun () -> Engine.Sim.now sim) in
+  let receiver =
+    Tfrc.Tfrc_receiver.create sim ~config ~flow:1
+      ~transmit:(Netsim.Parking_lot.dst_sender lot ~flow:1)
+      ()
+  in
+  Netsim.Parking_lot.set_dst_recv lot ~flow:1
+    (Netsim.Flowmon.wrap mon (Tfrc.Tfrc_receiver.recv receiver));
+  let sender =
+    Tfrc.Tfrc_sender.create sim ~config ~flow:1
+      ~transmit:(Netsim.Parking_lot.src_sender lot ~flow:1)
+      ()
+  in
+  Netsim.Parking_lot.set_src_recv lot ~flow:1 (Tfrc.Tfrc_sender.recv sender);
+  Tfrc.Tfrc_sender.start sender ~at:0.;
+  Engine.Sim.run sim ~until:30.;
+  let util =
+    Netsim.Link.utilization (Netsim.Parking_lot.link lot ~hop:1) ~duration:30.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "TFRC fills the chain (util %.2f)" util)
+    true (util > 0.8)
+
+(* --- Dataset -------------------------------------------------------------------- *)
+
+let test_dataset_disabled_noop () =
+  Unix.putenv "TFRC_DATA_DIR" "";
+  Alcotest.(check bool) "disabled" false (Exp.Dataset.enabled ());
+  (* Must not raise or write anywhere. *)
+  Exp.Dataset.write_xy ~name:"nope" ~x:"t" ~y:"v" [ (1., 2.) ]
+
+let test_dataset_writes_file () =
+  let dir = Filename.temp_file "tfrc_data" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Unix.putenv "TFRC_DATA_DIR" dir;
+  Alcotest.(check bool) "enabled" true (Exp.Dataset.enabled ());
+  Exp.Dataset.write_series ~name:"test" ~columns:[ "a"; "b"; "c" ]
+    [ [ 1.; 2.; 3. ]; [ 4.; 5.; 6.5 ] ];
+  let ic = open_in (Filename.concat dir "test.dat") in
+  let l1 = input_line ic and l2 = input_line ic and l3 = input_line ic in
+  close_in ic;
+  Unix.putenv "TFRC_DATA_DIR" "";
+  Alcotest.(check string) "header" "# a b c" l1;
+  Alcotest.(check string) "row 1" "1 2 3" l2;
+  Alcotest.(check string) "row 2" "4 5 6.5" l3
+
+(* --- App-limited sending / rate validation ------------------------------------ *)
+
+let wire_tfrc ~config ~drop () =
+  let sim = Engine.Sim.create () in
+  let receiver_cell = ref None and sender_cell = ref None in
+  let delivered = ref 0 in
+  let to_receiver pkt =
+    if not (drop pkt) then
+      ignore
+        (Engine.Sim.after sim 0.05 (fun () ->
+             incr delivered;
+             match !receiver_cell with
+             | Some r -> Tfrc.Tfrc_receiver.recv r pkt
+             | None -> ()))
+  in
+  let to_sender pkt =
+    ignore
+      (Engine.Sim.after sim 0.05 (fun () ->
+           match !sender_cell with
+           | Some s -> Tfrc.Tfrc_sender.recv s pkt
+           | None -> ()))
+  in
+  let sender = Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver () in
+  sender_cell := Some sender;
+  let receiver = Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender () in
+  receiver_cell := Some receiver;
+  (sim, sender, delivered)
+
+let test_app_limit_caps_pace () =
+  let config = Tfrc.Tfrc_config.default ~initial_rtt:0.1 () in
+  let sim, sender, delivered = wire_tfrc ~config ~drop:(fun _ -> false) () in
+  Tfrc.Tfrc_sender.set_app_limit sender (Some 20_000.) (* 20 kB/s = 20 pkt/s *);
+  Tfrc.Tfrc_sender.start sender ~at:0.;
+  Engine.Sim.run sim ~until:20.;
+  let rate = float_of_int !delivered *. 1000. /. 20. in
+  Alcotest.(check bool)
+    (Printf.sprintf "paced at ~20 kB/s (got %.0f B/s)" rate)
+    true
+    (rate < 25_000.)
+
+let test_app_limit_validation () =
+  Alcotest.check_raises "non-positive limit"
+    (Invalid_argument "Tfrc_sender.set_app_limit: rate <= 0") (fun () ->
+      let config = Tfrc.Tfrc_config.default () in
+      let _, sender, _ = wire_tfrc ~config ~drop:(fun _ -> false) () in
+      Tfrc.Tfrc_sender.set_app_limit sender (Some 0.))
+
+let test_rate_validation_prevents_banked_headroom () =
+  (* An app-limited flow under light loss: without validation the allowed
+     rate grows far above what is actually sent; with validation it stays
+     within 2x the achieved rate. *)
+  let run ~rate_validation =
+    let config =
+      Tfrc.Tfrc_config.default ~initial_rtt:0.1 ~delay_gain:false ~ndupack:1
+        ~rate_validation ()
+    in
+    let count = ref 0 in
+    let drop _ =
+      incr count;
+      !count mod 100 = 0
+    in
+    let sim, sender, _ = wire_tfrc ~config ~drop () in
+    Tfrc.Tfrc_sender.start sender ~at:0.;
+    (* Let it find the equation rate first, then throttle the app. *)
+    ignore
+      (Engine.Sim.at sim 10. (fun () ->
+           Tfrc.Tfrc_sender.set_app_limit sender (Some 10_000.)));
+    Engine.Sim.run sim ~until:40.;
+    Tfrc.Tfrc_sender.rate sender
+  in
+  let unvalidated = run ~rate_validation:false in
+  let validated = run ~rate_validation:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "validated %.0f < unvalidated %.0f and within 2x of 10kB/s"
+       validated unvalidated)
+    true
+    (validated <= 20_000. +. 1_000. && validated < unvalidated)
+
+(* --- Session -------------------------------------------------------------------- *)
+
+let test_session_loopback () =
+  (* Loss-free loopback: keep the run short — with nothing to stop slow
+     start, the rate doubles every RTT and virtual seconds get
+     exponentially expensive. *)
+  let sim = Engine.Sim.create () in
+  let session =
+    Tfrc.Session.create sim ~flow:1
+      ~data_path:(fun deliver pkt ->
+        ignore (Engine.Sim.after sim 0.05 (fun () -> deliver pkt)))
+      ~feedback_path:(fun deliver pkt ->
+        ignore (Engine.Sim.after sim 0.05 (fun () -> deliver pkt)))
+      ()
+  in
+  Tfrc.Session.start session ~at:0.;
+  Engine.Sim.run sim ~until:2.5;
+  Alcotest.(check bool) "data delivered" true
+    (Tfrc.Tfrc_receiver.packets_received session.receiver > 50);
+  Alcotest.(check bool) "feedback flowing" true
+    (Tfrc.Tfrc_sender.feedbacks_received session.sender > 10)
+
+let test_session_over_dumbbell () =
+  let sim = Engine.Sim.create () in
+  let db =
+    Netsim.Dumbbell.create sim
+      ~bandwidth:(Engine.Units.mbps 1.)
+      ~delay:0.01
+      ~queue:(Netsim.Dumbbell.Droptail_q 20) ()
+  in
+  let session = Tfrc.Session.over_dumbbell db ~flow:1 ~rtt_base:0.06 () in
+  Tfrc.Session.start session ~at:0.;
+  Engine.Sim.run sim ~until:30.;
+  let util =
+    Netsim.Link.utilization (Netsim.Dumbbell.forward_link db) ~duration:30.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fills the link (util %.2f)" util)
+    true (util > 0.8)
+
+let test_session_stop () =
+  let sim = Engine.Sim.create () in
+  let session =
+    Tfrc.Session.create sim ~flow:1
+      ~data_path:(fun deliver pkt ->
+        ignore (Engine.Sim.after sim 0.02 (fun () -> deliver pkt)))
+      ~feedback_path:(fun deliver pkt ->
+        ignore (Engine.Sim.after sim 0.02 (fun () -> deliver pkt)))
+      ()
+  in
+  Tfrc.Session.start session ~at:0.;
+  Engine.Sim.run sim ~until:1.5;
+  Tfrc.Session.stop session;
+  let sent = Tfrc.Tfrc_sender.packets_sent session.sender in
+  Engine.Sim.run sim ~until:5.;
+  Alcotest.(check int) "halted" sent (Tfrc.Tfrc_sender.packets_sent session.sender)
+
+(* --- Plot ----------------------------------------------------------------------- *)
+
+let render_plot f =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_plot_series () =
+  let out =
+    render_plot (fun ppf ->
+        Exp.Plot.series ppf ~title:"demo" ~ylabel:"y"
+          [ (0., 0.); (1., 1.); (2., 4.); (3., 9.) ])
+  in
+  Alcotest.(check bool) "has title" true
+    (String.length out > 0 && String.sub out 0 4 = "demo");
+  Alcotest.(check bool) "has points" true (String.contains out '*');
+  Alcotest.(check bool) "has axis" true (String.contains out '|')
+
+let test_plot_multi_legend () =
+  let out =
+    render_plot (fun ppf ->
+        Exp.Plot.multi ppf ~title:"two" ~ylabel:"v"
+          [ ("a", [ (0., 1.); (1., 2.) ]); ("b", [ (0., 2.); (1., 1.) ]) ])
+  in
+  Alcotest.(check bool) "legend mentions both" true
+    (let has s sub =
+       let n = String.length sub in
+       let rec scan i =
+         i + n <= String.length s && (String.sub s i n = sub || scan (i + 1))
+       in
+       scan 0
+     in
+     has out "* = a" && has out "+ = b")
+
+let test_plot_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Plot: empty series")
+    (fun () ->
+      render_plot (fun ppf -> Exp.Plot.series ppf ~title:"x" ~ylabel:"y" [])
+      |> ignore)
+
+let test_plot_constant_series () =
+  (* Degenerate y-range must not crash or divide by zero. *)
+  let out =
+    render_plot (fun ppf ->
+        Exp.Plot.series ppf ~title:"flat" ~ylabel:"y"
+          [ (0., 5.); (1., 5.); (2., 5.) ])
+  in
+  Alcotest.(check bool) "rendered" true (String.length out > 0)
+
+let () =
+  Alcotest.run "infra"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "records in order" `Quick test_tracer_records_in_order;
+          Alcotest.test_case "limit" `Quick test_tracer_limit;
+          Alcotest.test_case "filter" `Quick test_tracer_filter;
+          Alcotest.test_case "attach link" `Quick test_tracer_attach_link;
+          Alcotest.test_case "pp" `Quick test_tracer_pp;
+        ] );
+      ( "parking_lot",
+        [
+          Alcotest.test_case "through flow" `Quick
+            test_lot_through_flow_traverses_all_hops;
+          Alcotest.test_case "cross flow" `Quick test_lot_cross_flow_single_hop;
+          Alcotest.test_case "reverse path" `Quick test_lot_reverse_path;
+          Alcotest.test_case "validation" `Quick test_lot_validation;
+          Alcotest.test_case "tfrc end to end" `Quick test_lot_tfrc_end_to_end;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "disabled noop" `Quick test_dataset_disabled_noop;
+          Alcotest.test_case "writes file" `Quick test_dataset_writes_file;
+        ] );
+      ( "app_limit",
+        [
+          Alcotest.test_case "caps pace" `Quick test_app_limit_caps_pace;
+          Alcotest.test_case "validates input" `Quick test_app_limit_validation;
+          Alcotest.test_case "rate validation" `Quick
+            test_rate_validation_prevents_banked_headroom;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "loopback" `Quick test_session_loopback;
+          Alcotest.test_case "over dumbbell" `Quick test_session_over_dumbbell;
+          Alcotest.test_case "stop" `Quick test_session_stop;
+        ] );
+      ( "plot",
+        [
+          Alcotest.test_case "series" `Quick test_plot_series;
+          Alcotest.test_case "multi legend" `Quick test_plot_multi_legend;
+          Alcotest.test_case "rejects empty" `Quick test_plot_rejects_empty;
+          Alcotest.test_case "constant series" `Quick test_plot_constant_series;
+        ] );
+    ]

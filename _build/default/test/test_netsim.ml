@@ -1,0 +1,521 @@
+(* Tests for the network simulator: packets, queue disciplines, links,
+   loss models, the dumbbell topology and monitors. *)
+
+let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
+let qtest t = QCheck_alcotest.to_alcotest t
+
+let mk_pkt ?(flow = 1) ?(seq = 0) ?(size = 1000) ?(now = 0.) () =
+  Netsim.Packet.make ~flow ~seq ~size ~now Netsim.Packet.Data
+
+(* --- Packet --------------------------------------------------------------- *)
+
+let test_packet_unique_ids () =
+  let a = mk_pkt () and b = mk_pkt () in
+  Alcotest.(check bool) "distinct ids" true (a.Netsim.Packet.id <> b.Netsim.Packet.id)
+
+let test_packet_pp () =
+  let s = Format.asprintf "%a" Netsim.Packet.pp (mk_pkt ~flow:3 ~seq:9 ()) in
+  Alcotest.(check bool) "mentions flow and seq" true
+    (String.length s > 0
+    &&
+    let has sub =
+      let n = String.length sub in
+      let rec scan i =
+        i + n <= String.length s && (String.sub s i n = sub || scan (i + 1))
+      in
+      scan 0
+    in
+    has "flow 3" && has "seq 9")
+
+let test_packet_is_data () =
+  Alcotest.(check bool) "data" true (Netsim.Packet.is_data (mk_pkt ()));
+  let ack =
+    Netsim.Packet.make ~flow:1 ~seq:0 ~size:40 ~now:0.
+      (Netsim.Packet.Tcp_ack { ack = 1; sack = []; ece = false })
+  in
+  Alcotest.(check bool) "ack is not data" false (Netsim.Packet.is_data ack);
+  let fb =
+    Netsim.Packet.make ~flow:1 ~seq:0 ~size:40 ~now:0.
+      (Netsim.Packet.Tfrc_feedback
+         { p = 0.; recv_rate = 0.; ts_echo = 0.; ts_delay = 0. })
+  in
+  Alcotest.(check bool) "feedback is not data" false (Netsim.Packet.is_data fb)
+
+(* --- Droptail ------------------------------------------------------------- *)
+
+let test_droptail_fifo () =
+  let q = Netsim.Droptail.create ~limit_pkts:10 in
+  let p1 = mk_pkt ~seq:1 () and p2 = mk_pkt ~seq:2 () in
+  Alcotest.(check bool) "accept 1" true (q.Netsim.Queue_disc.enqueue p1);
+  Alcotest.(check bool) "accept 2" true (q.Netsim.Queue_disc.enqueue p2);
+  (match q.Netsim.Queue_disc.dequeue () with
+  | Some p -> Alcotest.(check int) "fifo order" 1 p.Netsim.Packet.seq
+  | None -> Alcotest.fail "expected packet");
+  Alcotest.(check int) "len" 1 (q.Netsim.Queue_disc.len_pkts ())
+
+let test_droptail_overflow () =
+  let q = Netsim.Droptail.create ~limit_pkts:3 in
+  for i = 1 to 5 do
+    ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:i ()))
+  done;
+  Alcotest.(check int) "len capped" 3 (q.Netsim.Queue_disc.len_pkts ());
+  Alcotest.(check int) "drops" 2 q.Netsim.Queue_disc.stats.drops;
+  checkf "drop rate" 0.4 (Netsim.Queue_disc.drop_rate q)
+
+let test_droptail_bytes () =
+  let q = Netsim.Droptail.create ~limit_pkts:10 in
+  ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~size:500 ()));
+  ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~size:700 ()));
+  Alcotest.(check int) "bytes" 1200 (q.Netsim.Queue_disc.len_bytes ());
+  ignore (q.Netsim.Queue_disc.dequeue ());
+  Alcotest.(check int) "bytes after dequeue" 700 (q.Netsim.Queue_disc.len_bytes ())
+
+let test_droptail_bad_limit () =
+  Alcotest.check_raises "limit > 0"
+    (Invalid_argument "Droptail.create: limit must be positive") (fun () ->
+      ignore (Netsim.Droptail.create ~limit_pkts:0))
+
+(* --- RED ------------------------------------------------------------------ *)
+
+let make_red ?(min_th = 5.) ?(max_th = 15.) ?(limit = 50) ?(gentle = true) now =
+  Netsim.Red.create
+    ~params:(Netsim.Red.params ~min_th ~max_th ~gentle ~limit_pkts:limit ())
+    ~now ~ptc:1000.
+
+let test_red_no_drop_below_minth () =
+  let now = ref 0. in
+  let q = make_red (fun () -> !now) in
+  (* Keep the instantaneous queue small: alternate enqueue/dequeue. *)
+  for i = 1 to 100 do
+    now := float_of_int i *. 1e-3;
+    ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:i ()));
+    ignore (q.Netsim.Queue_disc.dequeue ())
+  done;
+  Alcotest.(check int) "no early drops below min_th" 0
+    q.Netsim.Queue_disc.stats.drops
+
+let test_red_drops_under_sustained_load () =
+  let now = ref 0. in
+  let q = make_red (fun () -> !now) in
+  for i = 1 to 200 do
+    now := float_of_int i *. 1e-4;
+    ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:i ()));
+    (* drain slowly: every 4th packet *)
+    if i mod 4 = 0 then ignore (q.Netsim.Queue_disc.dequeue ())
+  done;
+  Alcotest.(check bool)
+    "drops under sustained overload" true
+    (q.Netsim.Queue_disc.stats.drops > 0)
+
+let test_red_physical_limit () =
+  let now = ref 0. in
+  let q = make_red ~limit:10 (fun () -> !now) in
+  for i = 1 to 100 do
+    now := float_of_int i *. 1e-4;
+    ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:i ()))
+  done;
+  Alcotest.(check bool)
+    "never exceeds physical limit" true
+    (q.Netsim.Queue_disc.len_pkts () <= 10)
+
+let test_red_avg_tracks_queue () =
+  let now = ref 0. in
+  let q = make_red (fun () -> !now) in
+  for i = 1 to 100 do
+    now := float_of_int i *. 1e-4;
+    ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:i ()))
+  done;
+  Alcotest.(check bool) "avg rose" true (Netsim.Red.avg_queue q > 0.)
+
+let test_red_idle_aging () =
+  let now = ref 0. in
+  let q = make_red (fun () -> !now) in
+  (* Build up some average. *)
+  for i = 1 to 30 do
+    now := float_of_int i *. 1e-4;
+    ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:i ()))
+  done;
+  while q.Netsim.Queue_disc.dequeue () <> None do
+    ()
+  done;
+  let avg_before = Netsim.Red.avg_queue q in
+  (* Long idle period, then one arrival: the average must have decayed. *)
+  now := !now +. 10.;
+  ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:999 ()));
+  let avg_after = Netsim.Red.avg_queue q in
+  Alcotest.(check bool)
+    (Printf.sprintf "aged %.3f -> %.3f" avg_before avg_after)
+    true (avg_after < 0.1 *. avg_before)
+
+let test_red_gentle_vs_not () =
+  (* Push the average far past max_th: the non-gentle queue force-drops
+     every arrival there; the gentle queue still accepts some. *)
+  let drive gentle =
+    let now = ref 0. in
+    let q = make_red ~min_th:2. ~max_th:4. ~gentle ~limit:200 (fun () -> !now) in
+    let accepted = ref 0 in
+    for i = 1 to 3000 do
+      now := !now +. 1e-5;
+      if q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:i ()) then incr accepted
+    done;
+    !accepted
+  in
+  let strict = drive false and gentle = drive true in
+  Alcotest.(check bool)
+    (Printf.sprintf "gentle accepts more (%d vs %d)" gentle strict)
+    true (gentle > strict)
+
+let test_red_params_validation () =
+  Alcotest.check_raises "min < max"
+    (Invalid_argument "Red.params: need 0 < min_th < max_th") (fun () ->
+      ignore (Netsim.Red.params ~min_th:10. ~max_th:5. ~limit_pkts:50 ()));
+  Alcotest.check_raises "not a red queue"
+    (Invalid_argument "Red.avg_queue: not a RED queue") (fun () ->
+      ignore (Netsim.Red.avg_queue (Netsim.Droptail.create ~limit_pkts:5)))
+
+(* --- Link ----------------------------------------------------------------- *)
+
+let test_link_serialization_and_delay () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Netsim.Link.create sim ~bandwidth:1e6 ~delay:0.05
+      ~queue:(Netsim.Droptail.create ~limit_pkts:10)
+      ()
+  in
+  let arrived = ref [] in
+  Netsim.Link.set_dest link (fun p ->
+      arrived := (Engine.Sim.now sim, p.Netsim.Packet.seq) :: !arrived);
+  (* 1000B at 1 Mb/s = 8 ms serialization + 50 ms propagation. *)
+  ignore (Engine.Sim.at sim 0. (fun () -> Netsim.Link.send link (mk_pkt ~seq:1 ())));
+  Engine.Sim.run sim ~until:1.;
+  match !arrived with
+  | [ (t, 1) ] -> checkf ~eps:1e-9 "arrival time" 0.058 t
+  | _ -> Alcotest.fail "expected exactly one arrival"
+
+let test_link_pipelining () =
+  (* Two packets sent back to back: arrivals separated by the serialization
+     time only (propagation overlaps). *)
+  let sim = Engine.Sim.create () in
+  let link =
+    Netsim.Link.create sim ~bandwidth:1e6 ~delay:0.05
+      ~queue:(Netsim.Droptail.create ~limit_pkts:10)
+      ()
+  in
+  let times = ref [] in
+  Netsim.Link.set_dest link (fun _ -> times := Engine.Sim.now sim :: !times);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         Netsim.Link.send link (mk_pkt ~seq:1 ());
+         Netsim.Link.send link (mk_pkt ~seq:2 ())));
+  Engine.Sim.run sim ~until:1.;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+      checkf ~eps:1e-9 "first" 0.058 t1;
+      checkf ~eps:1e-9 "second spaced by tx time" 0.066 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_link_drop_listener () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Netsim.Link.create sim ~bandwidth:1e4 ~delay:0.
+      ~queue:(Netsim.Droptail.create ~limit_pkts:1)
+      ()
+  in
+  Netsim.Link.set_dest link ignore;
+  let drops = ref 0 in
+  Netsim.Link.on_drop link (fun _ -> incr drops);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         (* one serializing, one queued, rest dropped *)
+         for i = 1 to 5 do
+           Netsim.Link.send link (mk_pkt ~seq:i ())
+         done));
+  Engine.Sim.run sim ~until:10.;
+  Alcotest.(check int) "drops observed" 3 !drops
+
+let test_link_utilization () =
+  let sim = Engine.Sim.create () in
+  let link =
+    Netsim.Link.create sim ~bandwidth:8e5 ~delay:0.
+      ~queue:(Netsim.Droptail.create ~limit_pkts:100)
+      ()
+  in
+  Netsim.Link.set_dest link ignore;
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         for i = 1 to 50 do
+           Netsim.Link.send link (mk_pkt ~seq:i ())
+         done));
+  Engine.Sim.run sim ~until:1.;
+  (* 50 kB = 4e5 bits over an 8e5-bit/s link in 1 s: utilization 0.5 *)
+  checkf ~eps:1e-6 "utilization" 0.5 (Netsim.Link.utilization link ~duration:1.);
+  checkf ~eps:1e-6 "busy time" 0.5 (Netsim.Link.busy_time link);
+  Alcotest.(check int) "delivered bytes" 50_000 (Netsim.Link.delivered_bytes link)
+
+(* --- Loss models ----------------------------------------------------------- *)
+
+let count_passed handler packets =
+  let passed = ref 0 in
+  let dest _ = incr passed in
+  let h = handler dest in
+  for i = 1 to packets do
+    h (mk_pkt ~seq:i ())
+  done;
+  !passed
+
+let test_bernoulli_rate () =
+  let rng = Engine.Rng.create ~seed:5 in
+  let passed = count_passed (Netsim.Loss_model.bernoulli rng ~p:0.1) 50_000 in
+  let loss = 1. -. (float_of_int passed /. 50_000.) in
+  Alcotest.(check bool) "bernoulli 10%" true (Float.abs (loss -. 0.1) < 0.01)
+
+let test_bernoulli_extremes () =
+  let rng = Engine.Rng.create ~seed:5 in
+  Alcotest.(check int) "p=0 passes all" 100
+    (count_passed (Netsim.Loss_model.bernoulli rng ~p:0.) 100);
+  Alcotest.(check int) "p=1 drops all" 0
+    (count_passed (Netsim.Loss_model.bernoulli rng ~p:1.) 100)
+
+let test_periodic_exact () =
+  Alcotest.(check int) "every 10th dropped" 90
+    (count_passed (Netsim.Loss_model.periodic ~period:10) 100)
+
+let test_periodic_rate () =
+  Alcotest.(check int) "2.5% rate" 975
+    (count_passed (Netsim.Loss_model.periodic_rate ~rate:0.025) 1000);
+  Alcotest.(check int) "zero rate never drops" 500
+    (count_passed (Netsim.Loss_model.periodic_rate ~rate:0.) 500)
+
+let test_time_varying () =
+  let now = ref 0. in
+  let schedule t = if t < 1. then 0.5 else 0. in
+  let passed = ref 0 in
+  let h =
+    Netsim.Loss_model.time_varying ~schedule
+      ~now:(fun () -> !now)
+      (fun _ -> incr passed)
+  in
+  for i = 1 to 100 do
+    now := 0.5;
+    ignore i;
+    h (mk_pkt ())
+  done;
+  Alcotest.(check int) "50% dropped in phase 1" 50 !passed;
+  for _ = 1 to 100 do
+    now := 2.;
+    h (mk_pkt ())
+  done;
+  Alcotest.(check int) "none dropped in phase 2" 150 !passed
+
+let test_gilbert_burstiness () =
+  let rng = Engine.Rng.create ~seed:9 in
+  let passed =
+    count_passed
+      (Netsim.Loss_model.gilbert rng ~p_gb:0.01 ~p_bg:0.3 ~loss_good:0.001
+         ~loss_bad:0.3)
+      50_000
+  in
+  let loss = 1. -. (float_of_int passed /. 50_000.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "gilbert loss %.4f plausible" loss)
+    true
+    (loss > 0.002 && loss < 0.05)
+
+let test_counted () =
+  let h, count = Netsim.Loss_model.counted ignore in
+  for i = 1 to 7 do
+    h (mk_pkt ~seq:i ())
+  done;
+  Alcotest.(check int) "counted" 7 (count ())
+
+(* --- Dumbbell ---------------------------------------------------------------- *)
+
+let test_dumbbell_roundtrip_delay () =
+  let sim = Engine.Sim.create () in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth:1e8 ~delay:0.01
+      ~queue:(Netsim.Dumbbell.Droptail_q 100) ()
+  in
+  Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.1;
+  let fwd_arrival = ref 0. and bwd_arrival = ref 0. in
+  Netsim.Dumbbell.set_dst_recv db ~flow:1 (fun pkt ->
+      fwd_arrival := Engine.Sim.now sim;
+      Netsim.Dumbbell.dst_send db ~flow:1 pkt);
+  Netsim.Dumbbell.set_src_recv db ~flow:1 (fun _ ->
+      bwd_arrival := Engine.Sim.now sim);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         Netsim.Dumbbell.src_send db ~flow:1 (mk_pkt ~size:100 ())));
+  Engine.Sim.run sim ~until:1.;
+  (* One-way base = 0.05 + serialization (100B at 1e8 = 8 microseconds). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "one way %.4f" !fwd_arrival)
+    true
+    (Float.abs (!fwd_arrival -. 0.05) < 1e-3);
+  Alcotest.(check bool)
+    (Printf.sprintf "round trip %.4f" !bwd_arrival)
+    true
+    (Float.abs (!bwd_arrival -. 0.1) < 2e-3)
+
+let test_dumbbell_duplicate_flow () =
+  let sim = Engine.Sim.create () in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth:1e6 ~delay:0.01
+      ~queue:(Netsim.Dumbbell.Droptail_q 10) ()
+  in
+  Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.1;
+  Alcotest.check_raises "duplicate flow id"
+    (Invalid_argument "Dumbbell.add_flow: flow 1 already exists") (fun () ->
+      Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.1)
+
+let test_dumbbell_rtt_too_small () =
+  let sim = Engine.Sim.create () in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth:1e6 ~delay:0.05
+      ~queue:(Netsim.Dumbbell.Droptail_q 10) ()
+  in
+  Alcotest.check_raises "rtt below bottleneck"
+    (Invalid_argument "Dumbbell.add_flow: rtt_base smaller than bottleneck RTT")
+    (fun () -> Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.05)
+
+let test_dumbbell_unknown_flow () =
+  let sim = Engine.Sim.create () in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth:1e6 ~delay:0.01
+      ~queue:(Netsim.Dumbbell.Droptail_q 10) ()
+  in
+  Alcotest.check_raises "unknown flow"
+    (Invalid_argument "Dumbbell: unknown flow 9") (fun () ->
+      Netsim.Dumbbell.src_send db ~flow:9 (mk_pkt ()))
+
+let test_dumbbell_isolation () =
+  (* Two flows: packets demux to the right receivers. *)
+  let sim = Engine.Sim.create () in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth:1e7 ~delay:0.005
+      ~queue:(Netsim.Dumbbell.Droptail_q 100) ()
+  in
+  Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.05;
+  Netsim.Dumbbell.add_flow db ~flow:2 ~rtt_base:0.05;
+  let got1 = ref 0 and got2 = ref 0 in
+  Netsim.Dumbbell.set_dst_recv db ~flow:1 (fun _ -> incr got1);
+  Netsim.Dumbbell.set_dst_recv db ~flow:2 (fun _ -> incr got2);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         for i = 1 to 3 do
+           Netsim.Dumbbell.src_send db ~flow:1 (mk_pkt ~flow:1 ~seq:i ())
+         done;
+         Netsim.Dumbbell.src_send db ~flow:2 (mk_pkt ~flow:2 ~seq:1 ())));
+  Engine.Sim.run sim ~until:1.;
+  Alcotest.(check int) "flow 1 packets" 3 !got1;
+  Alcotest.(check int) "flow 2 packets" 1 !got2
+
+(* --- Flowmon ---------------------------------------------------------------- *)
+
+let test_flowmon_records_data_only () =
+  let now = ref 1.5 in
+  let mon = Netsim.Flowmon.create (fun () -> !now) in
+  let sink = Netsim.Flowmon.tap mon in
+  sink (mk_pkt ~size:100 ());
+  sink
+    (Netsim.Packet.make ~flow:1 ~seq:0 ~size:40 ~now:0.
+       (Netsim.Packet.Tcp_ack { ack = 1; sack = []; ece = false }));
+  Alcotest.(check int) "one data packet" 1 (Netsim.Flowmon.packets mon);
+  Alcotest.(check int) "bytes" 100 (Netsim.Flowmon.bytes mon);
+  checkf "mean rate" 100. (Netsim.Flowmon.mean_rate mon ~t0:1. ~t1:2.)
+
+let test_queue_sampler () =
+  let sim = Engine.Sim.create () in
+  let q = Netsim.Droptail.create ~limit_pkts:100 in
+  let sampler = Netsim.Flowmon.Queue_sampler.start sim ~period:0.1 ~queue:q in
+  ignore
+    (Engine.Sim.at sim 0.05 (fun () ->
+         for i = 1 to 5 do
+           ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ~seq:i ()))
+         done));
+  Engine.Sim.run sim ~until:1.;
+  let events = Stats.Time_series.events (Netsim.Flowmon.Queue_sampler.series sampler) in
+  Alcotest.(check bool) "several samples" true (Array.length events >= 9);
+  let _, v = events.(2) in
+  checkf "queue depth sampled" 5. v;
+  Netsim.Flowmon.Queue_sampler.stop sampler;
+  Engine.Sim.run sim ~until:2.;
+  Alcotest.(check bool)
+    "no samples after stop" true
+    (Array.length (Stats.Time_series.events (Netsim.Flowmon.Queue_sampler.series sampler))
+    <= Array.length events + 1)
+
+let prop_droptail_never_exceeds_limit =
+  QCheck.Test.make ~name:"droptail occupancy never exceeds limit" ~count:100
+    QCheck.(pair (int_range 1 20) (list_of_size Gen.(int_range 0 100) bool))
+    (fun (limit, ops) ->
+      let q = Netsim.Droptail.create ~limit_pkts:limit in
+      List.for_all
+        (fun enq ->
+          if enq then ignore (q.Netsim.Queue_disc.enqueue (mk_pkt ()))
+          else ignore (q.Netsim.Queue_disc.dequeue ());
+          q.Netsim.Queue_disc.len_pkts () <= limit)
+        ops)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "unique ids" `Quick test_packet_unique_ids;
+          Alcotest.test_case "is_data" `Quick test_packet_is_data;
+          Alcotest.test_case "pp" `Quick test_packet_pp;
+        ] );
+      ( "droptail",
+        [
+          Alcotest.test_case "fifo" `Quick test_droptail_fifo;
+          Alcotest.test_case "overflow" `Quick test_droptail_overflow;
+          Alcotest.test_case "byte accounting" `Quick test_droptail_bytes;
+          Alcotest.test_case "bad limit" `Quick test_droptail_bad_limit;
+          qtest prop_droptail_never_exceeds_limit;
+        ] );
+      ( "red",
+        [
+          Alcotest.test_case "no drop below min_th" `Quick
+            test_red_no_drop_below_minth;
+          Alcotest.test_case "drops under load" `Quick
+            test_red_drops_under_sustained_load;
+          Alcotest.test_case "physical limit" `Quick test_red_physical_limit;
+          Alcotest.test_case "avg tracks queue" `Quick test_red_avg_tracks_queue;
+          Alcotest.test_case "idle aging" `Quick test_red_idle_aging;
+          Alcotest.test_case "params validation" `Quick test_red_params_validation;
+          Alcotest.test_case "gentle vs strict" `Quick test_red_gentle_vs_not;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "serialization + delay" `Quick
+            test_link_serialization_and_delay;
+          Alcotest.test_case "pipelining" `Quick test_link_pipelining;
+          Alcotest.test_case "drop listener" `Quick test_link_drop_listener;
+          Alcotest.test_case "utilization" `Quick test_link_utilization;
+        ] );
+      ( "loss_model",
+        [
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "periodic exact" `Quick test_periodic_exact;
+          Alcotest.test_case "periodic rate" `Quick test_periodic_rate;
+          Alcotest.test_case "time varying" `Quick test_time_varying;
+          Alcotest.test_case "gilbert burstiness" `Quick test_gilbert_burstiness;
+          Alcotest.test_case "counted" `Quick test_counted;
+        ] );
+      ( "dumbbell",
+        [
+          Alcotest.test_case "roundtrip delay" `Quick test_dumbbell_roundtrip_delay;
+          Alcotest.test_case "duplicate flow" `Quick test_dumbbell_duplicate_flow;
+          Alcotest.test_case "rtt too small" `Quick test_dumbbell_rtt_too_small;
+          Alcotest.test_case "unknown flow" `Quick test_dumbbell_unknown_flow;
+          Alcotest.test_case "flow isolation" `Quick test_dumbbell_isolation;
+        ] );
+      ( "flowmon",
+        [
+          Alcotest.test_case "records data only" `Quick
+            test_flowmon_records_data_only;
+          Alcotest.test_case "queue sampler" `Quick test_queue_sampler;
+        ] );
+    ]

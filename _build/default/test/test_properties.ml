@@ -1,0 +1,287 @@
+(* System-level property tests: conservation laws and protocol invariants
+   that must hold for arbitrary seeds and loss patterns. *)
+
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- Conservation at the dumbbell ------------------------------------------- *)
+
+(* Everything a CBR source injects is either delivered or dropped at the
+   bottleneck queue — the topology neither loses nor duplicates packets. *)
+let prop_dumbbell_conserves_packets =
+  QCheck.Test.make ~name:"dumbbell conserves packets" ~count:30
+    QCheck.(pair (int_range 1 1000) (int_range 1 5))
+    (fun (seed, n_flows) ->
+      let sim = Engine.Sim.create () in
+      let db =
+        Netsim.Dumbbell.create sim ~bandwidth:1e6 ~delay:0.005
+          ~queue:(Netsim.Dumbbell.Droptail_q 5) ()
+      in
+      let delivered = ref 0 in
+      let sources =
+        List.init n_flows (fun i ->
+            let flow = i + 1 in
+            Netsim.Dumbbell.add_flow db ~flow
+              ~rtt_base:(0.02 +. (0.01 *. float_of_int i));
+            Netsim.Dumbbell.set_dst_recv db ~flow (fun _ -> incr delivered);
+            let src =
+              Traffic.Cbr.create sim ~flow
+                ~rate:(1e6 /. float_of_int n_flows *. 1.5)
+                ~pkt_size:1000
+                ~transmit:(Netsim.Dumbbell.src_sender db ~flow)
+                ()
+            in
+            Traffic.Cbr.start src
+              ~at:(0.001 *. float_of_int (seed mod 7));
+            src)
+      in
+      Engine.Sim.run sim ~until:5.;
+      (* Drain in-flight packets. *)
+      List.iter Traffic.Cbr.stop sources;
+      Engine.Sim.run sim ~until:7.;
+      let sent =
+        List.fold_left (fun a s -> a + Traffic.Cbr.packets_sent s) 0 sources
+      in
+      let q = Netsim.Link.queue (Netsim.Dumbbell.forward_link db) in
+      let dropped = q.Netsim.Queue_disc.stats.drops in
+      sent = !delivered + dropped)
+
+(* --- TCP reliability ----------------------------------------------------------- *)
+
+(* A finite TCP transfer completes under any Bernoulli loss rate up to 20%,
+   given enough virtual time: retransmission makes delivery reliable. *)
+let prop_tcp_transfer_completes =
+  QCheck.Test.make ~name:"finite TCP transfer completes under random loss"
+    ~count:25
+    QCheck.(pair (int_range 1 10_000) (float_range 0. 0.2))
+    (fun (seed, loss) ->
+      let sim = Engine.Sim.create () in
+      let rng = Engine.Rng.create ~seed in
+      let config = Tcpsim.Tcp_common.default ~min_rto:0.3 ~max_cwnd:32. () in
+      let sink_cell = ref None and sender_cell = ref None in
+      let to_sink pkt =
+        if not (Engine.Rng.bool rng ~p:loss) then
+          ignore
+            (Engine.Sim.after sim 0.05 (fun () ->
+                 match !sink_cell with
+                 | Some s -> Tcpsim.Tcp_sink.recv s pkt
+                 | None -> ()))
+      in
+      let to_sender pkt =
+        ignore
+          (Engine.Sim.after sim 0.05 (fun () ->
+               match !sender_cell with
+               | Some s -> Tcpsim.Tcp_sender.recv s pkt
+               | None -> ()))
+      in
+      let sink = Tcpsim.Tcp_sink.create sim ~config ~flow:1 ~transmit:to_sender () in
+      sink_cell := Some sink;
+      let sender =
+        Tcpsim.Tcp_sender.create sim ~config ~flow:1 ~transmit:to_sink ()
+      in
+      sender_cell := Some sender;
+      Tcpsim.Tcp_sender.set_limit sender 50;
+      Tcpsim.Tcp_sender.start sender ~at:0.;
+      Engine.Sim.run sim ~until:600.;
+      Tcpsim.Tcp_sender.finished sender
+      && Tcpsim.Tcp_sink.next_expected sink >= 50)
+
+(* TCP never leaves more than a window of packets unacknowledged. *)
+let prop_tcp_flight_bounded =
+  QCheck.Test.make ~name:"TCP flight bounded by max_cwnd" ~count:20
+    (QCheck.int_range 1 10_000) (fun seed ->
+      let sim = Engine.Sim.create () in
+      let rng = Engine.Rng.create ~seed in
+      let max_cwnd = 16. in
+      let config = Tcpsim.Tcp_common.default ~min_rto:0.3 ~max_cwnd () in
+      let ok = ref true in
+      let sink_cell = ref None and sender_cell = ref None in
+      let to_sink pkt =
+        if not (Engine.Rng.bool rng ~p:0.05) then
+          ignore
+            (Engine.Sim.after sim 0.05 (fun () ->
+                 match !sink_cell with
+                 | Some s -> Tcpsim.Tcp_sink.recv s pkt
+                 | None -> ()))
+      in
+      let to_sender pkt =
+        ignore
+          (Engine.Sim.after sim 0.05 (fun () ->
+               match !sender_cell with
+               | Some s -> Tcpsim.Tcp_sender.recv s pkt
+               | None -> ()))
+      in
+      let sink = Tcpsim.Tcp_sink.create sim ~config ~flow:1 ~transmit:to_sender () in
+      sink_cell := Some sink;
+      let sender =
+        Tcpsim.Tcp_sender.create sim ~config ~flow:1 ~transmit:to_sink ()
+      in
+      sender_cell := Some sender;
+      Tcpsim.Tcp_sender.start sender ~at:0.;
+      let rec watch () =
+        let flight =
+          Tcpsim.Tcp_sender.snd_nxt sender - Tcpsim.Tcp_sender.snd_una sender
+        in
+        (* Flight can exceed the window only transiently after a rollback;
+           allow one segment of slack. *)
+        if float_of_int flight > max_cwnd +. 1. then ok := false;
+        ignore (Engine.Sim.after sim 0.05 watch)
+      in
+      ignore (Engine.Sim.at sim 0.05 (fun () -> watch ()));
+      Engine.Sim.run sim ~until:30.;
+      !ok)
+
+(* --- TFRC invariants ------------------------------------------------------------- *)
+
+(* Through any random loss process, the sender's rate stays within
+   [min_rate, +inf) and its reported p within [0, 1]. *)
+let prop_tfrc_rate_and_p_in_range =
+  QCheck.Test.make ~name:"TFRC rate floored, p in [0,1]" ~count:20
+    QCheck.(pair (int_range 1 10_000) (float_range 0. 0.3))
+    (fun (seed, loss) ->
+      let sim = Engine.Sim.create () in
+      let rng = Engine.Rng.create ~seed in
+      let config = Tfrc.Tfrc_config.default ~initial_rtt:0.1 () in
+      let receiver_cell = ref None and sender_cell = ref None in
+      let to_receiver pkt =
+        if not (Engine.Rng.bool rng ~p:loss) then
+          ignore
+            (Engine.Sim.after sim 0.05 (fun () ->
+                 match !receiver_cell with
+                 | Some r -> Tfrc.Tfrc_receiver.recv r pkt
+                 | None -> ()))
+      in
+      let to_sender pkt =
+        ignore
+          (Engine.Sim.after sim 0.05 (fun () ->
+               match !sender_cell with
+               | Some s -> Tfrc.Tfrc_sender.recv s pkt
+               | None -> ()))
+      in
+      let sender =
+        Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver ()
+      in
+      sender_cell := Some sender;
+      let receiver =
+        Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender ()
+      in
+      receiver_cell := Some receiver;
+      let ok = ref true in
+      Tfrc.Tfrc_sender.on_rate_update sender (fun _ ~rate ~rtt ~p ->
+          if
+            rate < config.Tfrc.Tfrc_config.min_rate -. 1e-9
+            || p < 0. || p > 1. || rtt <= 0.
+          then ok := false);
+      Tfrc.Tfrc_sender.start sender ~at:0.;
+      Engine.Sim.run sim ~until:30.;
+      !ok)
+
+(* The receiver's interval history only ever holds positive intervals and
+   its estimate is positive once loss has been seen. *)
+let prop_tfrc_estimate_positive_after_loss =
+  QCheck.Test.make ~name:"TFRC estimate positive after first loss" ~count:20
+    (QCheck.int_range 1 10_000) (fun seed ->
+      let sim = Engine.Sim.create () in
+      let rng = Engine.Rng.create ~seed in
+      let config = Tfrc.Tfrc_config.default ~initial_rtt:0.1 () in
+      let receiver_cell = ref None and sender_cell = ref None in
+      let to_receiver pkt =
+        if not (Engine.Rng.bool rng ~p:0.03) then
+          ignore
+            (Engine.Sim.after sim 0.05 (fun () ->
+                 match !receiver_cell with
+                 | Some r -> Tfrc.Tfrc_receiver.recv r pkt
+                 | None -> ()))
+      in
+      let to_sender pkt =
+        ignore
+          (Engine.Sim.after sim 0.05 (fun () ->
+               match !sender_cell with
+               | Some s -> Tfrc.Tfrc_sender.recv s pkt
+               | None -> ()))
+      in
+      let sender =
+        Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver ()
+      in
+      sender_cell := Some sender;
+      let receiver =
+        Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender ()
+      in
+      receiver_cell := Some receiver;
+      Tfrc.Tfrc_sender.start sender ~at:0.;
+      Engine.Sim.run sim ~until:20.;
+      let d = Tfrc.Tfrc_receiver.detector receiver in
+      (not (Tfrc.Loss_events.in_loss d))
+      || Tfrc.Tfrc_receiver.loss_event_rate receiver > 0.)
+
+(* --- Determinism across the whole stack -------------------------------------- *)
+
+let prop_full_stack_deterministic =
+  QCheck.Test.make ~name:"identical seeds give identical mixed runs" ~count:5
+    (QCheck.int_range 1 10_000) (fun seed ->
+      let run () =
+        let params =
+          {
+            (Exp.Scenario.default_mixed ()) with
+            n_tcp = 2;
+            n_tfrc = 2;
+            duration = 10.;
+            warmup = 3.;
+            seed;
+          }
+        in
+        let r = Exp.Scenario.run_mixed params in
+        List.map
+          (fun (f : Exp.Scenario.flow_stats) -> f.mean_recv_rate)
+          (r.tcp_flows @ r.tfrc_flows)
+      in
+      run () = run ())
+
+(* --- Parking lot conservation --------------------------------------------------- *)
+
+let prop_parking_lot_through_conservation =
+  QCheck.Test.make ~name:"parking lot conserves through-flow packets" ~count:20
+    QCheck.(pair (int_range 1 1000) (int_range 1 4))
+    (fun (_seed, hops) ->
+      let sim = Engine.Sim.create () in
+      let lot =
+        Netsim.Parking_lot.create sim ~hops ~bandwidth:1e6 ~delay:0.002
+          ~queue:(fun () -> Netsim.Droptail.create ~limit_pkts:4)
+          ()
+      in
+      Netsim.Parking_lot.add_through_flow lot ~flow:1
+        ~rtt_base:(0.01 +. (0.004 *. float_of_int hops));
+      let delivered = ref 0 in
+      Netsim.Parking_lot.set_dst_recv lot ~flow:1 (fun _ -> incr delivered);
+      let src =
+        Traffic.Cbr.create sim ~flow:1 ~rate:1.5e6 ~pkt_size:1000
+          ~transmit:(Netsim.Parking_lot.src_sender lot ~flow:1)
+          ()
+      in
+      Traffic.Cbr.start src ~at:0.;
+      Engine.Sim.run sim ~until:3.;
+      Traffic.Cbr.stop src;
+      Engine.Sim.run sim ~until:5.;
+      let dropped = ref 0 in
+      for hop = 1 to hops do
+        let q = Netsim.Link.queue (Netsim.Parking_lot.link lot ~hop) in
+        dropped := !dropped + q.Netsim.Queue_disc.stats.drops
+      done;
+      Traffic.Cbr.packets_sent src = !delivered + !dropped)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "conservation",
+        [
+          qtest prop_dumbbell_conserves_packets;
+          qtest prop_parking_lot_through_conservation;
+        ] );
+      ( "tcp",
+        [ qtest prop_tcp_transfer_completes; qtest prop_tcp_flight_bounded ] );
+      ( "tfrc",
+        [
+          qtest prop_tfrc_rate_and_p_in_range;
+          qtest prop_tfrc_estimate_positive_after_loss;
+        ] );
+      ("determinism", [ qtest prop_full_stack_deterministic ]);
+    ]

@@ -1,0 +1,424 @@
+(* Tests for the TCP substrate: RTO estimation, the sink's ack/SACK
+   generation, and sender congestion-control behavior under controlled
+   loss. *)
+
+let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
+
+(* --- Rto --------------------------------------------------------------- *)
+
+let test_rto_initial () =
+  let r = Tcpsim.Rto.create () in
+  checkf "initial rto" 3.0 (Tcpsim.Rto.rto r);
+  Alcotest.(check (option (float 0.))) "no srtt" None (Tcpsim.Rto.srtt r)
+
+let test_rto_first_sample () =
+  let r = Tcpsim.Rto.create ~min_rto:0.2 () in
+  Tcpsim.Rto.sample r 0.1;
+  Alcotest.(check (option (float 1e-9))) "srtt = sample" (Some 0.1)
+    (Tcpsim.Rto.srtt r);
+  checkf "rttvar = sample/2" 0.05 (Tcpsim.Rto.rttvar r);
+  checkf "rto = srtt+4var" 0.3 (Tcpsim.Rto.rto r)
+
+let test_rto_ewma () =
+  let r = Tcpsim.Rto.create ~min_rto:0.01 () in
+  Tcpsim.Rto.sample r 0.1;
+  Tcpsim.Rto.sample r 0.2;
+  (* srtt = 0.875*0.1 + 0.125*0.2 = 0.1125
+     rttvar = 0.75*0.05 + 0.25*|0.1-0.2| = 0.0625 *)
+  Alcotest.(check (option (float 1e-9))) "srtt" (Some 0.1125) (Tcpsim.Rto.srtt r);
+  checkf "rttvar" 0.0625 (Tcpsim.Rto.rttvar r)
+
+let test_rto_min_floor () =
+  let r = Tcpsim.Rto.create ~min_rto:1.0 () in
+  for _ = 1 to 20 do
+    Tcpsim.Rto.sample r 0.01
+  done;
+  checkf "floored at min_rto" 1.0 (Tcpsim.Rto.rto r)
+
+let test_rto_granularity () =
+  let r = Tcpsim.Rto.create ~granularity:0.5 ~min_rto:0.2 () in
+  Tcpsim.Rto.sample r 0.3;
+  (* base = 0.3 + 4*0.15 = 0.9 -> rounded up to 1.0 *)
+  checkf "quantized" 1.0 (Tcpsim.Rto.rto r)
+
+let test_rto_backoff () =
+  let r = Tcpsim.Rto.create ~min_rto:0.2 () in
+  Tcpsim.Rto.sample r 0.1;
+  let base = Tcpsim.Rto.rto r in
+  Tcpsim.Rto.backoff r;
+  checkf ~eps:1e-9 "doubled" (2. *. base) (Tcpsim.Rto.rto r);
+  Tcpsim.Rto.backoff r;
+  checkf ~eps:1e-9 "doubled again" (4. *. base) (Tcpsim.Rto.rto r);
+  Tcpsim.Rto.reset_backoff r;
+  checkf ~eps:1e-9 "reset" base (Tcpsim.Rto.rto r)
+
+let test_rto_max_cap () =
+  let r = Tcpsim.Rto.create () in
+  for _ = 1 to 20 do
+    Tcpsim.Rto.backoff r
+  done;
+  Alcotest.(check bool) "capped at max" true (Tcpsim.Rto.rto r <= 64.)
+
+let test_rto_aggressive_mode () =
+  let normal = Tcpsim.Rto.create ~min_rto:0.2 () in
+  let aggro = Tcpsim.Rto.create ~min_rto:0.2 ~mode:`Aggressive () in
+  Tcpsim.Rto.sample normal 0.1;
+  Tcpsim.Rto.sample aggro 0.1;
+  Alcotest.(check bool)
+    "aggressive rto below normal" true
+    (Tcpsim.Rto.rto aggro < Tcpsim.Rto.rto normal)
+
+(* --- Tcp_sink ----------------------------------------------------------- *)
+
+let mk_data ~seq =
+  Netsim.Packet.make ~flow:1 ~seq ~size:1000 ~now:0. Netsim.Packet.Data
+
+let sink_harness () =
+  let sim = Engine.Sim.create () in
+  let acks = ref [] in
+  let sink =
+    Tcpsim.Tcp_sink.create sim ~config:(Tcpsim.Tcp_common.default ()) ~flow:1
+      ~transmit:(fun pkt ->
+        match pkt.Netsim.Packet.payload with
+        | Netsim.Packet.Tcp_ack { ack; sack; _ } -> acks := (ack, sack) :: !acks
+        | _ -> ())
+      ()
+  in
+  (sim, sink, acks)
+
+let test_sink_cumulative () =
+  let _, sink, acks = sink_harness () in
+  let recv = Tcpsim.Tcp_sink.recv sink in
+  recv (mk_data ~seq:0);
+  recv (mk_data ~seq:1);
+  recv (mk_data ~seq:2);
+  (match !acks with
+  | (3, []) :: _ -> ()
+  | (a, _) :: _ -> Alcotest.failf "expected ack 3, got %d" a
+  | [] -> Alcotest.fail "no acks");
+  Alcotest.(check int) "next expected" 3 (Tcpsim.Tcp_sink.next_expected sink);
+  Alcotest.(check int) "three acks" 3 (List.length !acks)
+
+let test_sink_gap_dupack_and_sack () =
+  let _, sink, acks = sink_harness () in
+  let recv = Tcpsim.Tcp_sink.recv sink in
+  recv (mk_data ~seq:0);
+  recv (mk_data ~seq:2) (* hole at 1 *);
+  (match !acks with
+  | (1, [ (2, 3) ]) :: _ -> ()
+  | (a, sack) :: _ ->
+      Alcotest.failf "expected dup ack 1 with sack [2,3), got ack %d (%d blocks)"
+        a (List.length sack)
+  | [] -> Alcotest.fail "no acks");
+  (* Filling the hole advances past everything. *)
+  recv (mk_data ~seq:1);
+  match !acks with
+  | (3, []) :: _ -> ()
+  | (a, _) :: _ -> Alcotest.failf "expected ack 3 after fill, got %d" a
+  | [] -> Alcotest.fail "no acks"
+
+let test_sink_sack_block_merging () =
+  let _, sink, acks = sink_harness () in
+  let recv = Tcpsim.Tcp_sink.recv sink in
+  recv (mk_data ~seq:0);
+  recv (mk_data ~seq:2);
+  recv (mk_data ~seq:3);
+  recv (mk_data ~seq:5);
+  (* out-of-order: {2,3} and {5}; most recent block first *)
+  match !acks with
+  | (1, blocks) :: _ ->
+      Alcotest.(check (list (pair int int)))
+        "blocks, recent first"
+        [ (5, 6); (2, 4) ]
+        blocks
+  | _ -> Alcotest.fail "no acks"
+
+let test_sink_sack_limit () =
+  let _, sink, acks = sink_harness () in
+  let recv = Tcpsim.Tcp_sink.recv sink in
+  recv (mk_data ~seq:0);
+  List.iter (fun s -> recv (mk_data ~seq:s)) [ 2; 4; 6; 8; 10 ];
+  match !acks with
+  | (1, blocks) :: _ ->
+      Alcotest.(check int) "at most 3 sack blocks" 3 (List.length blocks)
+  | _ -> Alcotest.fail "no acks"
+
+let test_sink_duplicate_data () =
+  let _, sink, acks = sink_harness () in
+  let recv = Tcpsim.Tcp_sink.recv sink in
+  recv (mk_data ~seq:0);
+  recv (mk_data ~seq:0);
+  (* duplicate still acked (so the sender sees a dupack), next stays 1 *)
+  Alcotest.(check int) "two acks" 2 (List.length !acks);
+  Alcotest.(check int) "next expected still 1" 1
+    (Tcpsim.Tcp_sink.next_expected sink)
+
+let test_sink_delack () =
+  let sim = Engine.Sim.create () in
+  let acks = ref 0 in
+  let sink =
+    Tcpsim.Tcp_sink.create sim
+      ~config:(Tcpsim.Tcp_common.default ~delack:true ())
+      ~flow:1
+      ~transmit:(fun _ -> incr acks)
+      ()
+  in
+  let recv = Tcpsim.Tcp_sink.recv sink in
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         recv (mk_data ~seq:0);
+         recv (mk_data ~seq:1);
+         recv (mk_data ~seq:2)));
+  Engine.Sim.run sim ~until:1.;
+  (* 3 in-order segments with delack: ack on 2nd, timer ack for 3rd = 2. *)
+  Alcotest.(check int) "delayed acks" 2 !acks
+
+(* --- Tcp_sender: controlled-path harness --------------------------------- *)
+
+type harness = {
+  sim : Engine.Sim.t;
+  sender : Tcpsim.Tcp_sender.t;
+  delivered : int ref; (* data packets that reached the sink *)
+}
+
+(* Direct wiring with an injectable drop decision on the data direction. *)
+let wire ?(rtt = 0.1)
+    ?(config = Tcpsim.Tcp_common.default ~min_rto:0.3 ~max_cwnd:64. ())
+    ~drop () =
+  let sim = Engine.Sim.create () in
+  let delivered = ref 0 in
+  let sink_cell = ref None in
+  let sender_cell = ref None in
+  let to_sink pkt =
+    if not (drop pkt) then
+      ignore
+        (Engine.Sim.after sim (rtt /. 2.) (fun () ->
+             incr delivered;
+             match !sink_cell with
+             | Some sink -> Tcpsim.Tcp_sink.recv sink pkt
+             | None -> ()))
+  in
+  let to_sender pkt =
+    ignore
+      (Engine.Sim.after sim (rtt /. 2.) (fun () ->
+           match !sender_cell with
+           | Some s -> Tcpsim.Tcp_sender.recv s pkt
+           | None -> ()))
+  in
+  let sink = Tcpsim.Tcp_sink.create sim ~config ~flow:1 ~transmit:to_sender () in
+  sink_cell := Some sink;
+  let sender = Tcpsim.Tcp_sender.create sim ~config ~flow:1 ~transmit:to_sink () in
+  sender_cell := Some sender;
+  { sim; sender; delivered }
+
+let test_sender_slow_start_doubling () =
+  let h = wire ~drop:(fun _ -> false) () in
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  (* After k RTTs of slow start from cwnd=2, cwnd ~= 2^(k+1). *)
+  Engine.Sim.run h.sim ~until:0.34;
+  let cwnd = Tcpsim.Tcp_sender.cwnd h.sender in
+  Alcotest.(check bool)
+    (Printf.sprintf "cwnd %.0f after 3 RTTs" cwnd)
+    true
+    (cwnd >= 12. && cwnd <= 20.)
+
+let test_sender_no_loss_no_retransmit () =
+  let h = wire ~drop:(fun _ -> false) () in
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:2.;
+  let st = Tcpsim.Tcp_sender.stats h.sender in
+  Alcotest.(check int) "no retransmits" 0 st.retransmits;
+  Alcotest.(check int) "no timeouts" 0 st.timeouts
+
+let test_sender_fast_retransmit () =
+  (* Drop exactly one packet once the window is big enough for 3 dupacks. *)
+  let dropped = ref None in
+  let count = ref 0 in
+  let drop (pkt : Netsim.Packet.t) =
+    incr count;
+    if !count = 30 && !dropped = None then begin
+      dropped := Some pkt.seq;
+      true
+    end
+    else false
+  in
+  let h = wire ~drop () in
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:3.;
+  let st = Tcpsim.Tcp_sender.stats h.sender in
+  Alcotest.(check int) "one fast retransmit" 1 st.fast_retransmits;
+  Alcotest.(check int) "no timeout needed" 0 st.timeouts;
+  Alcotest.(check int) "exactly one retransmission" 1 st.retransmits
+
+let test_sender_halves_on_loss () =
+  let count = ref 0 in
+  let drop _ =
+    incr count;
+    !count = 30
+  in
+  let h = wire ~drop () in
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  (* Sample cwnd just before and after the loss response. *)
+  Engine.Sim.run h.sim ~until:3.;
+  let st = Tcpsim.Tcp_sender.stats h.sender in
+  Alcotest.(check int) "one window halving" 1 st.window_halvings;
+  Alcotest.(check bool)
+    "ssthresh set below the peak" true
+    (Tcpsim.Tcp_sender.ssthresh h.sender < 30.)
+
+let test_sender_timeout_on_total_loss () =
+  (* All packets dropped after the 10th: only a timeout can save it. *)
+  let count = ref 0 in
+  let blackout = ref false in
+  let drop _ =
+    incr count;
+    if !count > 10 then blackout := true;
+    !blackout
+  in
+  let h = wire ~drop () in
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:5.;
+  let st = Tcpsim.Tcp_sender.stats h.sender in
+  Alcotest.(check bool) "timeouts occurred" true (st.timeouts >= 1);
+  checkf "cwnd collapsed to 1" 1. (Tcpsim.Tcp_sender.cwnd h.sender)
+
+let test_sender_recovers_after_blackout () =
+  let blackout t = t >= 1. && t < 2. in
+  let h_ref = ref None in
+  let drop _ =
+    match !h_ref with
+    | Some h -> blackout (Engine.Sim.now h.sim)
+    | None -> false
+  in
+  let h = wire ~drop () in
+  h_ref := Some h;
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:8.;
+  let before = !(h.delivered) in
+  Engine.Sim.run h.sim ~until:10.;
+  Alcotest.(check bool)
+    "delivering again after blackout" true
+    (!(h.delivered) > before + 100)
+
+let test_sender_respects_limit () =
+  let h = wire ~drop:(fun _ -> false) () in
+  Tcpsim.Tcp_sender.set_limit h.sender 25;
+  let completed = ref false in
+  Tcpsim.Tcp_sender.on_complete h.sender (fun () -> completed := true);
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:5.;
+  Alcotest.(check bool) "completed" true !completed;
+  Alcotest.(check bool) "finished" true (Tcpsim.Tcp_sender.finished h.sender);
+  Alcotest.(check int) "sent exactly the limit" 25
+    (Tcpsim.Tcp_sender.stats h.sender).packets_sent
+
+let test_sender_limit_with_loss () =
+  let count = ref 0 in
+  let drop _ =
+    incr count;
+    !count = 5
+  in
+  let h = wire ~drop () in
+  Tcpsim.Tcp_sender.set_limit h.sender 25;
+  let completed = ref false in
+  Tcpsim.Tcp_sender.on_complete h.sender (fun () -> completed := true);
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:10.;
+  Alcotest.(check bool) "completed despite a loss" true !completed
+
+let test_sender_stop () =
+  let h = wire ~drop:(fun _ -> false) () in
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:0.5;
+  Tcpsim.Tcp_sender.stop h.sender;
+  let sent = (Tcpsim.Tcp_sender.stats h.sender).packets_sent in
+  Engine.Sim.run h.sim ~until:2.;
+  Alcotest.(check int) "no sends after stop" sent
+    (Tcpsim.Tcp_sender.stats h.sender).packets_sent
+
+(* Each variant must fill a clean pipe. *)
+let test_variant_throughput variant () =
+  let config = Tcpsim.Tcp_common.default ~variant ~max_cwnd:64. () in
+  (* Periodic 1% loss so congestion control is exercised. *)
+  let count = ref 0 in
+  let drop _ =
+    incr count;
+    !count mod 100 = 0
+  in
+  let h = wire ~config ~drop () in
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:30.;
+  let st = Tcpsim.Tcp_sender.stats h.sender in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s delivered %d, rtx %d, to %d"
+       (Tcpsim.Tcp_common.variant_name variant)
+       !(h.delivered) st.retransmits st.timeouts)
+    true
+    (!(h.delivered) > 2000)
+
+let test_srtt_measured () =
+  let h = wire ~rtt:0.08 ~drop:(fun _ -> false) () in
+  Tcpsim.Tcp_sender.start h.sender ~at:0.;
+  Engine.Sim.run h.sim ~until:3.;
+  match Tcpsim.Tcp_sender.srtt h.sender with
+  | Some srtt ->
+      Alcotest.(check bool)
+        (Printf.sprintf "srtt %.3f ~ 0.08" srtt)
+        true
+        (Float.abs (srtt -. 0.08) < 0.01)
+  | None -> Alcotest.fail "no srtt"
+
+let () =
+  Alcotest.run "tcp"
+    [
+      ( "rto",
+        [
+          Alcotest.test_case "initial" `Quick test_rto_initial;
+          Alcotest.test_case "first sample" `Quick test_rto_first_sample;
+          Alcotest.test_case "ewma" `Quick test_rto_ewma;
+          Alcotest.test_case "min floor" `Quick test_rto_min_floor;
+          Alcotest.test_case "granularity" `Quick test_rto_granularity;
+          Alcotest.test_case "backoff" `Quick test_rto_backoff;
+          Alcotest.test_case "max cap" `Quick test_rto_max_cap;
+          Alcotest.test_case "aggressive mode" `Quick test_rto_aggressive_mode;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "cumulative acks" `Quick test_sink_cumulative;
+          Alcotest.test_case "gap -> dupack + sack" `Quick
+            test_sink_gap_dupack_and_sack;
+          Alcotest.test_case "sack block merging" `Quick
+            test_sink_sack_block_merging;
+          Alcotest.test_case "sack block limit" `Quick test_sink_sack_limit;
+          Alcotest.test_case "duplicate data" `Quick test_sink_duplicate_data;
+          Alcotest.test_case "delayed acks" `Quick test_sink_delack;
+        ] );
+      ( "sender",
+        [
+          Alcotest.test_case "slow start doubling" `Quick
+            test_sender_slow_start_doubling;
+          Alcotest.test_case "clean path, no retransmits" `Quick
+            test_sender_no_loss_no_retransmit;
+          Alcotest.test_case "fast retransmit" `Quick test_sender_fast_retransmit;
+          Alcotest.test_case "halves on loss" `Quick test_sender_halves_on_loss;
+          Alcotest.test_case "timeout on total loss" `Quick
+            test_sender_timeout_on_total_loss;
+          Alcotest.test_case "recovers after blackout" `Quick
+            test_sender_recovers_after_blackout;
+          Alcotest.test_case "respects limit" `Quick test_sender_respects_limit;
+          Alcotest.test_case "limit with loss" `Quick test_sender_limit_with_loss;
+          Alcotest.test_case "stop" `Quick test_sender_stop;
+          Alcotest.test_case "srtt measured" `Quick test_srtt_measured;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "sack throughput" `Quick
+            (test_variant_throughput Tcpsim.Tcp_common.Sack);
+          Alcotest.test_case "reno throughput" `Quick
+            (test_variant_throughput Tcpsim.Tcp_common.Reno);
+          Alcotest.test_case "newreno throughput" `Quick
+            (test_variant_throughput Tcpsim.Tcp_common.Newreno);
+          Alcotest.test_case "tahoe throughput" `Quick
+            (test_variant_throughput Tcpsim.Tcp_common.Tahoe);
+        ] );
+    ]

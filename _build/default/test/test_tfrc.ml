@@ -1,0 +1,499 @@
+(* Unit tests for the TFRC core: response function, loss-interval
+   estimator, loss-event detection, RTT estimation, and the Appendix A
+   closed forms. *)
+
+let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- Response_function --------------------------------------------------- *)
+
+let test_simple_equation () =
+  (* T = s*sqrt(1.5)/(R*sqrt(p)) *)
+  let t =
+    Tfrc.Response_function.rate Tfrc.Response_function.Simple ~s:1000 ~r:0.1
+      ~t_rto:0.4 ~p:0.01
+  in
+  checkf ~eps:1e-6 "simple at p=1%" (1000. *. sqrt 1.5 /. (0.1 *. 0.1)) t
+
+let test_pftk_equation_value () =
+  (* Hand-computed: s=1000, R=0.1, tRTO=0.4, p=0.01:
+     denom = 0.1*sqrt(0.0066667) + 0.4*3*sqrt(0.00375)*0.01*(1+0.0032) *)
+  let denom =
+    (0.1 *. sqrt (2. *. 0.01 /. 3.))
+    +. (0.4 *. 3. *. sqrt (3. *. 0.01 /. 8.) *. 0.01 *. (1. +. (32. *. 0.0001)))
+  in
+  let expect = 1000. /. denom in
+  let t =
+    Tfrc.Response_function.rate Tfrc.Response_function.Pftk ~s:1000 ~r:0.1
+      ~t_rto:0.4 ~p:0.01
+  in
+  checkf ~eps:1e-6 "pftk at p=1%" expect t
+
+let test_pftk_below_simple_at_high_loss () =
+  let simple =
+    Tfrc.Response_function.rate Tfrc.Response_function.Simple ~s:1000 ~r:0.1
+      ~t_rto:0.4 ~p:0.3
+  in
+  let pftk =
+    Tfrc.Response_function.rate Tfrc.Response_function.Pftk ~s:1000 ~r:0.1
+      ~t_rto:0.4 ~p:0.3
+  in
+  Alcotest.(check bool) "timeout term bites at high p" true (pftk < simple /. 3.)
+
+let test_rate_pkts_per_rtt () =
+  checkf ~eps:1e-6 "1.2/sqrt(p) at p=0.01"
+    (sqrt 1.5 /. 0.1)
+    (Tfrc.Response_function.rate_pkts_per_rtt Tfrc.Response_function.Simple
+       ~t_rto_rtts:4. ~p:0.01)
+
+let test_equation_validation () =
+  Alcotest.check_raises "p=0 rejected"
+    (Invalid_argument "Response_function: p must be in (0,1]") (fun () ->
+      ignore
+        (Tfrc.Response_function.rate Tfrc.Response_function.Pftk ~s:1000 ~r:0.1
+           ~t_rto:0.4 ~p:0.))
+
+let prop_rate_decreasing_in_p =
+  QCheck.Test.make ~name:"rate decreasing in p" ~count:300
+    QCheck.(pair (float_range 0.0001 0.5) (float_range 1.01 2.0))
+    (fun (p, factor) ->
+      let r k p =
+        Tfrc.Response_function.rate k ~s:1000 ~r:0.1 ~t_rto:0.4 ~p
+      in
+      let p2 = Float.min 1. (p *. factor) in
+      r Tfrc.Response_function.Pftk p2 < r Tfrc.Response_function.Pftk p
+      && r Tfrc.Response_function.Simple p2 < r Tfrc.Response_function.Simple p)
+
+let prop_rate_decreasing_in_rtt =
+  QCheck.Test.make ~name:"rate decreasing in RTT" ~count:300
+    QCheck.(pair (float_range 0.01 1.0) (float_range 0.001 0.3))
+    (fun (r0, p) ->
+      let rate r =
+        Tfrc.Response_function.rate Tfrc.Response_function.Pftk ~s:1000 ~r
+          ~t_rto:(4. *. r) ~p
+      in
+      rate (2. *. r0) < rate r0)
+
+let prop_inverse_roundtrip =
+  QCheck.Test.make ~name:"inverse(rate(p)) = p" ~count:200
+    (QCheck.float_range 0.0005 0.4) (fun p ->
+      let rate =
+        Tfrc.Response_function.rate Tfrc.Response_function.Pftk ~s:1000 ~r:0.1
+          ~t_rto:0.4 ~p
+      in
+      let p' =
+        Tfrc.Response_function.inverse Tfrc.Response_function.Pftk ~s:1000
+          ~r:0.1 ~t_rto:0.4 ~rate
+      in
+      Float.abs (p' -. p) /. p < 0.01)
+
+let test_loss_event_fraction () =
+  checkf ~eps:1e-9 "p_loss=0" 0.
+    (Tfrc.Response_function.loss_event_fraction ~p_loss:0. ~n:10.);
+  (* n=1: loss event fraction equals loss fraction. *)
+  checkf ~eps:1e-9 "n=1 identity" 0.1
+    (Tfrc.Response_function.loss_event_fraction ~p_loss:0.1 ~n:1.);
+  (* For n>1 the event fraction is below the loss fraction. *)
+  Alcotest.(check bool)
+    "below y=x" true
+    (Tfrc.Response_function.loss_event_fraction ~p_loss:0.1 ~n:10. < 0.1)
+
+let prop_event_fraction_below_loss =
+  QCheck.Test.make ~name:"event fraction <= loss probability" ~count:300
+    QCheck.(pair (float_range 0.001 0.999) (float_range 1. 100.))
+    (fun (p_loss, n) ->
+      Tfrc.Response_function.loss_event_fraction ~p_loss ~n <= p_loss +. 1e-12)
+
+(* --- Loss_intervals ------------------------------------------------------- *)
+
+let test_weights_paper_table () =
+  (* Section 3.3, n = 8: 1,1,1,1,0.8,0.6,0.4,0.2 *)
+  let w = Tfrc.Loss_intervals.weights ~n:8 ~constant:false in
+  Alcotest.(check (array (float 1e-9)))
+    "paper weights"
+    [| 1.; 1.; 1.; 1.; 0.8; 0.6; 0.4; 0.2 |]
+    w
+
+let test_weights_constant () =
+  let w = Tfrc.Loss_intervals.weights ~n:8 ~constant:true in
+  Alcotest.(check (array (float 1e-9))) "constant" (Array.make 8 1.) w
+
+let test_weights_n4 () =
+  let w = Tfrc.Loss_intervals.weights ~n:4 ~constant:false in
+  Alcotest.(check (array (float 1e-9)))
+    "n=4" [| 1.; 1.; 2. /. 3.; 1. /. 3. |] w
+
+let test_intervals_empty () =
+  let t = Tfrc.Loss_intervals.create () in
+  Alcotest.(check (option (float 0.))) "no average" None
+    (Tfrc.Loss_intervals.average t);
+  checkf "rate 0 when loss-free" 0. (Tfrc.Loss_intervals.loss_event_rate t)
+
+let test_intervals_single () =
+  let t = Tfrc.Loss_intervals.create ~discounting:false () in
+  Tfrc.Loss_intervals.record_interval t ~length:100.;
+  (match Tfrc.Loss_intervals.average t with
+  | Some avg -> checkf "single interval average" 100. avg
+  | None -> Alcotest.fail "expected average");
+  checkf "p = 1/100" 0.01 (Tfrc.Loss_intervals.loss_event_rate t)
+
+let test_intervals_equal_weights_average () =
+  (* Four equal intervals, all within the full-weight half of n=8. *)
+  let t = Tfrc.Loss_intervals.create ~discounting:false () in
+  for _ = 1 to 4 do
+    Tfrc.Loss_intervals.record_interval t ~length:50.
+  done;
+  match Tfrc.Loss_intervals.average t with
+  | Some avg -> checkf "average of equal intervals" 50. avg
+  | None -> Alcotest.fail "expected average"
+
+let test_intervals_weighted_average_exact () =
+  (* n=8 full history: intervals newest-to-oldest 8,7,...,1 recorded in
+     order 1..8. s_hat = sum(w_i * s_i)/sum(w_i) with s_1=8 (most
+     recent). *)
+  let t = Tfrc.Loss_intervals.create ~discounting:false () in
+  for i = 1 to 8 do
+    Tfrc.Loss_intervals.record_interval t ~length:(float_of_int i)
+  done;
+  let w = [| 1.; 1.; 1.; 1.; 0.8; 0.6; 0.4; 0.2 |] in
+  let num = ref 0. and den = ref 0. in
+  for k = 0 to 7 do
+    num := !num +. (w.(k) *. float_of_int (8 - k));
+    den := !den +. w.(k)
+  done;
+  match Tfrc.Loss_intervals.average t with
+  | Some avg -> checkf ~eps:1e-9 "weighted average" (!num /. !den) avg
+  | None -> Alcotest.fail "expected average"
+
+let test_intervals_s0_rule () =
+  (* The open interval only raises the estimate when including it would
+     increase the average (Section 3.3). *)
+  let t = Tfrc.Loss_intervals.create ~discounting:false () in
+  for _ = 1 to 8 do
+    Tfrc.Loss_intervals.record_interval t ~length:100.
+  done;
+  let base =
+    match Tfrc.Loss_intervals.average t with Some a -> a | None -> 0.
+  in
+  (* Small s0: no effect. *)
+  Tfrc.Loss_intervals.set_open_interval t ~packets:5.;
+  (match Tfrc.Loss_intervals.average t with
+  | Some a -> checkf "small s0 ignored" base a
+  | None -> Alcotest.fail "expected average");
+  (* Huge s0: estimate rises. *)
+  Tfrc.Loss_intervals.set_open_interval t ~packets:1000.;
+  match Tfrc.Loss_intervals.average t with
+  | Some a -> Alcotest.(check bool) "large s0 raises estimate" true (a > base)
+  | None -> Alcotest.fail "expected average"
+
+let test_intervals_seed () =
+  let t = Tfrc.Loss_intervals.create () in
+  Tfrc.Loss_intervals.seed t ~interval:42.;
+  (match Tfrc.Loss_intervals.average t with
+  | Some a -> checkf "seeded" 42. a
+  | None -> Alcotest.fail "expected average");
+  Alcotest.check_raises "cannot seed twice"
+    (Invalid_argument "Loss_intervals.seed: history not empty") (fun () ->
+      Tfrc.Loss_intervals.seed t ~interval:10.)
+
+let test_intervals_shift () =
+  (* Oldest intervals fall out after n new ones. *)
+  let t = Tfrc.Loss_intervals.create ~discounting:false () in
+  Tfrc.Loss_intervals.record_interval t ~length:10000.;
+  for _ = 1 to 8 do
+    Tfrc.Loss_intervals.record_interval t ~length:10.
+  done;
+  match Tfrc.Loss_intervals.average t with
+  | Some a -> checkf "old interval evicted" 10. a
+  | None -> Alcotest.fail "expected average"
+
+let test_history_discounting_speeds_decay () =
+  (* After a long loss-free stretch, the discounted estimator must report a
+     larger average interval (smaller p) than the undiscounted one. *)
+  let make discounting =
+    let t = Tfrc.Loss_intervals.create ~discounting () in
+    for _ = 1 to 8 do
+      Tfrc.Loss_intervals.record_interval t ~length:100.
+    done;
+    Tfrc.Loss_intervals.set_open_interval t ~packets:500.;
+    match Tfrc.Loss_intervals.average t with Some a -> a | None -> 0.
+  in
+  let plain = make false and discounted = make true in
+  Alcotest.(check bool)
+    (Printf.sprintf "discounted %.1f > plain %.1f" discounted plain)
+    true (discounted > plain)
+
+let test_discount_locked_in () =
+  (* When the long interval closes, discounting of older intervals
+     persists. *)
+  let t = Tfrc.Loss_intervals.create ~discounting:true () in
+  for _ = 1 to 8 do
+    Tfrc.Loss_intervals.record_interval t ~length:100.
+  done;
+  Tfrc.Loss_intervals.set_open_interval t ~packets:1000.;
+  Tfrc.Loss_intervals.record_interval t ~length:1000.;
+  let with_discount =
+    match Tfrc.Loss_intervals.average t with Some a -> a | None -> 0.
+  in
+  (* Undiscounted comparison: the same history without discounting. *)
+  let u = Tfrc.Loss_intervals.create ~discounting:false () in
+  for _ = 1 to 8 do
+    Tfrc.Loss_intervals.record_interval u ~length:100.
+  done;
+  Tfrc.Loss_intervals.record_interval u ~length:1000.;
+  let without =
+    match Tfrc.Loss_intervals.average u with Some a -> a | None -> 0.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "locked-in discount %.1f > %.1f" with_discount without)
+    true (with_discount > without)
+
+let prop_rate_in_unit_interval =
+  QCheck.Test.make ~name:"loss event rate in [0,1]" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0. 1e4))
+    (fun intervals ->
+      let t = Tfrc.Loss_intervals.create () in
+      List.iter
+        (fun l -> Tfrc.Loss_intervals.record_interval t ~length:l)
+        intervals;
+      let p = Tfrc.Loss_intervals.loss_event_rate t in
+      p >= 0. && p <= 1.)
+
+let prop_estimate_decreases_only_with_evidence =
+  (* Growing the open interval can only lower the loss-rate estimate. *)
+  QCheck.Test.make ~name:"open interval growth never raises p" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 10) (float_range 1. 1e3))
+        (float_range 0. 1e4))
+    (fun (intervals, s0) ->
+      let t = Tfrc.Loss_intervals.create () in
+      List.iter
+        (fun l -> Tfrc.Loss_intervals.record_interval t ~length:l)
+        intervals;
+      Tfrc.Loss_intervals.set_open_interval t ~packets:s0;
+      let p1 = Tfrc.Loss_intervals.loss_event_rate t in
+      Tfrc.Loss_intervals.set_open_interval t ~packets:(s0 +. 100.);
+      let p2 = Tfrc.Loss_intervals.loss_event_rate t in
+      p2 <= p1 +. 1e-12)
+
+let prop_weights_normalized_shape =
+  QCheck.Test.make ~name:"weight vectors well-formed" ~count:50
+    (QCheck.int_range 1 16) (fun half ->
+      let n = 2 * half in
+      let w = Tfrc.Loss_intervals.weights ~n ~constant:false in
+      Array.length w = n
+      && Array.for_all (fun x -> x > 0. && x <= 1.) w
+      && (* non-increasing *)
+      fst
+        (Array.fold_left
+           (fun (ok, prev) x -> (ok && x <= prev +. 1e-12, x))
+           (true, infinity) w))
+
+(* --- Loss_events ----------------------------------------------------------- *)
+
+let feed detector intervals ~seq ~sent_at ~rtt =
+  Tfrc.Loss_events.on_packet detector ~seq ~sent_at ~rtt ~intervals
+
+let test_detector_no_loss () =
+  let d = Tfrc.Loss_events.create () in
+  let iv = Tfrc.Loss_intervals.create () in
+  for seq = 0 to 20 do
+    let o = feed d iv ~seq ~sent_at:(0.01 *. float_of_int seq) ~rtt:0.1 in
+    Alcotest.(check int) "no events" 0 o.Tfrc.Loss_events.new_events
+  done;
+  Alcotest.(check bool) "not in loss" false (Tfrc.Loss_events.in_loss d);
+  Alcotest.(check int) "max seq" 20 (Tfrc.Loss_events.max_seq d)
+
+let test_detector_confirms_after_ndupack () =
+  let d = Tfrc.Loss_events.create ~ndupack:3 () in
+  let iv = Tfrc.Loss_intervals.create () in
+  ignore (feed d iv ~seq:0 ~sent_at:0.00 ~rtt:0.1);
+  ignore (feed d iv ~seq:2 ~sent_at:0.02 ~rtt:0.1) (* hole at 1 *);
+  Alcotest.(check bool) "not yet confirmed" false (Tfrc.Loss_events.in_loss d);
+  ignore (feed d iv ~seq:3 ~sent_at:0.03 ~rtt:0.1);
+  let o = feed d iv ~seq:4 ~sent_at:0.04 ~rtt:0.1 in
+  Alcotest.(check int) "first loss event" 1 o.Tfrc.Loss_events.new_events;
+  Alcotest.(check bool) "first_loss flagged" true o.Tfrc.Loss_events.first_loss;
+  Alcotest.(check int) "one lost packet" 1 (Tfrc.Loss_events.lost_packets d)
+
+let test_detector_reordering_rescue () =
+  let d = Tfrc.Loss_events.create ~ndupack:3 () in
+  let iv = Tfrc.Loss_intervals.create () in
+  ignore (feed d iv ~seq:0 ~sent_at:0.00 ~rtt:0.1);
+  ignore (feed d iv ~seq:2 ~sent_at:0.02 ~rtt:0.1);
+  (* late arrival of 1 before confirmation *)
+  ignore (feed d iv ~seq:1 ~sent_at:0.01 ~rtt:0.1);
+  ignore (feed d iv ~seq:3 ~sent_at:0.03 ~rtt:0.1);
+  ignore (feed d iv ~seq:4 ~sent_at:0.04 ~rtt:0.1);
+  ignore (feed d iv ~seq:5 ~sent_at:0.05 ~rtt:0.1);
+  Alcotest.(check bool) "reordered packet not counted lost" false
+    (Tfrc.Loss_events.in_loss d)
+
+let test_detector_coalesces_within_rtt () =
+  (* Two packets lost 10 ms apart with RTT 100 ms: one loss event. *)
+  let d = Tfrc.Loss_events.create ~ndupack:1 () in
+  let iv = Tfrc.Loss_intervals.create () in
+  ignore (feed d iv ~seq:0 ~sent_at:0.00 ~rtt:0.1);
+  (* holes at 1 and 3; sent times interpolate to ~0.01 and ~0.03 *)
+  ignore (feed d iv ~seq:2 ~sent_at:0.02 ~rtt:0.1);
+  ignore (feed d iv ~seq:4 ~sent_at:0.04 ~rtt:0.1);
+  ignore (feed d iv ~seq:5 ~sent_at:0.05 ~rtt:0.1);
+  Alcotest.(check int) "both confirmed lost" 2 (Tfrc.Loss_events.lost_packets d);
+  Alcotest.(check int) "one event" 1 (Tfrc.Loss_events.loss_events d)
+
+let test_detector_separate_events_across_rtt () =
+  (* Two losses 500 ms apart with RTT 100 ms: two loss events and a
+     recorded interval between their start seqs. *)
+  let d = Tfrc.Loss_events.create ~ndupack:1 () in
+  let iv = Tfrc.Loss_intervals.create () in
+  let send_time seq = 0.01 *. float_of_int seq in
+  (* First 60 packets with a hole at 10; then a hole at 50. *)
+  for seq = 0 to 60 do
+    if seq <> 10 && seq <> 50 then
+      ignore (feed d iv ~seq ~sent_at:(send_time seq) ~rtt:0.1)
+  done;
+  Alcotest.(check int) "two events" 2 (Tfrc.Loss_events.loss_events d);
+  Alcotest.(check int) "one closed interval" 1 (Tfrc.Loss_intervals.n_closed iv);
+  (* Interval length = distance between event starts = 40. *)
+  match Tfrc.Loss_intervals.average iv with
+  | Some a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "interval ~40, got %.1f" a)
+        true
+        (Float.abs (a -. 40.) < 1.)
+  | None -> Alcotest.fail "expected average"
+
+let test_detector_open_interval_tracks () =
+  let d = Tfrc.Loss_events.create ~ndupack:1 () in
+  let iv = Tfrc.Loss_intervals.create () in
+  for seq = 0 to 30 do
+    if seq <> 5 then
+      ignore (feed d iv ~seq ~sent_at:(0.01 *. float_of_int seq) ~rtt:0.1)
+  done;
+  checkf "open interval = max_seq - event_start" 25.
+    (Tfrc.Loss_intervals.open_interval iv)
+
+(* --- Rtt_estimator --------------------------------------------------------- *)
+
+let test_rtt_initial () =
+  let e = Tfrc.Rtt_estimator.create ~gain:0.1 ~initial_rtt:0.5 ~t_rto_factor:4. in
+  checkf "initial" 0.5 (Tfrc.Rtt_estimator.rtt e);
+  checkf "t_rto factor" 2.0 (Tfrc.Rtt_estimator.t_rto e);
+  Alcotest.(check bool) "no sample yet" false (Tfrc.Rtt_estimator.has_sample e)
+
+let test_rtt_first_sample_replaces () =
+  let e = Tfrc.Rtt_estimator.create ~gain:0.1 ~initial_rtt:0.5 ~t_rto_factor:4. in
+  Tfrc.Rtt_estimator.sample e 0.08;
+  checkf "first sample replaces initial" 0.08 (Tfrc.Rtt_estimator.rtt e)
+
+let test_rtt_ewma () =
+  let e = Tfrc.Rtt_estimator.create ~gain:0.1 ~initial_rtt:0.5 ~t_rto_factor:4. in
+  Tfrc.Rtt_estimator.sample e 0.1;
+  Tfrc.Rtt_estimator.sample e 0.2;
+  checkf ~eps:1e-9 "ewma" ((0.9 *. 0.1) +. (0.1 *. 0.2)) (Tfrc.Rtt_estimator.rtt e)
+
+let test_rtt_delay_factor () =
+  let e = Tfrc.Rtt_estimator.create ~gain:0.1 ~initial_rtt:0.1 ~t_rto_factor:4. in
+  for _ = 1 to 50 do
+    Tfrc.Rtt_estimator.sample e 0.1
+  done;
+  checkf ~eps:1e-6 "steady state factor 1" 1. (Tfrc.Rtt_estimator.delay_factor e);
+  (* A sudden RTT spike raises the factor above 1 (stronger damping). *)
+  Tfrc.Rtt_estimator.sample e 0.4;
+  Alcotest.(check bool)
+    "spike raises factor" true
+    (Tfrc.Rtt_estimator.delay_factor e > 1.2)
+
+(* --- Analysis ---------------------------------------------------------------- *)
+
+let test_analysis_increase_bounds () =
+  (* Paper: <= 0.12 normal, <= 0.28-0.32 with discounting, <= ~0.7 at w=1 *)
+  let b_normal = Tfrc.Analysis.max_delta_t ~w:(Tfrc.Analysis.recent_weight ~n:8) in
+  let b_disc =
+    Tfrc.Analysis.max_delta_t
+      ~w:(Tfrc.Analysis.recent_weight_discounted ~n:8 ())
+  in
+  let b_full = Tfrc.Analysis.max_delta_t ~w:1.0 in
+  Alcotest.(check bool) "normal ~0.12" true (b_normal > 0.10 && b_normal < 0.13);
+  Alcotest.(check bool) "discounted ~0.28-0.33" true (b_disc > 0.25 && b_disc < 0.34);
+  Alcotest.(check bool) "w=1 ~0.7" true (b_full > 0.65 && b_full < 0.75);
+  Alcotest.(check bool) "all below TCP's 1 pkt/RTT" true (b_full < 1.)
+
+let test_analysis_recent_weight () =
+  checkf ~eps:1e-9 "w1/sum = 1/6" (1. /. 6.) (Tfrc.Analysis.recent_weight ~n:8)
+
+let prop_delta_t_positive =
+  QCheck.Test.make ~name:"delta_t positive and below 1.2*w" ~count:200
+    QCheck.(pair (float_range 1. 1e5) (float_range 0.01 1.))
+    (fun (a, w) ->
+      let d = Tfrc.Analysis.delta_t ~a ~w in
+      d > 0. && d <= 1.2 *. w *. 1.2)
+
+let () =
+  Alcotest.run "tfrc"
+    [
+      ( "response_function",
+        [
+          Alcotest.test_case "simple equation" `Quick test_simple_equation;
+          Alcotest.test_case "pftk value" `Quick test_pftk_equation_value;
+          Alcotest.test_case "timeout term at high loss" `Quick
+            test_pftk_below_simple_at_high_loss;
+          Alcotest.test_case "pkts per rtt" `Quick test_rate_pkts_per_rtt;
+          Alcotest.test_case "validation" `Quick test_equation_validation;
+          Alcotest.test_case "loss event fraction" `Quick test_loss_event_fraction;
+          qtest prop_rate_decreasing_in_p;
+          qtest prop_rate_decreasing_in_rtt;
+          qtest prop_inverse_roundtrip;
+          qtest prop_event_fraction_below_loss;
+        ] );
+      ( "loss_intervals",
+        [
+          Alcotest.test_case "paper weight table" `Quick test_weights_paper_table;
+          Alcotest.test_case "constant weights" `Quick test_weights_constant;
+          Alcotest.test_case "n=4 weights" `Quick test_weights_n4;
+          Alcotest.test_case "empty" `Quick test_intervals_empty;
+          Alcotest.test_case "single interval" `Quick test_intervals_single;
+          Alcotest.test_case "equal intervals" `Quick
+            test_intervals_equal_weights_average;
+          Alcotest.test_case "weighted average exact" `Quick
+            test_intervals_weighted_average_exact;
+          Alcotest.test_case "s0 inclusion rule" `Quick test_intervals_s0_rule;
+          Alcotest.test_case "seed" `Quick test_intervals_seed;
+          Alcotest.test_case "eviction" `Quick test_intervals_shift;
+          Alcotest.test_case "history discounting" `Quick
+            test_history_discounting_speeds_decay;
+          Alcotest.test_case "discount locked in" `Quick test_discount_locked_in;
+          qtest prop_rate_in_unit_interval;
+          qtest prop_estimate_decreases_only_with_evidence;
+          qtest prop_weights_normalized_shape;
+        ] );
+      ( "loss_events",
+        [
+          Alcotest.test_case "no loss" `Quick test_detector_no_loss;
+          Alcotest.test_case "ndupack confirmation" `Quick
+            test_detector_confirms_after_ndupack;
+          Alcotest.test_case "reordering rescue" `Quick
+            test_detector_reordering_rescue;
+          Alcotest.test_case "coalesces within rtt" `Quick
+            test_detector_coalesces_within_rtt;
+          Alcotest.test_case "separate events across rtt" `Quick
+            test_detector_separate_events_across_rtt;
+          Alcotest.test_case "open interval tracks" `Quick
+            test_detector_open_interval_tracks;
+        ] );
+      ( "rtt_estimator",
+        [
+          Alcotest.test_case "initial" `Quick test_rtt_initial;
+          Alcotest.test_case "first sample replaces" `Quick
+            test_rtt_first_sample_replaces;
+          Alcotest.test_case "ewma" `Quick test_rtt_ewma;
+          Alcotest.test_case "delay factor" `Quick test_rtt_delay_factor;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "increase bounds" `Quick test_analysis_increase_bounds;
+          Alcotest.test_case "recent weight" `Quick test_analysis_recent_weight;
+          qtest prop_delta_t_positive;
+        ] );
+    ]
