@@ -1,0 +1,18 @@
+.PHONY: all check test bench clean
+
+all:
+	dune build @all
+
+# What CI should run: full build with the dev profile's warnings-as-errors,
+# then the whole test suite.
+check:
+	dune build @check
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -153,6 +153,9 @@ let () =
         Format.fprintf ppf "=== %s: %s@.@." e.Exp.Registry.id
           e.Exp.Registry.title;
         e.Exp.Registry.run ~full ~seed ppf;
+        (* Machine-readable summary for trend tracking across runs. *)
+        if e.Exp.Registry.id = "resilience" then
+          Format.fprintf ppf "%s@." (Exp.Resilience.json_line ~seed);
         Format.fprintf ppf "@.[%s done in %.1f s wall clock]@.@."
           e.Exp.Registry.id
           (Unix.gettimeofday () -. started))

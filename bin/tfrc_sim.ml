@@ -121,6 +121,73 @@ let duel_cmd =
     (Cmd.info "duel" ~doc:"Ad-hoc TCP vs TFRC dumbbell simulation.")
     Term.(const run $ n_tcp $ n_tfrc $ mbps $ red $ duration $ seed_arg)
 
+let chaos_cmd =
+  let at =
+    Arg.(
+      value & opt float 15.
+      & info [ "outage-at" ] ~docv:"SECONDS" ~doc:"Outage start time.")
+  in
+  let outage_duration =
+    Arg.(
+      value & opt float 2.
+      & info [ "outage-duration" ] ~docv:"SECONDS" ~doc:"Outage length.")
+  in
+  let run at outage_duration seed =
+    if at < 0. then begin
+      Format.eprintf "tfrc_sim: --outage-at must be non-negative@.";
+      exit 1
+    end;
+    if outage_duration < 0. then begin
+      Format.eprintf "tfrc_sim: --outage-duration must be non-negative@.";
+      exit 1
+    end;
+    let report, pace =
+      Exp.Resilience.tfrc_outage_case ~seed ~at ~duration:outage_duration ()
+    in
+    let ppf = Format.std_formatter in
+    Format.fprintf ppf
+      "TFRC through a %.1f s link outage at t=%.1f (seed %d)@.@." outage_duration
+      at seed;
+    (* Timeline of the pacing rate around the outage, thinned for display. *)
+    let rows = ref [] in
+    let last = ref neg_infinity in
+    Array.iter
+      (fun (t, r) ->
+        let near_fault = t >= at -. 1. && t <= at +. outage_duration +. 2. in
+        let step = if near_fault then 0.2 else 2.0 in
+        if t -. !last >= step then begin
+          last := t;
+          let phase =
+            if t < at then "up"
+            else if t < at +. outage_duration then "DOWN"
+            else "up"
+          in
+          rows := [ Printf.sprintf "%.2f" t; phase; Printf.sprintf "%.2f" (r /. 1e3) ] :: !rows
+        end)
+      pace;
+    Exp.Table.print ppf
+      ~header:[ "time"; "link"; "pacing KB/s" ]
+      (List.rev !rows);
+    Format.fprintf ppf
+      "@.pre-outage %.1f KB/s; floor reached %s KB/s (%s) over %d \
+       no-feedback expirations; recovery %s s; overshoot %.2f@."
+      (report.Exp.Resilience.pre_rate /. 1e3)
+      (if Float.is_finite report.min_send_during then
+         Printf.sprintf "%.2f" (report.min_send_during /. 1e3)
+       else "n/a")
+      (if report.floor_ok then "never below the floor" else "FLOOR VIOLATED")
+      report.nofb_expiries
+      (if Float.is_nan report.recovery_time then "never"
+       else Printf.sprintf "%.1f" report.recovery_time)
+      report.overshoot
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Script a mid-flow link outage against a TFRC flow and print the \
+          backoff/slow-restart timeline (see also `exp resilience').")
+    Term.(const run $ at $ outage_duration $ seed_arg)
+
 let trace_cmd =
   let out_arg =
     Arg.(
@@ -181,4 +248,7 @@ let () =
         "Equation-based congestion control (TFRC, SIGCOMM 2000): simulator \
          and experiment harness."
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; exp_cmd; all_cmd; duel_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; exp_cmd; all_cmd; duel_cmd; chaos_cmd; trace_cmd ]))

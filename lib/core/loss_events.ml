@@ -28,6 +28,14 @@ let create ?(ndupack = 3) () =
   }
 
 let max_seq t = t.max_seq
+
+(* A sequence number at or below the frontier that is no longer a candidate
+   hole has already been accounted for — either it arrived earlier (this is
+   a duplicate) or it was confirmed lost (a pathologically late straggler).
+   Feeding it to [on_packet] again would double-count bytes and, worse,
+   never fabricate-proof the interval state; callers should discard. *)
+let seen_before t ~seq =
+  seq <= t.max_seq && not (List.exists (fun h -> h.seq = seq) t.pending)
 let lost_packets t = t.lost
 let marked_packets t = t.marked
 let loss_events t = t.events

@@ -34,6 +34,13 @@ val on_packet :
 (** Highest sequence number seen so far; -1 initially. *)
 val max_seq : t -> int
 
+(** [seen_before t ~seq] is [true] when [seq] is at or below the frontier
+    and not an outstanding candidate hole: the arrival is a duplicate (or a
+    straggler already confirmed lost) and must not be processed again —
+    duplicated packets would otherwise inflate the measured receive rate
+    and stragglers would corrupt the interval history. *)
+val seen_before : t -> seq:int -> bool
+
 (** [on_marked t ~seq ~sent_at ~rtt ~intervals] registers an ECN
     congestion-experienced mark on an arrived packet: it is coalesced into
     loss events exactly like a loss (the paper's Section 7 outlook;

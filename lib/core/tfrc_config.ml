@@ -17,31 +17,69 @@ type t = {
   ecn : bool;
   burst_pkts : int;
   rate_validation : bool;
+  t_mbi : float;
+  slow_restart : bool;
 }
+
+let validate t =
+  let err fmt = Printf.ksprintf invalid_arg fmt in
+  if t.packet_size <= 0 then
+    err "Tfrc_config: packet_size must be positive (got %d)" t.packet_size;
+  if t.feedback_size <= 0 then
+    err "Tfrc_config: feedback_size must be positive (got %d)" t.feedback_size;
+  if t.n_intervals < 1 then
+    err "Tfrc_config: n_intervals must be at least 1 (got %d)" t.n_intervals;
+  if t.discount_threshold <= 0. || t.discount_threshold > 1. then
+    err "Tfrc_config: discount_threshold must be in (0, 1] (got %g)"
+      t.discount_threshold;
+  if t.rtt_gain <= 0. || t.rtt_gain > 1. then
+    err "Tfrc_config: rtt_gain must be in (0, 1] (got %g)" t.rtt_gain;
+  if t.t_rto_factor <= 0. then
+    err "Tfrc_config: t_rto_factor must be positive (got %g)" t.t_rto_factor;
+  if t.initial_rtt <= 0. then
+    err "Tfrc_config: initial_rtt must be positive (got %g)" t.initial_rtt;
+  if t.ndupack < 1 then
+    err "Tfrc_config: ndupack must be at least 1 (got %d)" t.ndupack;
+  if t.min_rate <= 0. then
+    err "Tfrc_config: min_rate must be positive (got %g)" t.min_rate;
+  if t.burst_pkts < 1 then
+    err "Tfrc_config: burst_pkts must be at least 1 (got %d)" t.burst_pkts;
+  if t.t_mbi <= 0. then
+    err "Tfrc_config: t_mbi must be positive (got %g)" t.t_mbi;
+  t
 
 let default ?(packet_size = 1000) ?(n_intervals = 8) ?(history_discounting = true)
     ?(constant_weights = false) ?(rtt_gain = 0.1) ?(delay_gain = true)
     ?(t_rto_factor = 4.) ?(response = Response_function.Pftk)
     ?(initial_rtt = 0.5) ?(slow_start = true) ?(feedback_on_loss = true)
     ?(ndupack = 3) ?(ecn = false) ?(burst_pkts = 1)
-    ?(rate_validation = false) () =
-  {
-    packet_size;
-    feedback_size = 40;
-    n_intervals;
-    history_discounting;
-    discount_threshold = 0.25;
-    constant_weights;
-    rtt_gain;
-    delay_gain;
-    t_rto_factor;
-    response;
-    initial_rtt;
-    ndupack;
-    slow_start;
-    min_rate = float_of_int packet_size /. 64.;
-    feedback_on_loss;
-    ecn;
-    burst_pkts = max 1 burst_pkts;
-    rate_validation;
-  }
+    ?(rate_validation = false) ?min_rate ?(t_mbi = 64.) ?(slow_restart = true)
+    () =
+  let min_rate =
+    match min_rate with
+    | Some r -> r
+    | None -> float_of_int packet_size /. 64.
+  in
+  validate
+    {
+      packet_size;
+      feedback_size = 40;
+      n_intervals;
+      history_discounting;
+      discount_threshold = 0.25;
+      constant_weights;
+      rtt_gain;
+      delay_gain;
+      t_rto_factor;
+      response;
+      initial_rtt;
+      ndupack;
+      slow_start;
+      min_rate;
+      feedback_on_loss;
+      ecn;
+      burst_pkts;
+      rate_validation;
+      t_mbi;
+      slow_restart;
+    }

@@ -36,8 +36,26 @@ type t = {
           cannot burst at a stale high rate afterwards — the rate-based
           analogue of TCP congestion-window validation, which the paper's
           Section 7 planned to add. Default false (paper behavior). *)
+  t_mbi : float;
+      (** maximum backoff interval of the no-feedback timer, seconds
+          (RFC 3448 section 4.4's t_mbi): during a prolonged feedback
+          outage the timer's interval grows as the rate halves but never
+          beyond this, so the sender keeps probing the path. Default 64. *)
+  slow_restart : bool;
+      (** after no-feedback expirations, cap the rate restored by the next
+          feedback at max(2 * recv_rate, s/R) instead of jumping back to
+          the equation rate computed from stale pre-outage state; the
+          sender then ramps up as fresh receive-rate reports come in
+          (RFC 3448 section 4.4 behavior). Default true. *)
 }
 
+(** Build a configuration, validating it on the way out: every numeric
+    parameter is range-checked ([packet_size], [min_rate], [initial_rtt],
+    [rtt_gain], [t_rto_factor], [t_mbi] must be positive, counts at least
+    1) and [Invalid_argument] is raised on violation, so a malformed
+    configuration cannot silently misbehave deep inside a simulation.
+    [min_rate] defaults to one packet per 64 s ([packet_size] / 64, the
+    RFC 3448 minimum of one packet per [t_mbi]). *)
 val default :
   ?packet_size:int ->
   ?n_intervals:int ->
@@ -54,5 +72,13 @@ val default :
   ?ecn:bool ->
   ?burst_pkts:int ->
   ?rate_validation:bool ->
+  ?min_rate:float ->
+  ?t_mbi:float ->
+  ?slow_restart:bool ->
   unit ->
   t
+
+(** [validate t] re-checks an arbitrary record (e.g. built with [{ c with
+    ... }]) and returns it; raises [Invalid_argument] with the offending
+    field on violation. *)
+val validate : t -> t

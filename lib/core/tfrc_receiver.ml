@@ -15,6 +15,8 @@ type t = {
   mutable bytes : int;
   mutable feedbacks : int;
   mutable fb_seq : int;
+  mutable duplicates : int; (* arrivals discarded as already seen *)
+  mutable corrupted : int; (* arrivals discarded as damaged *)
   mutable running : bool;
 }
 
@@ -41,6 +43,8 @@ let rec create sim ~config ~flow ~transmit () =
       bytes = 0;
       feedbacks = 0;
       fb_seq = 0;
+      duplicates = 0;
+      corrupted = 0;
       running = true;
     }
   in
@@ -101,6 +105,16 @@ let seed_history t =
 
 let recv t (pkt : Netsim.Packet.t) =
   match pkt.payload with
+  | Tfrc_data _ when pkt.corrupted ->
+      (* Checksum failure: the packet is gone as far as the protocol is
+         concerned; the sequence hole it leaves behind is detected and
+         charged as loss by the normal gap machinery. *)
+      t.corrupted <- t.corrupted + 1
+  | Tfrc_data _ when Loss_events.seen_before t.detector ~seq:pkt.seq ->
+      (* Duplicate (or a straggler already written off as lost): counting
+         it again would inflate recv_rate and feed the loss detector a
+         sequence number it has already resolved. *)
+      t.duplicates <- t.duplicates + 1
   | Tfrc_data { rtt } ->
       let now = Engine.Sim.now t.sim in
       t.packets <- t.packets + 1;
@@ -139,4 +153,6 @@ let detector t = t.detector
 let packets_received t = t.packets
 let bytes_received t = t.bytes
 let feedbacks_sent t = t.feedbacks
+let duplicates_discarded t = t.duplicates
+let corrupted_discarded t = t.corrupted
 let stop t = t.running <- false

@@ -6,7 +6,14 @@
     expedited feedback when a new loss event is detected). On the first
     loss event it seeds the interval history with the synthetic interval
     that the control equation associates with half the current receive rate
-    (slow-start termination, Section 3.4.1). *)
+    (slow-start termination, Section 3.4.1).
+
+    Hardened against a hostile path: duplicated packets and stragglers that
+    were already written off are discarded without touching the receive
+    rate or the loss detector (no fabricated loss events), and corrupted
+    packets are discarded on arrival — the resulting sequence hole is then
+    charged as an ordinary loss. Reordering within {!Tfrc_config.t.ndupack}
+    packets is absorbed by the detector's candidate-hole machinery. *)
 
 type t
 
@@ -29,6 +36,13 @@ val detector : t -> Loss_events.t
 val packets_received : t -> int
 val bytes_received : t -> int
 val feedbacks_sent : t -> int
+
+(** Arrivals discarded as duplicates of already-processed sequence
+    numbers. *)
+val duplicates_discarded : t -> int
+
+(** Arrivals discarded because the packet was corrupted in flight. *)
+val corrupted_discarded : t -> int
 
 (** Stops the feedback timer. *)
 val stop : t -> unit

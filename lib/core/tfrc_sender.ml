@@ -13,6 +13,7 @@ type t = {
   mutable bytes : int;
   mutable feedbacks : int;
   mutable nofb_expiries : int;
+  mutable expiries_since_fb : int; (* expirations since the last feedback *)
   mutable app_limit : float option; (* application ceiling on the pace, bytes/s *)
   mutable send_timer : Engine.Sim.handle;
   mutable nofb_timer : Engine.Sim.handle;
@@ -39,6 +40,7 @@ let create sim ~config ~flow ~transmit () =
     bytes = 0;
     feedbacks = 0;
     nofb_expiries = 0;
+    expiries_since_fb = 0;
     app_limit = None;
     send_timer = Engine.Sim.null_handle;
     nofb_timer = Engine.Sim.null_handle;
@@ -89,10 +91,15 @@ let rec send_packet t =
         (fun () -> send_packet t)
   end
 
+(* The timer interval grows as the rate halves (2s/X doubles per expiry),
+   an exponential backoff capped at t_mbi so a silenced sender still probes
+   the path at least every t_mbi seconds (RFC 3448 section 4.4). *)
 let nofb_interval t =
-  Float.max
-    (t.config.Tfrc_config.t_rto_factor *. Rtt_estimator.rtt t.rtt_est)
-    (2. *. s_bytes t /. t.rate)
+  Float.min
+    (Float.max
+       (t.config.Tfrc_config.t_rto_factor *. Rtt_estimator.rtt t.rtt_est)
+       (2. *. s_bytes t /. t.rate))
+    t.config.Tfrc_config.t_mbi
 
 let rec restart_nofb_timer t =
   Engine.Sim.cancel t.nofb_timer;
@@ -103,6 +110,7 @@ let rec restart_nofb_timer t =
 and on_nofb_expiry t =
   if t.running then begin
     t.nofb_expiries <- t.nofb_expiries + 1;
+    t.expiries_since_fb <- t.expiries_since_fb + 1;
     t.rate <- Float.max (t.rate /. 2.) t.config.Tfrc_config.min_rate;
     notify t;
     restart_nofb_timer t
@@ -110,6 +118,15 @@ and on_nofb_expiry t =
 
 let on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay =
   t.feedbacks <- t.feedbacks + 1;
+  (* Slow restart: feedback arriving after no-feedback expirations reports
+     on a path we backed away from — the loss rate and RTT it carries are
+     stale. Don't jump back to the pre-outage rate; cap at twice what the
+     receiver is actually getting now (at least one packet per RTT) and let
+     subsequent reports ratchet the rate up. *)
+  let recovering =
+    t.config.Tfrc_config.slow_restart && t.expiries_since_fb > 0
+  in
+  t.expiries_since_fb <- 0;
   let now = Engine.Sim.now t.sim in
   let rtt_sample = now -. ts_echo -. ts_delay in
   if rtt_sample > 0. then Rtt_estimator.sample t.rtt_est rtt_sample;
@@ -123,6 +140,10 @@ let on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay =
       t.rate <- Float.max t.rate doubled;
       t.rate <- Float.max t.rate (s_bytes t /. r)
     end
+    else if recovering then
+      (* Out of an outage with no loss on record: ramp from the backed-off
+         rate instead of staying parked at the floor. *)
+      t.rate <- Float.max t.rate (Float.min (2. *. t.rate) (2. *. recv_rate))
   end
   else begin
     t.slow_start <- false;
@@ -144,14 +165,20 @@ let on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay =
     in
     t.rate <- Float.max x_eq t.config.Tfrc_config.min_rate
   end;
+  if recovering then
+    t.rate <-
+      Float.max t.config.Tfrc_config.min_rate
+        (Float.min t.rate (Float.max (2. *. recv_rate) (s_bytes t /. r)));
   notify t;
   restart_nofb_timer t
 
 let recv t (pkt : Netsim.Packet.t) =
-  match pkt.payload with
-  | Tfrc_feedback { p; recv_rate; ts_echo; ts_delay } ->
-      if t.running then on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay
-  | Data | Tcp_ack _ | Tfrc_data _ -> ()
+  if pkt.corrupted then ()
+  else
+    match pkt.payload with
+    | Tfrc_feedback { p; recv_rate; ts_echo; ts_delay } ->
+        if t.running then on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay
+    | Data | Tcp_ack _ | Tfrc_data _ -> ()
 
 let recv t = recv t
 
@@ -176,6 +203,7 @@ let packets_sent t = t.packets
 let bytes_sent t = t.bytes
 let feedbacks_received t = t.feedbacks
 let no_feedback_expirations t = t.nofb_expiries
+let expiries_since_feedback t = t.expiries_since_fb
 let on_rate_update t f = t.listeners <- f :: t.listeners
 
 let set_app_limit t limit =

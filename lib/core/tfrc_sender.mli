@@ -7,7 +7,16 @@
     "decrease to T" semantics — or, while loss-free, doubles the rate per
     RTT capped at twice the reported receive rate (slow start). A
     no-feedback timer halves the rate when the receiver falls silent for
-    [max(4R, 2s/T)]. *)
+    [max(4R, 2s/T)].
+
+    Robustness under feedback loss (RFC 3448 section 4.4): repeated
+    no-feedback expirations halve the rate down to
+    {!Tfrc_config.t.min_rate}, the timer interval growing with each halving
+    up to {!Tfrc_config.t.t_mbi}; when feedback finally returns after such
+    an outage, {!Tfrc_config.t.slow_restart} caps the restored rate at
+    [max(2 * recv_rate, s/R)] — the sender ramps back up from what the
+    receiver verifiably gets, never jumping to a rate computed from stale
+    pre-outage state. Corrupted feedback packets are discarded. *)
 
 type t
 
@@ -41,7 +50,13 @@ val in_slow_start : t -> bool
 val packets_sent : t -> int
 val bytes_sent : t -> int
 val feedbacks_received : t -> int
+
+(** Total no-feedback timer expirations; monotone over a run. *)
 val no_feedback_expirations : t -> int
+
+(** Expirations since the last feedback arrived: positive while the sender
+    is cut off from the receiver, reset to 0 by each feedback. *)
+val expiries_since_feedback : t -> int
 
 (** [on_rate_update t f] registers [f] to run after every rate
     recalculation (each feedback and each no-feedback expiry), with the

@@ -92,6 +92,13 @@ let all =
       run = Traffic_model.run;
     };
     {
+      id = "resilience";
+      title =
+        "Chaos matrix: outages, flapping, reordering, feedback blackouts, \
+         route changes";
+      run = Resilience.run;
+    };
+    {
       id = "ablations";
       title =
         "Design-choice ablations: history, discounting, RTT gain, feedback,          burstiness, ECN";

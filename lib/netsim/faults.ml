@@ -1,0 +1,84 @@
+(* Link faults ------------------------------------------------------------- *)
+
+let outage sim link ~at ~duration ?(policy = Link.Drop_queued) () =
+  if duration < 0. then invalid_arg "Faults.outage: negative duration";
+  ignore (Engine.Sim.at sim at (fun () -> Link.set_up link ~policy false));
+  ignore
+    (Engine.Sim.at sim (at +. duration) (fun () -> Link.set_up link true))
+
+let flapping sim link ~start ~stop ~period ~down_fraction ?(policy = Link.Drop_queued)
+    () =
+  if period <= 0. then invalid_arg "Faults.flapping: period must be positive";
+  if down_fraction < 0. || down_fraction > 1. then
+    invalid_arg "Faults.flapping: down_fraction must be in [0, 1]";
+  let up_span = (1. -. down_fraction) *. period in
+  let rec cycle at =
+    if at < stop then begin
+      let down_at = at +. up_span in
+      if down_at < stop then begin
+        ignore
+          (Engine.Sim.at sim down_at (fun () -> Link.set_up link ~policy false));
+        let up_at = Float.min (at +. period) stop in
+        ignore (Engine.Sim.at sim up_at (fun () -> Link.set_up link true));
+        cycle (at +. period)
+      end
+    end
+  in
+  cycle start;
+  (* Whatever phase the last cycle ended in, the link is up after [stop]. *)
+  ignore (Engine.Sim.at sim stop (fun () -> Link.set_up link true))
+
+let route_change sim link ~at ?bandwidth ?delay () =
+  ignore
+    (Engine.Sim.at sim at (fun () ->
+         Option.iter (Link.set_bandwidth link) bandwidth;
+         Option.iter (Link.set_delay link) delay))
+
+(* Handler faults ----------------------------------------------------------- *)
+
+let counted f =
+  let n = ref 0 in
+  (f (fun () -> incr n), fun () -> !n)
+
+let reorder sim rng ~p ~jitter dest =
+  if p < 0. || p > 1. then invalid_arg "Faults.reorder: bad p";
+  if jitter < 0. then invalid_arg "Faults.reorder: negative jitter";
+  counted (fun hit pkt ->
+      if jitter > 0. && Engine.Rng.bool rng ~p then begin
+        hit ();
+        ignore
+          (Engine.Sim.after sim (Engine.Rng.float rng jitter) (fun () ->
+               dest pkt))
+      end
+      else dest pkt)
+
+let duplicate sim rng ~p ?(delay = 0.) dest =
+  if p < 0. || p > 1. then invalid_arg "Faults.duplicate: bad p";
+  if delay < 0. then invalid_arg "Faults.duplicate: negative delay";
+  counted (fun hit pkt ->
+      dest pkt;
+      if Engine.Rng.bool rng ~p then begin
+        hit ();
+        if delay > 0. then
+          ignore (Engine.Sim.after sim delay (fun () -> dest pkt))
+        else dest pkt
+      end)
+
+let corrupt rng ~p dest =
+  if p < 0. || p > 1. then invalid_arg "Faults.corrupt: bad p";
+  counted (fun hit pkt ->
+      if Engine.Rng.bool rng ~p then begin
+        hit ();
+        pkt.Packet.corrupted <- true
+      end;
+      dest pkt)
+
+let blackout ~now ~windows dest =
+  List.iter
+    (fun (a, b) ->
+      if b < a then invalid_arg "Faults.blackout: window ends before it starts")
+    windows;
+  counted (fun hit pkt ->
+      let t = now () in
+      if List.exists (fun (a, b) -> t >= a && t < b) windows then hit ()
+      else dest pkt)

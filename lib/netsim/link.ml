@@ -1,13 +1,19 @@
+type down_policy = Drop_queued | Hold_queued
+
 type t = {
   sim : Engine.Sim.t;
-  bandwidth : float;
-  delay : float;
+  mutable bandwidth : float;
+  mutable delay : float;
   queue : Queue_disc.t;
   mutable dest : Packet.handler;
+  mutable dest_set : bool;
   mutable busy : bool;
+  mutable up : bool;
   mutable drop_listeners : Packet.handler list;
+  mutable state_listeners : (bool -> unit) list;
   mutable delivered_bytes : int;
   mutable busy_time : float;
+  mutable outage_drops : int;
 }
 
 let create sim ~bandwidth ~delay ~queue () =
@@ -19,44 +25,97 @@ let create sim ~bandwidth ~delay ~queue () =
     delay;
     queue;
     dest = ignore;
+    dest_set = false;
     busy = false;
+    up = true;
     drop_listeners = [];
+    state_listeners = [];
     delivered_bytes = 0;
     busy_time = 0.;
+    outage_drops = 0;
   }
 
-let set_dest t handler = t.dest <- handler
+let set_dest t handler =
+  t.dest <- handler;
+  t.dest_set <- true
+
 let current_dest t = t.dest
 let on_drop t f = t.drop_listeners <- f :: t.drop_listeners
+let on_state_change t f = t.state_listeners <- f :: t.state_listeners
 let queue t = t.queue
 let bandwidth t = t.bandwidth
 let delay t = t.delay
+let is_up t = t.up
 let delivered_bytes t = t.delivered_bytes
 let busy_time t = t.busy_time
+let outage_drops t = t.outage_drops
+
+let set_bandwidth t bw =
+  if bw <= 0. then invalid_arg "Link.set_bandwidth: bandwidth must be positive";
+  t.bandwidth <- bw
+
+let set_delay t d =
+  if d < 0. then invalid_arg "Link.set_delay: negative delay";
+  t.delay <- d
 
 let utilization t ~duration =
   if duration <= 0. then 0.
   else 8. *. float_of_int t.delivered_bytes /. (t.bandwidth *. duration)
 
+let drop t pkt = List.iter (fun f -> f pkt) t.drop_listeners
+
 (* Serialize the head-of-line packet; at end of serialization start the next
    one and schedule the propagation-delayed delivery. *)
 let rec start_tx t =
-  match t.queue.Queue_disc.dequeue () with
-  | None -> t.busy <- false
-  | Some pkt ->
-      t.busy <- true;
-      let tx = Engine.Units.tx_time ~bits_per_s:t.bandwidth ~bytes:pkt.Packet.size in
-      t.busy_time <- t.busy_time +. tx;
-      ignore
-        (Engine.Sim.after t.sim tx (fun () ->
-             t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
-             if t.delay > 0. then
-               ignore (Engine.Sim.after t.sim t.delay (fun () -> t.dest pkt))
-             else t.dest pkt;
-             start_tx t))
+  if not t.up then t.busy <- false
+  else
+    match t.queue.Queue_disc.dequeue () with
+    | None -> t.busy <- false
+    | Some pkt ->
+        t.busy <- true;
+        let tx = Engine.Units.tx_time ~bits_per_s:t.bandwidth ~bytes:pkt.Packet.size in
+        t.busy_time <- t.busy_time +. tx;
+        ignore
+          (Engine.Sim.after t.sim tx (fun () ->
+               t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
+               if t.delay > 0. then
+                 ignore (Engine.Sim.after t.sim t.delay (fun () -> t.dest pkt))
+               else t.dest pkt;
+               start_tx t))
+
+let set_up t ?(policy = Drop_queued) up =
+  if up <> t.up then begin
+    t.up <- up;
+    if not up then begin
+      (* Packets already serialized are on the wire and still arrive; the
+         transmitter stalls at the next head-of-line packet. *)
+      match policy with
+      | Hold_queued -> ()
+      | Drop_queued ->
+          let rec drain () =
+            match t.queue.Queue_disc.dequeue () with
+            | None -> ()
+            | Some pkt ->
+                t.outage_drops <- t.outage_drops + 1;
+                drop t pkt;
+                drain ()
+          in
+          drain ()
+    end
+    else if not t.busy then start_tx t;
+    List.iter (fun f -> f up) t.state_listeners
+  end
 
 let send t pkt =
-  if t.queue.Queue_disc.enqueue pkt then begin
+  if not t.dest_set then
+    invalid_arg
+      "Link.send: destination not set (call Link.set_dest before sending)";
+  if not t.up then begin
+    (* A down link blackholes at the ingress: no queueing, immediate loss. *)
+    t.outage_drops <- t.outage_drops + 1;
+    drop t pkt
+  end
+  else if t.queue.Queue_disc.enqueue pkt then begin
     if not t.busy then start_tx t
   end
-  else List.iter (fun f -> f pkt) t.drop_listeners
+  else drop t pkt

@@ -4,12 +4,23 @@
     Packets are serialized one at a time at [bandwidth] bits/s; each then
     propagates for [delay] seconds before delivery to the destination
     handler, so the link pipelines (a packet can be in flight while the next
-    is serializing), like a real link and like ns-2's DelayLink. *)
+    is serializing), like a real link and like ns-2's DelayLink.
+
+    For fault injection the link carries mutable state: it can be taken
+    down and brought back up ({!set_up}), and its bandwidth and delay can
+    change mid-simulation ({!set_bandwidth}, {!set_delay}) to emulate route
+    changes. See {!Faults} for schedulable outage/flap helpers. *)
 
 type t
 
-(** [create sim ~bandwidth ~delay ~queue ()] makes a link. Set the
-    destination with [set_dest] before sending. *)
+(** What happens to packets sitting in the queue when the link goes down:
+    [Drop_queued] flushes them through the drop listeners (a router losing
+    power), [Hold_queued] parks them until the link comes back (a pause or
+    layer-2 rerouting hiccup). *)
+type down_policy = Drop_queued | Hold_queued
+
+(** [create sim ~bandwidth ~delay ~queue ()] makes a link, initially up. Set
+    the destination with [set_dest] before sending. *)
 val create :
   Engine.Sim.t ->
   bandwidth:float (** bits/s *) ->
@@ -24,11 +35,34 @@ val set_dest : t -> Packet.handler -> unit
 val current_dest : t -> Packet.handler
 
 (** [send t pkt] offers the packet to the queue; it is dropped if the
-    discipline rejects it (drop listeners fire). *)
+    discipline rejects it or the link is down (drop listeners fire either
+    way). Raises [Invalid_argument] if no destination has been installed —
+    sending into the placeholder would silently blackhole traffic. *)
 val send : t -> Packet.t -> unit
 
-(** [on_drop t f] registers a listener called with each dropped packet. *)
+(** [on_drop t f] registers a listener called with each dropped packet,
+    whether dropped by the queue discipline or by an outage. *)
 val on_drop : t -> Packet.handler -> unit
+
+(** [set_up t ?policy up] changes the link's operational state. Going down
+    applies [policy] (default [Drop_queued]) to queued packets and stalls
+    the transmitter; packets already serialized still propagate. While
+    down, [send] drops immediately. Coming up resumes transmission of any
+    held queue. No-op if the state is unchanged. *)
+val set_up : t -> ?policy:down_policy -> bool -> unit
+
+val is_up : t -> bool
+
+(** [on_state_change t f] calls [f up] after every up/down transition. *)
+val on_state_change : t -> (bool -> unit) -> unit
+
+(** [set_bandwidth t bw] changes the serialization rate for subsequent
+    packets (the head-of-line packet finishes at the old rate). *)
+val set_bandwidth : t -> float -> unit
+
+(** [set_delay t d] changes the propagation delay for subsequent
+    deliveries. *)
+val set_delay : t -> float -> unit
 
 val queue : t -> Queue_disc.t
 val bandwidth : t -> float
@@ -36,6 +70,10 @@ val delay : t -> float
 
 (** Bytes handed to the destination so far. *)
 val delivered_bytes : t -> int
+
+(** Packets dropped because the link was down (ingress arrivals plus any
+    flushed queue contents). *)
+val outage_drops : t -> int
 
 (** [utilization t ~duration] is delivered bits over capacity in
     [duration] seconds. *)

@@ -18,6 +18,7 @@ type t = {
   payload : payload;
   ecn_capable : bool;
   mutable ecn_marked : bool; (* set by an ECN queue in flight *)
+  mutable corrupted : bool; (* damaged in flight; endpoints must discard *)
 }
 
 type handler = t -> unit
@@ -35,6 +36,7 @@ let make ?(ecn = false) ~flow ~seq ~size ~now payload =
     payload;
     ecn_capable = ecn;
     ecn_marked = false;
+    corrupted = false;
   }
 
 let is_data p = match p.payload with Data | Tfrc_data _ -> true | _ -> false

@@ -35,6 +35,10 @@ type t = {
   payload : payload;
   ecn_capable : bool;  (** sender supports Explicit Congestion Notification *)
   mutable ecn_marked : bool;  (** CE mark set by an ECN-enabled queue *)
+  mutable corrupted : bool;
+      (** payload damaged in flight (fault injection); a real stack's
+          checksum would fail, so endpoints discard such packets on
+          arrival *)
 }
 
 (** [make ?ecn ~flow ~seq ~size ~now payload] allocates a packet with a

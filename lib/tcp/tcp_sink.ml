@@ -70,6 +70,7 @@ let send_ack t =
 
 let recv t (pkt : Netsim.Packet.t) =
   match pkt.payload with
+  | _ when pkt.corrupted -> () (* checksum failure: segment is discarded *)
   | Data | Tfrc_data _ ->
       t.packets <- t.packets + 1;
       t.bytes <- t.bytes + pkt.size;

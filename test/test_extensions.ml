@@ -283,8 +283,10 @@ let test_burst_preserves_rate () =
     (Float.abs (r1 -. r2) /. r1 < 0.15)
 
 let test_burst_config_floor () =
-  let c = Tfrc.Tfrc_config.default ~burst_pkts:0 () in
-  Alcotest.(check int) "burst floored at 1" 1 c.Tfrc.Tfrc_config.burst_pkts
+  (* Construction-time validation replaced the old silent clamp. *)
+  Alcotest.check_raises "burst 0 rejected"
+    (Invalid_argument "Tfrc_config: burst_pkts must be at least 1 (got 0)")
+    (fun () -> ignore (Tfrc.Tfrc_config.default ~burst_pkts:0 ()))
 
 let () =
   Alcotest.run "extensions"

@@ -213,6 +213,86 @@ let prop_tfrc_estimate_positive_after_loss =
       (not (Tfrc.Loss_events.in_loss d))
       || Tfrc.Tfrc_receiver.loss_event_rate receiver > 0.)
 
+(* Across randomized link-outage and feedback-blackout schedules the sender's
+   rate stays within [min_rate, a capacity-derived bound], and the
+   no-feedback expiration counter is monotone non-decreasing. With rate
+   validation on, every feedback caps the rate at twice what the receiver
+   reports arriving, so twice the line rate (plus the one-packet-per-RTT
+   rescue) bounds it from above no matter how stale the report is. *)
+let prop_tfrc_rate_bounded_under_outages =
+  QCheck.Test.make ~name:"TFRC rate bounded through outages and blackouts"
+    ~count:15
+    QCheck.(
+      quad (int_range 1 10_000) (int_range 30 150) (int_range 5 60)
+        (int_range 30 200))
+    (fun (seed, at10, dur10, black10) ->
+      let outage_at = float_of_int at10 /. 10. in
+      let outage_dur = float_of_int dur10 /. 10. in
+      let black_at = float_of_int black10 /. 10. in
+      let black_dur = (outage_dur /. 2.) +. 0.3 in
+      let sim = Engine.Sim.create () in
+      let bw = 8e5 (* bits/s: 100 KB/s of payload *) in
+      let prop_delay = 0.02 +. (0.001 *. float_of_int (seed mod 10)) in
+      let link =
+        Netsim.Link.create sim ~bandwidth:bw ~delay:prop_delay
+          ~queue:(Netsim.Droptail.create ~limit_pkts:20)
+          ()
+      in
+      let config =
+        Tfrc.Tfrc_config.default ~initial_rtt:0.1 ~min_rate:2000.
+          ~rate_validation:true ()
+      in
+      let receiver_cell = ref None and sender_cell = ref None in
+      Netsim.Link.set_dest link (fun pkt ->
+          match !receiver_cell with
+          | Some r -> Tfrc.Tfrc_receiver.recv r pkt
+          | None -> ());
+      (* Feedback path: fixed delay, silenced during the blackout window. *)
+      let fb_handler, _ =
+        Netsim.Faults.blackout
+          ~now:(fun () -> Engine.Sim.now sim)
+          ~windows:[ (black_at, black_at +. black_dur) ]
+          (fun pkt ->
+            ignore
+              (Engine.Sim.after sim prop_delay (fun () ->
+                   match !sender_cell with
+                   | Some s -> Tfrc.Tfrc_sender.recv s pkt
+                   | None -> ())))
+      in
+      let sender =
+        Tfrc.Tfrc_sender.create sim ~config ~flow:1
+          ~transmit:(Netsim.Link.send link)
+          ()
+      in
+      sender_cell := Some sender;
+      let receiver =
+        Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:fb_handler ()
+      in
+      receiver_cell := Some receiver;
+      Netsim.Faults.outage sim link ~at:outage_at ~duration:outage_dur ();
+      let ok = ref true in
+      let upper =
+        (2. *. (bw /. 8.))
+        +. (float_of_int config.Tfrc.Tfrc_config.packet_size /. prop_delay)
+      in
+      Tfrc.Tfrc_sender.on_rate_update sender (fun _ ~rate ~rtt:_ ~p:_ ->
+          if rate < config.Tfrc.Tfrc_config.min_rate -. 1e-6 || rate > upper
+          then ok := false);
+      let last_exp = ref 0 in
+      let rec watch () =
+        let e = Tfrc.Tfrc_sender.no_feedback_expirations sender in
+        if e < !last_exp then ok := false;
+        last_exp := e;
+        ignore (Engine.Sim.after sim 0.1 watch)
+      in
+      ignore (Engine.Sim.at sim 0.1 (fun () -> watch ()));
+      Tfrc.Tfrc_sender.start sender ~at:0.;
+      Engine.Sim.run sim ~until:30.;
+      let final_rate = Tfrc.Tfrc_sender.rate sender in
+      !ok
+      && final_rate >= config.Tfrc.Tfrc_config.min_rate -. 1e-6
+      && final_rate <= upper)
+
 (* --- Determinism across the whole stack -------------------------------------- *)
 
 let prop_full_stack_deterministic =
@@ -282,6 +362,7 @@ let () =
         [
           qtest prop_tfrc_rate_and_p_in_range;
           qtest prop_tfrc_estimate_positive_after_loss;
+          qtest prop_tfrc_rate_bounded_under_outages;
         ] );
       ("determinism", [ qtest prop_full_stack_deterministic ]);
     ]
