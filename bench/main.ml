@@ -115,6 +115,39 @@ let micro () =
       | _ -> Printf.printf "%-40s (no estimate)\n" name)
     results
 
+(* Trace-layer overhead: the same fig2 staircase run twice, bare and with
+   the invariant checker subscribed to the default bus (so every call site
+   allocates and emits its events). Best-of-3 wall clock keeps scheduler
+   noise out of the ratio; acceptance wants the overhead under ~5%. *)
+let trace_overhead_json () =
+  let time_run f =
+    ignore (f ()) (* warm up allocators and code paths *);
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  (* A longer run than the figure itself uses: the 16 s staircase finishes
+     in under a millisecond, below timer noise. *)
+  let run () = Exp.Fig2.samples ~duration:240. () in
+  let plain_s = time_run run in
+  let checker = Tfrc.Invariants.create () in
+  let bus = Engine.Trace.default () in
+  Tfrc.Invariants.attach checker bus;
+  let checked_s =
+    Fun.protect ~finally:(fun () -> Tfrc.Invariants.detach checker bus)
+      (fun () -> time_run run)
+  in
+  Printf.sprintf
+    "{\"bench\":\"trace_overhead\",\"scenario\":\"fig2\",\"plain_s\":%.4f,\"checked_s\":%.4f,\"overhead_pct\":%.2f,\"events\":%d,\"violations\":%d}"
+    plain_s checked_s
+    ((checked_s -. plain_s) /. plain_s *. 100.)
+    (Tfrc.Invariants.n_events checker)
+    (Tfrc.Invariants.n_violations checker)
+
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
   let run_micro = Array.exists (( = ) "--micro") Sys.argv in
@@ -156,6 +189,8 @@ let () =
         (* Machine-readable summary for trend tracking across runs. *)
         if e.Exp.Registry.id = "resilience" then
           Format.fprintf ppf "%s@." (Exp.Resilience.json_line ~seed);
+        if e.Exp.Registry.id = "fig2" then
+          Format.fprintf ppf "%s@." (trace_overhead_json ());
         Format.fprintf ppf "@.[%s done in %.1f s wall clock]@.@."
           e.Exp.Registry.id
           (Unix.gettimeofday () -. started))

@@ -19,6 +19,51 @@ let full_arg =
   in
   Arg.(value & flag & info [ "full" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write every structured simulation event (tfrc/*, link/*, fault/*, \
+     queue/*, sim/*) to $(docv) as JSON lines. See EXPERIMENTS.md for the \
+     event schema."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let check_arg =
+  let doc =
+    "Subscribe the RFC 3448 runtime-invariant checker to the simulation \
+     trace bus and report violations after the run (non-zero exit if any)."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+(* Run [f ()] with the requested observers on the process-wide trace bus
+   (every [Sim.create ()] underneath attaches to it), then tear them down,
+   report, and exit non-zero on invariant violations. *)
+let observe ~trace ~check f =
+  let bus = Engine.Trace.default () in
+  let with_trace f =
+    match trace with
+    | None -> f ()
+    | Some file ->
+        let sink = Engine.Trace.file_sink file in
+        Engine.Trace.add_sink bus sink;
+        Fun.protect
+          ~finally:(fun () ->
+            Engine.Trace.remove_sink bus sink;
+            sink.Engine.Trace.close ())
+          f
+  in
+  let with_check f =
+    if not check then f ()
+    else begin
+      let checker = Tfrc.Invariants.create () in
+      Tfrc.Invariants.attach checker bus;
+      Fun.protect ~finally:(fun () -> Tfrc.Invariants.detach checker bus) f;
+      Format.printf "@.invariant check: %a@." Tfrc.Invariants.report checker;
+      if not (Tfrc.Invariants.ok checker) then exit 1
+    end
+  in
+  with_trace (fun () -> with_check f);
+  Option.iter (Format.printf "trace written to %s@.") trace
+
 let list_cmd =
   let run () =
     let ppf = Format.std_formatter in
@@ -45,18 +90,23 @@ let exp_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
   in
-  let run full seed id = run_one ~full ~seed id in
+  let run full seed trace check id =
+    observe ~trace ~check (fun () -> run_one ~full ~seed id)
+  in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate one figure or table from the paper.")
-    Term.(const run $ full_arg $ seed_arg $ id_arg)
+    Term.(const run $ full_arg $ seed_arg $ trace_arg $ check_arg $ id_arg)
 
 let all_cmd =
-  let run full seed =
-    List.iter (fun e -> run_one ~full ~seed e.Exp.Registry.id) Exp.Registry.all
+  let run full seed trace check =
+    observe ~trace ~check (fun () ->
+        List.iter
+          (fun e -> run_one ~full ~seed e.Exp.Registry.id)
+          Exp.Registry.all)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure and table.")
-    Term.(const run $ full_arg $ seed_arg)
+    Term.(const run $ full_arg $ seed_arg $ trace_arg $ check_arg)
 
 let duel_cmd =
   let n_tcp =
@@ -79,7 +129,8 @@ let duel_cmd =
       value & opt float 60.
       & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
   in
-  let run n_tcp n_tfrc mbps red duration seed =
+  let run n_tcp n_tfrc mbps red duration seed trace check =
+    observe ~trace ~check @@ fun () ->
     let bandwidth = Engine.Units.mbps mbps in
     let params =
       {
@@ -119,7 +170,9 @@ let duel_cmd =
   in
   Cmd.v
     (Cmd.info "duel" ~doc:"Ad-hoc TCP vs TFRC dumbbell simulation.")
-    Term.(const run $ n_tcp $ n_tfrc $ mbps $ red $ duration $ seed_arg)
+    Term.(
+      const run $ n_tcp $ n_tfrc $ mbps $ red $ duration $ seed_arg $ trace_arg
+      $ check_arg)
 
 let chaos_cmd =
   let at =
@@ -132,7 +185,8 @@ let chaos_cmd =
       value & opt float 2.
       & info [ "outage-duration" ] ~docv:"SECONDS" ~doc:"Outage length.")
   in
-  let run at outage_duration seed =
+  let run at outage_duration seed trace check =
+    observe ~trace ~check @@ fun () ->
     if at < 0. then begin
       Format.eprintf "tfrc_sim: --outage-at must be non-negative@.";
       exit 1
@@ -186,7 +240,7 @@ let chaos_cmd =
        ~doc:
          "Script a mid-flow link outage against a TFRC flow and print the \
           backoff/slow-restart timeline (see also `exp resilience').")
-    Term.(const run $ at $ outage_duration $ seed_arg)
+    Term.(const run $ at $ outage_duration $ seed_arg $ trace_arg $ check_arg)
 
 let trace_cmd =
   let out_arg =

@@ -1,0 +1,297 @@
+(* Online RFC 3448 conformance checker: a Trace sink that validates runtime
+   invariants as events stream past. Attach it to a bus (usually
+   [Engine.Trace.default ()]), run any simulation, then ask [ok]/[report].
+
+   Checked rules (RFC 3448 / RFC 5348 section references):
+   - time-monotone: trace-event timestamps never decrease within one
+     simulation (the event heap fires in time order; a violation means a
+     scheduler bug). Reset at each [sim/created].
+   - sender-rate-bound (4.3, rate validation / slow start 4.2): on a
+     feedback-driven rate update, the new allowed rate stays within
+     2 * X_recv (when rate validation is on and losses are reported) or,
+     loss-free, within max(previous rate, 2 * X_recv, s/R).
+   - nofb-backoff (4.4): successive no-feedback expirations without an
+     intervening feedback schedule non-decreasing intervals, capped at
+     t_mbi; the backed-off rate never goes below the configured floor.
+   - loss-rate-range (5.4): the receiver's reported loss event rate is in
+     [0, 1], strictly positive once loss intervals exist, and the average
+     loss interval behind it is strictly positive.
+   - link-conservation: per link, packets delivered plus packets dropped
+     never exceed packets offered (nothing is created in flight). *)
+
+type violation = { time : float; rule : string; detail : string }
+
+(* Per-flow checker state. The config half ([s], [min_rate], [rv], [t_mbi])
+   is announced once by the flow's [tfrc/start] event; until it is seen the
+   lenient defaults below keep every config-dependent rule vacuous, so a
+   partial trace cannot false-positive. *)
+type flow_state = {
+  mutable last_nofb_interval : float;
+  mutable s : float; (* segment size, bytes; 0 = unknown *)
+  mutable min_rate : float;
+  mutable rv : bool; (* rate validation enabled *)
+  mutable t_mbi : float;
+}
+type link_state = { mutable sent : int; mutable delivered : int; mutable dropped : int }
+
+type t = {
+  mutable last_time : float;
+  mutable n_events : int;
+  mutable n_violations : int;
+  mutable violations : violation list; (* newest first, capped *)
+  flows : (int, flow_state) Hashtbl.t;
+  links : (string, link_state) Hashtbl.t;
+  mutable self_sink : Engine.Trace.sink option; (* cached so detach matches attach *)
+}
+
+(* Floating-point slack: the sender computes its bounds in the same
+   arithmetic we re-check them in, so only rounding noise needs absorbing. *)
+let eps = 1e-6
+let max_kept = 100
+
+let create () =
+  {
+    last_time = neg_infinity;
+    n_events = 0;
+    n_violations = 0;
+    violations = [];
+    flows = Hashtbl.create 8;
+    links = Hashtbl.create 8;
+    self_sink = None;
+  }
+
+let reset_run_state t =
+  t.last_time <- neg_infinity;
+  Hashtbl.reset t.flows;
+  Hashtbl.reset t.links
+
+let violate t ~time ~rule fmt =
+  Printf.ksprintf
+    (fun detail ->
+      t.n_violations <- t.n_violations + 1;
+      if t.n_violations <= max_kept then
+        t.violations <- { time; rule; detail } :: t.violations)
+    fmt
+
+let flow_state t flow =
+  match Hashtbl.find_opt t.flows flow with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          last_nofb_interval = 0.;
+          s = 0.;
+          min_rate = 0.;
+          rv = false;
+          t_mbi = Float.infinity;
+        }
+      in
+      Hashtbl.replace t.flows flow s;
+      s
+
+let link_state t link =
+  match Hashtbl.find_opt t.links link with
+  | Some s -> s
+  | None ->
+      let s = { sent = 0; delivered = 0; dropped = 0 } in
+      Hashtbl.replace t.links link s;
+      s
+
+let ffield = Engine.Trace.get_float
+let ifield = Engine.Trace.get_int
+let sfield = Engine.Trace.get_str
+let bfield = Engine.Trace.get_bool
+
+let check_start t (ev : Engine.Trace.event) =
+  let flow = ifield ev "flow" ~default:0 in
+  let st = flow_state t flow in
+  st.s <- ffield ev "s" ~default:0.;
+  st.min_rate <- ffield ev "min_rate" ~default:0.;
+  st.rv <- bfield ev "rv" ~default:false;
+  st.t_mbi <- ffield ev "t_mbi" ~default:Float.infinity;
+  st.last_nofb_interval <- 0.
+
+(* The checks below run per event on hot paths; each first pattern-matches
+   the exact field shape the instrumented sender/receiver emits (an
+   allocation-free single pass) and only falls back to keyed {!ffield}
+   lookups for hand-built events, e.g. from tests. *)
+
+let check_rate_update t (ev : Engine.Trace.event) =
+  let time = ev.time in
+  let flow, rate, prev_rate, recv_rate, p, rtt =
+    match ev.fields with
+    | [
+     ("flow", Engine.Trace.Int flow);
+     ("rate", Float rate);
+     ("prev_rate", Float prev_rate);
+     ("recv_rate", Float recv_rate);
+     ("p", Float p);
+     ("rtt", Float rtt);
+    ] ->
+        (flow, rate, prev_rate, recv_rate, p, rtt)
+    | _ ->
+        ( ifield ev "flow" ~default:0,
+          ffield ev "rate" ~default:nan,
+          ffield ev "prev_rate" ~default:0.,
+          ffield ev "recv_rate" ~default:0.,
+          ffield ev "p" ~default:0.,
+          ffield ev "rtt" ~default:0. )
+  in
+  let st = flow_state t flow in
+  if not (Float.is_finite rate) || rate <= 0. then
+    violate t ~time ~rule:"sender-rate-bound" "flow %d: rate %g not finite positive"
+      flow rate
+  else begin
+    (if p > 0. && st.rv && recv_rate > 0. then
+       let bound = Float.max (2. *. recv_rate) st.min_rate in
+       if rate > bound *. (1. +. eps) then
+         violate t ~time ~rule:"sender-rate-bound"
+           "flow %d: rate %.1f exceeds 2*X_recv bound %.1f (X_recv %.1f, RFC 3448 4.3)"
+           flow rate bound recv_rate);
+    if p <= 0. then begin
+      let bound =
+        Float.max
+          (Float.max prev_rate (2. *. recv_rate))
+          (Float.max st.min_rate (if rtt > 0. then st.s /. rtt else 0.))
+      in
+      if rate > bound *. (1. +. eps) then
+        violate t ~time ~rule:"sender-rate-bound"
+          "flow %d: loss-free rate %.1f exceeds max(prev %.1f, 2*X_recv %.1f, s/R) \
+           (RFC 3448 4.2)"
+          flow rate prev_rate (2. *. recv_rate)
+    end
+  end;
+  (* A feedback arrival ends any no-feedback backoff sequence. *)
+  st.last_nofb_interval <- 0.
+
+let check_nofb_expiry t (ev : Engine.Trace.event) =
+  let time = ev.time in
+  let flow, rate, interval, consecutive =
+    match ev.fields with
+    | [
+     ("flow", Engine.Trace.Int flow);
+     ("rate", Float rate);
+     ("interval", Float interval);
+     ("consecutive", Int consecutive);
+    ] ->
+        (flow, rate, interval, consecutive)
+    | _ ->
+        ( ifield ev "flow" ~default:0,
+          ffield ev "rate" ~default:nan,
+          ffield ev "interval" ~default:nan,
+          ifield ev "consecutive" ~default:1 )
+  in
+  let st = flow_state t flow in
+  if not (Float.is_finite interval) || interval <= 0. then
+    violate t ~time ~rule:"nofb-backoff" "flow %d: bad no-feedback interval %g" flow
+      interval
+  else begin
+    if interval > st.t_mbi *. (1. +. eps) then
+      violate t ~time ~rule:"nofb-backoff"
+        "flow %d: no-feedback interval %.3f exceeds t_mbi %.3f (RFC 3448 4.4)" flow
+        interval st.t_mbi;
+    if consecutive >= 2 && interval < st.last_nofb_interval *. (1. -. eps) then
+      violate t ~time ~rule:"nofb-backoff"
+        "flow %d: backoff interval shrank %.3f -> %.3f without feedback" flow
+        st.last_nofb_interval interval
+  end;
+  if rate < st.min_rate *. (1. -. eps) then
+    violate t ~time ~rule:"nofb-backoff"
+      "flow %d: backed-off rate %.1f below floor %.1f" flow rate st.min_rate;
+  st.last_nofb_interval <- interval
+
+let check_feedback t (ev : Engine.Trace.event) =
+  let time = ev.time in
+  let flow, p, recv_rate, n_closed, avg =
+    match ev.fields with
+    | [
+     ("flow", Engine.Trace.Int flow);
+     ("p", Float p);
+     ("recv_rate", Float recv_rate);
+     ("n_closed", Int n_closed);
+     ("avg_interval", Float avg);
+    ] ->
+        (flow, p, recv_rate, n_closed, avg)
+    | _ ->
+        ( ifield ev "flow" ~default:0,
+          ffield ev "p" ~default:nan,
+          ffield ev "recv_rate" ~default:0.,
+          ifield ev "n_closed" ~default:0,
+          ffield ev "avg_interval" ~default:0. )
+  in
+  if not (Float.is_finite p) || p < 0. || p > 1. then
+    violate t ~time ~rule:"loss-rate-range"
+      "flow %d: loss event rate %g outside [0, 1]" flow p
+  else if n_closed > 0 && p <= 0. then
+    violate t ~time ~rule:"loss-rate-range"
+      "flow %d: %d loss intervals recorded but p = 0 (RFC 3448 5.4)" flow n_closed;
+  if n_closed > 0 && avg <= 0. then
+    violate t ~time ~rule:"loss-rate-range"
+      "flow %d: average loss interval %g not positive over %d intervals" flow avg
+      n_closed;
+  if recv_rate < 0. then
+    violate t ~time ~rule:"loss-rate-range" "flow %d: negative X_recv %g" flow
+      recv_rate
+
+let check_link t (ev : Engine.Trace.event) =
+  let link = sfield ev "link" ~default:"?" in
+  let st = link_state t link in
+  (match ev.name with
+  | "send" -> st.sent <- st.sent + 1
+  | "deliver" -> st.delivered <- st.delivered + 1
+  | "drop" -> st.dropped <- st.dropped + 1
+  | _ -> ());
+  if st.delivered + st.dropped > st.sent then
+    violate t ~time:ev.time ~rule:"link-conservation"
+      "link %s: delivered %d + dropped %d > offered %d" link st.delivered
+      st.dropped st.sent
+
+let check_event t (ev : Engine.Trace.event) =
+  t.n_events <- t.n_events + 1;
+  if ev.cat = "sim" && ev.name = "created" then reset_run_state t
+  else begin
+    if ev.time < t.last_time -. 1e-9 then
+      violate t ~time:ev.time ~rule:"time-monotone"
+        "%s/%s at %.9f after watermark %.9f" ev.cat ev.name ev.time t.last_time;
+    if ev.time > t.last_time then t.last_time <- ev.time;
+    match (ev.cat, ev.name) with
+    | "tfrc", "rate_update" -> check_rate_update t ev
+    | "tfrc", "nofb_expiry" -> check_nofb_expiry t ev
+    | "tfrc", "feedback" -> check_feedback t ev
+    | "tfrc", "start" -> check_start t ev
+    | "link", _ -> check_link t ev
+    | _ -> ()
+  end
+
+(* The same sink record is reused across attach/detach, which remove by
+   physical equality. *)
+let sink t : Engine.Trace.sink =
+  match t.self_sink with
+  | Some s -> s
+  | None ->
+      let s : Engine.Trace.sink = { emit = check_event t; close = ignore } in
+      t.self_sink <- Some s;
+      s
+
+let attach t bus = Engine.Trace.add_sink bus (sink t)
+let detach t bus = Engine.Trace.remove_sink bus (sink t)
+
+let n_events t = t.n_events
+let n_violations t = t.n_violations
+let violations t = List.rev t.violations
+let ok t = t.n_violations = 0
+
+let report ppf t =
+  if ok t then
+    Format.fprintf ppf "invariants: %d trace events checked, 0 violations@."
+      t.n_events
+  else begin
+    Format.fprintf ppf "invariants: %d trace events checked, %d VIOLATIONS@."
+      t.n_events t.n_violations;
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "  [%.6f] %-18s %s@." v.time v.rule v.detail)
+      (violations t);
+    if t.n_violations > max_kept then
+      Format.fprintf ppf "  ... and %d more@." (t.n_violations - max_kept)
+  end

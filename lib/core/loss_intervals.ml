@@ -105,10 +105,11 @@ let average t =
     | Some s -> Some (Float.max s s_hat_new)
   end
 
-let loss_event_rate t =
-  match average t with
+let rate_of_average = function
   | None -> 0.
   | Some avg -> if avg <= 0. then 1. else Float.min 1. (1. /. avg)
+
+let loss_event_rate t = rate_of_average (average t)
 
 let record_interval t ~length =
   let length = Float.max 0. length in

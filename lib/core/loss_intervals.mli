@@ -51,7 +51,13 @@ val n_closed : t -> int
     [None] while no loss has been recorded. *)
 val average : t -> float option
 
-(** [loss_event_rate t] is [1 / average], or 0. while loss-free. *)
+(** [rate_of_average avg] maps an {!average} result to a loss event rate:
+    [1 / avg] clamped to [0, 1], or 0. for [None]. Exposed so a caller that
+    already holds the average (an O(n) computation) can derive the rate
+    without recomputing it. *)
+val rate_of_average : float option -> float
+
+(** [loss_event_rate t] is [rate_of_average (average t)]. *)
 val loss_event_rate : t -> float
 
 (** [mean_closed t] is the plain weighted mean over closed intervals only

@@ -69,12 +69,24 @@ and send_feedback t =
   t.last_fb_time <- now;
   t.feedbacks <- t.feedbacks + 1;
   t.fb_seq <- t.fb_seq + 1;
+  let avg = Loss_intervals.average t.intervals in
+  let p = Loss_intervals.rate_of_average avg in
+  let tr = Engine.Sim.trace t.sim in
+  if Engine.Trace.active tr then
+    Engine.Trace.emit tr ~time:now ~cat:"tfrc" ~name:"feedback"
+      [
+        ("flow", Engine.Trace.Int t.flow);
+        ("p", Engine.Trace.Float p);
+        ("recv_rate", Engine.Trace.Float recv_rate);
+        ("n_closed", Engine.Trace.Int (Loss_intervals.n_closed t.intervals));
+        ("avg_interval", Engine.Trace.Float (Option.value avg ~default:0.));
+      ];
   let pkt =
     Netsim.Packet.make ~flow:t.flow ~seq:t.fb_seq
       ~size:t.config.Tfrc_config.feedback_size ~now
       (Netsim.Packet.Tfrc_feedback
          {
-           p = Loss_intervals.loss_event_rate t.intervals;
+           p;
            recv_rate;
            ts_echo = t.last_data_sent_at;
            ts_delay = now -. t.last_data_arrival;

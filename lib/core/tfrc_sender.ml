@@ -49,6 +49,13 @@ let create sim ~config ~flow ~transmit () =
 
 let s_bytes t = float_of_int t.config.Tfrc_config.packet_size
 
+let tracing t = Engine.Trace.active (Engine.Sim.trace t.sim)
+
+let trace_ev t name fields =
+  Engine.Trace.emit (Engine.Sim.trace t.sim) ~time:(Engine.Sim.now t.sim)
+    ~cat:"tfrc" ~name
+    (("flow", Engine.Trace.Int t.flow) :: fields)
+
 let notify t =
   let now = Engine.Sim.now t.sim in
   List.iter
@@ -113,11 +120,22 @@ and on_nofb_expiry t =
     t.expiries_since_fb <- t.expiries_since_fb + 1;
     t.rate <- Float.max (t.rate /. 2.) t.config.Tfrc_config.min_rate;
     notify t;
-    restart_nofb_timer t
+    restart_nofb_timer t;
+    if tracing t then
+      (* [interval] recomputes the interval just scheduled (nothing changed
+         since); the checker validates the backoff ladder against the t_mbi
+         announced in this flow's [tfrc/start] event. *)
+      trace_ev t "nofb_expiry"
+        [
+          ("rate", Engine.Trace.Float t.rate);
+          ("interval", Engine.Trace.Float (nofb_interval t));
+          ("consecutive", Engine.Trace.Int t.expiries_since_fb);
+        ]
   end
 
 let on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay =
   t.feedbacks <- t.feedbacks + 1;
+  let prev_rate = t.rate in
   (* Slow restart: feedback arriving after no-feedback expirations reports
      on a path we backed away from — the loss rate and RTT it carries are
      stale. Don't jump back to the pre-outage rate; cap at twice what the
@@ -170,7 +188,18 @@ let on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay =
       Float.max t.config.Tfrc_config.min_rate
         (Float.min t.rate (Float.max (2. *. recv_rate) (s_bytes t /. r)));
   notify t;
-  restart_nofb_timer t
+  restart_nofb_timer t;
+  if tracing t then
+    (* Per-flow constants (s, min_rate, rv, t_mbi) ride on the one-shot
+       [tfrc/start] event, keeping this per-feedback record small. *)
+    trace_ev t "rate_update"
+      [
+        ("rate", Engine.Trace.Float t.rate);
+        ("prev_rate", Engine.Trace.Float prev_rate);
+        ("recv_rate", Engine.Trace.Float recv_rate);
+        ("p", Engine.Trace.Float p);
+        ("rtt", Engine.Trace.Float r);
+      ]
 
 let recv t (pkt : Netsim.Packet.t) =
   if pkt.corrupted then ()
@@ -186,6 +215,15 @@ let start t ~at =
   ignore
     (Engine.Sim.at t.sim at (fun () ->
          t.running <- true;
+         if tracing t then
+           trace_ev t "start"
+             [
+               ("rate", Engine.Trace.Float t.rate);
+               ("s", Engine.Trace.Float (s_bytes t));
+               ("min_rate", Engine.Trace.Float t.config.Tfrc_config.min_rate);
+               ("rv", Engine.Trace.Bool t.config.Tfrc_config.rate_validation);
+               ("t_mbi", Engine.Trace.Float t.config.Tfrc_config.t_mbi);
+             ];
          send_packet t;
          restart_nofb_timer t))
 

@@ -1,29 +1,38 @@
 (* Array-backed binary min-heap ordered by (time, seq). The sequence number
-   breaks ties so that simultaneous events run in insertion order. *)
+   breaks ties so that simultaneous events run in insertion order.
 
-type 'a entry = { time : float; seq : int; value : 'a }
+   Slots at indices >= size are always [Free]: [pop] and [clear] overwrite
+   vacated slots so the scheduler never retains popped or cancelled closures
+   (an earlier version parked the popped entry at [heap.(size)], keeping it —
+   and everything its closure captured — reachable for the life of the
+   queue). [Free] is also the filler for [grow], so a resize introduces no
+   dummy entry either. *)
+
+type 'a slot = Free | Busy of { time : float; seq : int; value : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable heap : 'a slot array;
   mutable size : int;
   mutable next_seq : int;
 }
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let less a b =
+  match (a, b) with
+  | Busy a, Busy b -> a.time < b.time || (a.time = b.time && a.seq < b.seq)
+  | Free, _ | _, Free -> assert false
 
 let grow q =
   let cap = max 16 (2 * Array.length q.heap) in
-  let h = Array.make cap q.heap.(0) in
+  let h = Array.make cap Free in
   Array.blit q.heap 0 h 0 q.size;
   q.heap <- h
 
 let push q ~time v =
-  let e = { time; seq = q.next_seq; value = v } in
+  let e = Busy { time; seq = q.next_seq; value = v } in
   q.next_seq <- q.next_seq + 1;
-  if q.size = Array.length q.heap then
-    if q.size = 0 then q.heap <- Array.make 16 e else grow q;
+  if q.size = Array.length q.heap then grow q;
   (* Sift up. *)
   let i = ref q.size in
   q.size <- q.size + 1;
@@ -59,19 +68,35 @@ let sift_down q =
 
 let pop q =
   if q.size = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      q.heap.(q.size) <- top;
-      (* keep slot initialized; value is overwritten on next push *)
-      sift_down q
-    end;
-    Some (top.time, top.value)
-  end
+  else
+    match q.heap.(0) with
+    | Free -> assert false
+    | Busy top ->
+        let result = Some (top.time, top.value) in
+        q.size <- q.size - 1;
+        if q.size > 0 then begin
+          q.heap.(0) <- q.heap.(q.size);
+          q.heap.(q.size) <- Free;
+          sift_down q
+        end
+        else q.heap.(0) <- Free;
+        result
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let peek_time q =
+  if q.size = 0 then None
+  else match q.heap.(0) with Busy e -> Some e.time | Free -> assert false
+
 let size q = q.size
 let is_empty q = q.size = 0
-let clear q = q.size <- 0
+
+let clear q =
+  Array.fill q.heap 0 q.size Free;
+  q.size <- 0
+
+let compact q =
+  let cap = if q.size = 0 then 0 else max 16 q.size in
+  if Array.length q.heap > cap then begin
+    let h = Array.make cap Free in
+    Array.blit q.heap 0 h 0 q.size;
+    q.heap <- h
+  end

@@ -1,7 +1,11 @@
 (** Binary min-heap priority queue keyed by (time, insertion sequence).
 
     Events with equal timestamps dequeue in insertion order, which keeps
-    simulations deterministic. *)
+    simulations deterministic.
+
+    The queue never retains references to popped or cleared elements:
+    vacated slots are reset immediately, so a long-lived queue does not pin
+    fired or cancelled closures (and whatever they captured). *)
 
 type 'a t
 
@@ -19,5 +23,9 @@ val peek_time : 'a t -> float option
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 
-(** [clear q] removes all elements. *)
+(** [clear q] removes all elements, dropping every reference they held. *)
 val clear : 'a t -> unit
+
+(** [compact q] shrinks the backing array to fit the current size (down to
+    nothing when empty). Useful after a burst left a large capacity behind. *)
+val compact : 'a t -> unit

@@ -4,11 +4,19 @@ type t = {
   mutable clock : float;
   events : handle Event_queue.t;
   mutable stopping : bool;
+  trace : Trace.t;
 }
 
-let create () = { clock = 0.; events = Event_queue.create (); stopping = false }
+let create ?trace () =
+  let trace = match trace with Some tr -> tr | None -> Trace.default () in
+  let t = { clock = 0.; events = Event_queue.create (); stopping = false; trace } in
+  (* Marks a fresh virtual clock: observers (e.g. the invariant checker)
+     reset per-run state like the time-monotonicity watermark here. *)
+  if Trace.active trace then Trace.emit trace ~time:0. ~cat:"sim" ~name:"created" [];
+  t
 
 let now t = t.clock
+let trace t = t.trace
 
 let at t time f =
   if time < t.clock then
@@ -34,6 +42,9 @@ let stop t = t.stopping <- true
 
 let run t ~until =
   t.stopping <- false;
+  if Trace.active t.trace then
+    Trace.emit t.trace ~time:t.clock ~cat:"sim" ~name:"run_start"
+      [ ("until", Trace.Float until) ];
   let continue = ref true in
   while !continue && not t.stopping do
     match Event_queue.peek_time t.events with
@@ -50,4 +61,7 @@ let run t ~until =
                 h.state <- `Fired;
                 h.f ()))
   done;
-  if until < infinity && t.clock < until && not t.stopping then t.clock <- until
+  if until < infinity && t.clock < until && not t.stopping then t.clock <- until;
+  if Trace.active t.trace then
+    Trace.emit t.trace ~time:t.clock ~cat:"sim" ~name:"run_end"
+      [ ("pending", Trace.Int (Event_queue.size t.events)) ]

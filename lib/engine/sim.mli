@@ -10,10 +10,16 @@ type t
 (** Cancellable handle for a scheduled event (a timer). *)
 type handle
 
-val create : unit -> t
+(** [create ?trace ()] makes a scheduler at virtual time 0, attached to
+    [trace] (default: the process-wide {!Trace.default} bus). Emits a
+    [sim/created] event so observers can reset per-run state. *)
+val create : ?trace:Trace.t -> unit -> t
 
 (** [now t] is the current virtual time in seconds. *)
 val now : t -> float
+
+(** The trace bus this scheduler (and components built on it) emits to. *)
+val trace : t -> Trace.t
 
 (** [at t time f] schedules [f] to run at absolute virtual [time]. [time]
     must not be earlier than [now t]. *)

@@ -251,16 +251,32 @@ let cases ~full =
 
 let run_until ~full = if full then 60. else 40.
 
-let matrix ~seed ~full =
+(* The resilience family doubles as the invariant checker's proving ground:
+   every fault case is run with a checker subscribed to the default trace
+   bus, so a regression that makes the sender violate its rate bounds or
+   backoff ladder under faults fails loudly rather than just shifting a
+   metric. *)
+let audited_matrix ~seed ~full =
   let until = run_until ~full in
-  List.concat_map
-    (fun (case, fault) ->
-      List.map
-        (fun proto ->
-          case_report ~case ~proto ~fault ~run_until:until
-            (run_case ~seed ~proto ~fault ~run_until:until))
-        [ `Tfrc; `Tcp ])
-    (cases ~full)
+  let checker = Tfrc.Invariants.create () in
+  let bus = Engine.Trace.default () in
+  Tfrc.Invariants.attach checker bus;
+  let reports =
+    Fun.protect
+      ~finally:(fun () -> Tfrc.Invariants.detach checker bus)
+      (fun () ->
+        List.concat_map
+          (fun (case, fault) ->
+            List.map
+              (fun proto ->
+                case_report ~case ~proto ~fault ~run_until:until
+                  (run_case ~seed ~proto ~fault ~run_until:until))
+              [ `Tfrc; `Tcp ])
+          (cases ~full))
+  in
+  (reports, checker)
+
+let matrix ~seed ~full = fst (audited_matrix ~seed ~full)
 
 let tfrc_outage_case ~seed ~at ~duration () =
   let until = Float.max 40. (at +. duration +. 20.) in
@@ -273,7 +289,7 @@ let pp_s ppf v =
   if Float.is_nan v then Format.fprintf ppf "never" else Format.fprintf ppf "%.1f" v
 
 let run ~full ~seed ppf =
-  let reports = matrix ~seed ~full in
+  let reports, checker = audited_matrix ~seed ~full in
   Format.fprintf ppf
     "Resilience matrix: faults on a %.0f kb/s dumbbell (RTT %.0f ms), one \
      flow per run; TFRC rate floor %.0f B/s.@.@."
@@ -307,17 +323,18 @@ let run ~full ~seed ppf =
   let tfrc_outage =
     List.find_opt (fun r -> r.case = "outage-2s" && r.proto = "tfrc") reports
   in
-  match tfrc_outage with
+  (match tfrc_outage with
   | None -> ()
   | Some r ->
       Format.fprintf ppf
         "@.outage-2s/tfrc: backed off to %.0f B/s (floor %.0f) over %d \
          no-feedback expirations; recovered in %a s with overshoot %.2f@."
         r.min_send_during floor_rate r.nofb_expiries pp_s r.recovery_time
-        r.overshoot
+        r.overshoot);
+  Format.fprintf ppf "@.invariant audit: %a@." Tfrc.Invariants.report checker
 
 let json_line ~seed =
-  let reports = matrix ~seed ~full:false in
+  let reports, checker = audited_matrix ~seed ~full:false in
   let case_json r =
     Printf.sprintf
       "{\"case\":\"%s\",\"proto\":\"%s\",\"pre_rate\":%.1f,\"min_send_during\":%.2f,\"floor_ok\":%b,\"nofb_expiries\":%d,\"recovery_time\":%s,\"overshoot\":%s,\"post_rate\":%.1f}"
@@ -328,5 +345,9 @@ let json_line ~seed =
        else Printf.sprintf "%.3f" r.overshoot)
       r.post_rate
   in
-  Printf.sprintf "{\"bench\":\"resilience\",\"seed\":%d,\"cases\":[%s]}" seed
+  Printf.sprintf
+    "{\"bench\":\"resilience\",\"seed\":%d,\"invariant_events\":%d,\"invariant_violations\":%d,\"cases\":[%s]}"
+    seed
+    (Tfrc.Invariants.n_events checker)
+    (Tfrc.Invariants.n_violations checker)
     (String.concat "," (List.map case_json reports))

@@ -32,8 +32,15 @@ type report = {
 }
 
 (** The scaled-down fault matrix (both protocols), for tests and the
-    benchmark harness. *)
+    benchmark harness. Runs with an invariant audit (see
+    {!audited_matrix}); the checker result is discarded here. *)
 val matrix : seed:int -> full:bool -> report list
+
+(** Like {!matrix}, but also returns the {!Tfrc.Invariants} checker that
+    was subscribed to the default trace bus for the whole matrix: callers
+    can assert [Tfrc.Invariants.ok checker] to turn RFC 3448 conformance
+    under faults into a hard pass/fail signal. *)
+val audited_matrix : seed:int -> full:bool -> report list * Tfrc.Invariants.t
 
 (** One scripted TFRC outage run, the acceptance scenario: a mid-flow
     outage of [duration] seconds starting at [at]. Returns the report plus

@@ -25,8 +25,8 @@ let create sim ~bandwidth ~delay ~queue ?reverse_queue ?(mean_pktsize = 1000) ()
   let reverse_queue = Option.value reverse_queue ~default:queue in
   let fwd_q = make_queue sim ~spec:queue ~bandwidth ~mean_pktsize in
   let bwd_q = make_queue sim ~spec:reverse_queue ~bandwidth ~mean_pktsize in
-  let fwd = Link.create sim ~bandwidth ~delay ~queue:fwd_q () in
-  let bwd = Link.create sim ~bandwidth ~delay ~queue:bwd_q () in
+  let fwd = Link.create sim ~label:"bottleneck-fwd" ~bandwidth ~delay ~queue:fwd_q () in
+  let bwd = Link.create sim ~label:"bottleneck-bwd" ~bandwidth ~delay ~queue:bwd_q () in
   let t = { sim; fwd; bwd; flows = Hashtbl.create 64 } in
   (* Demultiplex by flow id after the bottleneck, applying the flow's
      egress access delay. *)

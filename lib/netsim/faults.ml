@@ -1,10 +1,25 @@
 (* Link faults ------------------------------------------------------------- *)
 
+(* Fault events ride the simulation's trace bus alongside the [link/*]
+   events the link itself emits, so a trace reader can tell injected faults
+   from organic congestion. *)
+let fault_ev sim link name fields =
+  let tr = Engine.Sim.trace sim in
+  if Engine.Trace.active tr then
+    Engine.Trace.emit tr ~time:(Engine.Sim.now sim) ~cat:"fault" ~name
+      (("link", Engine.Trace.Str (Link.label link)) :: fields)
+
 let outage sim link ~at ~duration ?(policy = Link.Drop_queued) () =
   if duration < 0. then invalid_arg "Faults.outage: negative duration";
-  ignore (Engine.Sim.at sim at (fun () -> Link.set_up link ~policy false));
   ignore
-    (Engine.Sim.at sim (at +. duration) (fun () -> Link.set_up link true))
+    (Engine.Sim.at sim at (fun () ->
+         Link.set_up link ~policy false;
+         fault_ev sim link "outage_start"
+           [ ("duration", Engine.Trace.Float duration) ]));
+  ignore
+    (Engine.Sim.at sim (at +. duration) (fun () ->
+         Link.set_up link true;
+         fault_ev sim link "outage_end" []))
 
 let flapping sim link ~start ~stop ~period ~down_fraction ?(policy = Link.Drop_queued)
     () =
@@ -32,7 +47,12 @@ let route_change sim link ~at ?bandwidth ?delay () =
   ignore
     (Engine.Sim.at sim at (fun () ->
          Option.iter (Link.set_bandwidth link) bandwidth;
-         Option.iter (Link.set_delay link) delay))
+         Option.iter (Link.set_delay link) delay;
+         fault_ev sim link "route_change"
+           [
+             ("bandwidth", Engine.Trace.Float (Link.bandwidth link));
+             ("delay", Engine.Trace.Float (Link.delay link));
+           ]))
 
 (* Handler faults ----------------------------------------------------------- *)
 

@@ -28,21 +28,44 @@ module Queue_sampler = struct
   type sampler = {
     series : Stats.Time_series.t;
     mutable running : bool;
+    mutable timer : Engine.Sim.handle; (* pending tick, cancelled on stop *)
   }
 
   let start sim ~period ~queue =
     if period <= 0. then invalid_arg "Queue_sampler.start: period must be positive";
-    let s = { series = Stats.Time_series.create (); running = true } in
+    let s =
+      {
+        series = Stats.Time_series.create ();
+        running = true;
+        timer = Engine.Sim.null_handle;
+      }
+    in
+    let sample () =
+      let now = Engine.Sim.now sim in
+      let len = queue.Queue_disc.len_pkts () in
+      Stats.Time_series.add s.series ~time:now ~value:(float_of_int len);
+      let tr = Engine.Sim.trace sim in
+      if Engine.Trace.active tr then
+        Engine.Trace.emit tr ~time:now ~cat:"queue" ~name:"sample"
+          [ ("len", Engine.Trace.Int len) ]
+    in
     let rec tick () =
       if s.running then begin
-        Stats.Time_series.add s.series ~time:(Engine.Sim.now sim)
-          ~value:(float_of_int (queue.Queue_disc.len_pkts ()));
-        ignore (Engine.Sim.after sim period tick)
+        sample ();
+        s.timer <- Engine.Sim.after sim period tick
       end
     in
-    ignore (Engine.Sim.after sim period tick);
+    (* Sample at t0 too, so the first period isn't blind. *)
+    sample ();
+    s.timer <- Engine.Sim.after sim period tick;
     s
 
   let series s = s.series
-  let stop s = s.running <- false
+
+  let stop s =
+    s.running <- false;
+    (* Cancel rather than rely on the [running] flag: an orphaned pending
+       tick would keep the sampler (queue closure included) live in the
+       event heap until it fired. *)
+    Engine.Sim.cancel s.timer
 end

@@ -28,9 +28,14 @@ module Queue_sampler : sig
   type sampler
 
   (** [start sim ~period ~queue] records (time, queue length in packets)
-      every [period] seconds until the simulation ends. *)
+      immediately and then every [period] seconds until the simulation ends
+      or {!stop} is called. Samples are also emitted as [queue/sample]
+      trace events when the simulation's bus is active. *)
   val start : Engine.Sim.t -> period:float -> queue:Queue_disc.t -> sampler
 
   val series : sampler -> Stats.Time_series.t
+
+  (** [stop s] stops sampling and cancels the pending timer, so the sampler
+      is no longer reachable from the event heap. Idempotent. *)
   val stop : sampler -> unit
 end

@@ -2,6 +2,7 @@ type down_policy = Drop_queued | Hold_queued
 
 type t = {
   sim : Engine.Sim.t;
+  label : string;
   mutable bandwidth : float;
   mutable delay : float;
   queue : Queue_disc.t;
@@ -16,11 +17,18 @@ type t = {
   mutable outage_drops : int;
 }
 
-let create sim ~bandwidth ~delay ~queue () =
+let next_label =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "link-%d" !n
+
+let create sim ?label ~bandwidth ~delay ~queue () =
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0. then invalid_arg "Link.create: negative delay";
   {
     sim;
+    label = (match label with Some l -> l | None -> next_label ());
     bandwidth;
     delay;
     queue;
@@ -35,6 +43,22 @@ let create sim ~bandwidth ~delay ~queue () =
     outage_drops = 0;
   }
 
+(* Trace instrumentation: [tracing t] is the hot-path guard; [ev] builds and
+   emits, so call sites only allocate field lists when a sink is attached. *)
+let tracing t = Engine.Trace.active (Engine.Sim.trace t.sim)
+
+let ev t name fields =
+  Engine.Trace.emit (Engine.Sim.trace t.sim) ~time:(Engine.Sim.now t.sim)
+    ~cat:"link" ~name
+    (("link", Engine.Trace.Str t.label) :: fields)
+
+let pkt_fields (pkt : Packet.t) =
+  [
+    ("flow", Engine.Trace.Int pkt.flow);
+    ("seq", Engine.Trace.Int pkt.seq);
+    ("size", Engine.Trace.Int pkt.size);
+  ]
+
 let set_dest t handler =
   t.dest <- handler;
   t.dest_set <- true
@@ -43,6 +67,7 @@ let current_dest t = t.dest
 let on_drop t f = t.drop_listeners <- f :: t.drop_listeners
 let on_state_change t f = t.state_listeners <- f :: t.state_listeners
 let queue t = t.queue
+let label t = t.label
 let bandwidth t = t.bandwidth
 let delay t = t.delay
 let is_up t = t.up
@@ -62,7 +87,14 @@ let utilization t ~duration =
   if duration <= 0. then 0.
   else 8. *. float_of_int t.delivered_bytes /. (t.bandwidth *. duration)
 
-let drop t pkt = List.iter (fun f -> f pkt) t.drop_listeners
+let drop ?(reason = "queue") t pkt =
+  if tracing t then
+    ev t "drop" (pkt_fields pkt @ [ ("reason", Engine.Trace.Str reason) ]);
+  List.iter (fun f -> f pkt) t.drop_listeners
+
+let deliver t pkt =
+  if tracing t then ev t "deliver" (pkt_fields pkt);
+  t.dest pkt
 
 (* Serialize the head-of-line packet; at end of serialization start the next
    one and schedule the propagation-delayed delivery. *)
@@ -79,13 +111,14 @@ let rec start_tx t =
           (Engine.Sim.after t.sim tx (fun () ->
                t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
                if t.delay > 0. then
-                 ignore (Engine.Sim.after t.sim t.delay (fun () -> t.dest pkt))
-               else t.dest pkt;
+                 ignore (Engine.Sim.after t.sim t.delay (fun () -> deliver t pkt))
+               else deliver t pkt;
                start_tx t))
 
 let set_up t ?(policy = Drop_queued) up =
   if up <> t.up then begin
     t.up <- up;
+    if tracing t then ev t (if up then "up" else "down") [];
     if not up then begin
       (* Packets already serialized are on the wire and still arrive; the
          transmitter stalls at the next head-of-line packet. *)
@@ -97,7 +130,7 @@ let set_up t ?(policy = Drop_queued) up =
             | None -> ()
             | Some pkt ->
                 t.outage_drops <- t.outage_drops + 1;
-                drop t pkt;
+                drop ~reason:"outage" t pkt;
                 drain ()
           in
           drain ()
@@ -110,10 +143,11 @@ let send t pkt =
   if not t.dest_set then
     invalid_arg
       "Link.send: destination not set (call Link.set_dest before sending)";
+  if tracing t then ev t "send" (pkt_fields pkt);
   if not t.up then begin
     (* A down link blackholes at the ingress: no queueing, immediate loss. *)
     t.outage_drops <- t.outage_drops + 1;
-    drop t pkt
+    drop ~reason:"outage" t pkt
   end
   else if t.queue.Queue_disc.enqueue pkt then begin
     if not t.busy then start_tx t

@@ -19,15 +19,25 @@ type t
     layer-2 rerouting hiccup). *)
 type down_policy = Drop_queued | Hold_queued
 
-(** [create sim ~bandwidth ~delay ~queue ()] makes a link, initially up. Set
-    the destination with [set_dest] before sending. *)
+(** [create sim ?label ~bandwidth ~delay ~queue ()] makes a link, initially
+    up. Set the destination with [set_dest] before sending. [label] names
+    the link in trace events ("link-N" by default); the invariant checker
+    keys per-link packet-conservation counters on it.
+
+    When the simulation's trace bus is active the link emits [link/send],
+    [link/deliver], [link/drop] (with a ["queue"] or ["outage"] reason) and
+    [link/up]/[link/down] events. *)
 val create :
   Engine.Sim.t ->
+  ?label:string ->
   bandwidth:float (** bits/s *) ->
   delay:float (** seconds *) ->
   queue:Queue_disc.t ->
   unit ->
   t
+
+(** The link's trace label. *)
+val label : t -> string
 
 val set_dest : t -> Packet.handler -> unit
 

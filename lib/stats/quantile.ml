@@ -13,12 +13,12 @@ let quantile_sorted sorted q =
 
 let quantile a q =
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   quantile_sorted sorted q
 
 let median a = quantile a 0.5
 
 let percentiles a qs =
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   List.map (quantile_sorted sorted) qs

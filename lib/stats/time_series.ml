@@ -32,6 +32,9 @@ let total t = t.total
 let first_time t = if t.n = 0 then None else Some t.times.(0)
 let last_time t = if t.n = 0 then None else Some t.times.(t.n - 1)
 
+(* The window is closed on both ends: an event exactly at [t1] lands in the
+   last bin (the index clamp below) rather than being dropped, so summing a
+   series over [first_time, last_time] conserves its total. *)
 let binned t ~t0 ~t1 ~bin =
   if bin <= 0. then invalid_arg "Time_series.binned: bin must be positive";
   if t1 <= t0 then invalid_arg "Time_series.binned: empty window";
@@ -39,7 +42,7 @@ let binned t ~t0 ~t1 ~bin =
   let out = Array.make nbins 0. in
   for i = 0 to t.n - 1 do
     let time = t.times.(i) in
-    if time >= t0 && time < t1 then begin
+    if time >= t0 && time <= t1 then begin
       let b = int_of_float ((time -. t0) /. bin) in
       let b = if b >= nbins then nbins - 1 else b in
       out.(b) <- out.(b) +. t.values.(i)
@@ -51,12 +54,13 @@ let rates t ~t0 ~t1 ~bin =
   let b = binned t ~t0 ~t1 ~bin in
   Array.map (fun v -> v /. bin) b
 
+(* Closed window, matching [binned]. *)
 let mean_rate t ~t0 ~t1 =
   if t1 <= t0 then invalid_arg "Time_series.mean_rate: empty window";
   let sum = ref 0. in
   for i = 0 to t.n - 1 do
     let time = t.times.(i) in
-    if time >= t0 && time < t1 then sum := !sum +. t.values.(i)
+    if time >= t0 && time <= t1 then sum := !sum +. t.values.(i)
   done;
   !sum /. (t1 -. t0)
 

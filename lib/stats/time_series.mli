@@ -21,7 +21,8 @@ val first_time : t -> float option
 val last_time : t -> float option
 
 (** [binned t ~t0 ~t1 ~bin] sums event values into consecutive bins of width
-    [bin] covering [\[t0, t1)]. Events outside the window are ignored. The
+    [bin] covering the closed window [\[t0, t1\]]; an event exactly at [t1]
+    counts in the final bin. Events outside the window are ignored. The
     result has [ceil ((t1 - t0) / bin)] entries. *)
 val binned : t -> t0:float -> t1:float -> bin:float -> float array
 
@@ -29,7 +30,8 @@ val binned : t -> t0:float -> t1:float -> bin:float -> float array
     average rates (value units per second). *)
 val rates : t -> t0:float -> t1:float -> bin:float -> float array
 
-(** [mean_rate t ~t0 ~t1] is total value in the window over its duration. *)
+(** [mean_rate t ~t0 ~t1] is total value in the closed window [\[t0, t1\]]
+    over its duration, with the same endpoint rule as {!binned}. *)
 val mean_rate : t -> t0:float -> t1:float -> float
 
 (** [iter t f] applies [f time value] to every event in order. *)

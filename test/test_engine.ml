@@ -161,6 +161,58 @@ let test_heap_size_and_clear () =
   Engine.Event_queue.clear q;
   check Alcotest.int "cleared" 0 (Engine.Event_queue.size q)
 
+(* Space-leak regressions: popped/cleared slots must drop their references
+   so the GC can collect the scheduled values. [Sys.opaque_identity]-free
+   helper functions keep the value out of test-frame registers. *)
+
+let[@inline never] push_weak q w =
+  let v = Bytes.make 64 'x' in
+  Weak.set w 0 (Some v);
+  Engine.Event_queue.push q ~time:1. v
+
+let collected w =
+  Gc.full_major ();
+  Gc.full_major ();
+  Weak.get w 0 = None
+
+let test_heap_pop_releases () =
+  let q = Engine.Event_queue.create () in
+  let w = Weak.create 1 in
+  push_weak q w;
+  ignore (Engine.Event_queue.pop q);
+  check Alcotest.bool "popped value collectable" true (collected w)
+
+let test_heap_clear_releases () =
+  let q = Engine.Event_queue.create () in
+  let w = Weak.create 1 in
+  push_weak q w;
+  Engine.Event_queue.clear q;
+  check Alcotest.bool "cleared value collectable" true (collected w)
+
+let test_heap_compact () =
+  let q = Engine.Event_queue.create () in
+  for i = 1 to 1000 do
+    Engine.Event_queue.push q ~time:(float_of_int i) i
+  done;
+  for _ = 1 to 995 do
+    ignore (Engine.Event_queue.pop q)
+  done;
+  Engine.Event_queue.compact q;
+  check Alcotest.int "size preserved" 5 (Engine.Event_queue.size q);
+  (* Remaining entries still pop in order after the shrink. *)
+  let rec drain acc =
+    match Engine.Event_queue.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  check Alcotest.(list int) "order survives compact" [ 996; 997; 998; 999; 1000 ]
+    (drain []);
+  Engine.Event_queue.compact q;
+  check Alcotest.bool "empty after drain" true (Engine.Event_queue.is_empty q);
+  Engine.Event_queue.push q ~time:1. 7;
+  check Alcotest.bool "usable after empty compact" true
+    (Engine.Event_queue.pop q = Some (1., 7))
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"event queue sorts any input" ~count:200
     QCheck.(list (float_range 0. 1e6))
@@ -290,6 +342,11 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           Alcotest.test_case "size and clear" `Quick test_heap_size_and_clear;
+          Alcotest.test_case "pop releases reference" `Quick
+            test_heap_pop_releases;
+          Alcotest.test_case "clear releases references" `Quick
+            test_heap_clear_releases;
+          Alcotest.test_case "compact" `Quick test_heap_compact;
           qtest prop_heap_sorts;
         ] );
       ( "sim",

@@ -91,6 +91,20 @@ let test_ts_mean_rate () =
   let ts = series_of [ (1., 50.); (2., 50.); (3., 100.) ] in
   checkf "mean rate over [0,4)" 50. (Stats.Time_series.mean_rate ts ~t0:0. ~t1:4.)
 
+let test_ts_final_bin_closed () =
+  (* Regression: an event exactly at t1 used to be dropped, so binning a
+     series over [first_time, last_time] lost the last event. *)
+  let ts = series_of [ (0.5, 1.); (1., 2.); (2., 4.) ] in
+  let b = Stats.Time_series.binned ts ~t0:0. ~t1:2. ~bin:1. in
+  Alcotest.(check (array (float 1e-9))) "t1 event lands in final bin"
+    [| 1.; 6. |] b;
+  checkf "mean_rate sees the t1 event" 3.5
+    (Stats.Time_series.mean_rate ts ~t0:0. ~t1:2.);
+  (* Events strictly past t1 still stay out. *)
+  let ts = series_of [ (0.5, 1.); (2.0000001, 4.) ] in
+  let b = Stats.Time_series.binned ts ~t0:0. ~t1:2. ~bin:1. in
+  Alcotest.(check (array (float 1e-9))) "past-t1 excluded" [| 1.; 0. |] b
+
 let test_ts_monotone_required () =
   let ts = series_of [ (1., 1.) ] in
   Alcotest.check_raises "non-monotone time"
@@ -125,7 +139,7 @@ let prop_binned_conserves_total =
       let total = Array.fold_left ( +. ) 0. b in
       let expect =
         List.fold_left
-          (fun acc (t, v) -> if t >= 0. && t < 10.5 then acc +. v else acc)
+          (fun acc (t, v) -> if t >= 0. && t <= 10.5 then acc +. v else acc)
           0. events
       in
       Float.abs (total -. expect) < 1e-6)
@@ -272,6 +286,7 @@ let () =
           Alcotest.test_case "binning window" `Quick test_ts_binning_window;
           Alcotest.test_case "rates" `Quick test_ts_rates;
           Alcotest.test_case "mean rate" `Quick test_ts_mean_rate;
+          Alcotest.test_case "final bin closed" `Quick test_ts_final_bin_closed;
           Alcotest.test_case "monotone required" `Quick test_ts_monotone_required;
           Alcotest.test_case "metadata" `Quick test_ts_meta;
           Alcotest.test_case "bad args" `Quick test_ts_bad_args;

@@ -248,6 +248,70 @@ let test_discount_locked_in () =
     (Printf.sprintf "locked-in discount %.1f > %.1f" with_discount without)
     true (with_discount > without)
 
+let test_discount_threshold_clamp_exact () =
+  (* n=4, constant weights, two closed 100s. With s0 = 1000 the raw factor
+     2*avg/s0 = 0.2 clamps to the 0.25 threshold:
+       s_hat = 100
+       s_hat_new = (1000 + 0.25*100 + 0.25*100) / (1 + 0.25 + 0.25) = 700.
+     With s0 = 300 the factor 200/300 = 2/3 is above the threshold:
+       s_hat_new = (300 + 2/3*100*2) / (1 + 2/3*2) = 433.33/2.33 = 185.71. *)
+  let make s0 =
+    let t =
+      Tfrc.Loss_intervals.create ~n:4 ~constant_weights:true ~discounting:true
+        ~discount_threshold:0.25 ()
+    in
+    Tfrc.Loss_intervals.record_interval t ~length:100.;
+    Tfrc.Loss_intervals.record_interval t ~length:100.;
+    Tfrc.Loss_intervals.set_open_interval t ~packets:s0;
+    match Tfrc.Loss_intervals.average t with
+    | Some a -> a
+    | None -> Alcotest.fail "expected average"
+  in
+  checkf ~eps:1e-9 "clamped at threshold" 700. (make 1000.);
+  checkf ~eps:1e-6 "smooth factor above threshold" (1300. /. 7.) (make 300.)
+
+let test_discount_lock_exact () =
+  (* Same setup; when the 1000-packet open interval finally closes (as a
+     50-packet interval — the loss ended it early), the 0.25 discount in
+     force is multiplied into both stored 100s:
+       mean_closed = (50 + 0.25*100 + 0.25*100) / (1 + 0.25 + 0.25) = 66.67,
+     not (50 + 100 + 100)/3 = 83.33 as it would be without locking. *)
+  let t =
+    Tfrc.Loss_intervals.create ~n:4 ~constant_weights:true ~discounting:true
+      ~discount_threshold:0.25 ()
+  in
+  Tfrc.Loss_intervals.record_interval t ~length:100.;
+  Tfrc.Loss_intervals.record_interval t ~length:100.;
+  Tfrc.Loss_intervals.set_open_interval t ~packets:1000.;
+  Tfrc.Loss_intervals.record_interval t ~length:50.;
+  (match Tfrc.Loss_intervals.mean_closed t with
+  | Some m -> checkf ~eps:1e-6 "locked discount factors" (100. /. 1.5) m
+  | None -> Alcotest.fail "expected mean");
+  Alcotest.(check int) "three closed intervals" 3
+    (Tfrc.Loss_intervals.n_closed t)
+
+let test_ring_full_average_exact () =
+  (* n=4 ring wraps: after recording 1..6 only 3,4,5,6 remain. With
+     constant weights and s0 = 10:
+       s_hat = (3+4+5+6)/4 = 4.5
+       s_hat_new = (10+6+5+4)/4 = 6.25  (weights shift, oldest drops)
+     and the estimator takes the max. *)
+  let t =
+    Tfrc.Loss_intervals.create ~n:4 ~constant_weights:true ~discounting:false
+      ()
+  in
+  for i = 1 to 6 do
+    Tfrc.Loss_intervals.record_interval t ~length:(float_of_int i)
+  done;
+  Alcotest.(check int) "ring capped at n" 4 (Tfrc.Loss_intervals.n_closed t);
+  (match Tfrc.Loss_intervals.mean_closed t with
+  | Some m -> checkf ~eps:1e-9 "closed mean after wrap" 4.5 m
+  | None -> Alcotest.fail "expected mean");
+  Tfrc.Loss_intervals.set_open_interval t ~packets:10.;
+  match Tfrc.Loss_intervals.average t with
+  | Some a -> checkf ~eps:1e-9 "shifted mean wins" 6.25 a
+  | None -> Alcotest.fail "expected average"
+
 let prop_rate_in_unit_interval =
   QCheck.Test.make ~name:"loss event rate in [0,1]" ~count:300
     QCheck.(list_of_size Gen.(int_range 1 20) (float_range 0. 1e4))
@@ -464,6 +528,12 @@ let () =
           Alcotest.test_case "history discounting" `Quick
             test_history_discounting_speeds_decay;
           Alcotest.test_case "discount locked in" `Quick test_discount_locked_in;
+          Alcotest.test_case "discount threshold clamp (exact)" `Quick
+            test_discount_threshold_clamp_exact;
+          Alcotest.test_case "discount lock (exact)" `Quick
+            test_discount_lock_exact;
+          Alcotest.test_case "ring-full average (exact)" `Quick
+            test_ring_full_average_exact;
           qtest prop_rate_in_unit_interval;
           qtest prop_estimate_decreases_only_with_evidence;
           qtest prop_weights_normalized_shape;
