@@ -2,9 +2,11 @@
 
    Default mode regenerates every table and figure of the paper (scaled-down
    parameters; pass --full for paper-scale runs, --only fig6 for one
-   experiment). Pass --micro to run the Bechamel micro-benchmarks of the
-   hot paths instead (event heap, ALI update, RED decision, response
-   function, full dumbbell step). *)
+   experiment, -j N to run each experiment's job grid on N worker domains).
+   Pass --micro to run the Bechamel micro-benchmarks of the hot paths
+   instead (event heap, ALI update, RED decision, response function, full
+   dumbbell step), or --speedup to emit the parallel_speedup JSON line
+   (quick `all` wall clock at -j 1 vs -j 4). *)
 
 let micro () =
   let open Bechamel in
@@ -148,19 +150,60 @@ let trace_overhead_json () =
     (Tfrc.Invariants.n_events checker)
     (Tfrc.Invariants.n_violations checker)
 
+(* Parallel-runner speedup: wall clock for the whole quick `all` sweep at
+   -j 1 vs -j 4, output discarded. The ratio reflects the machine it runs
+   on — on a single hardware thread expect ~1.0; the runner's determinism
+   guarantee is what makes the comparison meaningful (same work, same
+   results, different scheduling). *)
+let parallel_speedup_json ~todo ~full ~seed =
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let time_all ~j =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun e -> Exp.Runner.run_experiment ~j ~full ~seed e null_ppf)
+      todo;
+    Unix.gettimeofday () -. t0
+  in
+  let j1_s = time_all ~j:1 in
+  let j4_s = time_all ~j:4 in
+  Printf.sprintf
+    "{\"bench\":\"parallel_speedup\",\"seed\":%d,\"full\":%b,\"recommended_domains\":%d,\"j1_s\":%.2f,\"j4_s\":%.2f,\"speedup\":%.2f}"
+    seed full
+    (Domain.recommended_domain_count ())
+    j1_s j4_s (j1_s /. j4_s)
+
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
   let run_micro = Array.exists (( = ) "--micro") Sys.argv in
+  let run_speedup = Array.exists (( = ) "--speedup") Sys.argv in
   let seed = 42 in
-  let only =
+  let arg_value name =
     let rec find i =
       if i >= Array.length Sys.argv - 1 then None
-      else if Sys.argv.(i) = "--only" then Some Sys.argv.(i + 1)
+      else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
       else find (i + 1)
     in
     find 1
   in
+  let only = arg_value "--only" in
+  let j =
+    match arg_value "-j" with
+    | Some n -> ( match int_of_string_opt n with Some n -> n | None -> 1)
+    | None -> 1
+  in
+  let todo =
+    match only with
+    | Some id -> (
+        match Exp.Registry.find id with
+        | Some e -> [ e ]
+        | None ->
+            Format.eprintf "unknown experiment %s@." id;
+            exit 1)
+    | None -> Exp.Registry.all
+  in
   if run_micro then micro ()
+  else if run_speedup then
+    print_endline (parallel_speedup_json ~todo ~full ~seed)
   else begin
     let ppf = Format.std_formatter in
     Format.fprintf ppf
@@ -168,16 +211,6 @@ let () =
        figures (%s scale, seed %d)@.@."
       (if full then "paper" else "scaled-down")
       seed;
-    let todo =
-      match only with
-      | Some id -> (
-          match Exp.Registry.find id with
-          | Some e -> [ e ]
-          | None ->
-              Format.eprintf "unknown experiment %s@." id;
-              exit 1)
-      | None -> Exp.Registry.all
-    in
     List.iter
       (fun e ->
         let started = Unix.gettimeofday () in
@@ -185,7 +218,7 @@ let () =
           "==================================================================@.";
         Format.fprintf ppf "=== %s: %s@.@." e.Exp.Registry.id
           e.Exp.Registry.title;
-        e.Exp.Registry.run ~full ~seed ppf;
+        Exp.Runner.run_experiment ~j ~full ~seed e ppf;
         (* Machine-readable summary for trend tracking across runs. *)
         if e.Exp.Registry.id = "resilience" then
           Format.fprintf ppf "%s@." (Exp.Resilience.json_line ~seed);

@@ -19,6 +19,14 @@ let full_arg =
   in
   Arg.(value & flag & info [ "full" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run experiment jobs on $(docv) worker domains (an OCaml 5 domain \
+     pool). Output is byte-identical to $(b,-j 1): every job's RNG is \
+     derived from (seed, job key) and results render in job order."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Write every structured simulation event (tfrc/*, link/*, fault/*, \
@@ -75,7 +83,7 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the paper's experiments.")
     Term.(const run $ const ())
 
-let run_one ~full ~seed id =
+let run_one ~j ~full ~seed id =
   match Exp.Registry.find id with
   | None ->
       Format.eprintf "unknown experiment %s; try `tfrc_sim list'@." id;
@@ -83,30 +91,32 @@ let run_one ~full ~seed id =
   | Some e ->
       let ppf = Format.std_formatter in
       Format.fprintf ppf "=== %s: %s ===@.@." e.id e.title;
-      e.run ~full ~seed ppf;
+      Exp.Runner.run_experiment ~j ~full ~seed e ppf;
       Format.fprintf ppf "@."
 
 let exp_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
   in
-  let run full seed trace check id =
-    observe ~trace ~check (fun () -> run_one ~full ~seed id)
+  let run full seed j trace check id =
+    observe ~trace ~check (fun () -> run_one ~j ~full ~seed id)
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate one figure or table from the paper.")
-    Term.(const run $ full_arg $ seed_arg $ trace_arg $ check_arg $ id_arg)
+    Term.(
+      const run $ full_arg $ seed_arg $ jobs_arg $ trace_arg $ check_arg
+      $ id_arg)
 
 let all_cmd =
-  let run full seed trace check =
+  let run full seed j trace check =
     observe ~trace ~check (fun () ->
         List.iter
-          (fun e -> run_one ~full ~seed e.Exp.Registry.id)
+          (fun e -> run_one ~j ~full ~seed e.Exp.Registry.id)
           Exp.Registry.all)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure and table.")
-    Term.(const run $ full_arg $ seed_arg $ trace_arg $ check_arg)
+    Term.(const run $ full_arg $ seed_arg $ jobs_arg $ trace_arg $ check_arg)
 
 let duel_cmd =
   let n_tcp =
@@ -185,7 +195,7 @@ let chaos_cmd =
       value & opt float 2.
       & info [ "outage-duration" ] ~docv:"SECONDS" ~doc:"Outage length.")
   in
-  let run at outage_duration seed trace check =
+  let run at outage_duration seed j trace check =
     observe ~trace ~check @@ fun () ->
     if at < 0. then begin
       Format.eprintf "tfrc_sim: --outage-at must be non-negative@.";
@@ -195,9 +205,43 @@ let chaos_cmd =
       Format.eprintf "tfrc_sim: --outage-duration must be non-negative@.";
       exit 1
     end;
-    let report, pace =
-      Exp.Resilience.tfrc_outage_case ~seed ~at ~duration:outage_duration ()
+    (* One-job grid through the runner, so -j N exercises the same
+       capture/replay path as the experiment subcommands. The job uses the
+       CLI seed directly (not a derived stream): the timeline must match
+       what `exp resilience' documents for this seed. *)
+    let job =
+      Exp.Job.make "chaos/outage" (fun _rng ->
+          let report, pace =
+            Exp.Resilience.tfrc_outage_case ~seed ~at
+              ~duration:outage_duration ()
+          in
+          [
+            ("pre_rate", Exp.Job.f report.Exp.Resilience.pre_rate);
+            ("min_send_during", Exp.Job.f report.min_send_during);
+            ("floor_ok", Exp.Job.b report.floor_ok);
+            ("nofb_expiries", Exp.Job.i report.nofb_expiries);
+            ("recovery_time", Exp.Job.f report.recovery_time);
+            ("overshoot", Exp.Job.f report.overshoot);
+            ("pace", Exp.Job.pairs (Array.to_list pace));
+          ])
     in
+    let result =
+      Exp.Job.lookup (Exp.Runner.run_jobs ~j ~seed [ job ]) "chaos/outage"
+    in
+    let report =
+      {
+        Exp.Resilience.case = "outage";
+        proto = "tfrc";
+        pre_rate = Exp.Job.get_float result "pre_rate";
+        min_send_during = Exp.Job.get_float result "min_send_during";
+        floor_ok = Exp.Job.get_bool result "floor_ok";
+        nofb_expiries = Exp.Job.get_int result "nofb_expiries";
+        recovery_time = Exp.Job.get_float result "recovery_time";
+        overshoot = Exp.Job.get_float result "overshoot";
+        post_rate = Float.nan;
+      }
+    in
+    let pace = Array.of_list (Exp.Job.get_pairs result "pace") in
     let ppf = Format.std_formatter in
     Format.fprintf ppf
       "TFRC through a %.1f s link outage at t=%.1f (seed %d)@.@." outage_duration
@@ -240,7 +284,9 @@ let chaos_cmd =
        ~doc:
          "Script a mid-flow link outage against a TFRC flow and print the \
           backoff/slow-restart timeline (see also `exp resilience').")
-    Term.(const run $ at $ outage_duration $ seed_arg $ trace_arg $ check_arg)
+    Term.(
+      const run $ at $ outage_duration $ seed_arg $ jobs_arg $ trace_arg
+      $ check_arg)
 
 let trace_cmd =
   let out_arg =

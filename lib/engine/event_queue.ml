@@ -93,6 +93,34 @@ let clear q =
   Array.fill q.heap 0 q.size Free;
   q.size <- 0
 
+let prune q ~keep =
+  (* Collect survivors, order them by (time, seq), and store them back as a
+     prefix: a sorted array satisfies the heap invariant, so no sift is
+     needed. *)
+  let kept = ref [] in
+  let n_kept = ref 0 in
+  for i = q.size - 1 downto 0 do
+    match q.heap.(i) with
+    | Free -> assert false
+    | Busy e as slot ->
+        if keep e.value then begin
+          kept := slot :: !kept;
+          incr n_kept
+        end
+  done;
+  let survivors = Array.of_list !kept in
+  Array.sort
+    (fun a b ->
+      match (a, b) with
+      | Busy a, Busy b ->
+          let c = Float.compare a.time b.time in
+          if c <> 0 then c else compare a.seq b.seq
+      | Free, _ | _, Free -> assert false)
+    survivors;
+  Array.blit survivors 0 q.heap 0 !n_kept;
+  Array.fill q.heap !n_kept (q.size - !n_kept) Free;
+  q.size <- !n_kept
+
 let compact q =
   let cap = if q.size = 0 then 0 else max 16 q.size in
   if Array.length q.heap > cap then begin

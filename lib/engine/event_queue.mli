@@ -26,6 +26,11 @@ val is_empty : 'a t -> bool
 (** [clear q] removes all elements, dropping every reference they held. *)
 val clear : 'a t -> unit
 
+(** [prune q ~keep] removes every element [v] with [keep v = false],
+    preserving (time, seq) order among survivors. O(n log n); used to sweep
+    cancelled timers out of a scheduler heap in bulk. *)
+val prune : 'a t -> keep:('a -> bool) -> unit
+
 (** [compact q] shrinks the backing array to fit the current size (down to
     nothing when empty). Useful after a burst left a large capacity behind. *)
 val compact : 'a t -> unit

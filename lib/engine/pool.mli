@@ -1,0 +1,33 @@
+(** Fixed pool of worker domains (stdlib-only: [Domain] + [Mutex] +
+    [Condition]).
+
+    Built for the experiment runner: a grid of independent simulation cells
+    is mapped over the pool, each cell running on whichever worker domain
+    picks it up. Results come back positionally, so callers see the same
+    ordering regardless of scheduling.
+
+    Threading contract: [map] and [shutdown] must be called from the owning
+    (coordinating) domain; tasks run on worker domains and must not touch
+    the coordinator's domain-local state (e.g. its {!Trace.default} bus —
+    each worker domain has its own). *)
+
+type t
+
+(** [create n] spawns [n] worker domains ([n >= 1]). Remember that the
+    coordinating domain also counts against the runtime's recommended
+    domain count. *)
+val create : int -> t
+
+(** Number of worker domains. *)
+val size : t -> int
+
+(** [map t f items] runs [f items.(i)] for every [i] on the pool and blocks
+    until all are done; result [i] is [f items.(i)]. If one or more tasks
+    raise, the remaining tasks still run to completion and the first
+    exception observed is re-raised on the caller. Tasks must not
+    themselves call [map] or [shutdown] on this pool. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [shutdown t] finishes queued work, then joins all workers. Idempotent.
+    Calling [map] afterwards raises [Invalid_argument]. *)
+val shutdown : t -> unit

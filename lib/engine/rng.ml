@@ -35,6 +35,27 @@ let make ~state ~inc =
 let create ~seed =
   make ~state:(Int64.of_int seed) ~inc:(Int64.of_int (seed lxor 0x5DEECE66))
 
+(* FNV-1a, 64-bit: mixes a textual key into an initial hash state. Used to
+   derive per-job generators — cheap, stable across runs, and good enough
+   dispersion that distinct keys land on distinct PCG streams. *)
+let fnv1a64 init s =
+  let prime = 0x100000001B3L in
+  let h = ref init in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let fnv_offset = 0xCBF29CE484222325L
+
+let for_key ~seed key =
+  let state = fnv1a64 (Int64.logxor fnv_offset (Int64.of_int seed)) key in
+  (* Second pass from a perturbed origin decorrelates the stream selector
+     from the state; PCG32 streams differ whenever [inc] differs, so even a
+     [state] collision between two keys cannot alias their streams. *)
+  let inc = fnv1a64 (Int64.logxor state 0x9E3779B97F4A7C15L) key in
+  make ~state ~inc
+
 let bits32 t =
   let v = output t.state in
   step t;

@@ -14,6 +14,12 @@ val create : seed:int -> t
     advancing [t]. Used to give each flow or source its own stream. *)
 val split : t -> t
 
+(** [for_key ~seed key] derives a generator from the pair [(seed, key)] by
+    hashing (FNV-1a 64). Equal pairs give equal streams; distinct keys give
+    distinct PCG32 stream selectors, so a grid of jobs keyed by cell name
+    draws from non-overlapping streams in any execution order. *)
+val for_key : seed:int -> string -> t
+
 (** [copy t] duplicates the generator state (same future stream). *)
 val copy : t -> t
 

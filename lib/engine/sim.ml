@@ -1,15 +1,30 @@
-type handle = { mutable state : [ `Pending | `Fired | `Cancelled ]; f : unit -> unit }
+type handle = {
+  mutable state : [ `Pending | `Fired | `Cancelled ];
+  f : unit -> unit;
+  (* Shared with the owning scheduler: counts cancelled handles still
+     sitting in its heap, so [run] knows when a sweep pays off. *)
+  cancelled_in_heap : int ref;
+}
 
 type t = {
   mutable clock : float;
   events : handle Event_queue.t;
   mutable stopping : bool;
+  cancelled : int ref;
   trace : Trace.t;
 }
 
 let create ?trace () =
   let trace = match trace with Some tr -> tr | None -> Trace.default () in
-  let t = { clock = 0.; events = Event_queue.create (); stopping = false; trace } in
+  let t =
+    {
+      clock = 0.;
+      events = Event_queue.create ();
+      stopping = false;
+      cancelled = ref 0;
+      trace;
+    }
+  in
   (* Marks a fresh virtual clock: observers (e.g. the invariant checker)
      reset per-run state like the time-monotonicity watermark here. *)
   if Trace.active trace then Trace.emit trace ~time:0. ~cat:"sim" ~name:"created" [];
@@ -22,7 +37,7 @@ let at t time f =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time t.clock);
-  let h = { state = `Pending; f } in
+  let h = { state = `Pending; f; cancelled_in_heap = t.cancelled } in
   Event_queue.push t.events ~time h;
   h
 
@@ -30,15 +45,40 @@ let after t delay f =
   if delay < 0. then invalid_arg "Sim.after: negative delay";
   at t (t.clock +. delay) f
 
-let cancel h = if h.state = `Pending then h.state <- `Cancelled
+let cancel h =
+  if h.state = `Pending then begin
+    h.state <- `Cancelled;
+    incr h.cancelled_in_heap
+  end
 
 let is_pending h = h.state = `Pending
 
-let null_handle = { state = `Fired; f = ignore }
+let null_handle = { state = `Fired; f = ignore; cancelled_in_heap = ref 0 }
 
 let pending_events t = Event_queue.size t.events
 
 let stop t = t.stopping <- true
+
+(* Sweep the heap once cancelled entries dominate it: timer-heavy protocols
+   (TCP retransmit, TFRC no-feedback) cancel far more events than they fire,
+   and without a sweep those dead entries — and the closures they capture —
+   survive until their original expiry pops them. The size floor keeps tiny
+   heaps from paying the O(n log n) sort. *)
+let sweep_floor = 64
+
+let maybe_sweep t =
+  let n = Event_queue.size t.events in
+  if n >= sweep_floor && 2 * !(t.cancelled) > n then begin
+    Event_queue.prune t.events ~keep:(fun h -> h.state = `Pending);
+    Event_queue.compact t.events;
+    t.cancelled := 0;
+    if Trace.active t.trace then
+      Trace.emit t.trace ~time:t.clock ~cat:"sim" ~name:"sweep"
+        [
+          ("before", Trace.Int n);
+          ("after", Trace.Int (Event_queue.size t.events));
+        ]
+  end
 
 let run t ~until =
   t.stopping <- false;
@@ -47,6 +87,7 @@ let run t ~until =
       [ ("until", Trace.Float until) ];
   let continue = ref true in
   while !continue && not t.stopping do
+    maybe_sweep t;
     match Event_queue.peek_time t.events with
     | None -> continue := false
     | Some time when time > until -> continue := false
@@ -55,7 +96,8 @@ let run t ~until =
         | None -> continue := false
         | Some (time, h) -> (
             match h.state with
-            | `Cancelled | `Fired -> ()
+            | `Cancelled -> decr t.cancelled
+            | `Fired -> ()
             | `Pending ->
                 t.clock <- time;
                 h.state <- `Fired;

@@ -40,11 +40,18 @@ val null_handle : handle
 
 (** [run t ~until] executes events in time order until the heap is empty or
     the next event is past [until]; the clock ends at [until] (or at the
-    last event if the heap drains first and [until] is infinite). *)
+    last event if the heap drains first and [until] is infinite).
+
+    Between pops, when the heap has grown past a small floor and more than
+    half of it is cancelled timers, the run loop prunes the cancelled
+    entries in bulk (emitting a [sim/sweep] trace event), so cancel-heavy
+    workloads keep {!pending_events} — and the memory retained by dead
+    timer closures — bounded by twice the live-timer count. *)
 val run : t -> until:float -> unit
 
 (** [pending_events t] is the number of events still in the heap, including
-    cancelled events that have not yet been swept out. *)
+    cancelled events that have not yet been swept out (see {!run} for when
+    sweeps happen). *)
 val pending_events : t -> int
 
 (** [stop t] makes [run] return after the currently executing event. *)

@@ -28,11 +28,19 @@ let create ?(ring = 0) () =
   if ring < 0 then invalid_arg "Trace.create: negative ring size";
   { sinks = []; ring = [||]; ring_cap = ring; ring_pos = 0; ring_len = 0; emitted = 0 }
 
-(* Process-wide bus that every [Sim.create ()] attaches to, so a CLI flag or
+(* Per-domain bus that every [Sim.create ()] attaches to, so a CLI flag or
    a test can observe simulations it did not build itself. No ring: fully
-   inert until a sink is added. *)
-let default_bus = lazy (create ())
-let default () = Lazy.force default_bus
+   inert until a sink is added.
+
+   This used to be a [lazy] global, which is shared mutable state: two
+   domains forcing it or mutating [sinks] concurrently would race. Buses are
+   deliberately unsynchronised (emit is on the hot path), so instead each
+   domain gets its own inert default bus via [Domain.DLS]. Cross-domain
+   observation is done above this layer: a parallel runner captures each
+   worker's events with a [memory_sink] on the worker's bus and replays them
+   on the coordinating domain's bus (see [Exp.Runner]). *)
+let default_key = Domain.DLS.new_key (fun () -> create ())
+let default () = Domain.DLS.get default_key
 
 let active t = t.sinks <> [] || t.ring_cap > 0
 

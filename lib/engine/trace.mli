@@ -8,10 +8,24 @@
     construction behind {!active}, so tracing costs one branch per site when
     off.
 
-    Every {!Sim.create} attaches to the process-wide {!default} bus unless
-    told otherwise, which is how [tfrc_sim --trace]/[--check] observe
+    Every {!Sim.create} attaches to the {!default} bus of the calling domain
+    unless told otherwise, which is how [tfrc_sim --trace]/[--check] observe
     simulations built deep inside an experiment, and how
-    {!Tfrc.Invariants} audits runs online. *)
+    {!Tfrc.Invariants} audits runs online.
+
+    {2 Threading contract}
+
+    A bus is {b not} thread-safe: [emit], [add_sink], [remove_sink] and
+    [close] must all happen on the domain that uses the bus. Synchronising
+    the hot [emit] path would tax every traced simulation, so none is done.
+    Instead, {!default} is {e domain-local} ([Domain.DLS]): each domain
+    lazily gets its own inert bus, and simulations running on a worker
+    domain emit to that worker's bus only. To observe events across
+    domains, attach a {!memory_sink} to the worker's bus from {e within}
+    the worker, then hand the captured event list back to the coordinating
+    domain and replay it with {!emit} — this is what [Exp.Runner] does to
+    keep [--trace]/[--check] output identical between sequential and
+    parallel runs. *)
 
 type value = Bool of bool | Int of int | Float of float | Str of string
 
@@ -32,8 +46,10 @@ type t
     (default 0: no ring). *)
 val create : ?ring:int -> unit -> t
 
-(** The process-wide bus. Created lazily, no ring, no sinks: inert until
-    someone attaches a sink. *)
+(** The calling domain's default bus. Created lazily per domain
+    ([Domain.DLS]), no ring, no sinks: inert until someone attaches a sink.
+    Distinct domains see distinct buses — see the threading contract
+    above. *)
 val default : unit -> t
 
 (** [active t] is true when at least one sink is attached or a ring is

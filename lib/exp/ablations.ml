@@ -1,5 +1,7 @@
 (* Each ablation isolates one knob of the TFRC design and measures the
-   axis it is supposed to affect. *)
+   axis it is supposed to affect. Every table cell that runs a simulation
+   is its own job, so the whole suite parallelizes; the render step lays
+   the cells back out section by section. *)
 
 (* Shared harness: one TFRC with the given config vs one SACK TCP over a
    15 Mb/s RED dumbbell; returns (normalized TFRC rate, normalized TCP
@@ -44,22 +46,32 @@ let versus_tcp ~config ~duration ~seed =
 
 (* --- A: history size ------------------------------------------------------- *)
 
-let history_size ppf ~duration ~seed =
+let history_ns = [ 4; 8; 16; 32 ]
+let history_key n = Printf.sprintf "ablations/history/%d" n
+
+let history_jobs ~duration =
+  List.map
+    (fun n ->
+      Job.make (history_key n) (fun rng ->
+          let seed = Job.derive_seed rng in
+          let config = Tfrc.Tfrc_config.default ~n_intervals:n () in
+          let tfrc, tcp, cov = versus_tcp ~config ~duration ~seed in
+          [ ("tfrc", Job.f tfrc); ("tcp", Job.f tcp); ("cov", Job.f cov) ]))
+    history_ns
+
+let render_history ppf finished =
   Format.fprintf ppf "A. Loss-interval history size n (8 is the paper's choice)@.@.";
   let rows =
     List.map
       (fun n ->
-        let config = Tfrc.Tfrc_config.default ~n_intervals:n () in
-        let tfrc, tcp, cov = versus_tcp ~config ~duration ~seed in
-        (* Responsiveness: RTTs to halve under the A.2 scenario with this
-           history size. *)
+        let r = Job.lookup finished (history_key n) in
         [
           string_of_int n;
-          Table.f2 tfrc;
-          Table.f2 tcp;
-          Table.f2 cov;
+          Table.f2 (Job.get_float r "tfrc");
+          Table.f2 (Job.get_float r "tcp");
+          Table.f2 (Job.get_float r "cov");
         ])
-      [ 4; 8; 16; 32 ]
+      history_ns
   in
   Table.print ppf
     ~header:[ "n"; "TFRC norm"; "TCP norm"; "TFRC CoV(0.5s)" ]
@@ -69,38 +81,50 @@ let history_size ppf ~duration ~seed =
 
 (* --- B: history discounting ------------------------------------------------- *)
 
-let discounting ppf =
-  Format.fprintf ppf "B. History discounting: recovery after congestion ends@.@.";
-  let slope ~discounting =
-    (* Fig19 scenario but with discounting toggled: measure the rate gained
-       between t=11.5 and t=13 (the discounting window). *)
-    let config =
-      Tfrc.Tfrc_config.default ~response:Tfrc.Response_function.Simple
-        ~delay_gain:false ~initial_rtt:0.1 ~ndupack:1
-        ~history_discounting:discounting ()
-    in
-    let count = ref 0 in
-    let time = ref (fun () -> 0.) in
-    let drop _ =
-      incr count;
-      !time () < 10. && !count mod 100 = 0
-    in
-    let path = Direct_path.create ~config ~rtt:0.1 ~drop () in
-    (time := fun () -> Engine.Sim.now path.sim);
-    let samples = ref [] in
-    Tfrc.Tfrc_sender.on_rate_update path.sender (fun t ~rate ~rtt:r ~p:_ ->
-        samples := (t, rate *. r /. 1000.) :: !samples);
-    Direct_path.run path ~until:13.5;
-    let ordered = List.rev !samples in
-    (* Rate at the last update before t0 (not a running max: the slow-start
-       overshoot would swamp it). *)
-    let at t0 =
-      List.fold_left (fun acc (t, v) -> if t <= t0 then v else acc) 0. ordered
-    in
-    at 13.4 -. at 11.5
+(* Fig19 scenario but with discounting toggled: measure the rate gained
+   between t=11.5 and t=13 (the discounting window). Deterministic — the
+   drop pattern is counter-driven. *)
+let discount_slope ~discounting =
+  let config =
+    Tfrc.Tfrc_config.default ~response:Tfrc.Response_function.Simple
+      ~delay_gain:false ~initial_rtt:0.1 ~ndupack:1
+      ~history_discounting:discounting ()
   in
-  let without = slope ~discounting:false in
-  let with_d = slope ~discounting:true in
+  let count = ref 0 in
+  let time = ref (fun () -> 0.) in
+  let drop _ =
+    incr count;
+    !time () < 10. && !count mod 100 = 0
+  in
+  let path = Direct_path.create ~config ~rtt:0.1 ~drop () in
+  (time := fun () -> Engine.Sim.now path.sim);
+  let samples = ref [] in
+  Tfrc.Tfrc_sender.on_rate_update path.sender (fun t ~rate ~rtt:r ~p:_ ->
+      samples := (t, rate *. r /. 1000.) :: !samples);
+  Direct_path.run path ~until:13.5;
+  let ordered = List.rev !samples in
+  (* Rate at the last update before t0 (not a running max: the slow-start
+     overshoot would swamp it). *)
+  let at t0 =
+    List.fold_left (fun acc (t, v) -> if t <= t0 then v else acc) 0. ordered
+  in
+  at 13.4 -. at 11.5
+
+let discount_key d =
+  Printf.sprintf "ablations/discount/%s" (if d then "on" else "off")
+
+let discount_jobs () =
+  List.map
+    (fun d ->
+      Job.make (discount_key d) (fun _rng ->
+          [ ("slope", Job.f (discount_slope ~discounting:d)) ]))
+    [ false; true ]
+
+let render_discounting ppf finished =
+  Format.fprintf ppf "B. History discounting: recovery after congestion ends@.@.";
+  let slope d = Job.get_float (Job.lookup finished (discount_key d)) "slope" in
+  let without = slope false in
+  let with_d = slope true in
   Table.print ppf
     ~header:[ "history discounting"; "rate gained 11.5s-13.4s (pkts/RTT)" ]
     [ [ "off"; Table.f2 without ]; [ "on"; Table.f2 with_d ] ];
@@ -111,7 +135,27 @@ let discounting ppf =
 
 (* --- C: RTT gain x delay gain ------------------------------------------------ *)
 
-let rtt_gain ppf ~duration =
+let rtt_gain_grid = [ 0.05; 0.1; 0.5 ]
+
+let rtt_gain_key gain delay_gain =
+  Printf.sprintf "ablations/rttgain/%.2f/%s" gain
+    (if delay_gain then "on" else "off")
+
+let rtt_gain_jobs ~duration =
+  List.concat_map
+    (fun gain ->
+      List.map
+        (fun delay_gain ->
+          Job.make (rtt_gain_key gain delay_gain) (fun _rng ->
+              let cov, mean =
+                Fig3_4.oscillation_with ~rtt_gain:gain ~delay_gain ~buffer:64
+                  ~duration
+              in
+              [ ("cov", Job.f cov); ("mean", Job.f mean) ]))
+        [ false; true ])
+    rtt_gain_grid
+
+let render_rtt_gain ppf finished =
   Format.fprintf ppf
     "C. RTT EWMA gain and interpacket-spacing stabilization (Section 3.4)@.@.";
   let rows =
@@ -119,18 +163,15 @@ let rtt_gain ppf ~duration =
       (fun gain ->
         List.map
           (fun delay_gain ->
-            let cov, mean =
-              Fig3_4.oscillation_with ~rtt_gain:gain ~delay_gain ~buffer:64
-                ~duration
-            in
+            let r = Job.lookup finished (rtt_gain_key gain delay_gain) in
             [
               Printf.sprintf "%.2f" gain;
               (if delay_gain then "on" else "off");
-              Table.f3 cov;
-              Table.f2 (mean /. 1e3);
+              Table.f3 (Job.get_float r "cov");
+              Table.f2 (Job.get_float r "mean" /. 1e3);
             ])
           [ false; true ])
-      [ 0.05; 0.1; 0.5 ]
+      rtt_gain_grid
   in
   Table.print ppf
     ~header:[ "EWMA gain"; "sqrt(R0)/M"; "CoV(0.2s)"; "rate KB/s" ]
@@ -141,79 +182,106 @@ let rtt_gain ppf ~duration =
 
 (* --- D: expedited feedback ----------------------------------------------------- *)
 
-let expedited_feedback ppf =
-  Format.fprintf ppf "D. Expedited feedback on loss events@.@.";
-  let rtts ~feedback_on_loss =
-    let config =
-      Tfrc.Tfrc_config.default ~response:Tfrc.Response_function.Pftk
-        ~delay_gain:false ~initial_rtt:0.1 ~ndupack:1 ~feedback_on_loss ()
-    in
-    let count = ref 0 in
-    let time = ref (fun () -> 0.) in
-    let drop _ =
-      incr count;
-      if !time () < 10. then !count mod 100 = 0 else !count mod 2 = 0
-    in
-    let path = Direct_path.create ~config ~rtt:0.1 ~drop () in
-    (time := fun () -> Engine.Sim.now path.sim);
-    let samples = ref [] in
-    Tfrc.Tfrc_sender.on_rate_update path.sender (fun t ~rate ~rtt:_ ~p:_ ->
-        samples := (t, rate) :: !samples);
-    Direct_path.run path ~until:14.;
-    let samples = List.rev !samples in
-    let before =
-      List.fold_left (fun acc (t, r) -> if t < 10. then r else acc) 0. samples
-    in
-    match
-      List.find_opt (fun (t, r) -> t >= 10. && r <= before /. 2.) samples
-    with
-    | Some (t, _) -> Printf.sprintf "%.0f" (ceil ((t -. 10.) /. 0.1))
-    | None -> "never"
+(* Deterministic: counter-driven drops over a direct path. *)
+let expedited_rtts ~feedback_on_loss =
+  let config =
+    Tfrc.Tfrc_config.default ~response:Tfrc.Response_function.Pftk
+      ~delay_gain:false ~initial_rtt:0.1 ~ndupack:1 ~feedback_on_loss ()
   in
+  let count = ref 0 in
+  let time = ref (fun () -> 0.) in
+  let drop _ =
+    incr count;
+    if !time () < 10. then !count mod 100 = 0 else !count mod 2 = 0
+  in
+  let path = Direct_path.create ~config ~rtt:0.1 ~drop () in
+  (time := fun () -> Engine.Sim.now path.sim);
+  let samples = ref [] in
+  Tfrc.Tfrc_sender.on_rate_update path.sender (fun t ~rate ~rtt:_ ~p:_ ->
+      samples := (t, rate) :: !samples);
+  Direct_path.run path ~until:14.;
+  let samples = List.rev !samples in
+  let before =
+    List.fold_left (fun acc (t, r) -> if t < 10. then r else acc) 0. samples
+  in
+  match
+    List.find_opt (fun (t, r) -> t >= 10. && r <= before /. 2.) samples
+  with
+  | Some (t, _) -> Printf.sprintf "%.0f" (ceil ((t -. 10.) /. 0.1))
+  | None -> "never"
+
+let expedited_key on =
+  Printf.sprintf "ablations/expedited/%s" (if on then "on" else "off")
+
+let expedited_jobs () =
+  List.map
+    (fun on ->
+      Job.make (expedited_key on) (fun _rng ->
+          [ ("rtts", Job.s (expedited_rtts ~feedback_on_loss:on)) ]))
+    [ true; false ]
+
+let render_expedited ppf finished =
+  Format.fprintf ppf "D. Expedited feedback on loss events@.@.";
+  let rtts on = Job.get_str (Job.lookup finished (expedited_key on)) "rtts" in
   Table.print ppf
     ~header:[ "feedback on loss"; "RTTs to halve under persistent congestion" ]
     [
-      [ "on (default)"; rtts ~feedback_on_loss:true ];
-      [ "off (per-RTT only)"; rtts ~feedback_on_loss:false ];
+      [ "on (default)"; rtts true ];
+      [ "off (per-RTT only)"; rtts false ];
     ];
   Format.fprintf ppf "@."
 
 (* --- E: burstiness aid ------------------------------------------------------------ *)
 
-let burstiness ppf ~duration ~seed =
+(* Low-bandwidth bottleneck: TCP's window is tiny and TFRC's perfectly
+   smooth spacing can crowd it out of a DropTail buffer. *)
+let burst_run ~burst_pkts ~duration ~seed =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let bandwidth = Engine.Units.mbps 0.8 in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
+      ~queue:(Netsim.Dumbbell.Droptail_q 8) ()
+  in
+  let tcp =
+    Scenario.attach_tcp db ~flow:1
+      ~rtt_base:(Engine.Rng.uniform rng 0.09 0.11)
+      ~config:Tcpsim.Tcp_common.ns_sack
+  in
+  Tcpsim.Tcp_sender.start tcp.tcp_sender ~at:0.5;
+  let tfrc =
+    Scenario.attach_tfrc db ~flow:2
+      ~rtt_base:(Engine.Rng.uniform rng 0.09 0.11)
+      ~config:(Tfrc.Tfrc_config.default ~burst_pkts ())
+  in
+  Tfrc.Tfrc_sender.start tfrc.tfrc_sender ~at:0.;
+  Engine.Sim.run sim ~until:duration;
+  let t0 = duration /. 3. and t1 = duration in
+  let tcp_rate = Netsim.Flowmon.mean_rate tcp.tcp_recv_mon ~t0 ~t1 in
+  let tfrc_rate = Netsim.Flowmon.mean_rate tfrc.tfrc_recv_mon ~t0 ~t1 in
+  (tcp_rate /. 1e3, tfrc_rate /. 1e3)
+
+let burst_key n = Printf.sprintf "ablations/burst/%d" n
+
+let burst_jobs ~duration =
+  List.map
+    (fun burst_pkts ->
+      Job.make (burst_key burst_pkts) (fun rng ->
+          let seed = Job.derive_seed rng in
+          let tcp, tfrc = burst_run ~burst_pkts ~duration ~seed in
+          [ ("tcp", Job.f tcp); ("tfrc", Job.f tfrc) ]))
+    [ 1; 2 ]
+
+let render_burstiness ppf finished =
   Format.fprintf ppf
     "E. Sending two packets every two interpacket intervals (Section 4.1) — \
      small-window TCP competitor@.@.";
-  (* Low-bandwidth bottleneck: TCP's window is tiny and TFRC's perfectly
-     smooth spacing can crowd it out of a DropTail buffer. *)
-  let run ~burst_pkts =
-    let sim = Engine.Sim.create () in
-    let rng = Engine.Rng.create ~seed in
-    let bandwidth = Engine.Units.mbps 0.8 in
-    let db =
-      Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
-        ~queue:(Netsim.Dumbbell.Droptail_q 8) ()
-    in
-    let tcp =
-      Scenario.attach_tcp db ~flow:1
-        ~rtt_base:(Engine.Rng.uniform rng 0.09 0.11)
-        ~config:Tcpsim.Tcp_common.ns_sack
-    in
-    Tcpsim.Tcp_sender.start tcp.tcp_sender ~at:0.5;
-    let tfrc =
-      Scenario.attach_tfrc db ~flow:2
-        ~rtt_base:(Engine.Rng.uniform rng 0.09 0.11)
-        ~config:(Tfrc.Tfrc_config.default ~burst_pkts ())
-    in
-    Tfrc.Tfrc_sender.start tfrc.tfrc_sender ~at:0.;
-    Engine.Sim.run sim ~until:duration;
-    let t0 = duration /. 3. and t1 = duration in
-    let tcp_rate = Netsim.Flowmon.mean_rate tcp.tcp_recv_mon ~t0 ~t1 in
-    let tfrc_rate = Netsim.Flowmon.mean_rate tfrc.tfrc_recv_mon ~t0 ~t1 in
-    (tcp_rate /. 1e3, tfrc_rate /. 1e3)
+  let cell n =
+    let r = Job.lookup finished (burst_key n) in
+    (Job.get_float r "tcp", Job.get_float r "tfrc")
   in
-  let t1, f1 = run ~burst_pkts:1 in
-  let t2, f2 = run ~burst_pkts:2 in
+  let t1, f1 = cell 1 in
+  let t2, f2 = cell 2 in
   Table.print ppf
     ~header:[ "TFRC bursting"; "TCP KB/s"; "TFRC KB/s"; "TCP share" ]
     [
@@ -224,61 +292,80 @@ let burstiness ppf ~duration ~seed =
 
 (* --- F: ECN ------------------------------------------------------------------------- *)
 
-let ecn ppf ~duration ~seed =
+let ecn_run ~use_ecn ~duration ~seed =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let bandwidth = Engine.Units.mbps 15. in
+  let red =
+    Netsim.Red.params ~min_th:10. ~max_th:50. ~limit_pkts:100 ~ecn:use_ecn ()
+  in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
+      ~queue:(Netsim.Dumbbell.Red_q red) ()
+  in
+  let tcps =
+    List.init 8 (fun i ->
+        let h =
+          Scenario.attach_tcp db ~flow:(i + 1)
+            ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12)
+            ~config:(Tcpsim.Tcp_common.default ~ecn:use_ecn ())
+        in
+        Tcpsim.Tcp_sender.start h.tcp_sender ~at:(Engine.Rng.float rng 2.);
+        h)
+  in
+  let tfrcs =
+    List.init 8 (fun i ->
+        let h =
+          Scenario.attach_tfrc db ~flow:(100 + i)
+            ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12)
+            ~config:(Tfrc.Tfrc_config.default ~ecn:use_ecn ())
+        in
+        Tfrc.Tfrc_sender.start h.tfrc_sender ~at:(Engine.Rng.float rng 2.);
+        h)
+  in
+  Engine.Sim.run sim ~until:duration;
+  let t0 = duration /. 3. and t1 = duration in
+  let rate mon = Netsim.Flowmon.mean_rate mon ~t0 ~t1 in
+  let tcp_rates = List.map (fun h -> rate h.Scenario.tcp_recv_mon) tcps in
+  let tfrc_rates = List.map (fun h -> rate h.Scenario.tfrc_recv_mon) tfrcs in
+  let marks =
+    List.fold_left
+      (fun acc h ->
+        acc
+        + Tfrc.Loss_events.marked_packets
+            (Tfrc.Tfrc_receiver.detector h.Scenario.tfrc_receiver))
+      0 tfrcs
+  in
+  ( Netsim.Dumbbell.forward_drop_rate db,
+    Stats.Fairness.jain (tcp_rates @ tfrc_rates),
+    Scenario.mean tcp_rates /. Scenario.mean tfrc_rates,
+    marks )
+
+let ecn_key on = Printf.sprintf "ablations/ecn/%s" (if on then "on" else "off")
+
+let ecn_jobs ~duration =
+  List.map
+    (fun use_ecn ->
+      Job.make (ecn_key use_ecn) (fun rng ->
+          let seed = Job.derive_seed rng in
+          let d, j, r, marks = ecn_run ~use_ecn ~duration ~seed in
+          [
+            ("drop", Job.f d); ("jain", Job.f j); ("ratio", Job.f r);
+            ("marks", Job.i marks);
+          ]))
+    [ false; true ]
+
+let render_ecn ppf finished =
   Format.fprintf ppf
     "F. ECN: marking instead of dropping at the RED bottleneck (Section 7 \
      outlook)@.@.";
-  let run ~use_ecn =
-    let sim = Engine.Sim.create () in
-    let rng = Engine.Rng.create ~seed in
-    let bandwidth = Engine.Units.mbps 15. in
-    let red =
-      Netsim.Red.params ~min_th:10. ~max_th:50. ~limit_pkts:100 ~ecn:use_ecn ()
-    in
-    let db =
-      Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
-        ~queue:(Netsim.Dumbbell.Red_q red) ()
-    in
-    let tcps =
-      List.init 8 (fun i ->
-          let h =
-            Scenario.attach_tcp db ~flow:(i + 1)
-              ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12)
-              ~config:(Tcpsim.Tcp_common.default ~ecn:use_ecn ())
-          in
-          Tcpsim.Tcp_sender.start h.tcp_sender ~at:(Engine.Rng.float rng 2.);
-          h)
-    in
-    let tfrcs =
-      List.init 8 (fun i ->
-          let h =
-            Scenario.attach_tfrc db ~flow:(100 + i)
-              ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12)
-              ~config:(Tfrc.Tfrc_config.default ~ecn:use_ecn ())
-          in
-          Tfrc.Tfrc_sender.start h.tfrc_sender ~at:(Engine.Rng.float rng 2.);
-          h)
-    in
-    Engine.Sim.run sim ~until:duration;
-    let t0 = duration /. 3. and t1 = duration in
-    let rate mon = Netsim.Flowmon.mean_rate mon ~t0 ~t1 in
-    let tcp_rates = List.map (fun h -> rate h.Scenario.tcp_recv_mon) tcps in
-    let tfrc_rates = List.map (fun h -> rate h.Scenario.tfrc_recv_mon) tfrcs in
-    let marks =
-      List.fold_left
-        (fun acc h ->
-          acc
-          + Tfrc.Loss_events.marked_packets
-              (Tfrc.Tfrc_receiver.detector h.Scenario.tfrc_receiver))
-        0 tfrcs
-    in
-    ( Netsim.Dumbbell.forward_drop_rate db,
-      Stats.Fairness.jain (tcp_rates @ tfrc_rates),
-      Scenario.mean tcp_rates /. Scenario.mean tfrc_rates,
-      marks )
+  let cell on =
+    let r = Job.lookup finished (ecn_key on) in
+    ( Job.get_float r "drop", Job.get_float r "jain", Job.get_float r "ratio",
+      Job.get_int r "marks" )
   in
-  let d0, j0, r0, _ = run ~use_ecn:false in
-  let d1, j1, r1, marks = run ~use_ecn:true in
+  let d0, j0, r0, _ = cell false in
+  let d1, j1, r1, marks = cell true in
   Table.print ppf
     ~header:[ "mode"; "drop rate %"; "Jain index"; "TCP/TFRC ratio"; "ECN marks" ]
     [
@@ -299,64 +386,108 @@ let ecn ppf ~duration ~seed =
 
 (* --- G: smooth AIMD vs equation-based ------------------------------------------ *)
 
-let smooth_aimd ppf ~duration ~seed =
+(* Mixed run: 4 standard TCP + 4 smooth-AIMD "TCP" flows. *)
+let aimd_mixed ~smooth_config ~duration ~seed =
+  let sim = Engine.Sim.create () in
+  let rng = Engine.Rng.create ~seed in
+  let bandwidth = Engine.Units.mbps 15. in
+  let db =
+    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
+      ~queue:(Scenario.scaled_queue `Red ~bandwidth) ()
+  in
+  let attach config flow =
+    let h =
+      Scenario.attach_tcp db ~flow
+        ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12)
+        ~config
+    in
+    Tcpsim.Tcp_sender.start h.tcp_sender ~at:(Engine.Rng.float rng 2.);
+    h
+  in
+  let std = List.init 4 (fun i -> attach Tcpsim.Tcp_common.ns_sack (i + 1)) in
+  let smooth = List.init 4 (fun i -> attach smooth_config (100 + i)) in
+  Engine.Sim.run sim ~until:duration;
+  let t0 = duration /. 3. and t1 = duration in
+  let fair = Engine.Units.bps_to_byte_rate bandwidth /. 8. in
+  let norm h = Netsim.Flowmon.mean_rate h.Scenario.tcp_recv_mon ~t0 ~t1 /. fair in
+  let cov h =
+    Stats.Metrics.cov_at_timescale
+      (Netsim.Flowmon.series h.Scenario.tcp_send_mon)
+      ~t0 ~t1 ~tau:0.5
+  in
+  ( Scenario.mean (List.map norm std),
+    Scenario.mean (List.map norm smooth),
+    Scenario.mean (List.map cov smooth) )
+
+let aimd_mixed_key = "ablations/aimd/mixed"
+let aimd_tfrc_key = "ablations/aimd/tfrc"
+
+let aimd_jobs ~duration =
+  [
+    Job.make aimd_mixed_key (fun rng ->
+        let seed = Job.derive_seed rng in
+        let tcp_norm, aimd_norm, aimd_cov =
+          aimd_mixed ~smooth_config:Tcpsim.Tcp_common.aimd_smooth ~duration
+            ~seed
+        in
+        [
+          ("tcp_norm", Job.f tcp_norm);
+          ("aimd_norm", Job.f aimd_norm);
+          ("aimd_cov", Job.f aimd_cov);
+        ]);
+    (* TFRC reference from the shared harness. *)
+    Job.make aimd_tfrc_key (fun rng ->
+        let seed = Job.derive_seed rng in
+        let tfrc_norm, _, tfrc_cov =
+          versus_tcp ~config:(Tfrc.Tfrc_config.default ()) ~duration ~seed
+        in
+        [ ("tfrc_norm", Job.f tfrc_norm); ("tfrc_cov", Job.f tfrc_cov) ]);
+  ]
+
+let render_aimd ppf finished =
   Format.fprintf ppf
     "G. Alternative smooth congestion control: TCP-compatible AIMD(a, 7/8)      vs TFRC ([FHP00], Section 2.1)@.@.";
-  (* Mixed run: 4 standard TCP + 4 smooth-AIMD "TCP" flows. *)
-  let mixed ~smooth_config =
-    let sim = Engine.Sim.create () in
-    let rng = Engine.Rng.create ~seed in
-    let bandwidth = Engine.Units.mbps 15. in
-    let db =
-      Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
-        ~queue:(Scenario.scaled_queue `Red ~bandwidth) ()
-    in
-    let attach config flow =
-      let h =
-        Scenario.attach_tcp db ~flow
-          ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12)
-          ~config
-      in
-      Tcpsim.Tcp_sender.start h.tcp_sender ~at:(Engine.Rng.float rng 2.);
-      h
-    in
-    let std = List.init 4 (fun i -> attach Tcpsim.Tcp_common.ns_sack (i + 1)) in
-    let smooth = List.init 4 (fun i -> attach smooth_config (100 + i)) in
-    Engine.Sim.run sim ~until:duration;
-    let t0 = duration /. 3. and t1 = duration in
-    let fair = Engine.Units.bps_to_byte_rate bandwidth /. 8. in
-    let norm h = Netsim.Flowmon.mean_rate h.Scenario.tcp_recv_mon ~t0 ~t1 /. fair in
-    let cov h =
-      Stats.Metrics.cov_at_timescale
-        (Netsim.Flowmon.series h.Scenario.tcp_send_mon)
-        ~t0 ~t1 ~tau:0.5
-    in
-    ( Scenario.mean (List.map norm std),
-      Scenario.mean (List.map norm smooth),
-      Scenario.mean (List.map cov smooth) )
-  in
-  let tcp_norm, aimd_norm, aimd_cov = mixed ~smooth_config:Tcpsim.Tcp_common.aimd_smooth in
-  (* TFRC reference from the shared harness. *)
-  let tfrc_norm, _, tfrc_cov =
-    versus_tcp ~config:(Tfrc.Tfrc_config.default ()) ~duration ~seed
-  in
+  let m = Job.lookup finished aimd_mixed_key in
+  let t = Job.lookup finished aimd_tfrc_key in
   Table.print ppf
     ~header:[ "contender"; "norm. throughput"; "CoV(0.5s)" ]
     [
-      [ "std TCP (control)"; Table.f2 tcp_norm; "-" ];
-      [ "AIMD(0.31, 7/8)"; Table.f2 aimd_norm; Table.f3 aimd_cov ];
-      [ "TFRC"; Table.f2 tfrc_norm; Table.f3 tfrc_cov ];
+      [ "std TCP (control)"; Table.f2 (Job.get_float m "tcp_norm"); "-" ];
+      [
+        "AIMD(0.31, 7/8)";
+        Table.f2 (Job.get_float m "aimd_norm");
+        Table.f3 (Job.get_float m "aimd_cov");
+      ];
+      [
+        "TFRC";
+        Table.f2 (Job.get_float t "tfrc_norm");
+        Table.f3 (Job.get_float t "tfrc_cov");
+      ];
     ];
   Format.fprintf ppf
     "(smooth AIMD narrows TCP's oscillations but still reduces on every      loss event; TFRC's CoV stays lowest — the [FHP00] conclusion)@.@."
 
-let run ~full ~seed ppf =
+(* --- Assembly ----------------------------------------------------------------- *)
+
+let jobs ~full =
   let duration = if full then 120. else 45. in
+  List.concat
+    [
+      history_jobs ~duration;
+      discount_jobs ();
+      rtt_gain_jobs ~duration:(if full then 120. else 40.);
+      expedited_jobs ();
+      burst_jobs ~duration;
+      ecn_jobs ~duration;
+      aimd_jobs ~duration;
+    ]
+
+let render ~full:_ ~seed:_ finished ppf =
   Format.fprintf ppf "Ablations over TFRC's design choices@.@.";
-  history_size ppf ~duration ~seed;
-  discounting ppf;
-  rtt_gain ppf ~duration:(if full then 120. else 40.);
-  expedited_feedback ppf;
-  burstiness ppf ~duration ~seed;
-  ecn ppf ~duration ~seed;
-  smooth_aimd ppf ~duration ~seed
+  render_history ppf finished;
+  render_discounting ppf finished;
+  render_rtt_gain ppf finished;
+  render_expedited ppf finished;
+  render_burstiness ppf finished;
+  render_ecn ppf finished;
+  render_aimd ppf finished

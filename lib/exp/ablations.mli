@@ -9,4 +9,13 @@
       against a small-window TCP competitor,
     - ECN marking vs dropping at a RED bottleneck (Section 7 outlook). *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+(** One job per table cell that runs a simulation, grouped by section key
+    prefix (e.g. ["ablations/history/8"]). *)
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit

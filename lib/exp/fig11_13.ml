@@ -69,11 +69,38 @@ let one ~sources ~duration ~seed =
     cov_tcp = List.map (cov tcp.tcp_send_mon) timescales;
   }
 
-let run ~full ~seed ppf =
+let counts ~full = if full then [ 50; 60; 100; 130; 150 ] else [ 50; 100; 150 ]
+let key sources = Printf.sprintf "fig11_13/%d" sources
+
+let jobs ~full =
   let duration = if full then 2500. else 200. in
-  let counts = if full then [ 50; 60; 100; 130; 150 ] else [ 50; 100; 150 ] in
+  List.map
+    (fun sources ->
+      Job.make (key sources) (fun rng ->
+          let r = one ~sources ~duration ~seed:(Job.derive_seed rng) in
+          [
+            ("loss_rate", Job.f r.loss_rate);
+            ("equivalence", Job.floats r.equivalence);
+            ("cov_tfrc", Job.floats r.cov_tfrc);
+            ("cov_tcp", Job.floats r.cov_tcp);
+          ]))
+    (counts ~full)
+
+let render ~full ~seed:_ finished ppf =
+  let duration = if full then 2500. else 200. in
   let results =
-    List.map (fun sources -> one ~sources ~duration ~seed) counts
+    List.map
+      (fun sources ->
+        let r = Job.lookup finished (key sources) in
+        {
+          sources;
+          loss_rate = Job.get_float r "loss_rate";
+          timescales;
+          equivalence = Job.get_floats r "equivalence";
+          cov_tfrc = Job.get_floats r "cov_tfrc";
+          cov_tcp = Job.get_floats r "cov_tcp";
+        })
+      (counts ~full)
   in
   Format.fprintf ppf
     "Figures 11-13: Pareto ON/OFF background traffic, 15 Mb/s RED, one \

@@ -7,7 +7,14 @@
     - Figure 12: TFRC/TCP equivalence ratio vs timescale per source count.
     - Figure 13: CoV of each monitored flow vs timescale. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 type result = {
   sources : int;

@@ -75,10 +75,38 @@ let one ~proto ~duration ~seed =
     queue_series = qs;
   }
 
-let run ~full ~seed ppf =
+let key = function `Tcp -> "fig14/tcp" | `Tfrc -> "fig14/tfrc"
+
+let jobs ~full =
   let duration = if full then 60. else 30. in
-  let tcp = one ~proto:`Tcp ~duration ~seed in
-  let tfrc = one ~proto:`Tfrc ~duration ~seed in
+  List.map
+    (fun proto ->
+      Job.make (key proto) (fun rng ->
+          let r = one ~proto ~duration ~seed:(Job.derive_seed rng) in
+          [
+            ("label", Job.s r.label);
+            ("utilization", Job.f r.utilization);
+            ("drop_rate", Job.f r.drop_rate);
+            ("queue_mean", Job.f r.queue_mean);
+            ("queue_sd", Job.f r.queue_sd);
+            ("queue_series", Job.floats (Array.to_list r.queue_series));
+          ]))
+    [ `Tcp; `Tfrc ]
+
+let render ~full:_ ~seed:_ finished ppf =
+  let result_of proto =
+    let r = Job.lookup finished (key proto) in
+    {
+      label = Job.get_str r "label";
+      utilization = Job.get_float r "utilization";
+      drop_rate = Job.get_float r "drop_rate";
+      queue_mean = Job.get_float r "queue_mean";
+      queue_sd = Job.get_float r "queue_sd";
+      queue_series = Array.of_list (Job.get_floats r "queue_series");
+    }
+  in
+  let tcp = result_of `Tcp in
+  let tfrc = result_of `Tfrc in
   Format.fprintf ppf
     "Figure 14: queue dynamics, 40 long-lived flows + 20%% web background, \
      15 Mb/s DropTail@.@.";

@@ -6,7 +6,14 @@
     should not degrade queue dynamics relative to TCP (paper: 99%
     utilization both; drops 4.9% TCP vs 3.5% TFRC). *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 type result = {
   label : string;

@@ -132,9 +132,11 @@ let measure_path p ~duration ~seed =
     loss_rate = Netsim.Dumbbell.forward_drop_rate db;
   }
 
-(* Figure 15: 3 TCP + 1 TFRC on the UCL profile, 1 s throughput bins. *)
-let fig15 ppf ~duration ~seed =
+(* Figure 15's headline run: 3 TCP + 1 TFRC on the UCL profile, 1 s
+   throughput bins, returned as data for the render step. *)
+let fig15_job ~duration rng =
   let p = List.hd profiles in
+  let seed = Job.derive_seed rng in
   let sim, rng, db = build_path p ~seed in
   let tcps =
     List.init 3 (fun i ->
@@ -154,44 +156,91 @@ let fig15 ppf ~duration ~seed =
   Tfrc.Tfrc_sender.start tfrc.tfrc_sender ~at:(Engine.Rng.float rng 1.);
   Engine.Sim.run sim ~until:duration;
   let t0 = duration /. 4. and t1 = duration in
+  let kb_bins series =
+    Stats.Time_series.rates series ~t0 ~t1 ~bin:1.0
+    |> Array.map (fun v -> v /. 1e3)
+    |> Array.to_list
+  in
+  let sd_of series =
+    let b = Stats.Time_series.rates series ~t0 ~t1 ~bin:1.0 in
+    Stats.Running.cov (Stats.Running.of_array b)
+  in
+  [
+    ( "tcp_bins",
+      Job.rows
+        (List.map
+           (fun h -> kb_bins (Netsim.Flowmon.series h.Scenario.tcp_send_mon))
+           tcps) );
+    ("tfrc_bins", Job.floats (kb_bins (Netsim.Flowmon.series tfrc.tfrc_send_mon)));
+    ("tfrc_cov", Job.f (sd_of (Netsim.Flowmon.series tfrc.tfrc_send_mon)));
+    ( "tcp_cov",
+      Job.f
+        (Scenario.mean
+           (List.map
+              (fun h -> sd_of (Netsim.Flowmon.series h.Scenario.tcp_send_mon))
+              tcps)) );
+  ]
+
+let path_key p = Printf.sprintf "fig15_17/path/%s" p.name
+
+let jobs ~full =
+  let duration = if full then 400. else 120. in
+  Job.make "fig15_17/fig15" (fig15_job ~duration)
+  :: List.map
+       (fun p ->
+         Job.make (path_key p) (fun rng ->
+             let r = measure_path p ~duration ~seed:(Job.derive_seed rng) in
+             [
+               ("equivalence", Job.floats r.equivalence);
+               ("cov_tfrc", Job.floats r.cov_tfrc);
+               ("cov_tcp", Job.floats r.cov_tcp);
+               ("tcp_rate", Job.f r.tcp_rate);
+               ("tfrc_rate", Job.f r.tfrc_rate);
+               ("loss_rate", Job.f r.loss_rate);
+             ]))
+       profiles
+
+let render_fig15 finished ppf =
+  let r = Job.lookup finished "fig15_17/fig15" in
+  let p = List.hd profiles in
   Format.fprintf ppf
     "Figure 15: 3 TCP + 1 TFRC on the '%s' profile (1 s bins, KB/s)@.@."
     p.name;
-  let show label series =
-    let b =
-      Stats.Time_series.rates series ~t0 ~t1 ~bin:1.0
-      |> Array.map (fun v -> v /. 1e3)
-    in
+  let show label bins =
+    let b = Array.of_list bins in
     let r = Stats.Running.of_array b in
     Format.fprintf ppf "%-6s mean %6.1f KB/s sd %5.1f  %s@." label
       (Stats.Running.mean r) (Stats.Running.stddev r)
       (Table.sparkline (Array.sub b 0 (min 90 (Array.length b))))
   in
   List.iteri
-    (fun i h ->
-      show (Printf.sprintf "TCP%d" (i + 1)) (Netsim.Flowmon.series h.Scenario.tcp_send_mon))
-    tcps;
-  show "TFRC" (Netsim.Flowmon.series tfrc.tfrc_send_mon);
-  let sd_of series =
-    let b = Stats.Time_series.rates series ~t0 ~t1 ~bin:1.0 in
-    Stats.Running.cov (Stats.Running.of_array b)
-  in
-  let tfrc_cov = sd_of (Netsim.Flowmon.series tfrc.tfrc_send_mon) in
-  let tcp_cov =
-    Scenario.mean
-      (List.map
-         (fun h -> sd_of (Netsim.Flowmon.series h.Scenario.tcp_send_mon))
-         tcps)
-  in
+    (fun i bins -> show (Printf.sprintf "TCP%d" (i + 1)) bins)
+    (Job.get_rows r "tcp_bins");
+  show "TFRC" (Job.get_floats r "tfrc_bins");
   Format.fprintf ppf
     "@.TFRC CoV %.2f vs mean TCP CoV %.2f at 1 s (paper: TFRC smooth, \
      slightly below TCP's average rate)@.@."
-    tfrc_cov tcp_cov
+    (Job.get_float r "tfrc_cov")
+    (Job.get_float r "tcp_cov")
 
-let run ~full ~seed ppf =
-  let duration = if full then 400. else 120. in
-  fig15 ppf ~duration ~seed;
-  let results = List.map (fun p -> measure_path p ~duration ~seed) profiles in
+let render ~full:_ ~seed:_ finished ppf =
+  render_fig15 finished ppf;
+  let results =
+    List.map
+      (fun p ->
+        let r = Job.lookup finished (path_key p) in
+        {
+          profile_name = p.name;
+          timescales;
+          equivalence = Job.get_floats r "equivalence";
+          cov_tfrc = Job.get_floats r "cov_tfrc";
+          cov_tcp = Job.get_floats r "cov_tcp";
+          tcp_rate = Job.get_float r "tcp_rate";
+          tfrc_rate = Job.get_float r "tfrc_rate";
+          loss_rate = Job.get_float r "loss_rate";
+        })
+      profiles
+  in
   Format.fprintf ppf "Figure 16: equivalence ratio vs timescale per path@.@.";
   Table.print ppf
     ~header:

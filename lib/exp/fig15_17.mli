@@ -23,7 +23,14 @@ type profile = {
 
 val profiles : profile list
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 type path_result = {
   profile_name : string;

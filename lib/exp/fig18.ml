@@ -92,21 +92,44 @@ let evaluate ~history ~constant_weights ~traces =
     traces;
   (Stats.Running.mean errors, Stats.Running.stddev errors)
 
-let run ~full ~seed ppf =
+let sizes = [ 2; 4; 8; 16; 32 ]
+
+(* A single job: every (history, weighting) cell must score the same six
+   traces for the comparison to be paired, so the grid shares one RNG
+   stream and one worker. *)
+let jobs ~full =
   let packets = if full then 2_000_000 else 300_000 in
-  let traces = standard_traces ~seed ~packets_per_trace:packets in
-  let sizes = [ 2; 4; 8; 16; 32 ] in
+  [
+    Job.make "fig18/grid" (fun rng ->
+        let traces =
+          standard_traces ~seed:(Job.derive_seed rng) ~packets_per_trace:packets
+        in
+        let row constant =
+          Job.rows
+            (List.map
+               (fun history ->
+                 let mean, sd =
+                   evaluate ~history ~constant_weights:constant ~traces
+                 in
+                 [ float_of_int history; mean; sd ])
+               sizes)
+        in
+        [ ("const", row true); ("decr", row false) ]);
+  ]
+
+let render ~full:_ ~seed:_ finished ppf =
+  let r = Job.lookup finished "fig18/grid" in
+  let unpack field =
+    List.map
+      (function
+        | [ h; m; sd ] -> (int_of_float h, m, sd)
+        | _ -> failwith "fig18: malformed row")
+      (Job.get_rows r field)
+  in
+  let const = unpack "const" and decr = unpack "decr" in
   Format.fprintf ppf
     "Figure 18: loss predictor quality vs history size (mean |error| and \
      stddev of predicted vs realized loss rate)@.@.";
-  let row constant =
-    List.map
-      (fun history ->
-        let mean, sd = evaluate ~history ~constant_weights:constant ~traces in
-        (history, mean, sd))
-      sizes
-  in
-  let const = row true and decr = row false in
   Table.print ppf
     ~header:
       [ "history"; "const: err"; "const: sd"; "decr: err"; "decr: sd" ]

@@ -7,7 +7,14 @@
     interval. Reports the mean absolute prediction error and its standard
     deviation, averaged over environments. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** [evaluate ~history ~constant_weights ~traces] returns
     (mean |error|, stddev of error) over all loss events in all traces;

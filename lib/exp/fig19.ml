@@ -38,8 +38,16 @@ let slope samples ~a ~b =
       let per_second = ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx)) in
       per_second *. rtt
 
-let run ~full:_ ~seed:_ ppf =
-  let samples, _ = trace ~duration:14. () in
+(* Deterministic single-flow trace: one job carrying the sample series. *)
+let jobs ~full:_ =
+  [
+    Job.make "fig19/trace" (fun _rng ->
+        let samples, _ = trace ~duration:14. () in
+        [ ("samples", Job.pairs samples) ]);
+  ]
+
+let render ~full:_ ~seed:_ finished ppf =
+  let samples = Job.get_pairs (Job.lookup finished "fig19/trace") "samples" in
   Dataset.write_xy ~name:"fig19" ~x:"time" ~y:"pkts_per_rtt" samples;
   Format.fprintf ppf
     "Figure 19: allowed rate (pkts/RTT) around the end of congestion at \

@@ -5,7 +5,14 @@
     paper), then increase by ~0.12 packets/RTT per RTT, accelerating to
     ~0.28 when history discounting kicks in. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** (time, allowed rate in pkts/RTT) samples at each sender rate update,
     plus the RTT used. *)

@@ -37,9 +37,27 @@ let samples ?(rtt = 0.1) ~duration () =
   Direct_path.run path ~until:duration;
   List.rev !out
 
-let run ~full ~seed:_ ppf =
-  let duration = if full then 16. else 16. in
-  let data = samples ~duration () in
+(* The staircase is a single deterministic cell: losses are periodic, so
+   the RNG goes unused and the grid has one job. *)
+let jobs ~full:_ =
+  [
+    Job.make "fig2/staircase" (fun _rng ->
+        let data = samples ~duration:16. () in
+        [
+          ( "samples",
+            Job.rows (List.map (fun (t, s0, est, p, r) -> [ t; s0; est; p; r ]) data)
+          );
+        ]);
+  ]
+
+let render ~full:_ ~seed:_ finished ppf =
+  let data =
+    List.map
+      (function
+        | [ t; s0; est; p; r ] -> (t, s0, est, p, r)
+        | _ -> failwith "fig2: malformed sample row")
+      (Job.get_rows (Job.lookup finished "fig2/staircase") "samples")
+  in
   Dataset.write_series ~name:"fig2"
     ~columns:[ "time"; "s0"; "est_interval"; "p"; "tx_rate" ]
     (List.map (fun (t, s0, est, p, r) -> [ t; s0; est; p; r ]) data);

@@ -4,7 +4,14 @@
     the estimated loss event rate p (and sqrt p) and the sender's
     transmission rate over time. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** Raw samples for tests: (time, s0, estimated_interval, p, tx_rate_bytes_s)
     sampled at each sender rate update. *)

@@ -36,11 +36,30 @@ let rtts_to_halve ~p0 =
   in
   (n_rtts, samples)
 
-let run ~full ~seed:_ ppf =
+let p0s ~full =
+  if full then [ 0.005; 0.01; 0.02; 0.04; 0.08; 0.12; 0.16; 0.20; 0.25 ]
+  else [ 0.005; 0.01; 0.04; 0.10; 0.25 ]
+
+let key p0 = Printf.sprintf "fig20_21/p%.3f" p0
+
+(* One deterministic job per initial drop rate; only the p0=0.01 cell keeps
+   its sample series, which Figure 20 displays. *)
+let jobs ~full =
+  List.map
+    (fun p0 ->
+      Job.make (key p0) (fun _rng ->
+          let n, samples = rtts_to_halve ~p0 in
+          let base = [ ("n_rtts", Job.i n) ] in
+          if p0 = 0.01 then base @ [ ("samples", Job.pairs samples) ] else base))
+    (p0s ~full)
+
+let render ~full ~seed:_ finished ppf =
   Format.fprintf ppf
     "Figure 20: allowed sending rate with persistent congestion starting \
      at t=10 (p0 = 0.01, then every 2nd packet dropped)@.@.";
-  let n, samples = rtts_to_halve ~p0:0.01 in
+  let r01 = Job.lookup finished (key 0.01) in
+  let n = Job.get_int r01 "n_rtts" in
+  let samples = Job.get_pairs r01 "samples" in
   Dataset.write_xy ~name:"fig20" ~x:"time" ~y:"rate_bytes_s" samples;
   let display =
     List.filter (fun (t, _) -> t >= 8. && t <= 12.5) samples
@@ -59,11 +78,11 @@ let run ~full ~seed:_ ppf =
   Format.fprintf ppf
     "Figure 21: round-trip times to halve the sending rate vs initial drop \
      rate@.@.";
-  let p0s =
-    if full then [ 0.005; 0.01; 0.02; 0.04; 0.08; 0.12; 0.16; 0.20; 0.25 ]
-    else [ 0.005; 0.01; 0.04; 0.10; 0.25 ]
+  let results =
+    List.map
+      (fun p0 -> (p0, Job.get_int (Job.lookup finished (key p0)) "n_rtts"))
+      (p0s ~full)
   in
-  let results = List.map (fun p0 -> (p0, fst (rtts_to_halve ~p0))) p0s in
   Table.print ppf
     ~header:[ "initial drop rate"; "RTTs to halve" ]
     (List.map

@@ -7,7 +7,14 @@
     RTTs of persistent congestion needed to halve the rate (paper: three
     to eight, never fewer than five at low p0). *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** [rtts_to_halve ~p0] runs the A.2 scenario and counts feedback rounds
     (RTTs) after t=10 until the allowed rate is half its pre-congestion

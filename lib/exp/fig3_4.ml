@@ -27,25 +27,52 @@ let oscillation_with ~rtt_gain ~delay_gain ~buffer ~duration =
 let oscillation ~delay_gain ~buffer ~duration =
   oscillation_with ~rtt_gain:0.05 ~delay_gain ~buffer ~duration
 
-let rate_trace ~delay_gain ~buffer ~duration =
-  let series = run_flow ~rtt_gain:0.05 ~delay_gain ~buffer ~duration in
-  Stats.Time_series.rates series ~t0:(duration /. 2.) ~t1:duration ~bin:0.5
-
 let buffers = [ 2; 8; 32; 64 ]
 
-let run ~full ~seed:_ ppf =
+(* Deterministic cells (a single flow, no randomness): one job per
+   (adjustment, buffer) pair, computing the CoV, mean rate and display
+   trace from a single run of the flow. *)
+let key ~delay_gain ~buffer =
+  Printf.sprintf "fig3_4/%s/%d"
+    (if delay_gain then "adjusted" else "plain")
+    buffer
+
+let jobs ~full =
   let duration = if full then 180. else 60. in
+  List.concat_map
+    (fun delay_gain ->
+      List.map
+        (fun buffer ->
+          Job.make (key ~delay_gain ~buffer) (fun _rng ->
+              let series =
+                run_flow ~rtt_gain:0.05 ~delay_gain ~buffer ~duration
+              in
+              let t0 = duration /. 2. and t1 = duration in
+              [
+                ( "cov",
+                  Job.f (Stats.Metrics.cov_at_timescale series ~t0 ~t1 ~tau:0.2)
+                );
+                ("mean", Job.f (Stats.Time_series.mean_rate series ~t0 ~t1));
+                ( "trace",
+                  Job.floats
+                    (Array.to_list
+                       (Stats.Time_series.rates series ~t0 ~t1 ~bin:0.5)) );
+              ]))
+        buffers)
+    [ false; true ]
+
+let render ~full:_ ~seed:_ finished ppf =
   let section title delay_gain =
     Format.fprintf ppf "%s@.@." title;
     let rows =
       List.map
         (fun buffer ->
-          let cov, mean = oscillation ~delay_gain ~buffer ~duration in
+          let r = Job.lookup finished (key ~delay_gain ~buffer) in
           [
             string_of_int buffer;
-            Table.f2 (mean /. 1e3);
-            Table.f3 cov;
-            Table.sparkline (rate_trace ~delay_gain ~buffer ~duration);
+            Table.f2 (Job.get_float r "mean" /. 1e3);
+            Table.f3 (Job.get_float r "cov");
+            Table.sparkline (Array.of_list (Job.get_floats r "trace"));
           ])
         buffers
     in
@@ -62,8 +89,11 @@ let run ~full ~seed:_ ppf =
     true;
   (* Headline comparison at the large-buffer end, where Figure 3's
      oscillations are worst. *)
-  let c3, _ = oscillation ~delay_gain:false ~buffer:64 ~duration in
-  let c4, _ = oscillation ~delay_gain:true ~buffer:64 ~duration in
+  let cov_of delay_gain =
+    Job.get_float (Job.lookup finished (key ~delay_gain ~buffer:64)) "cov"
+  in
+  let c3 = cov_of false in
+  let c4 = cov_of true in
   Format.fprintf ppf
     "oscillation (CoV at 64-pkt buffer): without adjustment %.3f, with \
      adjustment %.3f -> damped %s@."

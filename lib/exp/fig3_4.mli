@@ -6,7 +6,14 @@
     the per-buffer coefficient of variation of the send rate, plus a
     sparkline of the rate evolution. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** [oscillation ~delay_gain ~buffer ~duration] returns (CoV of the send
     rate over the second half, mean rate bytes/s); used by tests. *)

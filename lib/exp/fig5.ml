@@ -40,27 +40,38 @@ let monte_carlo rng ~p_loss ~factor ~packets =
 
 let grid = [ 0.005; 0.01; 0.02; 0.05; 0.075; 0.1; 0.125; 0.15; 0.2; 0.25 ]
 
-let run ~full ~seed ppf =
-  let rng = Engine.Rng.create ~seed in
+(* One job per loss probability: the analytic curves are pure, so only the
+   Monte-Carlo column consumes the cell's keyed RNG stream. *)
+let jobs ~full =
   let packets = if full then 2_000_000 else 200_000 in
+  List.map
+    (fun p_loss ->
+      Job.make (Printf.sprintf "fig5/p%.3f" p_loss) (fun rng ->
+          [
+            ("p_loss", Job.f p_loss);
+            ("a1", Job.f (analytic ~p_loss ~factor:1.0));
+            ("a2", Job.f (analytic ~p_loss ~factor:2.0));
+            ("a05", Job.f (analytic ~p_loss ~factor:0.5));
+            ("mc", Job.f (monte_carlo rng ~p_loss ~factor:1.0 ~packets));
+          ]))
+    grid
+
+let render ~full:_ ~seed:_ finished ppf =
   Format.fprintf ppf
     "Figure 5: loss events per packet vs Bernoulli loss probability@.@.";
   let rows =
     List.map
-      (fun p_loss ->
-        let a1 = analytic ~p_loss ~factor:1.0 in
-        let a2 = analytic ~p_loss ~factor:2.0 in
-        let a05 = analytic ~p_loss ~factor:0.5 in
-        let mc = monte_carlo rng ~p_loss ~factor:1.0 ~packets in
+      (fun (_, r) ->
+        let p_loss = Job.get_float r "p_loss" in
         [
           Table.f3 p_loss;
-          Table.f4 a1;
-          Table.f4 a2;
-          Table.f4 a05;
-          Table.f4 mc;
+          Table.f4 (Job.get_float r "a1");
+          Table.f4 (Job.get_float r "a2");
+          Table.f4 (Job.get_float r "a05");
+          Table.f4 (Job.get_float r "mc");
           Table.f3 p_loss;
         ])
-      grid
+      finished
   in
   Table.print ppf
     ~header:
@@ -70,14 +81,12 @@ let run ~full ~seed ppf =
      moderate loss) and all fall below y=x. *)
   let max_gap =
     List.fold_left
-      (fun acc p_loss ->
-        let a1 = analytic ~p_loss ~factor:1.0 in
-        let a2 = analytic ~p_loss ~factor:2.0 in
-        let a05 = analytic ~p_loss ~factor:0.5 in
+      (fun acc (_, r) ->
+        let a2 = Job.get_float r "a2" in
+        let a05 = Job.get_float r "a05" in
         let hi = Float.max a2 a05 and lo = Float.min a2 a05 in
-        ignore a1;
         Float.max acc ((hi -. lo) /. hi))
-      0. grid
+      0. finished
   in
   Format.fprintf ppf
     "@.max relative spread between 2.0x and 0.5x curves: %.1f%% (paper: \

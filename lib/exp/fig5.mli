@@ -5,7 +5,14 @@
     N = factor * f(p_event) packets/RTT, and cross-checked against a
     Monte-Carlo Bernoulli simulation. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** [analytic ~p_loss ~factor] is the fixed-point loss-event fraction. *)
 val analytic : p_loss:float -> factor:float -> float

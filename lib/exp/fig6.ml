@@ -39,58 +39,87 @@ let grid ~full =
   let flows = if full then [ 2; 8; 32; 128 ] else [ 2; 8; 32 ] in
   (links, flows)
 
-let surface ppf ~queue ~title ~full ~duration ~seed =
-  let links, flows = grid ~full in
-  Format.fprintf ppf "%s@.@." title;
-  let cells =
-    List.map
-      (fun total_flows ->
-        List.map
-          (fun link_mbps ->
-            cell ~queue ~link_mbps ~total_flows ~duration ~seed)
-          links)
-      flows
-  in
-  let header =
-    "flows \\ Mb/s" :: List.map (fun l -> Printf.sprintf "%.0f" l) links
-  in
-  let rows =
-    List.map2
-      (fun total_flows row ->
-        string_of_int total_flows
-        :: List.map (fun c -> Table.f2 c.norm_tcp) row)
-      flows cells
-  in
-  Table.print ppf ~header rows;
-  let all = List.concat cells in
-  let mean_util =
-    Scenario.mean (List.map (fun c -> c.utilization) all)
-  in
-  let n_above_90 =
-    List.length (List.filter (fun c -> c.utilization > 0.9) all)
-  in
-  Format.fprintf ppf
-    "mean utilization %.3f; %d/%d cells above 90%%; mean normalized TFRC %.2f@.@."
-    mean_util n_above_90 (List.length all)
-    (Scenario.mean (List.map (fun c -> c.norm_tfrc) all));
-  all
+let queue_name = function `Droptail -> "droptail" | `Red -> "red"
 
-let run ~full ~seed ppf =
+let key ~queue ~link_mbps ~total_flows =
+  Printf.sprintf "fig6/%s/%g/%d" (queue_name queue) link_mbps total_flows
+
+let queues = [ `Droptail; `Red ]
+
+let jobs ~full =
   let duration = if full then 90. else 30. in
+  let links, flows = grid ~full in
+  List.concat_map
+    (fun queue ->
+      List.concat_map
+        (fun total_flows ->
+          List.map
+            (fun link_mbps ->
+              Job.make (key ~queue ~link_mbps ~total_flows) (fun rng ->
+                  let c =
+                    cell ~queue ~link_mbps ~total_flows ~duration
+                      ~seed:(Job.derive_seed rng)
+                  in
+                  [
+                    ("norm_tcp", Job.f c.norm_tcp);
+                    ("norm_tfrc", Job.f c.norm_tfrc);
+                    ("utilization", Job.f c.utilization);
+                    ("drop_rate", Job.f c.drop_rate);
+                  ]))
+            links)
+        flows)
+    queues
+
+let render ~full ~seed:_ finished ppf =
   Format.fprintf ppf
     "Figure 6: normalized TCP throughput, n TCP + n TFRC sharing the \
      bottleneck (1.0 = fair share)@.@.";
+  let links, flows = grid ~full in
+  let surface ~queue ~title =
+    Format.fprintf ppf "%s@.@." title;
+    let cells =
+      List.map
+        (fun total_flows ->
+          List.map
+            (fun link_mbps ->
+              Job.lookup finished (key ~queue ~link_mbps ~total_flows))
+            links)
+        flows
+    in
+    let header =
+      "flows \\ Mb/s" :: List.map (fun l -> Printf.sprintf "%.0f" l) links
+    in
+    let rows =
+      List.map2
+        (fun total_flows row ->
+          string_of_int total_flows
+          :: List.map (fun r -> Table.f2 (Job.get_float r "norm_tcp")) row)
+        flows cells
+    in
+    Table.print ppf ~header rows;
+    let all = List.concat cells in
+    let mean_util =
+      Scenario.mean (List.map (fun r -> Job.get_float r "utilization") all)
+    in
+    let n_above_90 =
+      List.length
+        (List.filter (fun r -> Job.get_float r "utilization" > 0.9) all)
+    in
+    Format.fprintf ppf
+      "mean utilization %.3f; %d/%d cells above 90%%; mean normalized TFRC %.2f@.@."
+      mean_util n_above_90 (List.length all)
+      (Scenario.mean (List.map (fun r -> Job.get_float r "norm_tfrc") all));
+    all
+  in
   let dt =
-    surface ppf ~queue:`Droptail
-      ~title:"DropTail queueing (normalized mean TCP throughput)" ~full
-      ~duration ~seed
+    surface ~queue:`Droptail
+      ~title:"DropTail queueing (normalized mean TCP throughput)"
   in
   let red =
-    surface ppf ~queue:`Red ~title:"RED queueing (normalized mean TCP throughput)"
-      ~full ~duration ~seed
+    surface ~queue:`Red ~title:"RED queueing (normalized mean TCP throughput)"
   in
   let overall =
-    Scenario.mean (List.map (fun c -> c.norm_tcp) (dt @ red))
+    Scenario.mean (List.map (fun r -> Job.get_float r "norm_tcp") (dt @ red))
   in
   Format.fprintf ppf
     "overall mean normalized TCP throughput: %.2f (paper: close to fair \

@@ -4,7 +4,14 @@
     fair share while co-existing with TFRC. Also checks the paper's side
     claims: utilization above 90% and TFRC taking roughly the remainder. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 type cell = {
   link_mbps : float;

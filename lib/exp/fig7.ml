@@ -1,28 +1,41 @@
-let run ~full ~seed ppf =
+let counts ~full = if full then [ 4; 8; 16; 32; 64; 128 ] else [ 4; 16; 32 ]
+let key total = Printf.sprintf "fig7/%d" total
+
+(* One simulation per flow-count row. *)
+let jobs ~full =
   let duration = if full then 90. else 40. in
-  let counts = if full then [ 4; 8; 16; 32; 64; 128 ] else [ 4; 16; 32 ] in
   let bandwidth = Engine.Units.mbps 15. in
+  List.map
+    (fun total ->
+      Job.make (key total) (fun rng ->
+          let n = total / 2 in
+          let params =
+            {
+              (Scenario.default_mixed ()) with
+              bandwidth;
+              queue = Scenario.scaled_queue `Red ~bandwidth;
+              n_tcp = n;
+              n_tfrc = n;
+              duration;
+              warmup = duration /. 3.;
+              seed = Job.derive_seed rng;
+            }
+          in
+          let r = Scenario.run_mixed params in
+          let tcp, tfrc = Scenario.normalized_throughputs r in
+          [ ("tcp", Job.floats tcp); ("tfrc", Job.floats tfrc) ]))
+    (counts ~full)
+
+let render ~full ~seed:_ finished ppf =
   Format.fprintf ppf
     "Figure 7: per-flow normalized throughput, 15 Mb/s RED (each row one \
      simulation)@.@.";
   let rows =
     List.map
       (fun total ->
-        let n = total / 2 in
-        let params =
-          {
-            (Scenario.default_mixed ()) with
-            bandwidth;
-            queue = Scenario.scaled_queue `Red ~bandwidth;
-            n_tcp = n;
-            n_tfrc = n;
-            duration;
-            warmup = duration /. 3.;
-            seed;
-          }
-        in
-        let r = Scenario.run_mixed params in
-        let tcp, tfrc = Scenario.normalized_throughputs r in
+        let r = Job.lookup finished (key total) in
+        let tcp = Job.get_floats r "tcp" in
+        let tfrc = Job.get_floats r "tfrc" in
         let spread l =
           let arr = Array.of_list l in
           let s = Stats.Running.of_array arr in
@@ -40,7 +53,7 @@ let run ~full ~seed ppf =
           Table.f2 (Stats.Quantile.quantile (Array.of_list tfrc) 0.05);
           Table.f2 (Stats.Quantile.quantile (Array.of_list tfrc) 0.95);
         ])
-      counts
+      (counts ~full)
   in
   Table.print ppf
     ~header:

@@ -3,4 +3,11 @@
     means are close to fair, individual TCP flows have higher variance than
     TFRC flows. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit

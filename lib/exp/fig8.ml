@@ -1,58 +1,78 @@
-let section ppf ~queue ~title ~duration ~seed =
-  let bandwidth = Engine.Units.mbps 15. in
-  let params =
-    {
-      (Scenario.default_mixed ()) with
-      bandwidth;
-      queue = Scenario.scaled_queue queue ~bandwidth;
-      n_tcp = 16;
-      n_tfrc = 16;
-      duration;
-      warmup = duration /. 2.;
-      seed;
-    }
-  in
-  let r = Scenario.run_mixed params in
-  Format.fprintf ppf "%s@.@." title;
-  let t0 = r.t0 and t1 = r.t1 in
-  let bins s = Stats.Time_series.binned s ~t0 ~t1 ~bin:0.15 in
-  let show label (f : Scenario.flow_stats) =
-    let b = Array.map (fun v -> v /. 1e3 /. 0.15) (bins f.recv_series) in
-    let cov = Stats.Metrics.cov_of_bins b in
-    Format.fprintf ppf "%-7s CoV=%.2f %s@." label cov
-      (Table.sparkline (Array.sub b 0 (min 100 (Array.length b))))
-  in
-  List.iteri
-    (fun i f -> if i < 4 then show (Printf.sprintf "TFRC %d" (i + 1)) f)
-    r.tfrc_flows;
-  List.iteri
-    (fun i f -> if i < 4 then show (Printf.sprintf "TCP %d" (i + 1)) f)
-    r.tcp_flows;
-  let mean_cov flows =
-    Scenario.mean
-      (List.map
-         (fun (f : Scenario.flow_stats) ->
-           Stats.Metrics.cov_of_bins (bins f.recv_series))
-         flows)
-  in
-  let tfrc_cov = mean_cov r.tfrc_flows and tcp_cov = mean_cov r.tcp_flows in
-  Format.fprintf ppf
-    "drops in window: %d; mean CoV over 0.15s bins: TFRC %.2f vs TCP %.2f -> \
-     TFRC smoother: %s@.@."
-    (List.length (List.filter (fun t -> t >= t0) r.drop_times))
-    tfrc_cov tcp_cov
-    (if tfrc_cov < tcp_cov then "yes" else "NO");
-  (tfrc_cov, tcp_cov)
+let key = function `Red -> "fig8/red" | `Droptail -> "fig8/droptail"
 
-let run ~full ~seed ppf =
+(* One simulation per queue discipline; the binned per-flow series for the
+   displayed flows travel in the result so rendering needs no re-run. *)
+let jobs ~full =
   let duration = if full then 30. else 20. in
+  List.map
+    (fun queue ->
+      Job.make (key queue) (fun rng ->
+          let bandwidth = Engine.Units.mbps 15. in
+          let params =
+            {
+              (Scenario.default_mixed ()) with
+              bandwidth;
+              queue = Scenario.scaled_queue queue ~bandwidth;
+              n_tcp = 16;
+              n_tfrc = 16;
+              duration;
+              warmup = duration /. 2.;
+              seed = Job.derive_seed rng;
+            }
+          in
+          let r = Scenario.run_mixed params in
+          let t0 = r.t0 and t1 = r.t1 in
+          let bins s = Stats.Time_series.binned s ~t0 ~t1 ~bin:0.15 in
+          let shown flows =
+            List.filteri (fun i _ -> i < 4) flows
+            |> List.map (fun (f : Scenario.flow_stats) ->
+                   Array.to_list
+                     (Array.map (fun v -> v /. 1e3 /. 0.15) (bins f.recv_series)))
+          in
+          let mean_cov flows =
+            Scenario.mean
+              (List.map
+                 (fun (f : Scenario.flow_stats) ->
+                   Stats.Metrics.cov_of_bins (bins f.recv_series))
+                 flows)
+          in
+          [
+            ("tfrc_bins", Job.rows (shown r.tfrc_flows));
+            ("tcp_bins", Job.rows (shown r.tcp_flows));
+            ("tfrc_cov", Job.f (mean_cov r.tfrc_flows));
+            ("tcp_cov", Job.f (mean_cov r.tcp_flows));
+            ( "drops",
+              Job.i
+                (List.length (List.filter (fun t -> t >= t0) r.drop_times)) );
+          ]))
+    [ `Red; `Droptail ]
+
+let render ~full:_ ~seed:_ finished ppf =
   Format.fprintf ppf
     "Figure 8: per-flow throughput in 0.15 s bins, 16 TCP + 16 TFRC, 15 \
      Mb/s (first 4 flows of each shown, second half of the run)@.@.";
-  let _ =
-    section ppf ~queue:`Red ~title:"RED queue" ~duration ~seed
+  let section ~queue ~title =
+    let r = Job.lookup finished (key queue) in
+    Format.fprintf ppf "%s@.@." title;
+    let show label row =
+      let b = Array.of_list row in
+      let cov = Stats.Metrics.cov_of_bins b in
+      Format.fprintf ppf "%-7s CoV=%.2f %s@." label cov
+        (Table.sparkline (Array.sub b 0 (min 100 (Array.length b))))
+    in
+    List.iteri
+      (fun i row -> show (Printf.sprintf "TFRC %d" (i + 1)) row)
+      (Job.get_rows r "tfrc_bins");
+    List.iteri
+      (fun i row -> show (Printf.sprintf "TCP %d" (i + 1)) row)
+      (Job.get_rows r "tcp_bins");
+    let tfrc_cov = Job.get_float r "tfrc_cov" in
+    let tcp_cov = Job.get_float r "tcp_cov" in
+    Format.fprintf ppf
+      "drops in window: %d; mean CoV over 0.15s bins: TFRC %.2f vs TCP %.2f -> \
+     TFRC smoother: %s@.@."
+      (Job.get_int r "drops") tfrc_cov tcp_cov
+      (if tfrc_cov < tcp_cov then "yes" else "NO")
   in
-  let _ =
-    section ppf ~queue:`Droptail ~title:"DropTail queue" ~duration ~seed
-  in
-  ()
+  section ~queue:`Red ~title:"RED queue";
+  section ~queue:`Droptail ~title:"DropTail queue"

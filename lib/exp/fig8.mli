@@ -3,4 +3,11 @@
     DropTail. The headline: TFRC's per-flow rate is visibly smoother than
     TCP's at the timescales a multimedia user would notice. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit

@@ -74,10 +74,50 @@ let compute ~runs ~duration ~seed =
       Scenario.mean (List.map (fun (_, _, _, _, _, l) -> l) results);
   }
 
-let run ~full ~seed ppf =
+(* One job per independent run; the render step aggregates the runs into
+   confidence intervals. *)
+let key i = Printf.sprintf "fig9_10/run%d" i
+
+let jobs ~full =
   let runs = if full then 14 else 4 in
   let duration = if full then 150. else 60. in
-  let c = compute ~runs ~duration ~seed in
+  List.init runs (fun i ->
+      Job.make (key i) (fun rng ->
+          let a, b, c, d, e, loss =
+            one_run ~duration ~seed:(Job.derive_seed rng)
+          in
+          [
+            ("tfrc_tfrc", Job.floats a);
+            ("tcp_tcp", Job.floats b);
+            ("tfrc_tcp", Job.floats c);
+            ("cov_tfrc", Job.floats d);
+            ("cov_tcp", Job.floats e);
+            ("loss", Job.f loss);
+          ]))
+
+let curves_of_results results =
+  let collect field =
+    List.mapi
+      (fun ti _ ->
+        Stats.Ci.of_samples
+          (Array.of_list
+             (List.map (fun r -> List.nth (Job.get_floats r field) ti) results)))
+      timescales
+  in
+  {
+    timescales;
+    tfrc_tfrc = collect "tfrc_tfrc";
+    tcp_tcp = collect "tcp_tcp";
+    tfrc_tcp = collect "tfrc_tcp";
+    cov_tfrc = collect "cov_tfrc";
+    cov_tcp = collect "cov_tcp";
+    loss_rate =
+      Scenario.mean (List.map (fun r -> Job.get_float r "loss") results);
+  }
+
+let render ~full ~seed:_ finished ppf =
+  let runs = if full then 14 else 4 in
+  let c = curves_of_results (List.map snd finished) in
   Dataset.write_series ~name:"fig9"
     ~columns:[ "timescale"; "tfrc_tfrc"; "tcp_tcp"; "tfrc_tcp" ]
     (List.mapi

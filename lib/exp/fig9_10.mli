@@ -7,7 +7,14 @@
     - Figure 10: coefficient of variation of the send rate vs timescale
       for each protocol. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 type curves = {
   timescales : float list;

@@ -1,27 +1,41 @@
-let run ~full:_ ~seed:_ ppf =
+(* Pure closed-form table (Equation 4); a single cheap job. *)
+let cases () =
+  [
+    ("normal (w = w1/sum = 1/6)", Tfrc.Analysis.recent_weight ~n:8);
+    ("max history discounting", Tfrc.Analysis.recent_weight_discounted ~n:8 ());
+    ("all weight on recent (w = 1)", 1.0);
+  ]
+
+let jobs ~full:_ =
+  [
+    Job.make "tableA1/bound" (fun _rng ->
+        [
+          ( "rows",
+            Job.rows
+              (List.map
+                 (fun (_, w) ->
+                   [
+                     w;
+                     Tfrc.Analysis.delta_t ~a:100. ~w;
+                     Tfrc.Analysis.max_delta_t ~w;
+                   ])
+                 (cases ())) );
+        ]);
+  ]
+
+let render ~full:_ ~seed:_ finished ppf =
   Format.fprintf ppf
     "Appendix A.1: upper bound on the rate increase (Equation 4), \
      packets/RTT per loss-free RTT@.@.";
-  let w_normal = Tfrc.Analysis.recent_weight ~n:8 in
-  let w_discount = Tfrc.Analysis.recent_weight_discounted ~n:8 () in
-  let cases =
-    [
-      ("normal (w = w1/sum = 1/6)", w_normal);
-      ("max history discounting", w_discount);
-      ("all weight on recent (w = 1)", 1.0);
-    ]
-  in
+  let rows = Job.get_rows (Job.lookup finished "tableA1/bound") "rows" in
   Table.print ppf
     ~header:[ "weighting"; "w"; "dT @ A=100"; "sup dT (bound)" ]
-    (List.map
-       (fun (label, w) ->
-         [
-           label;
-           Table.f3 w;
-           Table.f3 (Tfrc.Analysis.delta_t ~a:100. ~w);
-           Table.f3 (Tfrc.Analysis.max_delta_t ~w);
-         ])
-       cases);
+    (List.map2
+       (fun (label, _) row ->
+         match row with
+         | [ w; dt; sup ] -> [ label; Table.f3 w; Table.f3 dt; Table.f3 sup ]
+         | _ -> failwith "tableA1: malformed row")
+       (cases ()) rows);
   Format.fprintf ppf
     "@.(paper: ~0.12 without discounting, ~0.28 with, ~0.7 even at w=1 — \
      all below TCP's 1 pkt/RTT)@."

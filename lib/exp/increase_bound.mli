@@ -3,4 +3,11 @@
     discounting and all-weight-on-recent cases, and cross-checks the
     simulated TFRC increase rate against it. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit

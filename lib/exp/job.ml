@@ -1,0 +1,143 @@
+(* A job is one cell of an experiment grid: a stable key naming the cell
+   plus a closure from an RNG to a serializable result. Keeping results as
+   data (not formatter side effects) is what lets the runner execute cells
+   on worker domains and lay them out later in the figure's original
+   textual order. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of value list
+
+type result = (string * value) list
+
+type t = { key : string; run : Engine.Rng.t -> result }
+
+let make key run = { key; run }
+
+(* Jobs that need an integer seed for sub-components (e.g. Scenario.run_mixed
+   takes [seed : int]) derive one from their keyed stream, so the value still
+   depends only on (experiment seed, job key). *)
+let derive_seed rng = Engine.Rng.bits32 rng
+
+(* --- Constructors -------------------------------------------------------- *)
+
+let b v = Bool v
+let i v = Int v
+let f v = Float v
+let s v = Str v
+let floats l = List (List.map (fun x -> Float x) l)
+let pairs l = List (List.map (fun (x, y) -> List [ Float x; Float y ]) l)
+let rows ll = List (List.map (fun r -> List (List.map (fun x -> Float x) r)) ll)
+let strs l = List (List.map (fun x -> Str x) l)
+
+(* --- Accessors ----------------------------------------------------------- *)
+
+(* All raising, with the field name in the message: a missing or mistyped
+   field is a bug in the experiment's job/render pairing, not a runtime
+   condition to recover from. *)
+
+let bad key what = failwith (Printf.sprintf "Job: field %S %s" key what)
+
+let get r key =
+  match List.assoc_opt key r with
+  | Some v -> v
+  | None -> bad key "missing from result"
+
+let get_float r key =
+  match get r key with
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> bad key "is not a float"
+
+let get_int r key =
+  match get r key with Int i -> i | _ -> bad key "is not an int"
+
+let get_str r key =
+  match get r key with Str s -> s | _ -> bad key "is not a string"
+
+let get_bool r key =
+  match get r key with Bool b -> b | _ -> bad key "is not a bool"
+
+let as_float key = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | _ -> bad key "holds a non-numeric element"
+
+let get_floats r key =
+  match get r key with
+  | List l -> List.map (as_float key) l
+  | _ -> bad key "is not a list"
+
+let get_pairs r key =
+  match get r key with
+  | List l ->
+      List.map
+        (function
+          | List [ x; y ] -> (as_float key x, as_float key y)
+          | _ -> bad key "holds a non-pair element")
+        l
+  | _ -> bad key "is not a list"
+
+let get_rows r key =
+  match get r key with
+  | List l ->
+      List.map
+        (function
+          | List xs -> List.map (as_float key) xs
+          | _ -> bad key "holds a non-row element")
+        l
+  | _ -> bad key "is not a list"
+
+let get_strs r key =
+  match get r key with
+  | List l ->
+      List.map (function Str s -> s | _ -> bad key "holds a non-string") l
+  | _ -> bad key "is not a list"
+
+(* [lookup finished key] finds one job's result in a finished-run list. *)
+let lookup finished key =
+  match List.assoc_opt key finished with
+  | Some r -> r
+  | None -> failwith (Printf.sprintf "Job: no result for key %S" key)
+
+(* --- JSON ---------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if f = Float.infinity then "1e999"
+  else if f = Float.neg_infinity then "-1e999"
+  else Printf.sprintf "%.12g" f
+
+let rec json_value = function
+  | Bool b -> string_of_bool b
+  | Int i -> string_of_int i
+  | Float f -> json_float f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | List l -> Printf.sprintf "[%s]" (String.concat "," (List.map json_value l))
+
+let to_json (r : result) =
+  Printf.sprintf "{%s}"
+    (String.concat ","
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "\"%s\":%s" (json_escape k) (json_value v))
+          r))

@@ -1,0 +1,64 @@
+(** One cell of an experiment grid.
+
+    A job pairs a stable key (e.g. ["fig6/red/16/8"]) with a pure function
+    from an RNG to a serializable {!result}. Jobs never touch a formatter:
+    rendering happens after all cells finish, so the runner is free to
+    execute them out of order or on worker domains. The RNG a job receives
+    is derived from [(experiment seed, key)] (see {!Engine.Rng.for_key}),
+    making each cell's stream independent of scheduling. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of value list
+
+(** A serializable record of what one cell measured. *)
+type result = (string * value) list
+
+type t = { key : string; run : Engine.Rng.t -> result }
+
+val make : string -> (Engine.Rng.t -> result) -> t
+
+(** [derive_seed rng] draws an integer seed for sub-components that take
+    [seed : int] (e.g. {!Scenario.run_mixed}), keeping the value a pure
+    function of [(experiment seed, job key)]. *)
+val derive_seed : Engine.Rng.t -> int
+
+(** {2 Value constructors} *)
+
+val b : bool -> value
+val i : int -> value
+val f : float -> value
+val s : string -> value
+val floats : float list -> value
+val pairs : (float * float) list -> value
+
+(** [rows ll] encodes a numeric table, one inner list per row. *)
+val rows : float list list -> value
+
+val strs : string list -> value
+
+(** {2 Accessors}
+
+    All raise [Failure] naming the field when it is absent or has the wrong
+    shape — a mismatch is a bug in the experiment's job/render pairing.
+    [get_float] and the list accessors also accept [Int] elements. *)
+
+val get : result -> string -> value
+val get_float : result -> string -> float
+val get_int : result -> string -> int
+val get_str : result -> string -> string
+val get_bool : result -> string -> bool
+val get_floats : result -> string -> float list
+val get_pairs : result -> string -> (float * float) list
+val get_rows : result -> string -> float list list
+val get_strs : result -> string -> string list
+
+(** [lookup finished key] finds one job's result in a finished-run list
+    (as handed to a render step). Raises [Failure] on unknown keys. *)
+val lookup : (string * result) list -> string -> result
+
+(** One-line JSON rendering of a result, e.g. for machine-readable logs. *)
+val to_json : result -> string

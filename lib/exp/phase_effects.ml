@@ -65,23 +65,50 @@ let tcp_phase_full ~queue ~identical_rtt ~duration ~seed =
 let tcp_phase ~queue ~identical_rtt ~duration ~seed =
   fst (tcp_phase_full ~queue ~identical_rtt ~duration ~seed)
 
-let run ~full ~seed ppf =
+let nokia_key i = Printf.sprintf "phase/nokia/%d" i
+let phase_combos = [ ("DropTail", `Droptail, true); ("DropTail", `Droptail, false);
+                     ("RED", `Red, true); ("RED", `Red, false) ]
+
+let phase_key queue identical =
+  Printf.sprintf "phase/lock/%s/%s" queue
+    (if identical then "identical" else "randomized")
+
+let jobs ~full =
   let duration = if full then 300. else 90. in
+  List.init 3 (fun i ->
+      Job.make (nokia_key i) (fun rng ->
+          (* Both columns run from the same derived seed, as the original
+             table reused one seed per row; the row reports which seed. *)
+          let s = Job.derive_seed rng in
+          [
+            ("seed", Job.i s);
+            ("plain", Job.f (nokia ~delay_gain:false ~duration ~seed:s));
+            ("adjusted", Job.f (nokia ~delay_gain:true ~duration ~seed:s));
+          ]))
+  @ List.map
+      (fun (qlabel, queue, identical) ->
+        Job.make (phase_key qlabel identical) (fun rng ->
+            let jain, util =
+              tcp_phase_full ~queue ~identical_rtt:identical ~duration
+                ~seed:(Job.derive_seed rng)
+            in
+            [ ("jain", Job.f jain); ("util", Job.f util) ]))
+      phase_combos
+
+let render ~full:_ ~seed:_ finished ppf =
   Format.fprintf ppf "Section 4.3's phase effects over DropTail queues@.@.";
   Format.fprintf ppf
     "1. The Nokia T1 scenario: 6 TFRC + 1 coarse-clock TCP on a loaded 1.5 \
      Mb/s DropTail link. The TCP flow's share is extremely sensitive to \
      initial conditions — the signature of a phase effect:@.@.";
-  let seeds = [ seed; seed + 101; seed + 202 ] in
   let rows =
-    List.map
-      (fun s ->
+    List.init 3 (fun i ->
+        let r = Job.lookup finished (nokia_key i) in
         [
-          string_of_int s;
-          Table.f2 (nokia ~delay_gain:false ~duration ~seed:s);
-          Table.f2 (nokia ~delay_gain:true ~duration ~seed:s);
+          string_of_int (Job.get_int r "seed");
+          Table.f2 (Job.get_float r "plain");
+          Table.f2 (Job.get_float r "adjusted");
         ])
-      seeds
   in
   Table.print ppf
     ~header:[ "seed"; "TCP share, no adjustment"; "TCP share, with adjustment" ]
@@ -96,21 +123,16 @@ let run ~full ~seed ppf =
     "2. Phase locking between identical TCP flows (why the paper randomizes \
      RTTs)@.@.";
   let rows =
-    List.concat_map
-      (fun (qlabel, queue) ->
-        List.map
-          (fun identical ->
-            let jain, util =
-              tcp_phase_full ~queue ~identical_rtt:identical ~duration ~seed
-            in
-            [
-              qlabel;
-              (if identical then "identical" else "randomized");
-              Table.f3 jain;
-              Table.f3 util;
-            ])
-          [ true; false ])
-      [ ("DropTail", `Droptail); ("RED", `Red) ]
+    List.map
+      (fun (qlabel, _, identical) ->
+        let r = Job.lookup finished (phase_key qlabel identical) in
+        [
+          qlabel;
+          (if identical then "identical" else "randomized");
+          Table.f3 (Job.get_float r "jain");
+          Table.f3 (Job.get_float r "util");
+        ])
+      phase_combos
   in
   Table.print ppf
     ~header:[ "queue"; "RTTs/starts"; "Jain index"; "utilization" ]

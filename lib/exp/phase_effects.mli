@@ -9,7 +9,14 @@
     Also demonstrates the classic DropTail phase-locking between identical
     TCP flows, and that RED or RTT randomization removes it. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** [nokia ~delay_gain ~duration ~seed] is the T1 scenario: 6 TFRC + 1 TCP
     on 1.5 Mb/s DropTail; returns the TCP flow's share of its fair share. *)

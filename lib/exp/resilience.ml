@@ -288,8 +288,75 @@ let tfrc_outage_case ~seed ~at ~duration () =
 let pp_s ppf v =
   if Float.is_nan v then Format.fprintf ppf "never" else Format.fprintf ppf "%.1f" v
 
-let run ~full ~seed ppf =
-  let reports, checker = audited_matrix ~seed ~full in
+(* --- Job grid ------------------------------------------------------------- *)
+
+let proto_name = function `Tfrc -> "tfrc" | `Tcp -> "tcp-sack"
+
+let case_key case proto = Printf.sprintf "resilience/%s/%s" case (proto_name proto)
+
+(* Each cell runs one (case, proto) pair with its own invariant checker
+   subscribed to the running domain's default bus, so the audit composes
+   under parallel execution: per-cell counts are summed in render. *)
+let case_job ~full (case, fault) proto =
+  let until = run_until ~full in
+  Job.make (case_key case proto) (fun rng ->
+      let seed = Job.derive_seed rng in
+      let checker = Tfrc.Invariants.create () in
+      let bus = Engine.Trace.default () in
+      Tfrc.Invariants.attach checker bus;
+      let r =
+        Fun.protect
+          ~finally:(fun () -> Tfrc.Invariants.detach checker bus)
+          (fun () ->
+            case_report ~case ~proto ~fault ~run_until:until
+              (run_case ~seed ~proto ~fault ~run_until:until))
+      in
+      [
+        ("pre_rate", Job.f r.pre_rate);
+        ("min_send_during", Job.f r.min_send_during);
+        ("floor_ok", Job.b r.floor_ok);
+        ("nofb_expiries", Job.i r.nofb_expiries);
+        ("recovery_time", Job.f r.recovery_time);
+        ("overshoot", Job.f r.overshoot);
+        ("post_rate", Job.f r.post_rate);
+        ("inv_events", Job.i (Tfrc.Invariants.n_events checker));
+        ("inv_violations", Job.i (Tfrc.Invariants.n_violations checker));
+        ( "inv_details",
+          Job.strs
+            (List.map
+               (fun (v : Tfrc.Invariants.violation) ->
+                 Printf.sprintf "[%.6f] %-18s %s" v.time v.rule v.detail)
+               (Tfrc.Invariants.violations checker)) );
+      ])
+
+let jobs ~full =
+  List.concat_map
+    (fun cf -> List.map (case_job ~full cf) [ `Tfrc; `Tcp ])
+    (cases ~full)
+
+let report_of ~case ~proto result =
+  {
+    case;
+    proto = proto_name proto;
+    pre_rate = Job.get_float result "pre_rate";
+    min_send_during = Job.get_float result "min_send_during";
+    floor_ok = Job.get_bool result "floor_ok";
+    nofb_expiries = Job.get_int result "nofb_expiries";
+    recovery_time = Job.get_float result "recovery_time";
+    overshoot = Job.get_float result "overshoot";
+    post_rate = Job.get_float result "post_rate";
+  }
+
+let render ~full ~seed:_ finished ppf =
+  let cells =
+    List.concat_map
+      (fun (case, _) ->
+        List.map
+          (fun proto -> (case, proto, Job.lookup finished (case_key case proto)))
+          [ `Tfrc; `Tcp ])
+      (cases ~full)
+  in
+  let reports = List.map (fun (case, proto, r) -> report_of ~case ~proto r) cells in
   Format.fprintf ppf
     "Resilience matrix: faults on a %.0f kb/s dumbbell (RTT %.0f ms), one \
      flow per run; TFRC rate floor %.0f B/s.@.@."
@@ -331,7 +398,29 @@ let run ~full ~seed ppf =
          no-feedback expirations; recovered in %a s with overshoot %.2f@."
         r.min_send_during floor_rate r.nofb_expiries pp_s r.recovery_time
         r.overshoot);
-  Format.fprintf ppf "@.invariant audit: %a@." Tfrc.Invariants.report checker
+  (* Per-cell invariant audits, summed; same layout as
+     [Tfrc.Invariants.report] on a whole-matrix checker. *)
+  let events =
+    List.fold_left (fun acc (_, _, r) -> acc + Job.get_int r "inv_events") 0 cells
+  in
+  let violations =
+    List.fold_left
+      (fun acc (_, _, r) -> acc + Job.get_int r "inv_violations")
+      0 cells
+  in
+  let details = List.concat_map (fun (_, _, r) -> Job.get_strs r "inv_details") cells in
+  Format.fprintf ppf "@.invariant audit: ";
+  if violations = 0 then
+    Format.fprintf ppf "invariants: %d trace events checked, 0 violations@."
+      events
+  else begin
+    Format.fprintf ppf "invariants: %d trace events checked, %d VIOLATIONS@."
+      events violations;
+    List.iter (fun d -> Format.fprintf ppf "  %s@." d) details;
+    if violations > List.length details then
+      Format.fprintf ppf "  ... and %d more@." (violations - List.length details)
+  end;
+  Format.fprintf ppf "@."
 
 let json_line ~seed =
   let reports, checker = audited_matrix ~seed ~full:false in

@@ -53,8 +53,19 @@ val tfrc_outage_case :
   unit ->
   report * (float * float) array
 
-(** Registry entry point. *)
-val run : full:bool -> seed:int -> Format.formatter -> unit
+(** Registry job grid: one job per (case, protocol) cell, each running with
+    its own {!Tfrc.Invariants} checker on the running domain's default
+    trace bus. *)
+val jobs : full:bool -> Job.t list
+
+(** Lays the finished cells out as the resilience matrix, including the
+    summed per-cell invariant audit. *)
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** The scaled matrix as one line of JSON, for machine consumption from the
     benchmark harness. *)

@@ -1,0 +1,65 @@
+(* Executes a job list, sequentially or on a domain pool, and hands the
+   finished results to a render step.
+
+   Determinism: each job's RNG comes from [Rng.for_key ~seed job.key], so a
+   cell's stream does not depend on which worker ran it or in what order;
+   results are returned in job-list order regardless of scheduling. The
+   render step then sees identical input at any [-j], making output
+   byte-identical between [-j 1] and [-j N].
+
+   Tracing: under [-j 1] jobs emit directly to this domain's default bus, so
+   observers ([--trace]/[--check]) see events live. Under [-j N] each worker
+   domain has its own (inert) default bus; when the coordinating domain's
+   bus is active we attach a memory sink to the worker's bus around each
+   job, ship the captured events back, and replay them on the coordinator's
+   bus in job-list order — the same order a sequential run would have
+   emitted them. *)
+
+let run_job ~seed (jb : Job.t) = jb.run (Engine.Rng.for_key ~seed jb.key)
+
+(* Runs one job on the current domain, capturing everything it emits to
+   this domain's default bus. *)
+let run_job_captured ~seed (jb : Job.t) =
+  let bus = Engine.Trace.default () in
+  let sink, captured = Engine.Trace.memory_sink () in
+  Engine.Trace.add_sink bus sink;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Engine.Trace.remove_sink bus sink)
+      (fun () -> run_job ~seed jb)
+  in
+  (result, captured ())
+
+let replay bus events =
+  List.iter
+    (fun (e : Engine.Trace.event) ->
+      Engine.Trace.emit bus ~time:e.time ~cat:e.cat ~name:e.name e.fields)
+    events
+
+let run_jobs ?(j = 1) ~seed jobs =
+  let n = List.length jobs in
+  if j <= 1 || n <= 1 then
+    List.map (fun (jb : Job.t) -> (jb.Job.key, run_job ~seed jb)) jobs
+  else begin
+    let main_bus = Engine.Trace.default () in
+    let capture = Engine.Trace.active main_bus in
+    let arr = Array.of_list jobs in
+    let pool = Engine.Pool.create (min j n) in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Engine.Pool.shutdown pool)
+        (fun () ->
+          Engine.Pool.map pool
+            (fun jb ->
+              if capture then run_job_captured ~seed jb
+              else (run_job ~seed jb, []))
+            arr)
+    in
+    Array.iter (fun (_, events) -> replay main_bus events) results;
+    List.map2 (fun (jb : Job.t) (r, _) -> (jb.key, r)) jobs
+      (Array.to_list results)
+  end
+
+let run_experiment ?(j = 1) ~full ~seed (e : Registry.experiment) ppf =
+  let finished = run_jobs ~j ~seed (e.jobs ~full) in
+  e.render ~full ~seed finished ppf

@@ -1,0 +1,29 @@
+(** Executes experiment job grids, sequentially or on a fixed pool of
+    worker domains.
+
+    Output is byte-identical at any worker count: every job's RNG is
+    derived from [(seed, job key)] ({!Engine.Rng.for_key}), results return
+    in job-list order regardless of scheduling, and events a job emits to
+    its domain's {!Engine.Trace.default} bus are captured per job and
+    replayed on the calling domain's bus in job-list order — exactly the
+    order a sequential run emits them. *)
+
+(** [run_jobs ~j ~seed jobs] executes every job and returns
+    [(key, result)] pairs in job-list order. [j <= 1] (the default) runs on
+    the calling domain, with trace events emitted live; [j > 1] runs on a
+    pool of [min j (List.length jobs)] worker domains, capturing and
+    replaying trace events only when the calling domain's default bus is
+    active. If a job raises, the first exception observed is re-raised
+    after the remaining jobs finish. *)
+val run_jobs :
+  ?j:int -> seed:int -> Job.t list -> (string * Job.result) list
+
+(** [run_experiment ~j ~full ~seed e ppf] builds [e]'s grid, runs it, and
+    renders the finished results to [ppf]. *)
+val run_experiment :
+  ?j:int ->
+  full:bool ->
+  seed:int ->
+  Registry.experiment ->
+  Format.formatter ->
+  unit

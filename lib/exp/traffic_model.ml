@@ -56,31 +56,43 @@ let hurst_of_aggregate ~sources ~shape ~duration ~seed =
   (* fit beyond the ~3 s ON/OFF cycle: 64 * 0.1 s bins *)
   Stats.Selfsim.hurst_variance_time ~min_m:64 counts
 
-let run ~full ~seed ppf =
+let cases =
+  [ ("exponential (control)", 0.); ("Pareto 1.2", 1.2); ("Pareto 1.5", 1.5);
+    ("Pareto 1.9", 1.9) ]
+
+let key shape = Printf.sprintf "traffic_model/shape%.1f" shape
+
+let jobs ~full =
+  let duration = if full then 6420. else 1620. in
+  let sources = 30 in
+  List.map
+    (fun (_, shape) ->
+      Job.make (key shape) (fun rng ->
+          let seed = Job.derive_seed rng in
+          [ ("h", Job.f (hurst_of_aggregate ~sources ~shape ~duration ~seed)) ]))
+    cases
+
+let render ~full ~seed:_ finished ppf =
   let duration = if full then 6420. else 1620. in
   let sources = 30 in
   Format.fprintf ppf
     "Background traffic model: Hurst parameter of %d aggregated ON/OFF \
      sources (variance-time estimate, %.0f s)@.@."
     sources duration;
-  let cases =
-    [ ("exponential (control)", 0.); ("Pareto 1.2", 1.2); ("Pareto 1.5", 1.5);
-      ("Pareto 1.9", 1.9) ]
-  in
+  let h_of shape = Job.get_float (Job.lookup finished (key shape)) "h" in
   let rows =
     List.map
       (fun (label, shape) ->
-        let h = hurst_of_aggregate ~sources ~shape ~duration ~seed in
         let theory =
           if shape > 1. && shape < 2. then Table.f2 ((3. -. shape) /. 2.)
           else "~0.50"
         in
-        [ label; Table.f2 h; theory ])
+        [ label; Table.f2 (h_of shape); theory ])
       cases
   in
   Table.print ppf ~header:[ "source model"; "H (estimated)"; "H (theory)" ] rows;
-  let h_heavy = hurst_of_aggregate ~sources ~shape:1.2 ~duration ~seed in
-  let h_light = hurst_of_aggregate ~sources ~shape:0. ~duration ~seed in
+  let h_heavy = h_of 1.2 in
+  let h_light = h_of 0. in
   Format.fprintf ppf
     "@.(heavy-tailed sources self-similar (H %.2f), exponential control \
      Poisson-like (H %.2f) — the [WTSW95] effect the paper's Section 4.1.3 \

@@ -7,7 +7,15 @@
     exponential (Poisson-like) sources as the control: heavy tails push H
     toward (3 - shape) / 2, the control stays near 0.5. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+(** One job per source model (tail index), each estimating H. *)
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit
 
 (** [hurst_of_aggregate ~sources ~shape ~duration ~seed] builds the
     aggregate and estimates H. [shape <= 0.] selects exponential ON/OFF

@@ -17,30 +17,47 @@ let cell ~tcp_config ~duration ~seed =
   let tcp, tfrc = Scenario.normalized_throughputs r in
   (Scenario.mean tcp, Scenario.mean tfrc, Stats.Fairness.jain (tcp @ tfrc))
 
-let run ~full ~seed ppf =
+let cases () =
+  [
+    ("Sack, fine timers", Tcpsim.Tcp_common.default ());
+    ("NewReno, fine timers", Tcpsim.Tcp_common.default ~variant:Tcpsim.Tcp_common.Newreno ());
+    ("Reno, fine timers", Tcpsim.Tcp_common.default ~variant:Tcpsim.Tcp_common.Reno ());
+    ("Tahoe, fine timers", Tcpsim.Tcp_common.default ~variant:Tcpsim.Tcp_common.Tahoe ());
+    ( "Sack, 100 ms clock",
+      Tcpsim.Tcp_common.default ~granularity:0.1 ~min_rto:0.4 () );
+    ( "Reno, 500 ms clock (BSD)",
+      Tcpsim.Tcp_common.default ~variant:Tcpsim.Tcp_common.Reno
+        ~granularity:0.5 ~min_rto:1.0 () );
+    ("Reno, aggressive RTO (Solaris)", Tcpsim.Tcp_common.solaris_aggressive);
+  ]
+
+let key i = Printf.sprintf "variants/%d" i
+
+let jobs ~full =
   let duration = if full then 120. else 50. in
+  List.mapi
+    (fun i (_, tcp_config) ->
+      Job.make (key i) (fun rng ->
+          let tcp, tfrc, jain =
+            cell ~tcp_config ~duration ~seed:(Job.derive_seed rng)
+          in
+          [ ("tcp", Job.f tcp); ("tfrc", Job.f tfrc); ("jain", Job.f jain) ]))
+    (cases ())
+
+let render ~full:_ ~seed:_ finished ppf =
   Format.fprintf ppf
     "TCP flavors and timer granularities vs TFRC (4 + 4 on 15 Mb/s RED)@.@.";
-  let cases =
-    [
-      ("Sack, fine timers", Tcpsim.Tcp_common.default ());
-      ("NewReno, fine timers", Tcpsim.Tcp_common.default ~variant:Tcpsim.Tcp_common.Newreno ());
-      ("Reno, fine timers", Tcpsim.Tcp_common.default ~variant:Tcpsim.Tcp_common.Reno ());
-      ("Tahoe, fine timers", Tcpsim.Tcp_common.default ~variant:Tcpsim.Tcp_common.Tahoe ());
-      ( "Sack, 100 ms clock",
-        Tcpsim.Tcp_common.default ~granularity:0.1 ~min_rto:0.4 () );
-      ( "Reno, 500 ms clock (BSD)",
-        Tcpsim.Tcp_common.default ~variant:Tcpsim.Tcp_common.Reno
-          ~granularity:0.5 ~min_rto:1.0 () );
-      ("Reno, aggressive RTO (Solaris)", Tcpsim.Tcp_common.solaris_aggressive);
-    ]
-  in
   let rows =
-    List.map
-      (fun (label, tcp_config) ->
-        let tcp, tfrc, jain = cell ~tcp_config ~duration ~seed in
-        [ label; Table.f2 tcp; Table.f2 tfrc; Table.f3 jain ])
-      cases
+    List.mapi
+      (fun i (label, _) ->
+        let r = Job.lookup finished (key i) in
+        [
+          label;
+          Table.f2 (Job.get_float r "tcp");
+          Table.f2 (Job.get_float r "tfrc");
+          Table.f3 (Job.get_float r "jain");
+        ])
+      (cases ())
   in
   Table.print ppf
     ~header:[ "TCP flavor"; "TCP norm"; "TFRC norm"; "Jain (all flows)" ]

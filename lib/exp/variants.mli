@@ -4,4 +4,11 @@
     their performance is still quite respectable"). 4 TCP of the given
     flavor + 4 TFRC share a 15 Mb/s RED bottleneck. *)
 
-val run : full:bool -> seed:int -> Format.formatter -> unit
+val jobs : full:bool -> Job.t list
+
+val render :
+  full:bool ->
+  seed:int ->
+  (string * Job.result) list ->
+  Format.formatter ->
+  unit

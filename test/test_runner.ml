@@ -1,0 +1,236 @@
+(* Tests for the job-grid runner stack: the Engine.Pool domain pool, keyed
+   RNG derivation (with PCG32 regression vectors), the cancelled-event
+   sweep in Sim.run, and -j 1 vs -j 4 determinism of experiment output. *)
+
+open Alcotest
+
+(* --- PCG32 regression vectors --------------------------------------------- *)
+
+(* Pin the exact output stream: any change to the generator silently
+   reshuffles every experiment, so it must be deliberate. Vectors computed
+   from the PCG32 reference algorithm (64-bit LCG, XSH-RR output) with this
+   module's seeding: create ~seed uses state = seed, inc = seed lxor
+   0x5DEECE66. *)
+let test_pcg32_vectors () =
+  let draws rng n = List.init n (fun _ -> Engine.Rng.bits32 rng) in
+  check (list int) "seed 42 stream"
+    [
+      2769531331; 2188781966; 4193296442; 1850888506; 4221111645; 466863641;
+      2883053187; 818458958;
+    ]
+    (draws (Engine.Rng.create ~seed:42) 8);
+  check (list int) "seed 0 stream"
+    [ 260884357; 965165547; 1693052134; 1943596907 ]
+    (draws (Engine.Rng.create ~seed:0) 4)
+
+let test_for_key_vectors () =
+  let rng = Engine.Rng.for_key ~seed:42 "fig5/p0.010" in
+  check (list int) "keyed stream"
+    [ 1380819778; 1811221958; 1871254712; 4125655132 ]
+    (List.init 4 (fun _ -> Engine.Rng.bits32 rng))
+
+(* --- (seed, key) stream independence --------------------------------------- *)
+
+let test_for_key_reproducible () =
+  let a = Engine.Rng.for_key ~seed:7 "fig6/red/8/4" in
+  let b = Engine.Rng.for_key ~seed:7 "fig6/red/8/4" in
+  for _ = 1 to 64 do
+    check int "same (seed, key), same stream" (Engine.Rng.bits32 a)
+      (Engine.Rng.bits32 b)
+  done
+
+(* Across a grid of keys (and a couple of seeds), every derived generator
+   must give a distinct stream: compare 32-draw windows pairwise. for_key
+   hashes the key into the PCG stream selector, and PCG32 streams are
+   disjoint whenever the selectors differ. *)
+let test_for_key_grid_independent () =
+  let keys =
+    List.concat_map
+      (fun q ->
+        List.concat_map
+          (fun flows ->
+            List.map
+              (fun link -> Printf.sprintf "fig6/%s/%d/%d" q flows link)
+              [ 4; 8; 16 ])
+          [ 2; 8; 32 ])
+      [ "droptail"; "red" ]
+  in
+  let windows =
+    List.concat_map
+      (fun seed ->
+        List.map
+          (fun key ->
+            let rng = Engine.Rng.for_key ~seed key in
+            List.init 32 (fun _ -> Engine.Rng.bits32 rng))
+          keys)
+      [ 1; 42 ]
+  in
+  let rec pairwise = function
+    | [] -> ()
+    | w :: rest ->
+        List.iter
+          (fun w' -> check bool "streams differ" true (w <> w'))
+          rest;
+        pairwise rest
+  in
+  pairwise windows
+
+(* --- Engine.Pool ------------------------------------------------------------ *)
+
+let test_pool_map_order () =
+  let pool = Engine.Pool.create 4 in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown pool)
+    (fun () ->
+      let items = Array.init 100 (fun i -> i) in
+      let out = Engine.Pool.map pool (fun i -> (i * i) + 1) items in
+      check (list int) "positional results"
+        (Array.to_list (Array.map (fun i -> (i * i) + 1) items))
+        (Array.to_list out))
+
+let test_pool_map_exception () =
+  let pool = Engine.Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown pool)
+    (fun () ->
+      check_raises "first task exception re-raised" (Failure "boom")
+        (fun () ->
+          ignore
+            (Engine.Pool.map pool
+               (fun i -> if i = 5 then failwith "boom" else i)
+               (Array.init 10 (fun i -> i)))))
+
+let test_pool_use_after_shutdown () =
+  let pool = Engine.Pool.create 2 in
+  Engine.Pool.shutdown pool;
+  Engine.Pool.shutdown pool (* idempotent *);
+  check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Engine.Pool.map pool (fun i -> i) [| 1; 2 |]))
+
+(* --- Sim cancelled-event sweep ---------------------------------------------- *)
+
+(* A workload that schedules far-future events and immediately cancels them
+   must not grow the heap without bound: Sim.run sweeps cancelled entries
+   once they outnumber live ones. 50 ticks x 200 cancels = 10k dead handles
+   total; without the sweep pending_events climbs to ~10k, with it each
+   tick starts from a swept heap. *)
+let test_cancel_heavy_bounded () =
+  let sim = Engine.Sim.create () in
+  let max_pending = ref 0 in
+  let rec tick n =
+    if n > 0 then begin
+      max_pending := max !max_pending (Engine.Sim.pending_events sim);
+      let hs =
+        List.init 200 (fun i ->
+            Engine.Sim.after sim (100. +. float_of_int i) (fun () -> ()))
+      in
+      List.iter Engine.Sim.cancel hs;
+      ignore (Engine.Sim.after sim 0.01 (fun () -> tick (n - 1)))
+    end
+  in
+  ignore (Engine.Sim.at sim 0.0 (fun () -> tick 50));
+  Engine.Sim.run sim ~until:5.;
+  check bool
+    (Printf.sprintf "pending bounded (max seen %d)" !max_pending)
+    true
+    (!max_pending < 2000)
+
+(* --- Runner determinism ------------------------------------------------------ *)
+
+let run_to_string ~j id =
+  match Exp.Registry.find id with
+  | None -> fail ("unknown experiment " ^ id)
+  | Some e ->
+      let buf = Buffer.create 4096 in
+      let ppf = Format.formatter_of_buffer buf in
+      Exp.Runner.run_experiment ~j ~full:false ~seed:42 e ppf;
+      Format.pp_print_flush ppf ();
+      Buffer.contents buf
+
+let test_determinism_fig2 () =
+  check string "fig2 -j1 = -j4" (run_to_string ~j:1 "fig2")
+    (run_to_string ~j:4 "fig2")
+
+let test_determinism_fig5 () =
+  check string "fig5 -j1 = -j4" (run_to_string ~j:1 "fig5")
+    (run_to_string ~j:4 "fig5")
+
+(* fig6's full quick grid takes ~80 s per run, too slow to run twice here
+   (the CI `all -j` smoke covers it); a 4-cell subset of its real jobs
+   exercises the same code path. *)
+let test_determinism_fig6_subset () =
+  let subset e = List.filteri (fun i _ -> i < 4) (e.Exp.Registry.jobs ~full:false) in
+  match Exp.Registry.find "fig6" with
+  | None -> fail "unknown experiment fig6"
+  | Some e ->
+      let dump results =
+        String.concat "\n"
+          (List.map (fun (k, r) -> k ^ " " ^ Exp.Job.to_json r) results)
+      in
+      check string "fig6 subset -j1 = -j4"
+        (dump (Exp.Runner.run_jobs ~j:1 ~seed:42 (subset e)))
+        (dump (Exp.Runner.run_jobs ~j:4 ~seed:42 (subset e)))
+
+(* --- Trace capture and merge ------------------------------------------------- *)
+
+(* Jobs that emit to their domain's default bus: under -j 1 the events reach
+   the coordinator's bus live; under -j N they are captured per job on the
+   worker and replayed in job-list order. Observers must see the identical
+   sequence either way. *)
+let trace_jobs =
+  List.init 6 (fun i ->
+      Exp.Job.make (Printf.sprintf "trace-test/%d" i) (fun rng ->
+          let bus = Engine.Trace.default () in
+          let r = Engine.Rng.bits32 rng in
+          Engine.Trace.emit bus ~time:(float_of_int i) ~cat:"test" ~name:"job"
+            [ ("i", Engine.Trace.Int i); ("draw", Engine.Trace.Int r) ];
+          Engine.Trace.emit bus ~time:(float_of_int i +. 0.5) ~cat:"test"
+            ~name:"done" [];
+          [ ("draw", Exp.Job.i r) ]))
+
+let observed ~j =
+  let bus = Engine.Trace.default () in
+  let sink, captured = Engine.Trace.memory_sink () in
+  Engine.Trace.add_sink bus sink;
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Engine.Trace.remove_sink bus sink)
+      (fun () -> Exp.Runner.run_jobs ~j ~seed:11 trace_jobs)
+  in
+  (results, captured ())
+
+let test_trace_merge () =
+  let r1, ev1 = observed ~j:1 in
+  let r4, ev4 = observed ~j:4 in
+  check bool "results equal" true (r1 = r4);
+  check int "event count" (List.length ev1) (List.length ev4);
+  check bool "event sequences equal" true (ev1 = ev4)
+
+let () =
+  run "runner"
+    [
+      ( "rng",
+        [
+          test_case "pcg32 regression vectors" `Quick test_pcg32_vectors;
+          test_case "for_key vectors" `Quick test_for_key_vectors;
+          test_case "for_key reproducible" `Quick test_for_key_reproducible;
+          test_case "for_key grid independence" `Quick
+            test_for_key_grid_independent;
+        ] );
+      ( "pool",
+        [
+          test_case "map keeps order" `Quick test_pool_map_order;
+          test_case "map re-raises" `Quick test_pool_map_exception;
+          test_case "use after shutdown" `Quick test_pool_use_after_shutdown;
+        ] );
+      ( "sim",
+        [ test_case "cancel-heavy heap bounded" `Quick test_cancel_heavy_bounded ] );
+      ( "determinism",
+        [
+          test_case "fig2 j1=j4" `Slow test_determinism_fig2;
+          test_case "fig5 j1=j4" `Slow test_determinism_fig5;
+          test_case "fig6 subset j1=j4" `Slow test_determinism_fig6_subset;
+          test_case "trace capture merge" `Quick test_trace_merge;
+        ] );
+    ]
