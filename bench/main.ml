@@ -160,7 +160,10 @@ let parallel_speedup_json ~todo ~full ~seed =
   let time_all ~j =
     let t0 = Unix.gettimeofday () in
     List.iter
-      (fun e -> Exp.Runner.run_experiment ~j ~full ~seed e null_ppf)
+      (fun e ->
+        ignore
+          (Exp.Runner.run_experiment ~j ~full ~seed e null_ppf
+            : Exp.Runner.report))
       todo;
     Unix.gettimeofday () -. t0
   in
@@ -171,6 +174,53 @@ let parallel_speedup_json ~todo ~full ~seed =
     seed full
     (Domain.recommended_domain_count ())
     j1_s j4_s (j1_s /. j4_s)
+
+(* Checkpoint-layer overhead: the fig5 quick grid (many small cells, so
+   per-cell fsync cost dominates rather than simulation time) run plain and
+   with an fsync'd checkpoint store attached. Best-of-3 wall clock; the
+   absolute per-cell cost matters more than the percentage, since big grids
+   amortize the same number of fsyncs over much longer cells. *)
+let checkpoint_overhead_json ~seed =
+  let e =
+    match Exp.Registry.find "fig5" with
+    | Some e -> e
+    | None -> failwith "fig5 missing from registry"
+  in
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let cells = List.length (e.Exp.Registry.jobs ~full:false) in
+  let time_run f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let plain () =
+    (Exp.Runner.run_experiment ~full:false ~seed e null_ppf
+      : Exp.Runner.report)
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "tfrc_bench_ckpt" in
+  let grid = Exp.Registry.grid_id e ~full:false ~seed in
+  let checkpointed () =
+    (* resume:false truncates, so every timed run pays the full write load. *)
+    let ck = Exp.Checkpoint.open_store ~dir ~grid ~resume:false in
+    Fun.protect
+      ~finally:(fun () -> Exp.Checkpoint.close ck)
+      (fun () ->
+        (Exp.Runner.run_experiment ~checkpoint:ck ~full:false ~seed e null_ppf
+          : Exp.Runner.report))
+  in
+  let plain_s = time_run plain in
+  let ckpt_s = time_run checkpointed in
+  (try Sys.remove (Filename.concat dir (grid ^ ".jsonl")) with Sys_error _ -> ());
+  Printf.sprintf
+    "{\"bench\":\"checkpoint_overhead\",\"scenario\":\"fig5\",\"cells\":%d,\"plain_s\":%.4f,\"checkpointed_s\":%.4f,\"overhead_pct\":%.2f,\"per_cell_ms\":%.3f}"
+    cells plain_s ckpt_s
+    ((ckpt_s -. plain_s) /. plain_s *. 100.)
+    ((ckpt_s -. plain_s) /. float_of_int cells *. 1e3)
 
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
@@ -218,12 +268,15 @@ let () =
           "==================================================================@.";
         Format.fprintf ppf "=== %s: %s@.@." e.Exp.Registry.id
           e.Exp.Registry.title;
-        Exp.Runner.run_experiment ~j ~full ~seed e ppf;
+        ignore
+          (Exp.Runner.run_experiment ~j ~full ~seed e ppf : Exp.Runner.report);
         (* Machine-readable summary for trend tracking across runs. *)
         if e.Exp.Registry.id = "resilience" then
           Format.fprintf ppf "%s@." (Exp.Resilience.json_line ~seed);
         if e.Exp.Registry.id = "fig2" then
           Format.fprintf ppf "%s@." (trace_overhead_json ());
+        if e.Exp.Registry.id = "fig5" then
+          Format.fprintf ppf "%s@." (checkpoint_overhead_json ~seed);
         Format.fprintf ppf "@.[%s done in %.1f s wall clock]@.@."
           e.Exp.Registry.id
           (Unix.gettimeofday () -. started))

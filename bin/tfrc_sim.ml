@@ -4,7 +4,13 @@
      list                      enumerate the paper's experiments
      exp <id> [--full] [--seed n]   regenerate one figure/table
      all [--full] [--seed n]        regenerate everything
-     duel [options]            ad-hoc TCP-vs-TFRC dumbbell run *)
+     duel [options]            ad-hoc TCP-vs-TFRC dumbbell run
+
+   The grid subcommands (exp/all/chaos) accept supervision flags —
+   --retries, --max-events, --max-sim-time, --checkpoint, --resume — that
+   route through Exp.Runner's supervised execution layer (budgets, retry,
+   crash isolation, kill-and-resume). See EXPERIMENTS.md, "Supervised
+   execution". *)
 
 open Cmdliner
 
@@ -41,6 +47,121 @@ let check_arg =
      trace bus and report violations after the run (non-zero exit if any)."
   in
   Arg.(value & flag & info [ "check" ] ~doc)
+
+(* --- Supervision flags (exp/all/chaos) ------------------------------------ *)
+
+type sup = {
+  retries : int;
+  budget : Exp.Job.budget option;
+  ckpt_dir : string option;
+  resume : bool;
+}
+
+let supervised sup =
+  sup.retries > 0 || sup.budget <> None || sup.ckpt_dir <> None
+
+let sup_term =
+  let retries =
+    let doc =
+      "Retry a failed or timed-out cell up to $(docv) times. Each attempt \
+       draws a fresh deterministic RNG stream from (seed, key, attempt), so \
+       retried runs stay reproducible at any $(b,-j)."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let max_events =
+    let doc =
+      "Cooperative per-cell budget: kill a cell after $(docv) executed \
+       simulator events (counted across all its Sim.run calls) and mark it \
+       timed out."
+    in
+    Arg.(value & opt (some int) None & info [ "max-events" ] ~docv:"N" ~doc)
+  in
+  let max_time =
+    let doc =
+      "Cooperative per-cell budget: kill a cell when a simulation would \
+       step past $(docv) seconds of virtual time."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-sim-time" ] ~docv:"SECONDS" ~doc)
+  in
+  let ckpt =
+    let doc =
+      "Append each completed cell to an fsync'd JSONL store under $(docv) \
+       (one file per experiment grid), so an interrupted run can be \
+       finished with $(b,--resume)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+  in
+  let resume =
+    let doc =
+      "Skip cells already completed in the $(b,--checkpoint) store and \
+       recompute only the rest; the rendered output is byte-identical to \
+       an uninterrupted run."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let make retries max_events max_time ckpt_dir resume =
+    if retries < 0 then begin
+      Format.eprintf "tfrc_sim: --retries must be non-negative@.";
+      exit 1
+    end;
+    (match max_events with
+    | Some n when n <= 0 ->
+        Format.eprintf "tfrc_sim: --max-events must be positive@.";
+        exit 1
+    | _ -> ());
+    (match max_time with
+    | Some t when t <= 0. ->
+        Format.eprintf "tfrc_sim: --max-sim-time must be positive@.";
+        exit 1
+    | _ -> ());
+    if resume && ckpt_dir = None then begin
+      Format.eprintf "tfrc_sim: --resume requires --checkpoint DIR@.";
+      exit 1
+    end;
+    let budget =
+      match (max_events, max_time) with
+      | None, None -> None
+      | max_events, max_time -> Some { Exp.Job.max_events; max_time }
+    in
+    { retries; budget; ckpt_dir; resume }
+  in
+  Term.(const make $ retries $ max_events $ max_time $ ckpt $ resume)
+
+(* The checkpoint store fsyncs each cell as it completes, so on SIGINT
+   there is nothing to flush — just tell the user how to pick the run back
+   up. (SIGKILL skips the handler and is equally safe, minus the hint.) *)
+let install_sigint sup =
+  if sup.ckpt_dir <> None then
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           prerr_endline
+             "tfrc_sim: interrupted; completed cells are checkpointed — rerun \
+              with --resume to finish";
+           exit 130))
+
+(* Runs [f] with the checkpoint store for [grid] (when enabled), closing it
+   afterwards. Each experiment grid gets its own file under the directory. *)
+let with_store sup ~grid f =
+  match sup.ckpt_dir with
+  | None -> f None
+  | Some dir ->
+      let ck = Exp.Checkpoint.open_store ~dir ~grid ~resume:sup.resume in
+      Fun.protect
+        ~finally:(fun () -> Exp.Checkpoint.close ck)
+        (fun () -> f (Some ck))
+
+(* The structured run report goes to stderr: stdout stays byte-identical
+   to an unsupervised run (modulo MISSING lines for cells that gave up),
+   which is what lets CI diff a resumed run against a clean one. *)
+let print_report sup report =
+  if supervised sup then
+    Format.eprintf "%s@." (Exp.Runner.report_json report)
 
 (* Run [f ()] with the requested observers on the process-wide trace bus
    (every [Sim.create ()] underneath attaches to it), then tear them down,
@@ -83,7 +204,7 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the paper's experiments.")
     Term.(const run $ const ())
 
-let run_one ~j ~full ~seed id =
+let run_one ~j ~full ~seed ~sup id =
   match Exp.Registry.find id with
   | None ->
       Format.eprintf "unknown experiment %s; try `tfrc_sim list'@." id;
@@ -91,32 +212,42 @@ let run_one ~j ~full ~seed id =
   | Some e ->
       let ppf = Format.std_formatter in
       Format.fprintf ppf "=== %s: %s ===@.@." e.id e.title;
-      Exp.Runner.run_experiment ~j ~full ~seed e ppf;
+      let report =
+        with_store sup ~grid:(Exp.Registry.grid_id e ~full ~seed)
+          (fun checkpoint ->
+            Exp.Runner.run_experiment ~j ~retries:sup.retries ?budget:sup.budget
+              ?checkpoint ~full ~seed e ppf)
+      in
+      print_report sup report;
       Format.fprintf ppf "@."
 
 let exp_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
   in
-  let run full seed j trace check id =
-    observe ~trace ~check (fun () -> run_one ~j ~full ~seed id)
+  let run full seed j trace check sup id =
+    install_sigint sup;
+    observe ~trace ~check (fun () -> run_one ~j ~full ~seed ~sup id)
   in
   Cmd.v
     (Cmd.info "exp" ~doc:"Regenerate one figure or table from the paper.")
     Term.(
       const run $ full_arg $ seed_arg $ jobs_arg $ trace_arg $ check_arg
-      $ id_arg)
+      $ sup_term $ id_arg)
 
 let all_cmd =
-  let run full seed j trace check =
+  let run full seed j trace check sup =
+    install_sigint sup;
     observe ~trace ~check (fun () ->
         List.iter
-          (fun e -> run_one ~j ~full ~seed e.Exp.Registry.id)
+          (fun e -> run_one ~j ~full ~seed ~sup e.Exp.Registry.id)
           Exp.Registry.all)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure and table.")
-    Term.(const run $ full_arg $ seed_arg $ jobs_arg $ trace_arg $ check_arg)
+    Term.(
+      const run $ full_arg $ seed_arg $ jobs_arg $ trace_arg $ check_arg
+      $ sup_term)
 
 let duel_cmd =
   let n_tcp =
@@ -195,7 +326,8 @@ let chaos_cmd =
       value & opt float 2.
       & info [ "outage-duration" ] ~docv:"SECONDS" ~doc:"Outage length.")
   in
-  let run at outage_duration seed j trace check =
+  let run at outage_duration seed j trace check sup =
+    install_sigint sup;
     observe ~trace ~check @@ fun () ->
     if at < 0. then begin
       Format.eprintf "tfrc_sim: --outage-at must be non-negative@.";
@@ -225,8 +357,20 @@ let chaos_cmd =
             ("pace", Exp.Job.pairs (Array.to_list pace));
           ])
     in
+    let grid = Printf.sprintf "chaos.seed%d.at%g.dur%g" seed at outage_duration in
+    let outcomes, report =
+      with_store sup ~grid (fun checkpoint ->
+          Exp.Runner.run_jobs_supervised ~j ~retries:sup.retries
+            ?budget:sup.budget ?checkpoint ~seed [ job ])
+    in
+    print_report sup report;
     let result =
-      Exp.Job.lookup (Exp.Runner.run_jobs ~j ~seed [ job ]) "chaos/outage"
+      match outcomes with
+      | [ (_, Exp.Runner.Completed r) ] -> r
+      | [ (_, Exp.Runner.Gave_up f) ] ->
+          Format.eprintf "chaos/outage %s@." (Exp.Runner.failure_summary f);
+          exit 1
+      | _ -> assert false
     in
     let report =
       {
@@ -286,7 +430,7 @@ let chaos_cmd =
           backoff/slow-restart timeline (see also `exp resilience').")
     Term.(
       const run $ at $ outage_duration $ seed_arg $ jobs_arg $ trace_arg
-      $ check_arg)
+      $ check_arg $ sup_term)
 
 let trace_cmd =
   let out_arg =

@@ -5,7 +5,8 @@
    Checked rules (RFC 3448 / RFC 5348 section references):
    - time-monotone: trace-event timestamps never decrease within one
      simulation (the event heap fires in time order; a violation means a
-     scheduler bug). Reset at each [sim/created].
+     scheduler bug). Reset at each [sim/created]; [exp/*] runner
+     bookkeeping events are exempt (they carry wall-clock, not sim, time).
    - sender-rate-bound (4.3, rate validation / slow start 4.2): on a
      feedback-driven rate update, the new allowed rate stays within
      2 * X_recv (when rate validation is on and losses are reported) or,
@@ -249,6 +250,11 @@ let check_link t (ev : Engine.Trace.event) =
 let check_event t (ev : Engine.Trace.event) =
   t.n_events <- t.n_events + 1;
   if ev.cat = "sim" && ev.name = "created" then reset_run_state t
+  else if ev.cat = "exp" then
+    (* Runner bookkeeping (exp/job, exp/report): carries wall-clock fields
+       and a zero timestamp, not simulation time — exempt from the
+       time-monotone watermark. *)
+    ()
   else begin
     if ev.time < t.last_time -. 1e-9 then
       violate t ~time:ev.time ~rule:"time-monotone"

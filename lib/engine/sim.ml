@@ -14,6 +14,54 @@ type t = {
   trace : Trace.t;
 }
 
+(* --- Cooperative budgets --------------------------------------------------
+
+   A budget caps what a run may consume: a count of executed events
+   (cumulative across every [run] the budget is installed for, so a job
+   that builds several schedulers still has one meter) and a virtual-time
+   ceiling per run. Exhaustion raises [Budget_exhausted] out of [run] —
+   through the job code and back to whatever supervisor installed the
+   budget — instead of letting a runaway simulation spin forever.
+
+   The ambient budget is domain-local (like {!Trace.default}): a
+   supervisor wraps a job in [with_budget] and every [Sim.run] underneath
+   it is metered, without the job threading anything through. *)
+
+type budget = {
+  mutable events_left : int; (* counts down across runs; max_int = unlimited *)
+  max_time : float; (* virtual-time ceiling per run; infinity = unlimited *)
+}
+
+exception Budget_exhausted of string
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exhausted detail -> Some ("Sim.Budget_exhausted: " ^ detail)
+    | _ -> None)
+
+let budget ?max_events ?max_time () =
+  (match max_events with
+  | Some n when n <= 0 -> invalid_arg "Sim.budget: max_events must be positive"
+  | _ -> ());
+  (match max_time with
+  | Some t when t <= 0. -> invalid_arg "Sim.budget: max_time must be positive"
+  | _ -> ());
+  {
+    events_left = Option.value max_events ~default:max_int;
+    max_time = Option.value max_time ~default:infinity;
+  }
+
+let ambient_budget_key : budget option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_budget b = Domain.DLS.set ambient_budget_key b
+let current_budget () = Domain.DLS.get ambient_budget_key
+
+let with_budget b f =
+  let prev = current_budget () in
+  set_budget (Some b);
+  Fun.protect ~finally:(fun () -> set_budget prev) f
+
 let create ?trace () =
   let trace = match trace with Some tr -> tr | None -> Trace.default () in
   let t =
@@ -80,7 +128,16 @@ let maybe_sweep t =
         ]
   end
 
-let run t ~until =
+let exhaust t detail =
+  if Trace.active t.trace then
+    Trace.emit t.trace ~time:t.clock ~cat:"sim" ~name:"budget_exhausted"
+      [ ("detail", Trace.Str detail) ];
+  raise (Budget_exhausted detail)
+
+let run ?budget t ~until =
+  let budget =
+    match budget with Some _ as b -> b | None -> current_budget ()
+  in
   t.stopping <- false;
   if Trace.active t.trace then
     Trace.emit t.trace ~time:t.clock ~cat:"sim" ~name:"run_start"
@@ -99,6 +156,22 @@ let run t ~until =
             | `Cancelled -> decr t.cancelled
             | `Fired -> ()
             | `Pending ->
+                (match budget with
+                | None -> ()
+                | Some b ->
+                    if time > b.max_time then
+                      exhaust t
+                        (Printf.sprintf
+                           "virtual-time budget exhausted: next event at %g \
+                            past max_time %g"
+                           time b.max_time);
+                    if b.events_left <= 0 then
+                      exhaust t
+                        (Printf.sprintf
+                           "event budget exhausted at t=%g (max_events \
+                            reached)"
+                           t.clock);
+                    b.events_left <- b.events_left - 1);
                 t.clock <- time;
                 h.state <- `Fired;
                 h.f ()))

@@ -38,16 +38,54 @@ val is_pending : handle -> bool
 (** A dummy handle that is never pending; useful as an initial value. *)
 val null_handle : handle
 
+(** {2 Cooperative budgets}
+
+    A budget caps what {!run} may consume: a total count of executed events
+    (shared across every [run] while the budget is installed, so a job that
+    builds several schedulers still has one meter) and a virtual-time
+    ceiling per run. When exhausted, [run] raises {!Budget_exhausted}
+    instead of spinning forever — the supervisor that installed the budget
+    catches it and marks the job timed out (see [Exp.Runner]). *)
+
+type budget
+
+(** Raised by {!run} when the installed budget is exhausted; the payload is
+    a human-readable reason. *)
+exception Budget_exhausted of string
+
+(** [budget ?max_events ?max_time ()] makes a fresh budget. [max_events]
+    is the total number of events the budget allows (positive);
+    [max_time] caps each run's virtual clock (positive, seconds). Omitted
+    limits are unlimited. *)
+val budget : ?max_events:int -> ?max_time:float -> unit -> budget
+
+(** [with_budget b f] installs [b] as the calling domain's ambient budget
+    (consulted by every {!run} without an explicit [?budget]), runs [f],
+    and restores the previous ambient budget — even on exceptions. *)
+val with_budget : budget -> (unit -> 'a) -> 'a
+
+(** [set_budget b] sets the calling domain's ambient budget directly;
+    [current_budget ()] reads it. Prefer {!with_budget}. *)
+val set_budget : budget option -> unit
+
+val current_budget : unit -> budget option
+
 (** [run t ~until] executes events in time order until the heap is empty or
     the next event is past [until]; the clock ends at [until] (or at the
     last event if the heap drains first and [until] is infinite).
+
+    [?budget] (default: the domain's ambient budget, see {!with_budget})
+    meters the run: each executed event decrements the shared event
+    allowance, and an event past the budget's [max_time] stops the run.
+    Exhaustion emits a [sim/budget_exhausted] trace event and raises
+    {!Budget_exhausted}.
 
     Between pops, when the heap has grown past a small floor and more than
     half of it is cancelled timers, the run loop prunes the cancelled
     entries in bulk (emitting a [sim/sweep] trace event), so cancel-heavy
     workloads keep {!pending_events} — and the memory retained by dead
     timer closures — bounded by twice the live-timer count. *)
-val run : t -> until:float -> unit
+val run : ?budget:budget -> t -> until:float -> unit
 
 (** [pending_events t] is the number of events still in the heap, including
     cancelled events that have not yet been swept out (see {!run} for when

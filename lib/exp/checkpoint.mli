@@ -1,0 +1,40 @@
+(** Durable JSONL checkpoint store for supervised experiment runs.
+
+    One file per grid identity (see [Registry.grid_id]): a header line
+    naming the grid, then one line per completed cell, appended and
+    fsync'd as each cell finishes — on worker domains too, so a SIGKILL
+    mid-batch loses at most the cells still in flight (and at worst one
+    torn final line, which the loader discards). Floats are stored as
+    hex-float strings, so a resumed render is byte-identical to an
+    uninterrupted run.
+
+    Thread-safety: {!record} and {!close} may be called from any domain
+    (appends are serialized internally); {!open_store} and {!find} belong
+    to the coordinating domain. *)
+
+type t
+
+(** [open_store ~dir ~grid ~resume] opens (creating [dir] if needed) the
+    checkpoint file for [grid]. With [resume] true, an existing file whose
+    header matches [grid] is loaded — its cells are served by {!find} and
+    new records append after them; a missing, mismatched or unreadable
+    file starts fresh. With [resume] false the file is truncated. *)
+val open_store : dir:string -> grid:string -> resume:bool -> t
+
+(** The store's file path. *)
+val path : t -> string
+
+(** [find t key] is the stored result for [key], if that cell completed in
+    this run or a resumed one. *)
+val find : t -> string -> Job.result option
+
+(** Number of completed cells currently in the store. *)
+val completed_count : t -> int
+
+(** [record t ~key r] appends the cell's result and fsyncs before
+    returning. Callable from worker domains. *)
+val record : t -> key:string -> Job.result -> unit
+
+(** Closes the file descriptor. Idempotent; {!record} afterwards raises
+    [Invalid_argument]. *)
+val close : t -> unit

@@ -13,9 +13,15 @@ type value =
 
 type result = (string * value) list
 
-type t = { key : string; run : Engine.Rng.t -> result }
+(* A per-cell execution budget, enforced cooperatively by [Engine.Sim.run]
+   when the supervised runner installs it around the job (see Exp.Runner).
+   [max_events] meters executed simulator events across the whole cell;
+   [max_time] caps each Sim.run's virtual clock. *)
+type budget = { max_events : int option; max_time : float option }
 
-let make key run = { key; run }
+type t = { key : string; run : Engine.Rng.t -> result; budget : budget option }
+
+let make ?budget key run = { key; run; budget }
 
 (* Jobs that need an integer seed for sub-components (e.g. Scenario.run_mixed
    takes [seed : int]) derive one from their keyed stream, so the value still
@@ -33,11 +39,31 @@ let pairs l = List (List.map (fun (x, y) -> List [ Float x; Float y ]) l)
 let rows ll = List (List.map (fun r -> List (List.map (fun x -> Float x) r)) ll)
 let strs l = List (List.map (fun x -> Str x) l)
 
+(* --- Missing-cell placeholders ------------------------------------------- *)
+
+(* A cell the supervised runner gave up on (timed out / crashed after
+   retries) renders as a placeholder result rather than aborting the whole
+   figure: the runner prints an explicit MISSING(key: reason) line, and the
+   typed accessors below return inert hole values (nan, 0, "", []) so
+   renderers lay the surviving cells out around the gap. *)
+
+let missing_field = "$missing"
+let missing ~reason = [ (missing_field, Str reason) ]
+
+let missing_reason (r : result) =
+  match r with
+  | [ (k, Str reason) ] when String.equal k missing_field -> Some reason
+  | _ -> None
+
+let is_missing r = missing_reason r <> None
+
 (* --- Accessors ----------------------------------------------------------- *)
 
 (* All raising, with the field name in the message: a missing or mistyped
    field is a bug in the experiment's job/render pairing, not a runtime
-   condition to recover from. *)
+   condition to recover from. The one exception: placeholder results for
+   cells the supervised runner gave up on read as hole values instead, so
+   renderers degrade to printed gaps rather than exceptions. *)
 
 let bad key what = failwith (Printf.sprintf "Job: field %S %s" key what)
 
@@ -47,19 +73,24 @@ let get r key =
   | None -> bad key "missing from result"
 
 let get_float r key =
-  match get r key with
-  | Float f -> f
-  | Int i -> float_of_int i
-  | _ -> bad key "is not a float"
+  if is_missing r then Float.nan
+  else
+    match get r key with
+    | Float f -> f
+    | Int i -> float_of_int i
+    | _ -> bad key "is not a float"
 
 let get_int r key =
-  match get r key with Int i -> i | _ -> bad key "is not an int"
+  if is_missing r then 0
+  else match get r key with Int i -> i | _ -> bad key "is not an int"
 
 let get_str r key =
-  match get r key with Str s -> s | _ -> bad key "is not a string"
+  if is_missing r then "MISSING"
+  else match get r key with Str s -> s | _ -> bad key "is not a string"
 
 let get_bool r key =
-  match get r key with Bool b -> b | _ -> bad key "is not a bool"
+  if is_missing r then false
+  else match get r key with Bool b -> b | _ -> bad key "is not a bool"
 
 let as_float key = function
   | Float f -> f
@@ -67,35 +98,43 @@ let as_float key = function
   | _ -> bad key "holds a non-numeric element"
 
 let get_floats r key =
-  match get r key with
-  | List l -> List.map (as_float key) l
-  | _ -> bad key "is not a list"
+  if is_missing r then []
+  else
+    match get r key with
+    | List l -> List.map (as_float key) l
+    | _ -> bad key "is not a list"
 
 let get_pairs r key =
-  match get r key with
-  | List l ->
-      List.map
-        (function
-          | List [ x; y ] -> (as_float key x, as_float key y)
-          | _ -> bad key "holds a non-pair element")
-        l
-  | _ -> bad key "is not a list"
+  if is_missing r then []
+  else
+    match get r key with
+    | List l ->
+        List.map
+          (function
+            | List [ x; y ] -> (as_float key x, as_float key y)
+            | _ -> bad key "holds a non-pair element")
+          l
+    | _ -> bad key "is not a list"
 
 let get_rows r key =
-  match get r key with
-  | List l ->
-      List.map
-        (function
-          | List xs -> List.map (as_float key) xs
-          | _ -> bad key "holds a non-row element")
-        l
-  | _ -> bad key "is not a list"
+  if is_missing r then []
+  else
+    match get r key with
+    | List l ->
+        List.map
+          (function
+            | List xs -> List.map (as_float key) xs
+            | _ -> bad key "holds a non-row element")
+          l
+    | _ -> bad key "is not a list"
 
 let get_strs r key =
-  match get r key with
-  | List l ->
-      List.map (function Str s -> s | _ -> bad key "holds a non-string") l
-  | _ -> bad key "is not a list"
+  if is_missing r then []
+  else
+    match get r key with
+    | List l ->
+        List.map (function Str s -> s | _ -> bad key "holds a non-string") l
+    | _ -> bad key "is not a list"
 
 (* [lookup finished key] finds one job's result in a finished-run list. *)
 let lookup finished key =

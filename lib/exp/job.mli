@@ -17,9 +17,20 @@ type value =
 (** A serializable record of what one cell measured. *)
 type result = (string * value) list
 
-type t = { key : string; run : Engine.Rng.t -> result }
+(** A per-cell execution budget, enforced cooperatively by [Engine.Sim.run]
+    when the supervised runner installs it around the job: [max_events]
+    meters executed simulator events across the whole cell, [max_time]
+    caps each run's virtual clock (seconds). A job's own budget overrides
+    the runner-wide default. *)
+type budget = { max_events : int option; max_time : float option }
 
-val make : string -> (Engine.Rng.t -> result) -> t
+type t = {
+  key : string;
+  run : Engine.Rng.t -> result;
+  budget : budget option;  (** default budget for this cell; [None] = the runner's *)
+}
+
+val make : ?budget:budget -> string -> (Engine.Rng.t -> result) -> t
 
 (** [derive_seed rng] draws an integer seed for sub-components that take
     [seed : int] (e.g. {!Scenario.run_mixed}), keeping the value a pure
@@ -40,11 +51,28 @@ val rows : float list list -> value
 
 val strs : string list -> value
 
+(** {2 Missing-cell placeholders}
+
+    When the supervised runner gives up on a cell (timed out or crashed
+    after retries) it substitutes [missing ~reason] for the result and
+    prints an explicit [MISSING(key: reason)] line; the typed accessors
+    below return inert hole values on such placeholders (nan / 0 / [""] /
+    [[]]) so renderers lay out the surviving cells instead of raising. *)
+
+val missing : reason:string -> result
+
+(** [missing_reason r] is [Some reason] iff [r] is a placeholder. *)
+val missing_reason : result -> string option
+
+val is_missing : result -> bool
+
 (** {2 Accessors}
 
     All raise [Failure] naming the field when it is absent or has the wrong
     shape — a mismatch is a bug in the experiment's job/render pairing.
-    [get_float] and the list accessors also accept [Int] elements. *)
+    [get_float] and the list accessors also accept [Int] elements. On a
+    {!missing} placeholder the typed accessors return hole values instead
+    of raising (see above). *)
 
 val get : result -> string -> value
 val get_float : result -> string -> float
@@ -62,3 +90,7 @@ val lookup : (string * result) list -> string -> result
 
 (** One-line JSON rendering of a result, e.g. for machine-readable logs. *)
 val to_json : result -> string
+
+(** JSON string-content escaping (backslash, quote, control characters);
+    shared by the checkpoint store and the runner's report writer. *)
+val json_escape : string -> string

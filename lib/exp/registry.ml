@@ -133,3 +133,10 @@ let all =
 
 let find id = List.find_opt (fun e -> e.id = id) all
 let ids () = List.map (fun e -> e.id) all
+
+(* Identity of one concrete grid instantiation — everything that determines
+   the cell set and each cell's result. A checkpoint written under one
+   grid id must never be resumed under another (different seed or scale =
+   different results), so the id doubles as the checkpoint filename. *)
+let grid_id e ~full ~seed =
+  Printf.sprintf "%s.seed%d.%s" e.id seed (if full then "full" else "quick")

@@ -23,3 +23,9 @@ type experiment = {
 val all : experiment list
 val find : string -> experiment option
 val ids : unit -> string list
+
+(** [grid_id e ~full ~seed] names one concrete grid instantiation, e.g.
+    ["fig6.seed42.quick"] — the key under which a checkpoint store for
+    this run is filed. Two runs share a grid id exactly when they would
+    produce identical cells. *)
+val grid_id : experiment -> full:bool -> seed:int -> string

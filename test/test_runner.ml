@@ -100,6 +100,52 @@ let test_pool_map_exception () =
                (fun i -> if i = 5 then failwith "boom" else i)
                (Array.init 10 (fun i -> i)))))
 
+(* After a task raises, map must drop the batch's queued-but-unstarted
+   tasks: with a single worker the failing head task is the only one that
+   can have started, so the side-effect counter stays at zero. The pool
+   itself must survive — the next batch runs normally. *)
+let test_pool_map_drains_on_failure () =
+  let pool = Engine.Pool.create 1 in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown pool)
+    (fun () ->
+      let ran = Atomic.make 0 in
+      (try
+         ignore
+           (Engine.Pool.map pool
+              (fun i ->
+                if i = 0 then failwith "head task fails";
+                Atomic.incr ran)
+              (Array.init 64 (fun i -> i)))
+       with Failure _ -> ());
+      check int "queued tasks dropped, none ran" 0 (Atomic.get ran);
+      let out = Engine.Pool.map pool (fun i -> i + 1) [| 1; 2; 3 |] in
+      check (list int) "pool usable after failed batch" [ 2; 3; 4 ]
+        (Array.to_list out))
+
+(* try_map isolates failures per task: every task runs, failures come back
+   as Error slots alongside the survivors' Ok values. *)
+let test_pool_try_map_isolation () =
+  let pool = Engine.Pool.create 2 in
+  Fun.protect
+    ~finally:(fun () -> Engine.Pool.shutdown pool)
+    (fun () ->
+      let out =
+        Engine.Pool.try_map pool
+          (fun i -> if i mod 2 = 1 then failwith "odd" else i * 10)
+          (Array.init 10 (fun i -> i))
+      in
+      check int "every slot filled" 10 (Array.length out);
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+              check bool "even task succeeded" true (i mod 2 = 0 && v = i * 10)
+          | Error (Failure m, _) ->
+              check bool "odd task failed" true (i mod 2 = 1 && m = "odd")
+          | Error _ -> fail "unexpected exception kind")
+        out)
+
 let test_pool_use_after_shutdown () =
   let pool = Engine.Pool.create 2 in
   Engine.Pool.shutdown pool;
@@ -144,7 +190,9 @@ let run_to_string ~j id =
   | Some e ->
       let buf = Buffer.create 4096 in
       let ppf = Format.formatter_of_buffer buf in
-      Exp.Runner.run_experiment ~j ~full:false ~seed:42 e ppf;
+      ignore
+        (Exp.Runner.run_experiment ~j ~full:false ~seed:42 e ppf
+          : Exp.Runner.report);
       Format.pp_print_flush ppf ();
       Buffer.contents buf
 
@@ -207,6 +255,38 @@ let test_trace_merge () =
   check int "event count" (List.length ev1) (List.length ev4);
   check bool "event sequences equal" true (ev1 = ev4)
 
+(* Captured worker events must be replayed even when the batch ultimately
+   raises: a --trace file should show the work that was done, including the
+   events of the job that failed. *)
+let test_trace_replay_on_failure () =
+  let jobs =
+    List.init 4 (fun i ->
+        Exp.Job.make (Printf.sprintf "replay-fail/%d" i) (fun _rng ->
+            let bus = Engine.Trace.default () in
+            Engine.Trace.emit bus ~time:(float_of_int i) ~cat:"test" ~name:"ran"
+              [ ("i", Engine.Trace.Int i) ];
+            if i = 2 then failwith "kaput";
+            [ ("i", Exp.Job.i i) ]))
+  in
+  let bus = Engine.Trace.default () in
+  let sink, captured = Engine.Trace.memory_sink () in
+  Engine.Trace.add_sink bus sink;
+  let raised =
+    Fun.protect
+      ~finally:(fun () -> Engine.Trace.remove_sink bus sink)
+      (fun () ->
+        match Exp.Runner.run_jobs ~j:4 ~seed:3 jobs with
+        | _ -> false
+        | exception Failure m -> m = "kaput")
+  in
+  check bool "failure re-raised" true raised;
+  let events = captured () in
+  check (list string) "all jobs' events replayed, in job order"
+    [ "0"; "1"; "2"; "3" ]
+    (List.map
+       (fun (e : Engine.Trace.event) -> Printf.sprintf "%.0f" e.time)
+       events)
+
 let () =
   run "runner"
     [
@@ -222,6 +302,10 @@ let () =
         [
           test_case "map keeps order" `Quick test_pool_map_order;
           test_case "map re-raises" `Quick test_pool_map_exception;
+          test_case "map drains on failure" `Quick
+            test_pool_map_drains_on_failure;
+          test_case "try_map isolates failures" `Quick
+            test_pool_try_map_isolation;
           test_case "use after shutdown" `Quick test_pool_use_after_shutdown;
         ] );
       ( "sim",
@@ -232,5 +316,7 @@ let () =
           test_case "fig5 j1=j4" `Slow test_determinism_fig5;
           test_case "fig6 subset j1=j4" `Slow test_determinism_fig6_subset;
           test_case "trace capture merge" `Quick test_trace_merge;
+          test_case "trace replay on failure" `Quick
+            test_trace_replay_on_failure;
         ] );
     ]

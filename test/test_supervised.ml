@@ -1,0 +1,431 @@
+(* Tests for the supervised execution layer: cooperative Sim budgets,
+   attempt-derived RNG streams, retry/crash isolation in Exp.Runner, the
+   fsync'd checkpoint store, and kill-and-resume byte-identity. *)
+
+open Alcotest
+
+(* A simulation that never drains its heap: each tick schedules the next.
+   Only a budget can stop it. *)
+let spin_sim () =
+  let sim = Engine.Sim.create () in
+  let rec tick () = ignore (Engine.Sim.after sim 1.0 tick) in
+  ignore (Engine.Sim.at sim 0.0 tick);
+  sim
+
+(* --- Sim budgets ----------------------------------------------------------- *)
+
+let test_budget_max_events () =
+  let sim = spin_sim () in
+  let b = Engine.Sim.budget ~max_events:100 () in
+  (match Engine.Sim.run ~budget:b sim ~until:infinity with
+  | () -> fail "spinner terminated without exhausting its budget"
+  | exception Engine.Sim.Budget_exhausted _ -> ());
+  (* 100 events at 1 s spacing starting from t=0: the clock cannot have
+     passed the 100th tick. *)
+  check bool "clock bounded by the event allowance" true
+    (Engine.Sim.now sim <= 100.)
+
+let test_budget_max_time () =
+  let sim = spin_sim () in
+  let b = Engine.Sim.budget ~max_time:10. () in
+  (match Engine.Sim.run ~budget:b sim ~until:infinity with
+  | () -> fail "spinner terminated without exhausting its budget"
+  | exception Engine.Sim.Budget_exhausted _ -> ());
+  check bool "stopped at the virtual-time ceiling" true
+    (Engine.Sim.now sim <= 10.)
+
+(* The event allowance is one meter across several runs: two half-budget
+   runs exhaust it where either alone would not. *)
+let test_budget_shared_across_runs () =
+  let b = Engine.Sim.budget ~max_events:150 () in
+  let sim1 = spin_sim () in
+  Engine.Sim.run ~budget:b sim1 ~until:99.5 (* ~100 events *);
+  let sim2 = spin_sim () in
+  match Engine.Sim.run ~budget:b sim2 ~until:99.5 with
+  | () -> fail "second run should exhaust the shared meter"
+  | exception Engine.Sim.Budget_exhausted _ -> ()
+
+let test_with_budget_restores () =
+  check bool "no ambient budget initially" true
+    (Engine.Sim.current_budget () = None);
+  let b = Engine.Sim.budget ~max_events:10 () in
+  (match
+     Engine.Sim.with_budget b (fun () ->
+         check bool "ambient budget installed" true
+           (Engine.Sim.current_budget () <> None);
+         failwith "escape")
+   with
+  | _ -> fail "exception swallowed"
+  | exception Failure _ -> ());
+  check bool "ambient budget restored after exception" true
+    (Engine.Sim.current_budget () = None)
+
+(* --- Attempt-derived RNG streams -------------------------------------------- *)
+
+let draws rng n = List.init n (fun _ -> Engine.Rng.bits32 rng)
+
+let test_for_attempt_zero_is_for_key () =
+  check (list int) "attempt 0 = for_key"
+    (draws (Engine.Rng.for_key ~seed:42 "fig5/p0.010") 8)
+    (draws (Engine.Rng.for_attempt ~seed:42 ~attempt:0 "fig5/p0.010") 8)
+
+(* Pin the retry streams like the base generator's: a silent change would
+   reshuffle every retried cell. *)
+let test_for_attempt_vectors () =
+  check (list int) "attempt 1 stream"
+    [ 117008709; 234914676; 3036062846; 3614203679 ]
+    (draws (Engine.Rng.for_attempt ~seed:42 ~attempt:1 "fig5/p0.010") 4);
+  check (list int) "attempt 2 stream"
+    [ 855147049; 773415170; 1605697310; 3432908017 ]
+    (draws (Engine.Rng.for_attempt ~seed:42 ~attempt:2 "fig5/p0.010") 4)
+
+let test_for_attempt_independent () =
+  let windows =
+    List.init 4 (fun attempt ->
+        draws (Engine.Rng.for_attempt ~seed:7 ~attempt "fig6/red/8/4") 32)
+  in
+  List.iteri
+    (fun i w ->
+      List.iteri
+        (fun k w' ->
+          if k > i then
+            check bool
+              (Printf.sprintf "attempts %d and %d differ" i (i + 1 + (k - i - 1)))
+              true (w <> w'))
+        windows)
+    windows
+
+(* --- Supervised runner: budgets, retries, isolation -------------------------- *)
+
+let spinner_job key =
+  Exp.Job.make key (fun _rng ->
+      let sim = spin_sim () in
+      Engine.Sim.run sim ~until:infinity;
+      [ ("unreachable", Exp.Job.b true) ])
+
+let test_runner_budget_kills_spinner () =
+  let budget = { Exp.Job.max_events = Some 1_000; max_time = None } in
+  let outcomes, report =
+    Exp.Runner.run_jobs_supervised ~budget ~seed:42 [ spinner_job "spin/0" ]
+  in
+  (match outcomes with
+  | [ (_, Exp.Runner.Gave_up f) ] ->
+      check bool "classified as timeout" true (f.kind = `Timed_out);
+      check int "single attempt" 1 f.attempts
+  | _ -> fail "spinner should time out");
+  check int "report: timed_out" 1 report.timed_out;
+  check int "report: ok" 0 report.ok
+
+let test_runner_retries_spinner () =
+  let budget = { Exp.Job.max_events = Some 500; max_time = None } in
+  let outcomes, _ =
+    Exp.Runner.run_jobs_supervised ~retries:2 ~budget ~seed:42
+      [ spinner_job "spin/retry" ]
+  in
+  match outcomes with
+  | [ (_, Exp.Runner.Gave_up f) ] ->
+      check int "all attempts consumed" 3 f.attempts
+  | _ -> fail "spinner should time out"
+
+(* A job's own budget overrides the runner-wide default. *)
+let test_job_budget_overrides_default () =
+  let bounded =
+    Exp.Job.make ~budget:{ Exp.Job.max_events = Some 100_000; max_time = None }
+      "bounded/0"
+      (fun _rng ->
+        let sim = Engine.Sim.create () in
+        let count = ref 0 in
+        let rec tick () =
+          incr count;
+          if !count < 2_000 then ignore (Engine.Sim.after sim 0.001 tick)
+        in
+        ignore (Engine.Sim.at sim 0.0 tick);
+        Engine.Sim.run sim ~until:infinity;
+        [ ("events", Exp.Job.i !count) ])
+  in
+  let tiny = { Exp.Job.max_events = Some 10; max_time = None } in
+  let outcomes, report =
+    Exp.Runner.run_jobs_supervised ~budget:tiny ~seed:1 [ bounded ]
+  in
+  (match outcomes with
+  | [ (_, Exp.Runner.Completed r) ] ->
+      check int "ran to completion under its own budget" 2_000
+        (Exp.Job.get_int r "events")
+  | _ -> fail "job budget should override the runner default");
+  check int "report: ok" 1 report.ok
+
+(* A flaky job that fails on its first call and succeeds on the second:
+   with one retry the batch completes, the result comes from the attempt-1
+   RNG stream, and the report counts the retry. Runs must also be
+   reproducible even though the closure carries state — the runner derives
+   the retry stream, not the job. *)
+let test_retry_recovers_deterministically () =
+  let make_flaky calls =
+    Exp.Job.make "flaky/0" (fun rng ->
+        incr calls;
+        if !calls = 1 then failwith "transient";
+        [ ("draw", Exp.Job.i (Engine.Rng.bits32 rng)) ])
+  in
+  let calls = ref 0 in
+  let outcomes, report =
+    Exp.Runner.run_jobs_supervised ~retries:1 ~seed:42 [ make_flaky calls ]
+  in
+  let expected =
+    Engine.Rng.bits32 (Engine.Rng.for_attempt ~seed:42 ~attempt:1 "flaky/0")
+  in
+  (match outcomes with
+  | [ (_, Exp.Runner.Completed r) ] ->
+      check int "result drawn from the attempt-1 stream" expected
+        (Exp.Job.get_int r "draw")
+  | _ -> fail "flaky job should succeed on retry");
+  check int "report: retried" 1 report.retried;
+  check int "report: ok" 1 report.ok;
+  check int "attempts recorded" 2 (List.hd report.jobs).attempts
+
+(* Crash isolation end to end: one cell of a three-cell experiment raises;
+   the figure still renders with an explicit MISSING line and the
+   survivors' values, at -j 1 and -j 4 identically. *)
+let isolation_exp : Exp.Registry.experiment =
+  {
+    id = "test-isolation";
+    title = "crash isolation fixture";
+    jobs =
+      (fun ~full:_ ->
+        List.init 3 (fun i ->
+            Exp.Job.make (Printf.sprintf "iso/%d" i) (fun rng ->
+                if i = 1 then failwith "cell exploded";
+                [ ("v", Exp.Job.i (Engine.Rng.bits32 rng mod 1000)) ])));
+    render =
+      (fun ~full:_ ~seed:_ finished ppf ->
+        List.iter
+          (fun (k, r) -> Format.fprintf ppf "%s = %d@." k (Exp.Job.get_int r "v"))
+          finished);
+  }
+
+let render_isolation ~j =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let report =
+    Exp.Runner.run_experiment ~j ~full:false ~seed:42 isolation_exp ppf
+  in
+  Format.pp_print_flush ppf ();
+  (Buffer.contents buf, report)
+
+let test_crash_isolation_renders_holes () =
+  let out, report = render_isolation ~j:1 in
+  check int "two cells survived" 2 report.ok;
+  check int "one cell failed" 1 report.failed;
+  check bool "MISSING line names the cell" true
+    (Astring.String.is_infix ~affix:"MISSING(iso/1)" out);
+  check bool "failure reason included" true
+    (Astring.String.is_infix ~affix:"cell exploded" out);
+  check bool "survivors rendered" true
+    (Astring.String.is_infix ~affix:"iso/0 = " out
+    && Astring.String.is_infix ~affix:"iso/2 = " out);
+  let out4, report4 = render_isolation ~j:4 in
+  check string "isolation output identical at -j 4" out out4;
+  check int "same failure count at -j 4" report.failed report4.failed
+
+(* --- Checkpoint store -------------------------------------------------------- *)
+
+let tmp_dir name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "tfrc_%s_%d" name (Unix.getpid ()))
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* Round-trip every value shape through the JSONL store, including the
+   floats %.12g would mangle. Stdlib.compare treats nan as equal to
+   itself, which is exactly the equality a byte-identical resume needs. *)
+let gnarly : Exp.Job.result =
+  [
+    ("pi", Exp.Job.f 3.14159265358979312);
+    ("tiny", Exp.Job.f 1e-300);
+    ("tenth", Exp.Job.f 0.1);
+    ("nan", Exp.Job.f Float.nan);
+    ("inf", Exp.Job.f Float.infinity);
+    ("ninf", Exp.Job.f Float.neg_infinity);
+    ("nzero", Exp.Job.f (-0.));
+    ("count", Exp.Job.i (-42));
+    ("flag", Exp.Job.b true);
+    ("label", Exp.Job.s "quotes \" backslash \\ newline \n ctrl \x01 end");
+    ("series", Exp.Job.pairs [ (0.1, 0.3); (Float.nan, 2e-308) ]);
+    ("names", Exp.Job.strs [ "a"; "b" ]);
+  ]
+
+let test_checkpoint_roundtrip () =
+  let dir = tmp_dir "ckpt_rt" in
+  rm_rf dir;
+  let ck = Exp.Checkpoint.open_store ~dir ~grid:"g.seed1.quick" ~resume:false in
+  Exp.Checkpoint.record ck ~key:"cell/a" gnarly;
+  Exp.Checkpoint.record ck ~key:"cell/b" [ ("x", Exp.Job.f 2.5) ];
+  Exp.Checkpoint.close ck;
+  let ck2 = Exp.Checkpoint.open_store ~dir ~grid:"g.seed1.quick" ~resume:true in
+  check int "both cells loaded" 2 (Exp.Checkpoint.completed_count ck2);
+  (match Exp.Checkpoint.find ck2 "cell/a" with
+  | None -> fail "cell/a missing after resume"
+  | Some r ->
+      check bool "gnarly result survives byte-for-byte" true
+        (Stdlib.compare r gnarly = 0));
+  Exp.Checkpoint.close ck2;
+  (* A different grid identity must not resume this file. *)
+  let ck3 = Exp.Checkpoint.open_store ~dir ~grid:"g.seed2.quick" ~resume:true in
+  check int "grid mismatch starts fresh" 0 (Exp.Checkpoint.completed_count ck3);
+  Exp.Checkpoint.close ck3;
+  rm_rf dir
+
+(* A SIGKILL can tear the final line; the loader must keep every complete
+   line before it. *)
+let test_checkpoint_torn_tail () =
+  let dir = tmp_dir "ckpt_torn" in
+  rm_rf dir;
+  let ck = Exp.Checkpoint.open_store ~dir ~grid:"torn.seed1.quick" ~resume:false in
+  Exp.Checkpoint.record ck ~key:"cell/a" [ ("x", Exp.Job.f 1.5) ];
+  Exp.Checkpoint.record ck ~key:"cell/b" [ ("x", Exp.Job.f 2.5) ];
+  let path = Exp.Checkpoint.path ck in
+  Exp.Checkpoint.close ck;
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "{\"key\":\"cell/c\",\"result\":[[\"x\",{\"f\":\"0x1";
+  close_out oc;
+  let ck2 = Exp.Checkpoint.open_store ~dir ~grid:"torn.seed1.quick" ~resume:true in
+  check int "complete lines kept, torn tail dropped" 2
+    (Exp.Checkpoint.completed_count ck2);
+  check bool "cell/b intact" true (Exp.Checkpoint.find ck2 "cell/b" <> None);
+  check bool "torn cell absent" true (Exp.Checkpoint.find ck2 "cell/c" = None);
+  Exp.Checkpoint.close ck2;
+  rm_rf dir
+
+(* --- Kill-and-resume byte-identity -------------------------------------------- *)
+
+(* A synthetic six-cell experiment whose output exposes every bit of each
+   cell's RNG draws (hex floats), so any resume-path divergence shows. The
+   executed-cell counter proves resume actually skipped work. *)
+let resume_exp executed : Exp.Registry.experiment =
+  {
+    id = "test-resume";
+    title = "resume fixture";
+    jobs =
+      (fun ~full:_ ->
+        List.init 6 (fun i ->
+            Exp.Job.make (Printf.sprintf "cell/%d" i) (fun rng ->
+                incr executed;
+                let xs =
+                  List.init 4 (fun _ -> Engine.Rng.uniform rng 0. 1.)
+                in
+                [ ("xs", Exp.Job.floats xs) ])));
+    render =
+      (fun ~full:_ ~seed:_ finished ppf ->
+        List.iter
+          (fun (k, r) ->
+            Format.fprintf ppf "%s:%s@." k
+              (String.concat ","
+                 (List.map (Printf.sprintf "%h") (Exp.Job.get_floats r "xs"))))
+          finished);
+  }
+
+let render_resume ~j ?checkpoint executed =
+  executed := 0;
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  let report =
+    Exp.Runner.run_experiment ~j ?checkpoint ~full:false ~seed:42
+      (resume_exp executed) ppf
+  in
+  Format.pp_print_flush ppf ();
+  (Buffer.contents buf, report)
+
+(* Simulates a kill after three cells: run the grid checkpointed, truncate
+   the store to header + 3 records, then resume and compare against an
+   uninterrupted run. *)
+let resume_after_partial ~j =
+  let executed = ref 0 in
+  let reference, _ = render_resume ~j:1 executed in
+  check int "uninterrupted run executes all cells" 6 !executed;
+  let dir = tmp_dir (Printf.sprintf "ckpt_resume_j%d" j) in
+  rm_rf dir;
+  let grid = "test-resume.seed42.quick" in
+  let ck = Exp.Checkpoint.open_store ~dir ~grid ~resume:false in
+  let full_out, _ = render_resume ~j:1 ~checkpoint:ck executed in
+  check string "checkpointed run output unchanged" reference full_out;
+  let path = Exp.Checkpoint.path ck in
+  Exp.Checkpoint.close ck;
+  let lines =
+    let ic = open_in_bin path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  check int "store holds header + six cells" 7 (List.length lines);
+  let oc = open_out_bin path in
+  List.iteri
+    (fun i line -> if i < 4 then output_string oc (line ^ "\n"))
+    lines;
+  close_out oc;
+  let ck2 = Exp.Checkpoint.open_store ~dir ~grid ~resume:true in
+  let resumed_out, report =
+    Fun.protect
+      ~finally:(fun () -> Exp.Checkpoint.close ck2)
+      (fun () -> render_resume ~j ~checkpoint:ck2 executed)
+  in
+  check string
+    (Printf.sprintf "resumed output byte-identical at -j %d" j)
+    reference resumed_out;
+  check int "only the lost cells re-ran" 3 !executed;
+  check int "report: resumed" 3 report.resumed;
+  check int "report: ok" 3 report.ok;
+  rm_rf dir
+
+let test_resume_j1 () = resume_after_partial ~j:1
+let test_resume_j4 () = resume_after_partial ~j:4
+
+let () =
+  run "supervised"
+    [
+      ( "sim-budget",
+        [
+          test_case "max_events stops a spinner" `Quick test_budget_max_events;
+          test_case "max_time stops a spinner" `Quick test_budget_max_time;
+          test_case "meter shared across runs" `Quick
+            test_budget_shared_across_runs;
+          test_case "with_budget restores" `Quick test_with_budget_restores;
+        ] );
+      ( "rng-attempt",
+        [
+          test_case "attempt 0 = for_key" `Quick test_for_attempt_zero_is_for_key;
+          test_case "attempt vectors" `Quick test_for_attempt_vectors;
+          test_case "attempt independence" `Quick test_for_attempt_independent;
+        ] );
+      ( "runner",
+        [
+          test_case "budget kills infinite job" `Quick
+            test_runner_budget_kills_spinner;
+          test_case "retries consume attempts" `Quick test_runner_retries_spinner;
+          test_case "job budget overrides default" `Quick
+            test_job_budget_overrides_default;
+          test_case "retry recovers deterministically" `Quick
+            test_retry_recovers_deterministically;
+          test_case "crash isolation renders holes" `Quick
+            test_crash_isolation_renders_holes;
+        ] );
+      ( "checkpoint",
+        [
+          test_case "value round-trip" `Quick test_checkpoint_roundtrip;
+          test_case "torn tail tolerated" `Quick test_checkpoint_torn_tail;
+        ] );
+      ( "resume",
+        [
+          test_case "kill-and-resume j1" `Quick test_resume_j1;
+          test_case "kill-and-resume j4" `Quick test_resume_j4;
+        ] );
+    ]
