@@ -1,4 +1,4 @@
-.PHONY: all check test bench clean
+.PHONY: all check test bench lint clean
 
 all:
 	dune build @all
@@ -10,6 +10,11 @@ check:
 
 test:
 	dune runtest
+
+# No top-level mutable ref/counter state in lib/ outside the engine
+# allowlist (also enforced by `dune runtest` via a rule in ./dune).
+lint:
+	bash tools/lint_global_state.sh
 
 bench:
 	dune exec bench/main.exe

@@ -55,6 +55,7 @@ let micro () =
     Test.make ~name:"RED enqueue/dequeue"
       (Staged.stage (fun () ->
            let now = ref 0. in
+           let sim = Engine.Sim.create () in
            let q =
              Netsim.Red.create
                ~params:(Netsim.Red.params ~min_th:5. ~max_th:15. ~limit_pkts:50 ())
@@ -64,7 +65,7 @@ let micro () =
            for i = 0 to 199 do
              now := float_of_int i *. 1e-3;
              let pkt =
-               Netsim.Packet.make ~flow:1 ~seq:i ~size:1000 ~now:!now
+               Netsim.Packet.make sim ~flow:1 ~seq:i ~size:1000 ~now:!now
                  Netsim.Packet.Data
              in
              ignore (q.Netsim.Queue_disc.enqueue pkt);

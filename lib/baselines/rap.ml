@@ -39,7 +39,7 @@ let rec send_loop t =
   if t.running then begin
     let now = Engine.Sim.now t.sim in
     let pkt =
-      Netsim.Packet.make ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
+      Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
         Netsim.Packet.Data
     in
     if t.send_times = None then t.send_times <- Some (t.seq, now);

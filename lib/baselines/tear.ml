@@ -25,7 +25,7 @@ module Sender = struct
   let rec send_loop t =
     if t.running then begin
       let pkt =
-        Netsim.Packet.make ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
+        Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
           ~now:(Engine.Sim.now t.sim)
           (Netsim.Packet.Tfrc_data { rtt = t.rtt })
       in
@@ -122,7 +122,7 @@ module Receiver = struct
       let now = Engine.Sim.now t.sim in
       t.fb_seq <- t.fb_seq + 1;
       t.transmit
-        (Netsim.Packet.make ~flow:t.flow ~seq:t.fb_seq ~size:40 ~now
+        (Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.fb_seq ~size:40 ~now
            (Netsim.Packet.Tfrc_feedback
               {
                 p = 0.;

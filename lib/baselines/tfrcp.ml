@@ -45,7 +45,7 @@ let rec send_loop t =
   if t.running then begin
     let now = Engine.Sim.now t.sim in
     let pkt =
-      Netsim.Packet.make ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
+      Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
         Netsim.Packet.Data
     in
     if t.timing = None then t.timing <- Some (t.seq, now);

@@ -18,7 +18,10 @@
      [0, 1], strictly positive once loss intervals exist, and the average
      loss interval behind it is strictly positive.
    - link-conservation: per link, packets delivered plus packets dropped
-     never exceed packets offered (nothing is created in flight). *)
+     never exceed packets offered (nothing is created in flight).
+   - queue-conservation: a [link/queue] counter snapshot (emitted at
+     up/down transitions and on demand) satisfies the strict per-queue
+     arithmetic arrivals = departures + drops + queued, exactly. *)
 
 type violation = { time : float; rule : string; detail : string }
 
@@ -247,6 +250,21 @@ let check_link t (ev : Engine.Trace.event) =
       "link %s: delivered %d + dropped %d > offered %d" link st.delivered
       st.dropped st.sent
 
+(* Strict per-queue arithmetic on a [link/queue] counter snapshot. Unlike
+   link-conservation (an inequality, because packets may legitimately be
+   in flight), queue counters admit an exact balance: every arrival either
+   departed, was dropped, or is still queued. *)
+let check_queue_snapshot t (ev : Engine.Trace.event) =
+  let link = sfield ev "link" ~default:"?" in
+  let arrivals = ifield ev "arrivals" ~default:0 in
+  let departures = ifield ev "departures" ~default:0 in
+  let drops = ifield ev "drops" ~default:0 in
+  let queued = ifield ev "queued" ~default:0 in
+  if arrivals <> departures + drops + queued then
+    violate t ~time:ev.time ~rule:"queue-conservation"
+      "link %s: arrivals %d <> departures %d + drops %d + queued %d" link
+      arrivals departures drops queued
+
 let check_event t (ev : Engine.Trace.event) =
   t.n_events <- t.n_events + 1;
   if ev.cat = "sim" && ev.name = "created" then reset_run_state t
@@ -265,6 +283,7 @@ let check_event t (ev : Engine.Trace.event) =
     | "tfrc", "nofb_expiry" -> check_nofb_expiry t ev
     | "tfrc", "feedback" -> check_feedback t ev
     | "tfrc", "start" -> check_start t ev
+    | "link", "queue" -> check_queue_snapshot t ev
     | "link", _ -> check_link t ev
     | _ -> ()
   end

@@ -18,7 +18,11 @@
       strictly positive once loss intervals exist, with a strictly positive
       average loss interval;
     - [link-conservation] — per link, deliveries + drops never exceed
-      packets offered.
+      packets offered;
+    - [queue-conservation] — a [link/queue] counter snapshot (emitted by
+      {!Netsim.Link} at up/down transitions and via
+      [Link.emit_queue_stats]) satisfies the strict balance
+      arrivals = departures + drops + queued, exactly.
 
     Per-flow constants the rules depend on (segment size, rate floor,
     rate-validation flag, t_mbi) are taken from the flow's one-shot

@@ -41,6 +41,8 @@ val loss_event_fraction : p_loss:float -> n:float -> float
     the self-consistent loss-event fraction of Figure 5: the flow sends
     [N = rate_factor * f(p_event)] packets per RTT where [f] is the control
     equation, and [p_event = (1-(1-p_loss)^N)/N]. Returns [p_event].
-    Solved by damped fixed-point iteration. *)
+    Solved by damped fixed-point iteration, stopping early once an
+    iteration moves the estimate by less than 1e-12 (bounded at 200
+    iterations). *)
 val fixed_point_event_rate :
   kind -> t_rto_rtts:float -> p_loss:float -> rate_factor:float -> float

@@ -10,6 +10,7 @@ type t = {
   t_rto_factor : float;
   response : Response_function.kind;
   initial_rtt : float;
+  initial_nofb_timeout : float;
   ndupack : int;
   slow_start : bool;
   min_rate : float;
@@ -38,6 +39,9 @@ let validate t =
     err "Tfrc_config: t_rto_factor must be positive (got %g)" t.t_rto_factor;
   if t.initial_rtt <= 0. then
     err "Tfrc_config: initial_rtt must be positive (got %g)" t.initial_rtt;
+  if t.initial_nofb_timeout <= 0. then
+    err "Tfrc_config: initial_nofb_timeout must be positive (got %g)"
+      t.initial_nofb_timeout;
   if t.ndupack < 1 then
     err "Tfrc_config: ndupack must be at least 1 (got %d)" t.ndupack;
   if t.min_rate <= 0. then
@@ -51,7 +55,8 @@ let validate t =
 let default ?(packet_size = 1000) ?(n_intervals = 8) ?(history_discounting = true)
     ?(constant_weights = false) ?(rtt_gain = 0.1) ?(delay_gain = true)
     ?(t_rto_factor = 4.) ?(response = Response_function.Pftk)
-    ?(initial_rtt = 0.5) ?(slow_start = true) ?(feedback_on_loss = true)
+    ?(initial_rtt = 0.5) ?(initial_nofb_timeout = 2.) ?(slow_start = true)
+    ?(feedback_on_loss = true)
     ?(ndupack = 3) ?(ecn = false) ?(burst_pkts = 1)
     ?(rate_validation = false) ?min_rate ?(t_mbi = 64.) ?(slow_restart = true)
     () =
@@ -73,6 +78,7 @@ let default ?(packet_size = 1000) ?(n_intervals = 8) ?(history_discounting = tru
       t_rto_factor;
       response;
       initial_rtt;
+      initial_nofb_timeout;
       ndupack;
       slow_start;
       min_rate;

@@ -17,6 +17,12 @@ type t = {
   t_rto_factor : float;  (** t_RTO = factor * R; paper heuristic: 4 *)
   response : Response_function.kind;  (** control equation (Equation 1) *)
   initial_rtt : float;  (** RTT assumed before the first measurement *)
+  initial_nofb_timeout : float;
+      (** no-feedback timer value used until a real RTT measurement
+          exists: RFC 3448 sections 4.2/4.3 prescribe 2 seconds for the
+          initial timer rather than [t_rto_factor * initial_rtt], since
+          before any feedback the RTT "estimate" is only an assumption.
+          Default 2. (the RFC value). *)
   ndupack : int;  (** reordering tolerance at the receiver *)
   slow_start : bool;  (** rate-doubling startup with receive-rate cap *)
   min_rate : float;  (** floor on the sending rate, bytes/s *)
@@ -66,6 +72,7 @@ val default :
   ?t_rto_factor:float ->
   ?response:Response_function.kind ->
   ?initial_rtt:float ->
+  ?initial_nofb_timeout:float ->
   ?slow_start:bool ->
   ?feedback_on_loss:bool ->
   ?ndupack:int ->

@@ -82,7 +82,7 @@ and send_feedback t =
         ("avg_interval", Engine.Trace.Float (Option.value avg ~default:0.));
       ];
   let pkt =
-    Netsim.Packet.make ~flow:t.flow ~seq:t.fb_seq
+    Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.fb_seq
       ~size:t.config.Tfrc_config.feedback_size ~now
       (Netsim.Packet.Tfrc_feedback
          {

@@ -81,7 +81,7 @@ let rec send_packet t =
        TCP competitors). The long-run rate is unchanged. *)
     for _ = 1 to t.config.Tfrc_config.burst_pkts do
       let pkt =
-        Netsim.Packet.make ~ecn:t.config.Tfrc_config.ecn ~flow:t.flow
+        Netsim.Packet.make t.sim ~ecn:t.config.Tfrc_config.ecn ~flow:t.flow
           ~seq:t.seq ~size:t.config.Tfrc_config.packet_size
           ~now:(Engine.Sim.now t.sim)
           (Netsim.Packet.Tfrc_data { rtt = Rtt_estimator.rtt t.rtt_est })
@@ -100,12 +100,18 @@ let rec send_packet t =
 
 (* The timer interval grows as the rate halves (2s/X doubles per expiry),
    an exponential backoff capped at t_mbi so a silenced sender still probes
-   the path at least every t_mbi seconds (RFC 3448 section 4.4). *)
+   the path at least every t_mbi seconds (RFC 3448 section 4.4). Until a
+   real RTT measurement exists the t_RTO term is only an assumption, so
+   RFC 3448 sections 4.2/4.3 prescribe a flat initial timer instead
+   ([initial_nofb_timeout], default 2 s). *)
 let nofb_interval t =
+  let rto_term =
+    if Rtt_estimator.has_sample t.rtt_est then
+      t.config.Tfrc_config.t_rto_factor *. Rtt_estimator.rtt t.rtt_est
+    else t.config.Tfrc_config.initial_nofb_timeout
+  in
   Float.min
-    (Float.max
-       (t.config.Tfrc_config.t_rto_factor *. Rtt_estimator.rtt t.rtt_est)
-       (2. *. s_bytes t /. t.rate))
+    (Float.max rto_term (2. *. s_bytes t /. t.rate))
     t.config.Tfrc_config.t_mbi
 
 let rec restart_nofb_timer t =

@@ -12,6 +12,12 @@ type t = {
   mutable stopping : bool;
   cancelled : int ref;
   trace : Trace.t;
+  (* Per-simulation identity allocator (packet ids, default link labels).
+     Keeping the counter on the scheduler — not in a process-global ref —
+     makes id streams a pure function of the simulation's own event
+     sequence: two sims in one process, or the same grid cell on any
+     worker domain, allocate identical ids. *)
+  mutable next_id : int;
 }
 
 (* --- Cooperative budgets --------------------------------------------------
@@ -71,6 +77,7 @@ let create ?trace () =
       stopping = false;
       cancelled = ref 0;
       trace;
+      next_id = 0;
     }
   in
   (* Marks a fresh virtual clock: observers (e.g. the invariant checker)
@@ -80,6 +87,12 @@ let create ?trace () =
 
 let now t = t.clock
 let trace t = t.trace
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let ids_allocated t = t.next_id
 
 let at t time f =
   if time < t.clock then

@@ -21,6 +21,16 @@ val now : t -> float
 (** The trace bus this scheduler (and components built on it) emits to. *)
 val trace : t -> Trace.t
 
+(** [fresh_id t] allocates the next identity from this simulation's private
+    counter (1, 2, 3, ...). Used for packet ids and default link labels, so
+    identities are deterministic per simulation: the stream depends only on
+    this sim's own allocation order, never on other sims in the process or
+    on which domain runs the sim. *)
+val fresh_id : t -> int
+
+(** [ids_allocated t] is how many ids {!fresh_id} has handed out. *)
+val ids_allocated : t -> int
+
 (** [at t time f] schedules [f] to run at absolute virtual [time]. [time]
     must not be earlier than [now t]. *)
 val at : t -> float -> (unit -> unit) -> handle

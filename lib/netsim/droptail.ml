@@ -25,7 +25,9 @@ let create ~limit_pkts =
   {
     Queue_disc.enqueue;
     dequeue;
+    drain = (fun () -> Queue_disc.drain_queue q stats);
     len_pkts = (fun () -> Queue.length q);
     len_bytes = (fun () -> stats.bytes_queued);
     stats;
+    gauges = [];
   }

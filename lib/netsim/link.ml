@@ -17,18 +17,18 @@ type t = {
   mutable outage_drops : int;
 }
 
-let next_label =
-  let n = ref 0 in
-  fun () ->
-    incr n;
-    Printf.sprintf "link-%d" !n
-
 let create sim ?label ~bandwidth ~delay ~queue () =
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0. then invalid_arg "Link.create: negative delay";
   {
     sim;
-    label = (match label with Some l -> l | None -> next_label ());
+    (* Default labels come from the sim's own allocator, not a process
+       global: trace output stays identical across process lifetimes and
+       worker domains. *)
+    label =
+      (match label with
+      | Some l -> l
+      | None -> Printf.sprintf "link-%d" (Engine.Sim.fresh_id sim));
     bandwidth;
     delay;
     queue;
@@ -54,10 +54,26 @@ let ev t name fields =
 
 let pkt_fields (pkt : Packet.t) =
   [
+    ("id", Engine.Trace.Int pkt.id);
     ("flow", Engine.Trace.Int pkt.flow);
     ("seq", Engine.Trace.Int pkt.seq);
     ("size", Engine.Trace.Int pkt.size);
   ]
+
+(* Snapshot of the queue discipline's conservation counters; the invariant
+   checker verifies arrivals = departures + drops + queued exactly on each
+   of these. Emitted at up/down transitions (rare), not per packet. *)
+let emit_queue_stats t =
+  if tracing t then begin
+    let st = t.queue.Queue_disc.stats in
+    ev t "queue"
+      [
+        ("arrivals", Engine.Trace.Int st.arrivals);
+        ("departures", Engine.Trace.Int st.departures);
+        ("drops", Engine.Trace.Int st.drops);
+        ("queued", Engine.Trace.Int (t.queue.Queue_disc.len_pkts ()));
+      ]
+  end
 
 let set_dest t handler =
   t.dest <- handler;
@@ -125,17 +141,17 @@ let set_up t ?(policy = Drop_queued) up =
       match policy with
       | Hold_queued -> ()
       | Drop_queued ->
-          let rec drain () =
-            match t.queue.Queue_disc.dequeue () with
-            | None -> ()
-            | Some pkt ->
-                t.outage_drops <- t.outage_drops + 1;
-                drop ~reason:"outage" t pkt;
-                drain ()
-          in
-          drain ()
+          (* Flush through the discipline's drain op, which books the
+             flushed packets as drops in one place. Dequeuing them here
+             would count each as a departure (as if delivered) *and* an
+             outage drop — double-counted and mis-bucketed, skewing
+             Flowmon and the conservation invariant. *)
+          let flushed = t.queue.Queue_disc.drain () in
+          t.outage_drops <- t.outage_drops + List.length flushed;
+          List.iter (fun pkt -> drop ~reason:"outage" t pkt) flushed
     end
     else if not t.busy then start_tx t;
+    emit_queue_stats t;
     List.iter (fun f -> f up) t.state_listeners
   end
 

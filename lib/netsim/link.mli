@@ -26,7 +26,11 @@ type down_policy = Drop_queued | Hold_queued
 
     When the simulation's trace bus is active the link emits [link/send],
     [link/deliver], [link/drop] (with a ["queue"] or ["outage"] reason) and
-    [link/up]/[link/down] events. *)
+    [link/up]/[link/down] events; per-packet events carry the packet's
+    deterministic per-sim [id]. Up/down transitions additionally emit a
+    [link/queue] snapshot of the discipline's conservation counters
+    (arrivals, departures, drops, queued), which the invariant checker
+    verifies satisfy [arrivals = departures + drops + queued] exactly. *)
 val create :
   Engine.Sim.t ->
   ?label:string ->
@@ -58,8 +62,19 @@ val on_drop : t -> Packet.handler -> unit
     applies [policy] (default [Drop_queued]) to queued packets and stalls
     the transmitter; packets already serialized still propagate. While
     down, [send] drops immediately. Coming up resumes transmission of any
-    held queue. No-op if the state is unchanged. *)
+    held queue. No-op if the state is unchanged.
+
+    [Drop_queued] flushes via the discipline's [drain] operation, so the
+    flushed packets are booked as queue {e drops} (not departures) exactly
+    once, keeping [Queue_disc] stats conservation exact; each flushed
+    packet then reaches the drop listeners with reason ["outage"]. *)
 val set_up : t -> ?policy:down_policy -> bool -> unit
+
+(** [emit_queue_stats t] emits a [link/queue] conservation-counter snapshot
+    on the trace bus now (no-op when tracing is off). Called automatically
+    at every up/down transition; scenarios may call it at quiescent points
+    to let the invariant checker audit queue arithmetic. *)
+val emit_queue_stats : t -> unit
 
 val is_up : t -> bool
 

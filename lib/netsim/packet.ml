@@ -23,12 +23,13 @@ type t = {
 
 type handler = t -> unit
 
-let next_id = ref 0
-
-let make ?(ecn = false) ~flow ~seq ~size ~now payload =
-  incr next_id;
+(* Ids come from the owning simulation's allocator, never from a process
+   global: a global counter is a data race under [Domain.spawn] workers and
+   leaks identity across jobs even sequentially, breaking byte-identical
+   replay of a grid cell. *)
+let make sim ?(ecn = false) ~flow ~seq ~size ~now payload =
   {
-    id = !next_id;
+    id = Engine.Sim.fresh_id sim;
     flow;
     seq;
     size;

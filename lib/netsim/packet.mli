@@ -27,7 +27,8 @@ type payload =
     }
 
 type t = {
-  id : int;  (** globally unique *)
+  id : int;  (** unique within the owning simulation, allocated by
+                 {!Engine.Sim.fresh_id}; deterministic per sim *)
   flow : int;
   seq : int;
   size : int;  (** bytes *)
@@ -41,11 +42,20 @@ type t = {
           arrival *)
 }
 
-(** [make ?ecn ~flow ~seq ~size ~now payload] allocates a packet with a
-    fresh unique id. [ecn] (default false) declares the flow
-    ECN-capable. *)
+(** [make sim ?ecn ~flow ~seq ~size ~now payload] allocates a packet whose
+    id is drawn from [sim]'s per-simulation counter ({!Engine.Sim.fresh_id}),
+    so packet identity is deterministic per simulation and safe under
+    domain-parallel runs — there is no process-global id state. [ecn]
+    (default false) declares the flow ECN-capable. *)
 val make :
-  ?ecn:bool -> flow:int -> seq:int -> size:int -> now:float -> payload -> t
+  Engine.Sim.t ->
+  ?ecn:bool ->
+  flow:int ->
+  seq:int ->
+  size:int ->
+  now:float ->
+  payload ->
+  t
 
 (** Handler type: where packets go. *)
 type handler = t -> unit

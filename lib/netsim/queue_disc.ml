@@ -8,9 +8,11 @@ type stats = {
 type t = {
   enqueue : Packet.t -> bool;
   dequeue : unit -> Packet.t option;
+  drain : unit -> Packet.t list;
   len_pkts : unit -> int;
   len_bytes : unit -> int;
   stats : stats;
+  gauges : (string * (unit -> float)) list;
 }
 
 let make_stats () = { arrivals = 0; drops = 0; departures = 0; bytes_queued = 0 }
@@ -18,3 +20,24 @@ let make_stats () = { arrivals = 0; drops = 0; departures = 0; bytes_queued = 0 
 let drop_rate t =
   if t.stats.arrivals = 0 then 0.
   else float_of_int t.stats.drops /. float_of_int t.stats.arrivals
+
+(* Shared drain implementation: empty the raw queue, booking every removed
+   packet as a *drop* (never a departure — it was not delivered) in one
+   place, so outage flushes cannot skew departure counts or byte gauges. *)
+let drain_queue (q : Packet.t Queue.t) stats =
+  let rec go acc =
+    match Queue.take_opt q with
+    | None -> List.rev acc
+    | Some pkt ->
+        stats.drops <- stats.drops + 1;
+        stats.bytes_queued <- stats.bytes_queued - pkt.Packet.size;
+        go (pkt :: acc)
+  in
+  go []
+
+let imbalance t =
+  t.stats.arrivals - t.stats.departures - t.stats.drops - t.len_pkts ()
+
+let conserved t = imbalance t = 0
+
+let gauge t name = List.assoc_opt name t.gauges

@@ -1,7 +1,10 @@
 (** Queue discipline interface shared by DropTail and RED.
 
     A discipline owns the buffered packets; the link drives it with
-    [enqueue]/[dequeue]. Implementations record aggregate statistics. *)
+    [enqueue]/[dequeue], and flushes it with [drain] when the link goes
+    down. Implementations record aggregate statistics that satisfy the
+    exact conservation law [arrivals = departures + drops + len_pkts ()]
+    at every quiescent point (see {!imbalance}). *)
 
 type stats = {
   mutable arrivals : int;
@@ -14,12 +17,38 @@ type t = {
   enqueue : Packet.t -> bool;
       (** [true] if accepted, [false] if the packet was dropped *)
   dequeue : unit -> Packet.t option;
+      (** removes the head packet for transmission; counted as a
+          departure *)
+  drain : unit -> Packet.t list;
+      (** removes every queued packet (head first), booking each as a
+          {e drop} — never a departure — so a link flushing its queue on
+          an outage keeps the stats conservation law exact. The caller
+          owns delivering the packets to drop listeners. *)
   len_pkts : unit -> int;
   len_bytes : unit -> int;
   stats : stats;
+  gauges : (string * (unit -> float)) list;
+      (** named introspection gauges a discipline exposes (e.g. RED's
+          ["red_avg"] EWMA queue average); keyed per instance, replacing
+          any process-global registry *)
 }
 
 val make_stats : unit -> stats
 
 (** [drop_rate t] is drops / arrivals (0. before any arrival). *)
 val drop_rate : t -> float
+
+(** [drain_queue q stats] is the shared [drain] implementation for
+    disciplines backed by a raw [Queue.t]: empties [q] in order, counting
+    each packet as a drop and releasing its bytes. *)
+val drain_queue : Packet.t Queue.t -> stats -> Packet.t list
+
+(** [imbalance t] is [arrivals - departures - drops - len_pkts ()]; zero
+    for a correctly accounted discipline at any quiescent point. *)
+val imbalance : t -> int
+
+(** [conserved t] is [imbalance t = 0]. *)
+val conserved : t -> bool
+
+(** [gauge t name] looks up an introspection gauge by name. *)
+val gauge : t -> string -> (unit -> float) option

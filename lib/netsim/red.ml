@@ -78,10 +78,6 @@ let early_drop st =
     end
   end
 
-(* Keyed by physical identity: the stats record is mutable, so structural
-   hashing would break as counters change. *)
-let avg_registry : (Queue_disc.stats * state) list ref = ref []
-
 let create ~params ~now ~ptc =
   if ptc <= 0. then invalid_arg "Red.create: ptc must be positive";
   let st =
@@ -132,21 +128,27 @@ let create ~params ~now ~ptc =
         if Queue.length st.q = 0 then st.idle_since <- st.now ();
         Some pkt
   in
-  let disc =
-    {
-      Queue_disc.enqueue;
-      dequeue;
-      len_pkts = (fun () -> Queue.length st.q);
-      len_bytes = (fun () -> stats.bytes_queued);
-      stats;
-    }
+  let drain () =
+    let flushed = Queue_disc.drain_queue st.q stats in
+    (* The buffer is empty after a flush: start an idle period, exactly as
+       a dequeue that empties the queue would. *)
+    if flushed <> [] then st.idle_since <- st.now ();
+    flushed
   in
-  avg_registry := (disc.Queue_disc.stats, st) :: !avg_registry;
-  disc
+  {
+    Queue_disc.enqueue;
+    dequeue;
+    drain;
+    len_pkts = (fun () -> Queue.length st.q);
+    len_bytes = (fun () -> stats.bytes_queued);
+    stats;
+    (* Instance-scoped introspection, replacing the old process-global
+       registry (which both leaked state entries and raced under
+       domain-parallel grid runs). *)
+    gauges = [ ("red_avg", fun () -> st.avg) ];
+  }
 
 let avg_queue disc =
-  match
-    List.find_opt (fun (k, _) -> k == disc.Queue_disc.stats) !avg_registry
-  with
-  | Some (_, st) -> st.avg
+  match Queue_disc.gauge disc "red_avg" with
+  | Some g -> g ()
   | None -> invalid_arg "Red.avg_queue: not a RED queue"

@@ -304,6 +304,24 @@ let test_sim_is_pending () =
   check Alcotest.bool "null handle never pending" false
     (Engine.Sim.is_pending Engine.Sim.null_handle)
 
+let test_sim_fresh_id_monotone () =
+  let sim = Engine.Sim.create () in
+  check Alcotest.int "nothing allocated yet" 0 (Engine.Sim.ids_allocated sim);
+  check
+    Alcotest.(list int)
+    "ids are 1, 2, 3 in allocation order" [ 1; 2; 3 ]
+    (List.init 3 (fun _ -> Engine.Sim.fresh_id sim));
+  check Alcotest.int "allocation count" 3 (Engine.Sim.ids_allocated sim)
+
+let test_sim_fresh_id_independent () =
+  (* Each simulation owns its id space: allocating in one must never
+     advance another, whatever the interleaving. *)
+  let a = Engine.Sim.create () and b = Engine.Sim.create () in
+  check Alcotest.int "a starts at 1" 1 (Engine.Sim.fresh_id a);
+  check Alcotest.int "b starts at 1 too" 1 (Engine.Sim.fresh_id b);
+  check Alcotest.int "a continues at 2" 2 (Engine.Sim.fresh_id a);
+  check Alcotest.int "b unaffected by a" 2 (Engine.Sim.fresh_id b)
+
 (* --- Units ------------------------------------------------------------- *)
 
 let test_units () =
@@ -359,6 +377,10 @@ let () =
           Alcotest.test_case "stop" `Quick test_sim_stop;
           Alcotest.test_case "cascading events" `Quick test_sim_cascading_events;
           Alcotest.test_case "is_pending" `Quick test_sim_is_pending;
+          Alcotest.test_case "fresh_id monotone" `Quick
+            test_sim_fresh_id_monotone;
+          Alcotest.test_case "fresh_id per-sim" `Quick
+            test_sim_fresh_id_independent;
         ] );
       ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
     ]

@@ -34,8 +34,11 @@ let prop_jain_range =
 
 (* --- ECN: packets and RED -------------------------------------------------- *)
 
+let pkt_sim = Engine.Sim.create ()
+
 let mk_pkt ?(ecn = false) ~seq () =
-  Netsim.Packet.make ~ecn ~flow:1 ~seq ~size:1000 ~now:0. Netsim.Packet.Data
+  Netsim.Packet.make pkt_sim ~ecn ~flow:1 ~seq ~size:1000 ~now:0.
+    Netsim.Packet.Data
 
 let test_packet_ecn_default_off () =
   let p = mk_pkt ~seq:0 () in

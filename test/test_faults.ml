@@ -3,8 +3,10 @@
    duplicates/reordering/corruption, and the scripted-outage acceptance
    scenario (no-feedback backoff to the rate floor, then slow restart). *)
 
+let pkt_sim = Engine.Sim.create ()
+
 let mk_pkt ?(flow = 1) ?(seq = 0) ?(size = 1000) ?(now = 0.) () =
-  Netsim.Packet.make ~flow ~seq ~size ~now Netsim.Packet.Data
+  Netsim.Packet.make pkt_sim ~flow ~seq ~size ~now Netsim.Packet.Data
 
 let mk_link ?(bandwidth = 8e5) ?(delay = 0.) ?(limit = 100) sim =
   Netsim.Link.create sim ~bandwidth ~delay
@@ -76,6 +78,89 @@ let test_down_policy_hold_queued () =
   Engine.Sim.run sim ~until:20.;
   Alcotest.(check int) "held packets delivered after restoration" 4 !received;
   Alcotest.(check int) "nothing dropped" 0 !dropped
+
+(* Outage drain books every flushed packet as a drop exactly once: the
+   queue's counters keep the exact conservation law
+   [arrivals = departures + drops + queued] through the outage, and the
+   flush does not inflate departures (the pre-fix bug: draining via
+   [dequeue] counted each flushed packet as a departure in the queue's
+   stats while the link also counted it as an outage drop). *)
+let check_outage_drain_conservation queue =
+  let sim = Engine.Sim.create () in
+  let link = Netsim.Link.create sim ~bandwidth:8e3 ~delay:0. ~queue () in
+  let received = ref 0 and dropped = ref 0 in
+  Netsim.Link.set_dest link (fun _ -> incr received);
+  Netsim.Link.on_drop link (fun _ -> incr dropped);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         for i = 1 to 6 do
+           Netsim.Link.send link (mk_pkt ~seq:i ())
+         done));
+  (* At t=0.5 packet 1 is mid-serialization (1 s each at 8 kb/s) and
+     packets 2-6 sit in the queue. *)
+  ignore
+    (Engine.Sim.at sim 0.5 (fun () ->
+         Netsim.Link.set_up link ~policy:Netsim.Link.Drop_queued false));
+  ignore (Engine.Sim.at sim 2.0 (fun () -> Netsim.Link.set_up link true));
+  Engine.Sim.run sim ~until:10.;
+  let q = Netsim.Link.queue link in
+  let st = q.Netsim.Queue_disc.stats in
+  Alcotest.(check int) "all sends counted as arrivals" 6
+    st.Netsim.Queue_disc.arrivals;
+  Alcotest.(check int) "only the in-flight packet departed" 1
+    st.Netsim.Queue_disc.departures;
+  Alcotest.(check int) "flushed packets booked as queue drops" 5
+    st.Netsim.Queue_disc.drops;
+  Alcotest.(check int) "flushed packets booked as outage drops" 5
+    (Netsim.Link.outage_drops link);
+  Alcotest.(check int) "in-flight packet delivered" 1 !received;
+  Alcotest.(check int) "drop handler saw each flushed packet once" 5 !dropped;
+  Alcotest.(check int) "exact balance" 0 (Netsim.Queue_disc.imbalance q);
+  Alcotest.(check bool) "conserved" true (Netsim.Queue_disc.conserved q)
+
+let test_outage_drain_conservation_droptail () =
+  check_outage_drain_conservation (Netsim.Droptail.create ~limit_pkts:100)
+
+let test_outage_drain_conservation_red () =
+  (* High thresholds so RED itself drops nothing: every drop in this
+     scenario must come from the outage drain. *)
+  let sim_clock = ref 0. in
+  let queue =
+    Netsim.Red.create
+      ~params:(Netsim.Red.params ~min_th:20. ~max_th:40. ~limit_pkts:50 ())
+      ~now:(fun () -> !sim_clock)
+      ~ptc:1.
+  in
+  check_outage_drain_conservation queue
+
+(* End-to-end: the tightened queue-conservation invariant holds across a
+   traced flap scenario — every link/queue snapshot the transitions emit
+   balances exactly. *)
+let test_flap_queue_conservation_checked () =
+  let bus = Engine.Trace.create () in
+  let checker = Tfrc.Invariants.create () in
+  Tfrc.Invariants.attach checker bus;
+  let sim = Engine.Sim.create ~trace:bus () in
+  let link = mk_link ~bandwidth:8e4 ~limit:8 sim in
+  Netsim.Link.set_dest link ignore;
+  let cbr =
+    Traffic.Cbr.create sim ~flow:1 ~rate:1.6e5 ~pkt_size:1000
+      ~transmit:(Netsim.Link.send link) ()
+  in
+  Traffic.Cbr.start cbr ~at:0.;
+  Netsim.Faults.flapping sim link ~start:0.5 ~stop:4.5 ~period:1.
+    ~down_fraction:0.4 ();
+  Engine.Sim.run sim ~until:5.;
+  Netsim.Link.emit_queue_stats link;
+  Alcotest.(check bool) "queue snapshots were emitted and checked" true
+    (Tfrc.Invariants.n_events checker > 0);
+  Alcotest.(check bool)
+    (Format.asprintf "no invariant violations:@ %a" Tfrc.Invariants.report
+       checker)
+    true
+    (Tfrc.Invariants.ok checker);
+  Alcotest.(check bool) "queue counters balance after the run" true
+    (Netsim.Queue_disc.conserved (Netsim.Link.queue link))
 
 let test_set_bandwidth_changes_pacing () =
   let sim = Engine.Sim.create () in
@@ -227,7 +312,7 @@ let feed_receiver recv seqs =
   List.iteri
     (fun i seq ->
       let pkt =
-        Netsim.Packet.make ~flow:1 ~seq ~size:1000
+        Netsim.Packet.make pkt_sim ~flow:1 ~seq ~size:1000
           ~now:(0.01 *. float_of_int i)
           (Netsim.Packet.Tfrc_data { rtt = 0.1 })
       in
@@ -271,7 +356,7 @@ let test_receiver_discards_corrupted () =
   let recv = Tfrc.Tfrc_receiver.recv r in
   feed_receiver recv [ 0; 1 ];
   let bad =
-    Netsim.Packet.make ~flow:1 ~seq:2 ~size:1000 ~now:0.03
+    Netsim.Packet.make pkt_sim ~flow:1 ~seq:2 ~size:1000 ~now:0.03
       (Netsim.Packet.Tfrc_data { rtt = 0.1 })
   in
   bad.Netsim.Packet.corrupted <- true;
@@ -421,6 +506,12 @@ let () =
             test_down_policy_drop_queued;
           Alcotest.test_case "hold-queued policy" `Quick
             test_down_policy_hold_queued;
+          Alcotest.test_case "drain conservation (droptail)" `Quick
+            test_outage_drain_conservation_droptail;
+          Alcotest.test_case "drain conservation (red)" `Quick
+            test_outage_drain_conservation_red;
+          Alcotest.test_case "flap conservation checked" `Quick
+            test_flap_queue_conservation_checked;
           Alcotest.test_case "set_bandwidth repaces" `Quick
             test_set_bandwidth_changes_pacing;
           Alcotest.test_case "setter validation" `Quick

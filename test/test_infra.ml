@@ -4,8 +4,10 @@
 
 let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
 
+let pkt_sim = Engine.Sim.create ()
+
 let mk_pkt ?(flow = 1) ~seq () =
-  Netsim.Packet.make ~flow ~seq ~size:1000 ~now:0. Netsim.Packet.Data
+  Netsim.Packet.make pkt_sim ~flow ~seq ~size:1000 ~now:0. Netsim.Packet.Data
 
 (* --- Tracer ----------------------------------------------------------------- *)
 

@@ -4,8 +4,12 @@
 let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
 let qtest t = QCheck_alcotest.to_alcotest t
 
+(* Dedicated id-allocator sim for hand-built packets: ids are unique
+   within it, and the simulations under test keep their own id spaces. *)
+let pkt_sim = Engine.Sim.create ()
+
 let mk_pkt ?(flow = 1) ?(seq = 0) ?(size = 1000) ?(now = 0.) () =
-  Netsim.Packet.make ~flow ~seq ~size ~now Netsim.Packet.Data
+  Netsim.Packet.make pkt_sim ~flow ~seq ~size ~now Netsim.Packet.Data
 
 (* --- Packet --------------------------------------------------------------- *)
 
@@ -30,16 +34,58 @@ let test_packet_pp () =
 let test_packet_is_data () =
   Alcotest.(check bool) "data" true (Netsim.Packet.is_data (mk_pkt ()));
   let ack =
-    Netsim.Packet.make ~flow:1 ~seq:0 ~size:40 ~now:0.
+    Netsim.Packet.make pkt_sim ~flow:1 ~seq:0 ~size:40 ~now:0.
       (Netsim.Packet.Tcp_ack { ack = 1; sack = []; ece = false })
   in
   Alcotest.(check bool) "ack is not data" false (Netsim.Packet.is_data ack);
   let fb =
-    Netsim.Packet.make ~flow:1 ~seq:0 ~size:40 ~now:0.
+    Netsim.Packet.make pkt_sim ~flow:1 ~seq:0 ~size:40 ~now:0.
       (Netsim.Packet.Tfrc_feedback
          { p = 0.; recv_rate = 0.; ts_echo = 0.; ts_delay = 0. })
   in
   Alcotest.(check bool) "feedback is not data" false (Netsim.Packet.is_data fb)
+
+(* Packet ids are a pure function of the owning simulation's allocation
+   order, never of process-global state: two sims in one process each get
+   the sequence 1, 2, 3, ... regardless of how their allocations
+   interleave. This is what makes -j 1 and -j N grid runs byte-identical
+   when traces carry packet ids. *)
+let test_packet_ids_per_sim () =
+  let mk sim seq =
+    Netsim.Packet.make sim ~flow:1 ~seq ~size:100 ~now:0. Netsim.Packet.Data
+  in
+  let a = Engine.Sim.create () and b = Engine.Sim.create () in
+  let ids_a = ref [] and ids_b = ref [] in
+  for seq = 1 to 5 do
+    ids_a := (mk a seq).Netsim.Packet.id :: !ids_a;
+    ids_b := (mk b seq).Netsim.Packet.id :: !ids_b
+  done;
+  Alcotest.(check (list int))
+    "sim A allocates 1..5" [ 1; 2; 3; 4; 5 ]
+    (List.rev !ids_a);
+  Alcotest.(check (list int))
+    "sim B allocates 1..5 independently" [ 1; 2; 3; 4; 5 ]
+    (List.rev !ids_b)
+
+let prop_packet_ids_independent =
+  QCheck.Test.make ~count:200 ~name:"packet ids independent of interleaving"
+    QCheck.(list bool)
+    (fun choices ->
+      let a = Engine.Sim.create () and b = Engine.Sim.create () in
+      let got_a = ref [] and got_b = ref [] in
+      List.iter
+        (fun pick_a ->
+          let sim, acc = if pick_a then (a, got_a) else (b, got_b) in
+          let pkt =
+            Netsim.Packet.make sim ~flow:0 ~seq:0 ~size:40 ~now:0.
+              Netsim.Packet.Data
+          in
+          acc := pkt.Netsim.Packet.id :: !acc)
+        choices;
+      let is_sequence l =
+        List.rev l = List.init (List.length l) (fun i -> i + 1)
+      in
+      is_sequence !got_a && is_sequence !got_b)
 
 (* --- Droptail ------------------------------------------------------------- *)
 
@@ -418,7 +464,7 @@ let test_flowmon_records_data_only () =
   let sink = Netsim.Flowmon.tap mon in
   sink (mk_pkt ~size:100 ());
   sink
-    (Netsim.Packet.make ~flow:1 ~seq:0 ~size:40 ~now:0.
+    (Netsim.Packet.make pkt_sim ~flow:1 ~seq:0 ~size:40 ~now:0.
        (Netsim.Packet.Tcp_ack { ack = 1; sack = []; ece = false }));
   Alcotest.(check int) "one data packet" 1 (Netsim.Flowmon.packets mon);
   Alcotest.(check int) "bytes" 100 (Netsim.Flowmon.bytes mon);
@@ -463,6 +509,9 @@ let () =
       ( "packet",
         [
           Alcotest.test_case "unique ids" `Quick test_packet_unique_ids;
+          Alcotest.test_case "per-sim id sequences" `Quick
+            test_packet_ids_per_sim;
+          qtest prop_packet_ids_independent;
           Alcotest.test_case "is_data" `Quick test_packet_is_data;
           Alcotest.test_case "pp" `Quick test_packet_pp;
         ] );

@@ -255,6 +255,56 @@ let test_trace_merge () =
   check int "event count" (List.length ev1) (List.length ev4);
   check bool "event sequences equal" true (ev1 = ev4)
 
+(* Packet ids are allocated per simulation, so traces that carry them (the
+   "id" field on every link event) must be byte-identical between -j 1 and
+   -j 4: with the old process-global allocator, worker scheduling decided
+   which ids each job's packets got. Each job runs a small traced sim whose
+   link events expose ids, through an outage to also exercise the drain
+   path. *)
+let id_jobs =
+  List.init 4 (fun k ->
+      Exp.Job.make (Printf.sprintf "ids/%d" k) (fun _rng ->
+          let sim = Engine.Sim.create () in
+          let link =
+            Netsim.Link.create sim ~bandwidth:8e4 ~delay:0.01
+              ~queue:(Netsim.Droptail.create ~limit_pkts:4)
+              ~label:(Printf.sprintf "l%d" k) ()
+          in
+          let received = ref 0 in
+          Netsim.Link.set_dest link (fun _ -> incr received);
+          ignore
+            (Engine.Sim.at sim 0. (fun () ->
+                 for seq = 1 to 8 do
+                   Netsim.Link.send link
+                     (Netsim.Packet.make sim ~flow:k ~seq ~size:1000 ~now:0.
+                        Netsim.Packet.Data)
+                 done));
+          Netsim.Faults.outage sim link ~at:0.2 ~duration:0.2 ();
+          Engine.Sim.run sim ~until:2.;
+          [ ("received", Exp.Job.i !received) ]))
+
+let observed_ids ~j =
+  let bus = Engine.Trace.default () in
+  let sink, captured = Engine.Trace.memory_sink () in
+  Engine.Trace.add_sink bus sink;
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Engine.Trace.remove_sink bus sink)
+      (fun () -> Exp.Runner.run_jobs ~j ~seed:7 id_jobs)
+  in
+  (results, String.concat "\n" (List.map Engine.Trace.to_json (captured ())))
+
+let test_determinism_packet_ids () =
+  let r1, t1 = observed_ids ~j:1 in
+  let r4, t4 = observed_ids ~j:4 in
+  check bool "results equal" true (r1 = r4);
+  check bool "trace non-empty" true (String.length t1 > 0);
+  let mentions_id s =
+    Astring.String.is_infix ~affix:"\"id\"" s
+  in
+  check bool "trace carries packet ids" true (mentions_id t1);
+  check string "id-bearing trace byte-identical j1 vs j4" t1 t4
+
 (* Captured worker events must be replayed even when the batch ultimately
    raises: a --trace file should show the work that was done, including the
    events of the job that failed. *)
@@ -316,6 +366,7 @@ let () =
           test_case "fig5 j1=j4" `Slow test_determinism_fig5;
           test_case "fig6 subset j1=j4" `Slow test_determinism_fig6_subset;
           test_case "trace capture merge" `Quick test_trace_merge;
+          test_case "packet-id trace j1=j4" `Quick test_determinism_packet_ids;
           test_case "trace replay on failure" `Quick
             test_trace_replay_on_failure;
         ] );

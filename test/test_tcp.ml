@@ -70,8 +70,10 @@ let test_rto_aggressive_mode () =
 
 (* --- Tcp_sink ----------------------------------------------------------- *)
 
+let pkt_sim = Engine.Sim.create ()
+
 let mk_data ~seq =
-  Netsim.Packet.make ~flow:1 ~seq ~size:1000 ~now:0. Netsim.Packet.Data
+  Netsim.Packet.make pkt_sim ~flow:1 ~seq ~size:1000 ~now:0. Netsim.Packet.Data
 
 let sink_harness () =
   let sim = Engine.Sim.create () in

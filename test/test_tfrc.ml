@@ -104,6 +104,51 @@ let prop_event_fraction_below_loss =
     (fun (p_loss, n) ->
       Tfrc.Response_function.loss_event_fraction ~p_loss ~n <= p_loss +. 1e-12)
 
+let test_fixed_point_regression () =
+  (* The convergence early-exit must agree with the plain 200-iteration
+     damped fixed point it replaced, across a grid spanning light to
+     severe loss and short to long timeouts. The damped map contracts with
+     factor <= 1/2, so a step under 1e-12 bounds the remaining tail well
+     inside the tolerance here. *)
+  let reference kind ~t_rto_rtts ~p_loss ~rate_factor =
+    if p_loss <= 0. then 0.
+    else begin
+      let g p_event =
+        let p_event = Float.max 1e-8 (Float.min 1. p_event) in
+        let n =
+          Float.max 1.
+            (rate_factor
+            *. Tfrc.Response_function.rate_pkts_per_rtt kind ~t_rto_rtts
+                 ~p:p_event)
+        in
+        Tfrc.Response_function.loss_event_fraction ~p_loss ~n
+      in
+      let p = ref p_loss in
+      for _ = 1 to 200 do
+        p := (0.5 *. !p) +. (0.5 *. g !p)
+      done;
+      !p
+    end
+  in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun t_rto_rtts ->
+          List.iter
+            (fun p_loss ->
+              List.iter
+                (fun rate_factor ->
+                  checkf ~eps:1e-10
+                    (Printf.sprintf "p_loss=%g t_rto_rtts=%g factor=%g" p_loss
+                       t_rto_rtts rate_factor)
+                    (reference kind ~t_rto_rtts ~p_loss ~rate_factor)
+                    (Tfrc.Response_function.fixed_point_event_rate kind
+                       ~t_rto_rtts ~p_loss ~rate_factor))
+                [ 0.5; 1. ])
+            [ 1e-5; 1e-4; 1e-3; 0.01; 0.05; 0.1; 0.2; 0.4 ])
+        [ 1.; 4.; 12. ])
+    [ Tfrc.Response_function.Pftk; Tfrc.Response_function.Simple ]
+
 (* --- Loss_intervals ------------------------------------------------------- *)
 
 let test_weights_paper_table () =
@@ -506,6 +551,8 @@ let () =
           Alcotest.test_case "pkts per rtt" `Quick test_rate_pkts_per_rtt;
           Alcotest.test_case "validation" `Quick test_equation_validation;
           Alcotest.test_case "loss event fraction" `Quick test_loss_event_fraction;
+          Alcotest.test_case "fixed point early-exit regression" `Quick
+            test_fixed_point_regression;
           qtest prop_rate_decreasing_in_p;
           qtest prop_rate_decreasing_in_rtt;
           qtest prop_inverse_roundtrip;

@@ -167,6 +167,40 @@ let test_rate_floor () =
   Alcotest.(check bool) "floored" true
     (Tfrc.Tfrc_sender.rate p.sender >= 1000. /. 64. -. 1e-9)
 
+(* RFC 3448 4.2/4.3: before any feedback has produced a real RTT sample,
+   the no-feedback timer is the 2 s initial value, not t_rto_factor times
+   the configured initial-RTT guess. With initial_rtt = 0.05 the old code
+   armed a 0.2 s timer and fired repeatedly within the first second. *)
+let test_initial_nofb_timer_rfc_default () =
+  let config =
+    Tfrc.Tfrc_config.default ~delay_gain:false ~initial_rtt:0.05 ()
+  in
+  (* Drop everything: the receiver never sees a packet, so no feedback and
+     no RTT sample ever arrive. *)
+  let p = wire ~config ~drop:(fun _ -> true) () in
+  Tfrc.Tfrc_sender.start p.sender ~at:0.;
+  Engine.Sim.run p.sim ~until:1.0;
+  Alcotest.(check int) "no expiry before the 2 s initial timer" 0
+    (Tfrc.Tfrc_sender.no_feedback_expirations p.sender);
+  Engine.Sim.run p.sim ~until:3.0;
+  Alcotest.(check bool) "expires once the initial timer lapses" true
+    (Tfrc.Tfrc_sender.no_feedback_expirations p.sender >= 1)
+
+let test_initial_nofb_timer_configurable () =
+  let config =
+    Tfrc.Tfrc_config.default ~delay_gain:false ~initial_rtt:0.05
+      ~initial_nofb_timeout:0.3 ()
+  in
+  let p = wire ~config ~drop:(fun _ -> true) () in
+  Tfrc.Tfrc_sender.start p.sender ~at:0.;
+  Engine.Sim.run p.sim ~until:0.5;
+  Alcotest.(check bool) "knob shortens the pre-sample timer" true
+    (Tfrc.Tfrc_sender.no_feedback_expirations p.sender >= 1);
+  Alcotest.check_raises "knob must be positive"
+    (Invalid_argument
+       "Tfrc_config: initial_nofb_timeout must be positive (got 0)")
+    (fun () -> ignore (Tfrc.Tfrc_config.default ~initial_nofb_timeout:0. ()))
+
 let test_sender_stop_halts_traffic () =
   let p = wire ~drop:(fun _ -> false) () in
   Tfrc.Tfrc_sender.start p.sender ~at:0.;
@@ -322,6 +356,10 @@ let () =
           Alcotest.test_case "no-feedback halving" `Quick
             test_nofeedback_halves_rate;
           Alcotest.test_case "rate floor" `Quick test_rate_floor;
+          Alcotest.test_case "initial nofb timer (RFC default)" `Quick
+            test_initial_nofb_timer_rfc_default;
+          Alcotest.test_case "initial nofb timer knob" `Quick
+            test_initial_nofb_timer_configurable;
           Alcotest.test_case "stop" `Quick test_sender_stop_halts_traffic;
         ] );
       ( "appendix",

@@ -296,6 +296,34 @@ let test_checker_link_conservation () =
   Alcotest.(check bool) "delivery without send flagged" false
     (Tfrc.Invariants.ok t)
 
+let test_checker_queue_conservation () =
+  (* link/queue snapshots carry the queue's own counters, which admit an
+     exact balance: arrivals = departures + drops + queued. *)
+  let queue_ev ~arrivals ~departures ~drops ~queued =
+    ev ~time:1. "link" "queue"
+      [
+        ("link", s "l0");
+        ("arrivals", i arrivals);
+        ("departures", i departures);
+        ("drops", i drops);
+        ("queued", i queued);
+      ]
+  in
+  let t = Tfrc.Invariants.create () in
+  Tfrc.Invariants.check_event t
+    (queue_ev ~arrivals:10 ~departures:6 ~drops:2 ~queued:2);
+  Alcotest.(check bool) "balanced snapshot fine" true (Tfrc.Invariants.ok t);
+  Tfrc.Invariants.check_event t
+    (queue_ev ~arrivals:10 ~departures:6 ~drops:2 ~queued:1);
+  Alcotest.(check bool) "off-by-one imbalance flagged" false
+    (Tfrc.Invariants.ok t);
+  (match Tfrc.Invariants.violations t with
+  | [ v ] ->
+      Alcotest.(check string) "rule name" "queue-conservation"
+        v.Tfrc.Invariants.rule
+  | vs -> Alcotest.failf "expected exactly one violation, got %d"
+            (List.length vs))
+
 let test_checker_report_format () =
   let t = Tfrc.Invariants.create () in
   Tfrc.Invariants.check_event t (start_ev ());
@@ -446,6 +474,8 @@ let () =
           Alcotest.test_case "time monotone" `Quick test_checker_time_monotone;
           Alcotest.test_case "link conservation" `Quick
             test_checker_link_conservation;
+          Alcotest.test_case "queue conservation" `Quick
+            test_checker_queue_conservation;
           Alcotest.test_case "report format" `Quick test_checker_report_format;
         ] );
       ( "end-to-end",
