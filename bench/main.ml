@@ -5,8 +5,9 @@
    experiment, -j N to run each experiment's job grid on N worker domains).
    Pass --micro to run the Bechamel micro-benchmarks of the hot paths
    instead (event heap, ALI update, RED decision, response function, full
-   dumbbell step), or --speedup to emit the parallel_speedup JSON line
-   (quick `all` wall clock at -j 1 vs -j 4). *)
+   dumbbell step), --speedup to emit the parallel_speedup JSON line
+   (quick `all` wall clock at -j 1 vs -j 4), or --fuzz to emit the
+   fuzz_throughput JSON line (end-to-end chaos-scenario cases/sec). *)
 
 let micro () =
   let open Bechamel in
@@ -223,10 +224,39 @@ let checkpoint_overhead_json ~seed =
     ((ckpt_s -. plain_s) /. plain_s *. 100.)
     ((ckpt_s -. plain_s) /. float_of_int cells *. 1e3)
 
+(* End-to-end fuzzer throughput: generate + run + judge a fixed block of
+   chaos scenarios (each executed twice for the determinism oracle) and
+   report cases/sec. Scenario cost varies wildly with the drawn duration
+   and flow count, so a fixed (seed, cases) block is what makes the
+   number comparable across runs. *)
+let fuzz_throughput_json () =
+  let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let cfg =
+    {
+      Fuzz.Driver.cases = 24;
+      seed = 42;
+      j = 1;
+      shrink = false;
+      mutate = false;
+      artifacts = None;
+      max_shrink_runs = 0;
+    }
+  in
+  ignore (Fuzz.Driver.run ~out:null_ppf cfg : Fuzz.Driver.summary);
+  let t0 = Unix.gettimeofday () in
+  let s = Fuzz.Driver.run ~out:null_ppf cfg in
+  let wall = Unix.gettimeofday () -. t0 in
+  Printf.sprintf
+    "{\"bench\":\"fuzz_throughput\",\"seed\":%d,\"cases\":%d,\"failed\":%d,\"wall_s\":%.3f,\"cases_per_s\":%.2f,\"events\":%d,\"delivered\":%d}"
+    cfg.Fuzz.Driver.seed cfg.Fuzz.Driver.cases s.Fuzz.Driver.failed wall
+    (float_of_int cfg.Fuzz.Driver.cases /. wall)
+    s.Fuzz.Driver.events s.Fuzz.Driver.delivered
+
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
   let run_micro = Array.exists (( = ) "--micro") Sys.argv in
   let run_speedup = Array.exists (( = ) "--speedup") Sys.argv in
+  let run_fuzz = Array.exists (( = ) "--fuzz") Sys.argv in
   let seed = 42 in
   let arg_value name =
     let rec find i =
@@ -255,6 +285,7 @@ let () =
   if run_micro then micro ()
   else if run_speedup then
     print_endline (parallel_speedup_json ~todo ~full ~seed)
+  else if run_fuzz then print_endline (fuzz_throughput_json ())
   else begin
     let ppf = Format.std_formatter in
     Format.fprintf ppf

@@ -132,18 +132,25 @@ let sup_term =
   in
   Term.(const make $ retries $ max_events $ max_time $ ckpt $ resume)
 
-(* The checkpoint store fsyncs each cell as it completes, so on SIGINT
-   there is nothing to flush — just tell the user how to pick the run back
-   up. (SIGKILL skips the handler and is equally safe, minus the hint.) *)
-let install_sigint sup =
-  if sup.ckpt_dir <> None then
-    Sys.set_signal Sys.sigint
-      (Sys.Signal_handle
-         (fun _ ->
-           prerr_endline
-             "tfrc_sim: interrupted; completed cells are checkpointed — rerun \
-              with --resume to finish";
-           exit 130))
+(* The checkpoint store fsyncs each cell as it completes, so on SIGINT or
+   SIGTERM there is nothing to flush — just tell the user how to pick the
+   run back up and exit with the conventional 128+signo status. SIGTERM
+   matters because cluster schedulers and CI runners kill with it, not ^C.
+   (SIGKILL skips the handler and is equally safe, minus the hint.) *)
+let install_signals sup =
+  if sup.ckpt_dir <> None then begin
+    let handler ~what ~code =
+      Sys.Signal_handle
+        (fun _ ->
+          prerr_endline
+            ("tfrc_sim: " ^ what
+           ^ "; completed cells are checkpointed — rerun with --resume to \
+              finish");
+          exit code)
+    in
+    Sys.set_signal Sys.sigint (handler ~what:"interrupted" ~code:130);
+    Sys.set_signal Sys.sigterm (handler ~what:"terminated" ~code:143)
+  end
 
 (* Runs [f] with the checkpoint store for [grid] (when enabled), closing it
    afterwards. Each experiment grid gets its own file under the directory. *)
@@ -226,7 +233,7 @@ let exp_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
   in
   let run full seed j trace check sup id =
-    install_sigint sup;
+    install_signals sup;
     observe ~trace ~check (fun () -> run_one ~j ~full ~seed ~sup id)
   in
   Cmd.v
@@ -237,7 +244,7 @@ let exp_cmd =
 
 let all_cmd =
   let run full seed j trace check sup =
-    install_sigint sup;
+    install_signals sup;
     observe ~trace ~check (fun () ->
         List.iter
           (fun e -> run_one ~j ~full ~seed ~sup e.Exp.Registry.id)
@@ -327,7 +334,7 @@ let chaos_cmd =
       & info [ "outage-duration" ] ~docv:"SECONDS" ~doc:"Outage length.")
   in
   let run at outage_duration seed j trace check sup =
-    install_sigint sup;
+    install_signals sup;
     observe ~trace ~check @@ fun () ->
     if at < 0. then begin
       Format.eprintf "tfrc_sim: --outage-at must be non-negative@.";
@@ -485,6 +492,115 @@ let trace_cmd =
           trace of the bottleneck link.")
     Term.(const run $ out_arg $ duration $ seed_arg)
 
+let fuzz_cmd =
+  let cases =
+    Arg.(
+      value & opt int 100
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of random scenarios to run.")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Delta-debug each failing scenario to a minimal still-failing \
+             case before reporting it.")
+  in
+  let mutate =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Self-test: deterministically plant a known queue-accounting bug \
+             and exit successfully only if the fuzzer catches it (and \
+             nothing else).")
+  in
+  let artifacts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "Write a replayable repro bundle for every failing case under \
+             $(docv) (created, with parents, if needed); replay with \
+             $(b,tfrc_sim repro).")
+  in
+  let max_shrink_runs =
+    Arg.(
+      value & opt int 300
+      & info [ "max-shrink-runs" ] ~docv:"N"
+          ~doc:"Oracle-execution budget per shrink.")
+  in
+  let run cases seed j shrink mutate artifacts max_shrink_runs =
+    if cases <= 0 then begin
+      Format.eprintf "tfrc_sim: --cases must be positive@.";
+      exit 1
+    end;
+    if max_shrink_runs <= 0 then begin
+      Format.eprintf "tfrc_sim: --max-shrink-runs must be positive@.";
+      exit 1
+    end;
+    let summary =
+      Fuzz.Driver.run ~out:Format.std_formatter
+        {
+          Fuzz.Driver.cases;
+          seed;
+          j;
+          shrink;
+          mutate;
+          artifacts;
+          max_shrink_runs;
+        }
+    in
+    if mutate then
+      if Fuzz.Driver.mutate_ok summary then begin
+        Format.printf
+          "mutate self-test: planted bug caught by queue-conservation@.";
+        exit 0
+      end
+      else begin
+        Format.printf
+          "mutate self-test FAILED: the planted accounting bug was not \
+           isolated (expected every failure to be queue-conservation, with \
+           at least one)@.";
+        exit 1
+      end
+    else exit (if summary.Fuzz.Driver.failed = 0 then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run randomized chaos scenarios against the invariant oracles; \
+          shrink and bundle failures for replay. Deterministic: equal \
+          (--cases, --seed) give equal output at any -j.")
+    Term.(
+      const run $ cases $ seed_arg $ jobs_arg $ shrink $ mutate $ artifacts
+      $ max_shrink_runs)
+
+let repro_cmd =
+  let bundle_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE" ~doc:"Repro bundle written by `tfrc_sim fuzz'.")
+  in
+  let run path =
+    let bundle =
+      try Fuzz.Bundle.load path
+      with Failure msg ->
+        Format.eprintf "tfrc_sim: %s@." msg;
+        exit 2
+    in
+    Format.printf "%a@." Fuzz.Bundle.pp bundle;
+    exit (if Fuzz.Driver.repro ~out:Format.std_formatter bundle then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "repro"
+       ~doc:
+         "Replay a fuzz repro bundle bit-for-bit and check that it still \
+          fails the recorded oracles.")
+    Term.(const run $ bundle_arg)
+
 let () =
   let info =
     Cmd.info "tfrc_sim" ~version:"1.0.0"
@@ -495,4 +611,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; exp_cmd; all_cmd; duel_cmd; chaos_cmd; trace_cmd ]))
+          [
+            list_cmd; exp_cmd; all_cmd; duel_cmd; chaos_cmd; trace_cmd;
+            fuzz_cmd; repro_cmd;
+          ]))

@@ -237,23 +237,34 @@ let line_of_json : json -> string * Job.result = function
 
 (* --- Store ---------------------------------------------------------------- *)
 
-let mkdir_p dir =
+let ensure_dir dir =
   let rec go d =
     if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
       go (Filename.dirname d);
-      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      match Unix.mkdir d 0o755 with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      | exception Unix.Unix_error (err, _, _) ->
+          failwith
+            (Printf.sprintf "cannot create directory %s: %s" d
+               (Unix.error_message err))
     end
   in
-  go dir
+  go dir;
+  (* [dir] may have existed all along — as a file. Catch that here rather
+     than as a confusing ENOTDIR/EEXIST from the first write into it. *)
+  if Sys.file_exists dir && not (Sys.is_directory dir) then
+    failwith (Printf.sprintf "cannot create directory %s: %s" dir
+                "a file with that name exists")
 
 (* Loads a checkpoint file written for [grid]. Returns None when the file
    is absent or its header names a different grid (stale identity: start
    fresh rather than resume someone else's cells). Stops at the first
    malformed line — after a crash only the final line can be torn. *)
 let load ~grid path =
-  if not (Sys.file_exists path) then None
-  else
-    let ic = open_in_bin path in
+  match open_in_bin path with
+  | exception Sys_error _ -> None (* missing or unreadable: start fresh *)
+  | ic ->
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
@@ -287,7 +298,7 @@ let append_fsync t s =
   Unix.fsync t.fd
 
 let open_store ~dir ~grid ~resume =
-  mkdir_p dir;
+  ensure_dir dir;
   (* Grid identities are filename-safe by construction (experiment ids,
      seeds, scale tags); guard anyway so a hostile id cannot escape dir. *)
   String.iter
@@ -296,13 +307,20 @@ let open_store ~dir ~grid ~resume =
         invalid_arg "Checkpoint.open_store: grid identity has unsafe characters")
     grid;
   let path = Filename.concat dir (grid ^ ".jsonl") in
+  let openfile path flags =
+    try Unix.openfile path flags 0o644
+    with Unix.Unix_error (err, _, _) ->
+      failwith
+        (Printf.sprintf "cannot open checkpoint file %s: %s" path
+           (Unix.error_message err))
+  in
   let prior = if resume then load ~grid path else None in
   match prior with
   | Some completed ->
-      let fd = Unix.openfile path [ O_WRONLY; O_APPEND ] 0o644 in
+      let fd = openfile path [ O_WRONLY; O_APPEND ] in
       { path; fd; m = Mutex.create (); completed; closed = false }
   | None ->
-      let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+      let fd = openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] in
       let t =
         { path; fd; m = Mutex.create (); completed = Hashtbl.create 64;
           closed = false }

@@ -14,11 +14,21 @@
 
 type t
 
+(** [ensure_dir dir] creates [dir] and any missing parents. Raises
+    [Failure] with a message naming the path and the OS error when a
+    component cannot be created (permissions, read-only filesystem, a
+    file standing where a directory is needed) — callers writing
+    artifacts get one clear diagnostic instead of a bare [Sys_error]
+    mid-sweep. *)
+val ensure_dir : string -> unit
+
 (** [open_store ~dir ~grid ~resume] opens (creating [dir] if needed) the
     checkpoint file for [grid]. With [resume] true, an existing file whose
     header matches [grid] is loaded — its cells are served by {!find} and
     new records append after them; a missing, mismatched or unreadable
-    file starts fresh. With [resume] false the file is truncated. *)
+    file starts fresh. With [resume] false the file is truncated. Raises
+    [Failure] with a clear message when [dir] cannot be created or the
+    file cannot be opened for writing. *)
 val open_store : dir:string -> grid:string -> resume:bool -> t
 
 (** The store's file path. *)

@@ -1,0 +1,52 @@
+(** Replayable repro bundles.
+
+    When a fuzz case fails, the driver saves everything needed to replay
+    it — the (possibly shrunk) scenario, the original scenario when
+    shrinking changed it, the failing oracle verdicts, and the trace
+    tail — as one self-describing sexp file. [tfrc_sim repro BUNDLE]
+    loads the file, re-runs the scenario through {!Oracle.run} with the
+    recorded [mutate] flag, and compares the fresh verdict against the
+    recorded one. *)
+
+type t = {
+  case_key : string;  (** the failing case's job key, e.g. ["fuzz/0013"] *)
+  fuzz_seed : int;  (** the fuzz run's [--seed], for provenance *)
+  mutate : bool;  (** whether the run planted the mutation *)
+  oracles : string list;  (** failing oracle names *)
+  details : string list;  (** one detail line per failing verdict *)
+  scenario : Scenario.t;  (** minimal (possibly shrunk) failing scenario *)
+  original : Scenario.t option;
+      (** the pre-shrink scenario, when shrinking simplified it *)
+  shrink_steps : int;  (** shrink candidates adopted (0 = not shrunk) *)
+  trace_tail : string list;  (** last trace events of the failing run *)
+}
+
+val make :
+  case_key:string ->
+  fuzz_seed:int ->
+  mutate:bool ->
+  ?original:Scenario.t ->
+  ?shrink_steps:int ->
+  Scenario.t ->
+  Oracle.outcome ->
+  t
+
+val to_sexp : t -> Sexp.t
+
+(** Raises {!Sexp.Parse_error} on malformed input. *)
+val of_sexp : Sexp.t -> t
+
+(** Bundle filename for a case key, e.g. ["fuzz-0013.repro"]. *)
+val filename : case_key:string -> string
+
+(** [save ~dir t] writes the bundle under [dir] (created, with parents,
+    if needed) and returns the path. Raises [Failure] with a clear
+    message when the directory cannot be created or the file cannot be
+    written. *)
+val save : dir:string -> t -> string
+
+(** [load path] parses a bundle file. Raises [Failure] naming the path
+    on a missing/unreadable file or malformed contents. *)
+val load : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,183 @@
+type config = {
+  cases : int;
+  seed : int;
+  j : int;
+  shrink : bool;
+  mutate : bool;
+  artifacts : string option;
+  max_shrink_runs : int;
+}
+
+type case_failure = {
+  key : string;
+  oracles : string list;
+  scenario : Scenario.t;
+  shrink_steps : int;
+  bundle_path : string option;
+}
+
+type summary = {
+  total : int;
+  passed : int;
+  failed : int;
+  failures : case_failure list;
+  events : int;
+  delivered : int;
+}
+
+let case_key i = Printf.sprintf "fuzz/%04d" i
+
+(* One case = generate from the job's own RNG stream, run the oracles,
+   return a slim serializable result. The coordinator regenerates the
+   scenario of a failing case from [Rng.for_key (seed, key)] — the same
+   stream the runner handed the job (attempt 0) — so the heavy artifacts
+   (scenario, trace tail) never cross the worker boundary twice. *)
+let case_job ~mutate i =
+  let key = case_key i in
+  Exp.Job.make key (fun rng ->
+      let sc = Scenario.generate ~id:key rng in
+      let o = Oracle.run ~mutate sc in
+      [
+        ("ok", Exp.Job.b (o.failures = []));
+        ("oracles", Exp.Job.strs (Oracle.failed_oracles o));
+        ( "details",
+          Exp.Job.strs
+            (List.map (fun (v : Oracle.verdict) -> v.detail) o.failures) );
+        ("events", Exp.Job.i o.events);
+        ("delivered", Exp.Job.i o.delivered);
+        ("summary", Exp.Job.s (Scenario.summary sc));
+        ("tail", Exp.Job.strs o.tail);
+      ])
+
+let regenerate ~seed key =
+  Scenario.generate ~id:key (Engine.Rng.for_key ~seed key)
+
+let run ~out cfg =
+  (* No worker count, no wall clock: stdout must be byte-identical at any
+     -j, so CI can diff parallel against sequential runs. *)
+  Format.fprintf out "fuzz: %d cases, seed %d%s%s@." cfg.cases cfg.seed
+    (if cfg.shrink then ", shrink" else "")
+    (if cfg.mutate then ", mutate (self-test)" else "");
+  let jobs = List.init cfg.cases (case_job ~mutate:cfg.mutate) in
+  let outcomes, _report =
+    Exp.Runner.run_jobs_supervised ~j:cfg.j ~seed:cfg.seed jobs
+  in
+  let events = ref 0 and delivered = ref 0 in
+  let failures =
+    List.filter_map
+      (fun (key, outcome) ->
+        match outcome with
+        | Exp.Runner.Completed r when Exp.Job.get_bool r "ok" ->
+            events := !events + Exp.Job.get_int r "events";
+            delivered := !delivered + Exp.Job.get_int r "delivered";
+            None
+        | Exp.Runner.Completed r ->
+            events := !events + Exp.Job.get_int r "events";
+            delivered := !delivered + Exp.Job.get_int r "delivered";
+            let oracles = Exp.Job.get_strs r "oracles" in
+            let details = Exp.Job.get_strs r "details" in
+            Format.fprintf out "%s FAIL [%s] %s@." key
+              (String.concat ", " oracles)
+              (Exp.Job.get_str r "summary");
+            List.iter (fun d -> Format.fprintf out "  %s@." d) details;
+            let sc = regenerate ~seed:cfg.seed key in
+            let minimal, shrink_steps, bundle =
+              if cfg.shrink then begin
+                (* Shrink against the first failing oracle: the most
+                   severe one, by the oracle evaluation order. *)
+                let oracle = List.hd oracles in
+                let r =
+                  Shrink.minimize ~mutate:cfg.mutate
+                    ~max_runs:cfg.max_shrink_runs ~oracle sc
+                in
+                Format.fprintf out "  shrunk in %d step(s), %d run(s): %s@."
+                  r.steps r.runs
+                  (Scenario.summary r.scenario);
+                let original = if r.steps > 0 then Some sc else None in
+                ( r.scenario,
+                  r.steps,
+                  Bundle.make ~case_key:key ~fuzz_seed:cfg.seed
+                    ~mutate:cfg.mutate ?original ~shrink_steps:r.steps
+                    r.scenario r.outcome )
+              end
+              else
+                ( sc,
+                  0,
+                  {
+                    Bundle.case_key = key;
+                    fuzz_seed = cfg.seed;
+                    mutate = cfg.mutate;
+                    oracles;
+                    details;
+                    scenario = sc;
+                    original = None;
+                    shrink_steps = 0;
+                    trace_tail = Exp.Job.get_strs r "tail";
+                  } )
+            in
+            let bundle_path =
+              match cfg.artifacts with
+              | None -> None
+              | Some dir ->
+                  let path = Bundle.save ~dir bundle in
+                  Format.fprintf out "  bundle: %s@." path;
+                  Some path
+            in
+            Some
+              { key; oracles; scenario = minimal; shrink_steps; bundle_path }
+        | Exp.Runner.Gave_up f ->
+            (* The harness itself failed on this cell (scenario
+               generation or wiring raised) — report it as a failing
+               case, but there is nothing meaningful to shrink. *)
+            Format.fprintf out "%s FAIL [harness] %s@." key
+              (Exp.Runner.failure_summary f);
+            Some
+              {
+                key;
+                oracles = [ "harness" ];
+                scenario = regenerate ~seed:cfg.seed key;
+                shrink_steps = 0;
+                bundle_path = None;
+              })
+      outcomes
+  in
+  let failed = List.length failures in
+  let summary =
+    {
+      total = cfg.cases;
+      passed = cfg.cases - failed;
+      failed;
+      failures;
+      events = !events;
+      delivered = !delivered;
+    }
+  in
+  Format.fprintf out
+    "fuzz: %d/%d passed, %d failed (%d trace events, %d packets delivered)@."
+    summary.passed summary.total summary.failed summary.events
+    summary.delivered;
+  summary
+
+let mutate_ok s =
+  s.failed > 0
+  && List.for_all
+       (fun f -> f.oracles = [ "queue-conservation" ])
+       s.failures
+
+let repro ~out (b : Bundle.t) =
+  Format.fprintf out "repro %s: %s@." b.case_key (Scenario.summary b.scenario);
+  Format.fprintf out "recorded verdict: [%s]@." (String.concat ", " b.oracles);
+  let o = Oracle.run ~mutate:b.mutate b.scenario in
+  let fresh = Oracle.failed_oracles o in
+  Format.fprintf out "replayed verdict: [%s]@." (String.concat ", " fresh);
+  List.iter
+    (fun (v : Oracle.verdict) -> Format.fprintf out "  %s: %s@." v.oracle v.detail)
+    o.failures;
+  let matches =
+    List.sort compare fresh = List.sort compare b.oracles
+  in
+  Format.fprintf out
+    (if matches then "verdict reproduced@."
+     else "VERDICT MISMATCH: the bundle does not replay to its recorded \
+           verdict@.");
+  matches

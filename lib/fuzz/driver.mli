@@ -1,0 +1,55 @@
+(** The fuzzing coordinator.
+
+    Builds one {!Exp.Job} per case — case [i] generates its scenario
+    from the [Rng.for_key (seed, "fuzz/NNNN")] stream and runs it
+    through {!Oracle.run} — executes the batch on the supervised runner
+    (crash isolation, [-j N] worker domains), then post-processes
+    failures sequentially: optional delta-debug shrinking and repro
+    bundle emission.
+
+    Everything printed to [out] is a pure function of [(config)] — no
+    wall-clock, no machine state — so a run at [-j 4] is byte-identical
+    to [-j 1]. *)
+
+type config = {
+  cases : int;
+  seed : int;
+  j : int;  (** worker domains *)
+  shrink : bool;  (** delta-debug failing cases to minimal form *)
+  mutate : bool;  (** plant the known accounting bug (self-test mode) *)
+  artifacts : string option;  (** where to write repro bundles *)
+  max_shrink_runs : int;  (** oracle-execution budget per shrink *)
+}
+
+type case_failure = {
+  key : string;
+  oracles : string list;  (** failing oracle names *)
+  scenario : Scenario.t;  (** minimal (possibly shrunk) scenario *)
+  shrink_steps : int;
+  bundle_path : string option;
+}
+
+type summary = {
+  total : int;
+  passed : int;
+  failed : int;
+  failures : case_failure list;
+  events : int;  (** trace events across all cases (first runs) *)
+  delivered : int;  (** packets delivered across all cases (first runs) *)
+}
+
+(** The stable job key of case [i], e.g. ["fuzz/0013"]. *)
+val case_key : int -> string
+
+(** [run ~out config] fuzzes and reports. Prints one line per failing
+    case (plus shrink/bundle annotations) and a final totals line. *)
+val run : out:Format.formatter -> config -> summary
+
+(** Did the [--mutate] self-test succeed: at least one case tripped the
+    queue-conservation oracle, and no case failed anything else. *)
+val mutate_ok : summary -> bool
+
+(** [repro ~out bundle] re-runs the bundle's scenario with its recorded
+    [mutate] flag and compares the fresh failing-oracle set against the
+    recorded one. Prints both verdicts; [true] iff they match. *)
+val repro : out:Format.formatter -> Bundle.t -> bool

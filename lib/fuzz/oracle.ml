@@ -1,0 +1,394 @@
+type verdict = { oracle : string; detail : string }
+
+type outcome = {
+  failures : verdict list;
+  events : int;
+  delivered : int;
+  digest : int;
+  tail : string list;
+}
+
+let oracle_names =
+  [
+    "no-crash";
+    "termination";
+    "invariants";
+    "queue-conservation";
+    "rate-range";
+    "determinism";
+  ]
+
+(* Uniform view over the three topologies, so flow wiring and fault
+   application are written once. A [Path] is a one-hop parking lot. *)
+type net = {
+  src_sender : flow:int -> Netsim.Packet.handler;
+  dst_sender : flow:int -> Netsim.Packet.handler;
+  set_src_recv : flow:int -> Netsim.Packet.handler -> unit;
+  set_dst_recv : flow:int -> Netsim.Packet.handler -> unit;
+  links : Netsim.Link.t list;
+}
+
+let mean_pktsize = 1000.
+
+let make_queue (sc : Scenario.t) sim () =
+  match sc.queue with
+  | Scenario.Droptail limit -> Netsim.Droptail.create ~limit_pkts:limit
+  | Scenario.Red { min_th; max_th; limit } ->
+      let params = Netsim.Red.params ~min_th ~max_th ~limit_pkts:limit () in
+      Netsim.Red.create ~params
+        ~now:(fun () -> Engine.Sim.now sim)
+        ~ptc:(sc.bandwidth /. (8. *. mean_pktsize))
+
+let build_net sim (sc : Scenario.t) =
+  match sc.topology with
+  | Scenario.Dumbbell ->
+      let queue =
+        match sc.queue with
+        | Scenario.Droptail limit -> Netsim.Dumbbell.Droptail_q limit
+        | Scenario.Red { min_th; max_th; limit } ->
+            Netsim.Dumbbell.Red_q
+              (Netsim.Red.params ~min_th ~max_th ~limit_pkts:limit ())
+      in
+      let db =
+        Netsim.Dumbbell.create sim ~bandwidth:sc.bandwidth ~delay:sc.delay
+          ~queue ()
+      in
+      List.iteri
+        (fun flow (f : Scenario.flow) ->
+          Netsim.Dumbbell.add_flow db ~flow ~rtt_base:f.rtt_base)
+        sc.flows;
+      {
+        src_sender = (fun ~flow -> Netsim.Dumbbell.src_sender db ~flow);
+        dst_sender = (fun ~flow -> Netsim.Dumbbell.dst_sender db ~flow);
+        set_src_recv = (fun ~flow h -> Netsim.Dumbbell.set_src_recv db ~flow h);
+        set_dst_recv = (fun ~flow h -> Netsim.Dumbbell.set_dst_recv db ~flow h);
+        links =
+          [ Netsim.Dumbbell.forward_link db; Netsim.Dumbbell.reverse_link db ];
+      }
+  | Scenario.Path | Scenario.Parking_lot _ ->
+      let hops = Scenario.hops sc in
+      let pl =
+        Netsim.Parking_lot.create sim ~hops ~bandwidth:sc.bandwidth
+          ~delay:sc.delay ~queue:(make_queue sc sim) ()
+      in
+      List.iteri
+        (fun flow (f : Scenario.flow) ->
+          match f.hop with
+          | Some hop ->
+              Netsim.Parking_lot.add_cross_flow pl ~flow ~hop
+                ~rtt_base:f.rtt_base
+          | None ->
+              Netsim.Parking_lot.add_through_flow pl ~flow ~rtt_base:f.rtt_base)
+        sc.flows;
+      {
+        src_sender = (fun ~flow -> Netsim.Parking_lot.src_sender pl ~flow);
+        dst_sender = (fun ~flow -> Netsim.Parking_lot.dst_sender pl ~flow);
+        set_src_recv =
+          (fun ~flow h -> Netsim.Parking_lot.set_src_recv pl ~flow h);
+        set_dst_recv =
+          (fun ~flow h -> Netsim.Parking_lot.set_dst_recv pl ~flow h);
+        links =
+          List.init hops (fun i -> Netsim.Parking_lot.link pl ~hop:(i + 1));
+      }
+
+(* Sampled-value checks: `Rate values must be finite and non-negative,
+   `Loss values must additionally stay within [0, 1]. *)
+type gauge_kind = Rate_gauge | Loss_gauge
+
+let gauge_violation kind v =
+  match kind with
+  | Rate_gauge ->
+      if Float.is_nan v then Some "NaN"
+      else if v = Float.infinity then Some "infinite"
+      else if v < 0. then Some "negative"
+      else None
+  | Loss_gauge ->
+      if Float.is_nan v then Some "NaN"
+      else if v < 0. || v > 1. then Some "outside [0, 1]"
+      else None
+
+type run_stats = {
+  r_failures : verdict list;
+  r_events : int;
+  r_delivered : int;
+  r_digest : int;
+  r_tail : string list;
+}
+
+let fnv_prime = 0x100000001b3
+let fnv_offset = 0x811c9dc5
+
+let run_once ~mutate (sc : Scenario.t) =
+  let bus = Engine.Trace.create ~ring:40 () in
+  let checker = Tfrc.Invariants.create () in
+  Tfrc.Invariants.attach checker bus;
+  let digest = ref fnv_offset in
+  let mix s =
+    String.iter (fun c -> digest := (!digest lxor Char.code c) * fnv_prime) s
+  in
+  Engine.Trace.add_sink bus
+    { Engine.Trace.emit = (fun ev -> mix (Engine.Trace.to_json ev));
+      close = ignore };
+  let sim = Engine.Sim.create ~trace:bus () in
+  let rng = Engine.Rng.create ~seed:sc.sim_seed in
+  let now () = Engine.Sim.now sim in
+  let net = build_net sim sc in
+  let bottleneck = List.hd net.links in
+  (* Link-level faults hit the first congested link (the dumbbell's
+     forward bottleneck / the parking lot's first hop). *)
+  List.iter
+    (fun (fault : Scenario.fault) ->
+      match fault with
+      | Scenario.Outage { at; duration } ->
+          Netsim.Faults.outage sim bottleneck ~at ~duration ()
+      | Scenario.Flap { at; stop; period; down_fraction } ->
+          Netsim.Faults.flapping sim bottleneck ~start:at ~stop ~period
+            ~down_fraction ()
+      | Scenario.Route_change { at; bandwidth_factor } ->
+          Netsim.Faults.route_change sim bottleneck ~at
+            ~bandwidth:(sc.bandwidth *. bandwidth_factor)
+            ()
+      | Scenario.Reorder _ | Scenario.Duplicate _ | Scenario.Corrupt _
+      | Scenario.Fb_blackout _ ->
+          ())
+    sc.faults;
+  (* Handler-level faults compose around each flow's endpoints: data-path
+     wrappers between the last link and the receiving agent, blackout
+     windows on the feedback direction. *)
+  let blackout_windows =
+    List.filter_map
+      (function
+        | Scenario.Fb_blackout { at; duration } -> Some (at, at +. duration)
+        | _ -> None)
+      sc.faults
+  in
+  let wrap_data dest =
+    List.fold_left
+      (fun dest (fault : Scenario.fault) ->
+        match fault with
+        | Scenario.Reorder { p; jitter } ->
+            fst (Netsim.Faults.reorder sim rng ~p ~jitter dest)
+        | Scenario.Duplicate { p; delay } ->
+            fst (Netsim.Faults.duplicate sim rng ~p ~delay dest)
+        | Scenario.Corrupt { p } -> fst (Netsim.Faults.corrupt rng ~p dest)
+        | _ -> dest)
+      dest sc.faults
+  in
+  let wrap_fb dest =
+    if blackout_windows = [] then dest
+    else fst (Netsim.Faults.blackout ~now ~windows:blackout_windows dest)
+  in
+  let delivered = ref 0 in
+  let count dest pkt =
+    incr delivered;
+    dest pkt
+  in
+  let gauges = ref [] in
+  let add_gauge name get kind = gauges := (name, get, kind) :: !gauges in
+  List.iteri
+    (fun flow (f : Scenario.flow) ->
+      let g name = Printf.sprintf "flow%d/%s" flow name in
+      match f.proto with
+      | Scenario.Tfrc ->
+          let config = Tfrc.Tfrc_config.default () in
+          let receiver =
+            Tfrc.Tfrc_receiver.create sim ~config ~flow
+              ~transmit:(wrap_fb (net.dst_sender ~flow))
+              ()
+          in
+          net.set_dst_recv ~flow
+            (wrap_data (count (Tfrc.Tfrc_receiver.recv receiver)));
+          let sender =
+            Tfrc.Tfrc_sender.create sim ~config ~flow
+              ~transmit:(net.src_sender ~flow) ()
+          in
+          net.set_src_recv ~flow (Tfrc.Tfrc_sender.recv sender);
+          Tfrc.Tfrc_sender.start sender ~at:f.start;
+          add_gauge (g "rate")
+            (fun () -> Tfrc.Tfrc_sender.rate sender)
+            Rate_gauge;
+          add_gauge (g "sender_p")
+            (fun () -> Tfrc.Tfrc_sender.loss_event_rate sender)
+            Loss_gauge;
+          add_gauge (g "receiver_p")
+            (fun () -> Tfrc.Tfrc_receiver.loss_event_rate receiver)
+            Loss_gauge
+      | Scenario.Tcp ->
+          let config = Tcpsim.Tcp_common.ns_sack in
+          let sink =
+            Tcpsim.Tcp_sink.create sim ~config ~flow
+              ~transmit:(wrap_fb (net.dst_sender ~flow))
+              ()
+          in
+          net.set_dst_recv ~flow (wrap_data (count (Tcpsim.Tcp_sink.recv sink)));
+          let sender =
+            Tcpsim.Tcp_sender.create sim ~config ~flow
+              ~transmit:(net.src_sender ~flow) ()
+          in
+          net.set_src_recv ~flow (Tcpsim.Tcp_sender.recv sender);
+          Tcpsim.Tcp_sender.start sender ~at:f.start;
+          add_gauge (g "cwnd")
+            (fun () -> Tcpsim.Tcp_sender.cwnd sender)
+            Rate_gauge
+      | Scenario.Tfrcp ->
+          let sink =
+            Baselines.Echo_sink.create sim ~flow
+              ~transmit:(wrap_fb (net.dst_sender ~flow))
+              ()
+          in
+          net.set_dst_recv ~flow
+            (wrap_data (count (Baselines.Echo_sink.recv sink)));
+          let sender =
+            Baselines.Tfrcp.create sim ~flow ~transmit:(net.src_sender ~flow) ()
+          in
+          net.set_src_recv ~flow (Baselines.Tfrcp.recv sender);
+          Baselines.Tfrcp.start sender ~at:f.start;
+          add_gauge (g "rate") (fun () -> Baselines.Tfrcp.rate sender) Rate_gauge;
+          add_gauge (g "p_est")
+            (fun () -> Baselines.Tfrcp.loss_estimate sender)
+            Loss_gauge
+      | Scenario.Rap ->
+          let sink =
+            Baselines.Echo_sink.create sim ~flow
+              ~transmit:(wrap_fb (net.dst_sender ~flow))
+              ()
+          in
+          net.set_dst_recv ~flow
+            (wrap_data (count (Baselines.Echo_sink.recv sink)));
+          let sender =
+            Baselines.Rap.create sim ~flow ~transmit:(net.src_sender ~flow) ()
+          in
+          net.set_src_recv ~flow (Baselines.Rap.recv sender);
+          Baselines.Rap.start sender ~at:f.start;
+          add_gauge (g "rate") (fun () -> Baselines.Rap.rate sender) Rate_gauge)
+    sc.flows;
+  (* Sample every gauge on a fixed clock, recording the first violation
+     per gauge so a persistent NaN doesn't flood the verdict. *)
+  let rate_failures = ref [] in
+  let flagged = Hashtbl.create 8 in
+  let sample_period = 0.05 in
+  let rec sample () =
+    List.iter
+      (fun (name, get, kind) ->
+        if not (Hashtbl.mem flagged name) then
+          match gauge_violation kind (get ()) with
+          | None -> ()
+          | Some why ->
+              Hashtbl.replace flagged name ();
+              rate_failures :=
+                {
+                  oracle = "rate-range";
+                  detail =
+                    Printf.sprintf "[%.4f] %s is %s (%g)" (now ()) name why
+                      (get ());
+                }
+                :: !rate_failures)
+      !gauges;
+    ignore (Engine.Sim.after sim sample_period sample)
+  in
+  ignore (Engine.Sim.at sim sample_period sample);
+  let crash =
+    try
+      Engine.Sim.run sim
+        ~budget:(Engine.Sim.budget ~max_events:2_000_000 ())
+        ~until:sc.duration;
+      None
+    with
+    | Engine.Sim.Budget_exhausted detail ->
+        Some { oracle = "termination"; detail }
+    | e -> Some { oracle = "no-crash"; detail = Printexc.to_string e }
+  in
+  if mutate then (
+    (* Plant: one phantom arrival on a link that dropped packets during
+       an outage — the historical outage-drain double-count, resurrected
+       on demand so the harness can prove it would catch it. *)
+    match
+      List.find_opt (fun l -> Netsim.Link.outage_drops l > 0) net.links
+    with
+    | Some l ->
+        let st = (Netsim.Link.queue l).Netsim.Queue_disc.stats in
+        st.Netsim.Queue_disc.arrivals <- st.Netsim.Queue_disc.arrivals + 1
+    | None -> ());
+  let queue_failures =
+    List.filter_map
+      (fun l ->
+        let q = Netsim.Link.queue l in
+        if Netsim.Queue_disc.conserved q then None
+        else
+          Some
+            {
+              oracle = "queue-conservation";
+              detail =
+                Printf.sprintf
+                  "link %s: arrivals - departures - drops - queued = %d"
+                  (Netsim.Link.label l)
+                  (Netsim.Queue_disc.imbalance q);
+            })
+      net.links
+  in
+  let inv_failures =
+    if Tfrc.Invariants.ok checker then []
+    else
+      let shown =
+        List.filteri (fun i _ -> i < 3) (Tfrc.Invariants.violations checker)
+      in
+      [
+        {
+          oracle = "invariants";
+          detail =
+            Printf.sprintf "%d violation(s): %s"
+              (Tfrc.Invariants.n_violations checker)
+              (String.concat " | "
+                 (List.map
+                    (fun (v : Tfrc.Invariants.violation) ->
+                      Printf.sprintf "[%.4f] %s: %s" v.time v.rule v.detail)
+                    shown));
+        };
+      ]
+  in
+  let failures =
+    (match crash with Some v -> [ v ] | None -> [])
+    @ inv_failures @ queue_failures
+    @ List.rev !rate_failures
+  in
+  {
+    r_failures = failures;
+    r_events = Engine.Trace.emitted bus;
+    r_delivered = !delivered;
+    r_digest = !digest;
+    r_tail = List.map Engine.Trace.to_json (Engine.Trace.recent bus);
+  }
+
+let run ?(mutate = false) sc =
+  let a = run_once ~mutate sc in
+  let b = run_once ~mutate sc in
+  let determinism =
+    if
+      a.r_digest = b.r_digest && a.r_events = b.r_events
+      && a.r_delivered = b.r_delivered
+    then []
+    else
+      [
+        {
+          oracle = "determinism";
+          detail =
+            Printf.sprintf
+              "run A: %d events, %d delivered, digest %x; run B: %d events, \
+               %d delivered, digest %x"
+              a.r_events a.r_delivered a.r_digest b.r_events b.r_delivered
+              b.r_digest;
+        };
+      ]
+  in
+  {
+    failures = a.r_failures @ determinism;
+    events = a.r_events;
+    delivered = a.r_delivered;
+    digest = a.r_digest;
+    tail = a.r_tail;
+  }
+
+let failed_oracles o =
+  List.fold_left
+    (fun acc v -> if List.mem v.oracle acc then acc else acc @ [ v.oracle ])
+    [] o.failures

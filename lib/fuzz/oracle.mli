@@ -1,0 +1,47 @@
+(** Scenario execution against the fuzzer's oracle set.
+
+    [run] builds the scenario's topology, wires its flows and fault
+    schedule, and simulates it {e twice} on private trace buses,
+    checking:
+
+    - [no-crash] — the simulation raises no exception;
+    - [termination] — it finishes [duration] virtual seconds within the
+      event budget (no runaway event loops);
+    - [invariants] — the online RFC 3448 checker ({!Tfrc.Invariants})
+      reports no violation;
+    - [queue-conservation] — every link's queue discipline satisfies
+      arrivals = departures + drops + queued, exactly;
+    - [rate-range] — sampled sender rates / congestion windows are
+      finite and non-negative, and loss-event rates stay in [0, 1];
+    - [determinism] — both runs emit byte-identical trace streams
+      (compared by running digest) and deliver the same packet count.
+
+    All of this is deterministic: the only randomness is the scenario's
+    own [sim_seed]. *)
+
+(** One failed oracle. [oracle] is the stable name from the list above. *)
+type verdict = { oracle : string; detail : string }
+
+type outcome = {
+  failures : verdict list;  (** empty = the scenario passed *)
+  events : int;  (** trace events emitted by the first run *)
+  delivered : int;  (** data packets delivered to endpoints, first run *)
+  digest : int;  (** FNV-1a digest of the first run's trace stream *)
+  tail : string list;  (** last trace events of the first run, as JSON *)
+}
+
+(** Stable oracle names, in evaluation order. *)
+val oracle_names : string list
+
+(** [run ?mutate sc] executes the scenario and evaluates every oracle.
+    [mutate] (default false) plants a deterministic accounting bug — one
+    phantom queue arrival on a link that dropped packets during an
+    outage, the shape of a real historical double-count — in {e both}
+    runs, so the queue-conservation oracle must catch it whenever the
+    scenario's fault schedule produces outage drops. Used by the
+    [--mutate] self-test to prove the fuzzer detects and shrinks real
+    violations. *)
+val run : ?mutate:bool -> Scenario.t -> outcome
+
+(** [failed_oracles o] is the distinct failing oracle names, in order. *)
+val failed_oracles : outcome -> string list
