@@ -1,4 +1,4 @@
-.PHONY: all check test bench lint clean
+.PHONY: all check test bench bench-many-flows lint clean
 
 all:
 	dune build @all
@@ -18,6 +18,12 @@ lint:
 
 bench:
 	dune exec bench/main.exe
+
+# Full-scale scheduler scale bench; appends this run's JSON line to the
+# in-repo trajectory (ROADMAP item 6). Commit the result with the PR.
+bench-many-flows:
+	dune exec bench/main.exe -- --many-flows >> BENCH_many_flows.json
+	tail -n 1 BENCH_many_flows.json
 
 clean:
 	dune clean

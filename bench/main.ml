@@ -252,11 +252,69 @@ let fuzz_throughput_json () =
     (float_of_int cfg.Fuzz.Driver.cases /. wall)
     s.Fuzz.Driver.events s.Fuzz.Driver.delivered
 
+(* Many-flows scale benchmark: hold N concurrent flows, each driving a
+   periodic send timer (20–200 ms period derived from the flow id) plus a
+   no-feedback-style watchdog that is cancelled and re-armed on every send
+   — the cancel churn is what makes this representative of TFRC/TCP timer
+   behavior, and what stresses the schedulers differently (the heap sweeps
+   cancelled entries in O(n log n) bulk passes; the wheel prunes buckets).
+   Each send allocates a packet from a freelist pool and folds a sample
+   into a struct-of-arrays accumulator, so the measured loop exercises all
+   three scale paths from ROADMAP item 1. The simulation runs in virtual-
+   time chunks until the wall budget expires; events/sec is the score.
+   Run once per backend at identical parameters and report the ratio. *)
+let many_flows_run ~scheduler ~flows ~wall =
+  let sim = Engine.Sim.create ~scheduler () in
+  let pool = Netsim.Packet.Pool.create () in
+  let soa = Stats.Soa.create flows in
+  let events = ref 0 in
+  let watchdog = Array.make (max flows 1) Engine.Sim.null_handle in
+  let period i = 0.020 +. (float_of_int (i mod 181) *. 1e-3) in
+  let rec fire i () =
+    incr events;
+    let now = Engine.Sim.now sim in
+    let p =
+      Netsim.Packet.Pool.alloc pool sim ~flow:i ~seq:!events ~size:1000 ~now
+        Netsim.Packet.Data
+    in
+    Stats.Soa.add soa i (float_of_int p.Netsim.Packet.size);
+    Netsim.Packet.Pool.release pool p;
+    Engine.Sim.cancel watchdog.(i);
+    watchdog.(i) <- Engine.Sim.after sim (4. *. period i) ignore;
+    ignore (Engine.Sim.after sim (period i) (fire i))
+  in
+  for i = 0 to flows - 1 do
+    (* Stagger starts across one period so the queue never sees a single
+       thundering-herd timestamp. *)
+    ignore (Engine.Sim.at sim (period i *. float_of_int (i mod 7) /. 7.) (fire i))
+  done;
+  let t0 = Unix.gettimeofday () in
+  let horizon = ref 0. in
+  while Unix.gettimeofday () -. t0 < wall do
+    horizon := !horizon +. 0.05;
+    Engine.Sim.run sim ~until:!horizon
+  done;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (!events, wall_s, Engine.Sim.pending_events sim, !horizon)
+
+let many_flows_json ~flows ~wall =
+  let wheel_events, wheel_s, pending, vtime =
+    many_flows_run ~scheduler:`Wheel ~flows ~wall
+  in
+  let heap_events, heap_s, _, _ = many_flows_run ~scheduler:`Heap ~flows ~wall in
+  let wheel_eps = float_of_int wheel_events /. wheel_s in
+  let heap_eps = float_of_int heap_events /. heap_s in
+  Printf.sprintf
+    "{\"bench\":\"many_flows\",\"flows\":%d,\"wall_budget_s\":%.2f,\"wheel_events\":%d,\"wheel_events_per_s\":%.0f,\"heap_events\":%d,\"heap_events_per_s\":%.0f,\"speedup\":%.2f,\"pending_events\":%d,\"virtual_time_s\":%.2f}"
+    flows wall wheel_events wheel_eps heap_events heap_eps
+    (wheel_eps /. heap_eps) pending vtime
+
 let () =
   let full = Array.exists (( = ) "--full") Sys.argv in
   let run_micro = Array.exists (( = ) "--micro") Sys.argv in
   let run_speedup = Array.exists (( = ) "--speedup") Sys.argv in
   let run_fuzz = Array.exists (( = ) "--fuzz") Sys.argv in
+  let run_many_flows = Array.exists (( = ) "--many-flows") Sys.argv in
   let seed = 42 in
   let arg_value name =
     let rec find i =
@@ -286,6 +344,19 @@ let () =
   else if run_speedup then
     print_endline (parallel_speedup_json ~todo ~full ~seed)
   else if run_fuzz then print_endline (fuzz_throughput_json ())
+  else if run_many_flows then begin
+    let flows =
+      match arg_value "--flows" with
+      | Some n -> ( match int_of_string_opt n with Some n -> n | None -> 100_000)
+      | None -> 100_000
+    in
+    let wall =
+      match arg_value "--wall" with
+      | Some s -> ( match float_of_string_opt s with Some s -> s | None -> 2.0)
+      | None -> 2.0
+    in
+    print_endline (many_flows_json ~flows ~wall)
+  end
   else begin
     let ppf = Format.std_formatter in
     Format.fprintf ppf

@@ -33,6 +33,27 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let scheduler_arg =
+  let sch_conv =
+    let parse s =
+      match Engine.Sim.scheduler_of_string s with
+      | Some sch -> Ok sch
+      | None ->
+          Error
+            (`Msg
+              (Printf.sprintf "unknown scheduler %S (expected wheel or heap)" s))
+    in
+    let print ppf s = Format.pp_print_string ppf (Engine.Sim.scheduler_name s) in
+    Arg.conv (parse, print)
+  in
+  let doc =
+    "Event-queue backend: $(b,wheel) (hierarchical timing wheel, the \
+     default) or $(b,heap) (binary heap). Both produce byte-identical \
+     simulations — the knob exists for benchmarking and differential \
+     testing."
+  in
+  Arg.(value & opt sch_conv `Wheel & info [ "scheduler" ] ~docv:"BACKEND" ~doc)
+
 let trace_arg =
   let doc =
     "Write every structured simulation event (tfrc/*, link/*, fault/*, \
@@ -232,7 +253,8 @@ let exp_cmd =
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID")
   in
-  let run full seed j trace check sup id =
+  let run full seed j trace check sup scheduler id =
+    Engine.Sim.set_default_scheduler scheduler;
     install_signals sup;
     observe ~trace ~check (fun () -> run_one ~j ~full ~seed ~sup id)
   in
@@ -240,10 +262,11 @@ let exp_cmd =
     (Cmd.info "exp" ~doc:"Regenerate one figure or table from the paper.")
     Term.(
       const run $ full_arg $ seed_arg $ jobs_arg $ trace_arg $ check_arg
-      $ sup_term $ id_arg)
+      $ sup_term $ scheduler_arg $ id_arg)
 
 let all_cmd =
-  let run full seed j trace check sup =
+  let run full seed j trace check sup scheduler =
+    Engine.Sim.set_default_scheduler scheduler;
     install_signals sup;
     observe ~trace ~check (fun () ->
         List.iter
@@ -254,7 +277,7 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Regenerate every figure and table.")
     Term.(
       const run $ full_arg $ seed_arg $ jobs_arg $ trace_arg $ check_arg
-      $ sup_term)
+      $ sup_term $ scheduler_arg)
 
 let duel_cmd =
   let n_tcp =
@@ -277,7 +300,8 @@ let duel_cmd =
       value & opt float 60.
       & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
   in
-  let run n_tcp n_tfrc mbps red duration seed trace check =
+  let run n_tcp n_tfrc mbps red duration seed trace check scheduler =
+    Engine.Sim.set_default_scheduler scheduler;
     observe ~trace ~check @@ fun () ->
     let bandwidth = Engine.Units.mbps mbps in
     let params =
@@ -320,7 +344,7 @@ let duel_cmd =
     (Cmd.info "duel" ~doc:"Ad-hoc TCP vs TFRC dumbbell simulation.")
     Term.(
       const run $ n_tcp $ n_tfrc $ mbps $ red $ duration $ seed_arg $ trace_arg
-      $ check_arg)
+      $ check_arg $ scheduler_arg)
 
 let chaos_cmd =
   let at =
@@ -333,7 +357,8 @@ let chaos_cmd =
       value & opt float 2.
       & info [ "outage-duration" ] ~docv:"SECONDS" ~doc:"Outage length.")
   in
-  let run at outage_duration seed j trace check sup =
+  let run at outage_duration seed j trace check sup scheduler =
+    Engine.Sim.set_default_scheduler scheduler;
     install_signals sup;
     observe ~trace ~check @@ fun () ->
     if at < 0. then begin
@@ -437,7 +462,7 @@ let chaos_cmd =
           backoff/slow-restart timeline (see also `exp resilience').")
     Term.(
       const run $ at $ outage_duration $ seed_arg $ jobs_arg $ trace_arg
-      $ check_arg $ sup_term)
+      $ check_arg $ sup_term $ scheduler_arg)
 
 let trace_cmd =
   let out_arg =
@@ -531,7 +556,8 @@ let fuzz_cmd =
       & info [ "max-shrink-runs" ] ~docv:"N"
           ~doc:"Oracle-execution budget per shrink.")
   in
-  let run cases seed j shrink mutate artifacts max_shrink_runs =
+  let run cases seed j shrink mutate artifacts max_shrink_runs scheduler =
+    Engine.Sim.set_default_scheduler scheduler;
     if cases <= 0 then begin
       Format.eprintf "tfrc_sim: --cases must be positive@.";
       exit 1
@@ -575,7 +601,7 @@ let fuzz_cmd =
           (--cases, --seed) give equal output at any -j.")
     Term.(
       const run $ cases $ seed_arg $ jobs_arg $ shrink $ mutate $ artifacts
-      $ max_shrink_runs)
+      $ max_shrink_runs $ scheduler_arg)
 
 let repro_cmd =
   let bundle_arg =

@@ -114,7 +114,7 @@ let prune q ~keep =
       match (a, b) with
       | Busy a, Busy b ->
           let c = Float.compare a.time b.time in
-          if c <> 0 then c else compare a.seq b.seq
+          if c <> 0 then c else Int.compare a.seq b.seq
       | Free, _ | _, Free -> assert false)
     survivors;
   Array.blit survivors 0 q.heap 0 !n_kept;

@@ -6,9 +6,17 @@ type handle = {
   cancelled_in_heap : int ref;
 }
 
+type scheduler = [ `Heap | `Wheel ]
+
+(* The two queue backends share the (time, seq) contract, so which one a
+   simulation runs on is unobservable — same pop order, same traces. A
+   direct two-constructor dispatch keeps the per-event cost at a branch
+   instead of a closure call. *)
+type equeue = Heap of handle Event_queue.t | Wheel of handle Timing_wheel.t
+
 type t = {
   mutable clock : float;
-  events : handle Event_queue.t;
+  events : equeue;
   mutable stopping : bool;
   cancelled : int ref;
   trace : Trace.t;
@@ -68,12 +76,72 @@ let with_budget b f =
   set_budget (Some b);
   Fun.protect ~finally:(fun () -> set_budget prev) f
 
-let create ?trace () =
+(* --- Scheduler backend ----------------------------------------------------
+
+   The ambient default is domain-local (like {!Trace.default} and the
+   budget): a driver selects the backend once and every [Sim.create ()]
+   underneath — including inside experiment jobs — picks it up without
+   threading a parameter through scenario builders. [Exp.Runner]
+   re-installs the coordinator's choice on each worker domain so [-j N]
+   runs the same backend as [-j 1]. *)
+
+let default_scheduler_key : scheduler Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> `Wheel)
+
+let set_default_scheduler s = Domain.DLS.set default_scheduler_key s
+let default_scheduler () = Domain.DLS.get default_scheduler_key
+
+let scheduler_of_string = function
+  | "heap" -> Some `Heap
+  | "wheel" -> Some `Wheel
+  | _ -> None
+
+let scheduler_name = function `Heap -> "heap" | `Wheel -> "wheel"
+
+(* Queue dispatch: the only places the backends differ. *)
+
+let q_push t ~time h =
+  match t.events with
+  | Heap q -> Event_queue.push q ~time h
+  | Wheel w -> Timing_wheel.push w ~time h
+
+let q_pop t =
+  match t.events with
+  | Heap q -> Event_queue.pop q
+  | Wheel w -> Timing_wheel.pop w
+
+let q_peek_time t =
+  match t.events with
+  | Heap q -> Event_queue.peek_time q
+  | Wheel w -> Timing_wheel.peek_time w
+
+let q_size t =
+  match t.events with
+  | Heap q -> Event_queue.size q
+  | Wheel w -> Timing_wheel.size w
+
+let q_prune t ~keep =
+  match t.events with
+  | Heap q -> Event_queue.prune q ~keep
+  | Wheel w -> Timing_wheel.prune w ~keep
+
+let q_compact t =
+  match t.events with
+  | Heap q -> Event_queue.compact q
+  | Wheel w -> Timing_wheel.compact w
+
+let create ?trace ?scheduler () =
   let trace = match trace with Some tr -> tr | None -> Trace.default () in
+  let scheduler =
+    match scheduler with Some s -> s | None -> default_scheduler ()
+  in
   let t =
     {
       clock = 0.;
-      events = Event_queue.create ();
+      events =
+        (match scheduler with
+        | `Heap -> Heap (Event_queue.create ())
+        | `Wheel -> Wheel (Timing_wheel.create ()));
       stopping = false;
       cancelled = ref 0;
       trace;
@@ -95,14 +163,21 @@ let fresh_id t =
 let ids_allocated t = t.next_id
 
 let at t time f =
+  (* NaN would sail through the past-guard below ([nan < clock] is false)
+     and then wander the queue unorderably; infinity would pin [run]'s
+     [peek_time > until] check forever. Reject both up front. *)
+  if not (Float.is_finite time) then
+    invalid_arg (Printf.sprintf "Sim.at: non-finite time %g" time);
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %g is in the past (now %g)" time t.clock);
   let h = { state = `Pending; f; cancelled_in_heap = t.cancelled } in
-  Event_queue.push t.events ~time h;
+  q_push t ~time h;
   h
 
 let after t delay f =
+  if not (Float.is_finite delay) then
+    invalid_arg (Printf.sprintf "Sim.after: non-finite delay %g" delay);
   if delay < 0. then invalid_arg "Sim.after: negative delay";
   at t (t.clock +. delay) f
 
@@ -116,7 +191,7 @@ let is_pending h = h.state = `Pending
 
 let null_handle = { state = `Fired; f = ignore; cancelled_in_heap = ref 0 }
 
-let pending_events t = Event_queue.size t.events
+let pending_events t = q_size t
 
 let stop t = t.stopping <- true
 
@@ -128,17 +203,14 @@ let stop t = t.stopping <- true
 let sweep_floor = 64
 
 let maybe_sweep t =
-  let n = Event_queue.size t.events in
+  let n = q_size t in
   if n >= sweep_floor && 2 * !(t.cancelled) > n then begin
-    Event_queue.prune t.events ~keep:(fun h -> h.state = `Pending);
-    Event_queue.compact t.events;
+    q_prune t ~keep:(fun h -> h.state = `Pending);
+    q_compact t;
     t.cancelled := 0;
     if Trace.active t.trace then
       Trace.emit t.trace ~time:t.clock ~cat:"sim" ~name:"sweep"
-        [
-          ("before", Trace.Int n);
-          ("after", Trace.Int (Event_queue.size t.events));
-        ]
+        [ ("before", Trace.Int n); ("after", Trace.Int (q_size t)) ]
   end
 
 let exhaust t detail =
@@ -158,11 +230,11 @@ let run ?budget t ~until =
   let continue = ref true in
   while !continue && not t.stopping do
     maybe_sweep t;
-    match Event_queue.peek_time t.events with
+    match q_peek_time t with
     | None -> continue := false
     | Some time when time > until -> continue := false
     | Some _ -> (
-        match Event_queue.pop t.events with
+        match q_pop t with
         | None -> continue := false
         | Some (time, h) -> (
             match h.state with
@@ -192,4 +264,4 @@ let run ?budget t ~until =
   if until < infinity && t.clock < until && not t.stopping then t.clock <- until;
   if Trace.active t.trace then
     Trace.emit t.trace ~time:t.clock ~cat:"sim" ~name:"run_end"
-      [ ("pending", Trace.Int (Event_queue.size t.events)) ]
+      [ ("pending", Trace.Int (q_size t)) ]

@@ -10,10 +10,33 @@ type t
 (** Cancellable handle for a scheduled event (a timer). *)
 type handle
 
-(** [create ?trace ()] makes a scheduler at virtual time 0, attached to
-    [trace] (default: the process-wide {!Trace.default} bus). Emits a
-    [sim/created] event so observers can reset per-run state. *)
-val create : ?trace:Trace.t -> unit -> t
+(** Event-queue backend: a hierarchical {!Timing_wheel} (default — O(levels)
+    per operation, built for very many short-horizon timers) or the binary
+    heap {!Event_queue} (O(log n)). Both obey the same (time, insertion
+    sequence) dequeue contract, so a simulation's behavior — including
+    traces — is byte-identical across backends. *)
+type scheduler = [ `Heap | `Wheel ]
+
+(** [create ?trace ?scheduler ()] makes a scheduler at virtual time 0,
+    attached to [trace] (default: the process-wide {!Trace.default} bus),
+    using the given queue backend (default: the domain's ambient
+    {!default_scheduler}). Emits a [sim/created] event so observers can
+    reset per-run state. *)
+val create : ?trace:Trace.t -> ?scheduler:scheduler -> unit -> t
+
+(** [set_default_scheduler s] sets the calling domain's ambient backend,
+    used by {!create} when [?scheduler] is omitted (initially [`Wheel]).
+    [Exp.Runner] re-installs the coordinator's choice on each worker
+    domain, so setting it once before a run covers [-j N] too. *)
+val set_default_scheduler : scheduler -> unit
+
+val default_scheduler : unit -> scheduler
+
+(** [scheduler_of_string s] parses ["heap"] / ["wheel"];
+    [scheduler_name] is its inverse. *)
+val scheduler_of_string : string -> scheduler option
+
+val scheduler_name : scheduler -> string
 
 (** [now t] is the current virtual time in seconds. *)
 val now : t -> float
@@ -32,10 +55,12 @@ val fresh_id : t -> int
 val ids_allocated : t -> int
 
 (** [at t time f] schedules [f] to run at absolute virtual [time]. [time]
-    must not be earlier than [now t]. *)
+    must be finite (NaN and infinities raise [Invalid_argument]) and not
+    earlier than [now t]. *)
 val at : t -> float -> (unit -> unit) -> handle
 
-(** [after t delay f] schedules [f] to run [delay] seconds from now. *)
+(** [after t delay f] schedules [f] to run [delay] seconds from now.
+    [delay] must be finite and non-negative. *)
 val after : t -> float -> (unit -> unit) -> handle
 
 (** [cancel h] prevents the event from firing. Idempotent. *)

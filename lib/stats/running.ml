@@ -5,34 +5,58 @@ type t = {
   mutable min_v : float;
   mutable max_v : float;
   mutable total : float;
+  mutable nans : int; (* NaN samples, counted but excluded from the moments *)
 }
 
 let create () =
-  { n = 0; mean = 0.; m2 = 0.; min_v = infinity; max_v = neg_infinity; total = 0. }
+  {
+    n = 0;
+    mean = 0.;
+    m2 = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+    total = 0.;
+    nans = 0;
+  }
 
 let add t x =
-  t.n <- t.n + 1;
-  let delta = x -. t.mean in
-  t.mean <- t.mean +. (delta /. float_of_int t.n);
-  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
-  if x < t.min_v then t.min_v <- x;
-  if x > t.max_v then t.max_v <- x;
-  t.total <- t.total +. x
+  (* A NaN sample used to poison mean/total while min/max silently ignored
+     it (both comparisons are false), leaving the accumulator internally
+     inconsistent. Count NaNs on the side instead, so the moments stay
+     meaningful and the caller can still detect that bad samples arrived. *)
+  if Float.is_nan x then t.nans <- t.nans + 1
+  else begin
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min_v then t.min_v <- x;
+    if x > t.max_v then t.max_v <- x;
+    t.total <- t.total +. x
+  end
 
 let count t = t.n
+let nans t = t.nans
 let mean t = if t.n = 0 then 0. else t.mean
 let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
 let population_variance t = if t.n = 0 then 0. else t.m2 /. float_of_int t.n
 let stddev t = sqrt (variance t)
 let population_stddev t = sqrt (population_variance t)
-let cov t = if mean t = 0. then 0. else population_stddev t /. mean t
+
+let cov t =
+  (* A denormal mean is numerically zero for this purpose: dividing by it
+     manufactures a huge, meaningless ratio (and an exact [= 0.] test lets
+     such means through). *)
+  let m = mean t in
+  if Float.abs m < Float.min_float then 0. else population_stddev t /. m
+
 let min_value t = t.min_v
 let max_value t = t.max_v
 let total t = t.total
 
 let merge a b =
-  if a.n = 0 then { b with n = b.n }
-  else if b.n = 0 then { a with n = a.n }
+  if a.n = 0 then { b with nans = a.nans + b.nans }
+  else if b.n = 0 then { a with nans = a.nans + b.nans }
   else begin
     let n = a.n + b.n in
     let delta = b.mean -. a.mean in
@@ -48,6 +72,7 @@ let merge a b =
       min_v = Float.min a.min_v b.min_v;
       max_v = Float.max a.max_v b.max_v;
       total = a.total +. b.total;
+      nans = a.nans + b.nans;
     }
   end
 

@@ -1,12 +1,19 @@
 (** Streaming univariate statistics (Welford's algorithm).
 
-    Constant-space accumulation of count, mean, variance, min and max. *)
+    Constant-space accumulation of count, mean, variance, min and max.
+    NaN samples are counted separately (see {!nans}) and excluded from
+    every moment, so one bad sample cannot poison the accumulator. *)
 
 type t
 
 val create : unit -> t
 val add : t -> float -> unit
+
+(** [count t] is the number of non-NaN samples. *)
 val count : t -> int
+
+(** [nans t] is the number of NaN samples seen (and excluded). *)
+val nans : t -> int
 
 (** [mean t] is 0. when empty. *)
 val mean : t -> float
@@ -22,7 +29,8 @@ val stddev : t -> float
 val population_stddev : t -> float
 
 (** [cov t] is the coefficient of variation, [population_stddev /. mean];
-    0. when the mean is 0. *)
+    0. when the mean's magnitude is below [Float.min_float] (zero or
+    denormal — a ratio against such a mean is numeric noise). *)
 val cov : t -> float
 
 val min_value : t -> float (* +infinity when empty *)

@@ -1,0 +1,132 @@
+(* Struct-of-arrays Welford accumulators.
+
+   One boxed Running.t per flow is fine at 10 flows and hostile at a
+   million: each record is a separate heap object the GC must trace and
+   the cache must chase. Here every field lives in its own Bigarray, so
+   slot [i]'s accumulator is six float loads from flat unboxed storage and
+   the whole store is invisible to the GC (Bigarray data is off-heap).
+   The arithmetic is kept textually in step with Running.add/merge so the
+   two stay bit-for-bit interchangeable (the equivalence is property
+   tested). *)
+
+open Bigarray
+
+type f64 = (float, float64_elt, c_layout) Array1.t
+type i64 = (int64, int64_elt, c_layout) Array1.t
+
+type t = {
+  len : int;
+  n : i64;
+  nans : i64;
+  mean : f64;
+  m2 : f64;
+  min_v : f64;
+  max_v : f64;
+  total : f64;
+}
+
+let reset_slot t i =
+  Array1.set t.n i 0L;
+  Array1.set t.nans i 0L;
+  Array1.set t.mean i 0.;
+  Array1.set t.m2 i 0.;
+  Array1.set t.min_v i infinity;
+  Array1.set t.max_v i neg_infinity;
+  Array1.set t.total i 0.
+
+let create len =
+  if len < 0 then invalid_arg "Stats.Soa.create: negative length";
+  let t =
+    {
+      len;
+      n = Array1.create Int64 c_layout len;
+      nans = Array1.create Int64 c_layout len;
+      mean = Array1.create Float64 c_layout len;
+      m2 = Array1.create Float64 c_layout len;
+      min_v = Array1.create Float64 c_layout len;
+      max_v = Array1.create Float64 c_layout len;
+      total = Array1.create Float64 c_layout len;
+    }
+  in
+  for i = 0 to len - 1 do
+    reset_slot t i
+  done;
+  t
+
+let length t = t.len
+
+let add t i x =
+  if Float.is_nan x then
+    Array1.set t.nans i (Int64.add (Array1.get t.nans i) 1L)
+  else begin
+    let n = Int64.add (Array1.get t.n i) 1L in
+    Array1.set t.n i n;
+    let mean = Array1.get t.mean i in
+    let delta = x -. mean in
+    let mean = mean +. (delta /. Int64.to_float n) in
+    Array1.set t.mean i mean;
+    Array1.set t.m2 i (Array1.get t.m2 i +. (delta *. (x -. mean)));
+    if x < Array1.get t.min_v i then Array1.set t.min_v i x;
+    if x > Array1.get t.max_v i then Array1.set t.max_v i x;
+    Array1.set t.total i (Array1.get t.total i +. x)
+  end
+
+let count t i = Int64.to_int (Array1.get t.n i)
+let nans t i = Int64.to_int (Array1.get t.nans i)
+let mean t i = if count t i = 0 then 0. else Array1.get t.mean i
+
+let variance t i =
+  let n = count t i in
+  if n < 2 then 0. else Array1.get t.m2 i /. float_of_int (n - 1)
+
+let population_variance t i =
+  let n = count t i in
+  if n = 0 then 0. else Array1.get t.m2 i /. float_of_int n
+
+let stddev t i = sqrt (variance t i)
+let population_stddev t i = sqrt (population_variance t i)
+
+let cov t i =
+  let m = mean t i in
+  if Float.abs m < Float.min_float then 0. else population_stddev t i /. m
+
+let min_value t i = Array1.get t.min_v i
+let max_value t i = Array1.get t.max_v i
+let total t i = Array1.get t.total i
+
+(* Chan et al. pairwise merge, same formula as Running.merge. *)
+let merge_into ~src i ~dst j =
+  let na = count dst j and nb = count src i in
+  Array1.set dst.nans j
+    (Int64.add (Array1.get dst.nans j) (Array1.get src.nans i));
+  if nb = 0 then ()
+  else if na = 0 then begin
+    Array1.set dst.n j (Array1.get src.n i);
+    Array1.set dst.mean j (Array1.get src.mean i);
+    Array1.set dst.m2 j (Array1.get src.m2 i);
+    Array1.set dst.min_v j (Array1.get src.min_v i);
+    Array1.set dst.max_v j (Array1.get src.max_v i);
+    Array1.set dst.total j (Array1.get src.total i)
+  end
+  else begin
+    let n = na + nb in
+    let delta = Array1.get src.mean i -. Array1.get dst.mean j in
+    let mean =
+      Array1.get dst.mean j
+      +. (delta *. float_of_int nb /. float_of_int n)
+    in
+    let m2 =
+      Array1.get dst.m2 j +. Array1.get src.m2 i
+      +. (delta *. delta *. float_of_int na *. float_of_int nb
+         /. float_of_int n)
+    in
+    Array1.set dst.n j (Int64.of_int n);
+    Array1.set dst.mean j mean;
+    Array1.set dst.m2 j m2;
+    Array1.set dst.min_v j
+      (Float.min (Array1.get dst.min_v j) (Array1.get src.min_v i));
+    Array1.set dst.max_v j
+      (Float.max (Array1.get dst.max_v j) (Array1.get src.max_v i));
+    Array1.set dst.total j
+      (Array1.get dst.total j +. Array1.get src.total i)
+  end

@@ -1,0 +1,45 @@
+(** Struct-of-arrays store of {!Running}-style Welford accumulators.
+
+    A fixed-length bank of per-slot streaming statistics (one slot per
+    flow, say) backed by flat Bigarrays: each field is a contiguous
+    unboxed array, so a million accumulators cost seven cache-friendly
+    vectors instead of a million GC-traced records. Slot arithmetic is
+    identical to {!Running} — same Welford update, same NaN-exclusion
+    rule, same denormal-mean [cov] guard — so the two are
+    interchangeable sample-for-sample. *)
+
+type t
+
+(** [create len] makes [len] empty accumulators (slots [0 .. len-1]).
+    Raises [Invalid_argument] on negative [len]. *)
+val create : int -> t
+
+val length : t -> int
+
+(** [add t i x] folds sample [x] into slot [i]. NaN samples are counted
+    in {!nans} and excluded from all moments. *)
+val add : t -> int -> float -> unit
+
+val count : t -> int -> int
+val nans : t -> int -> int
+val mean : t -> int -> float
+val variance : t -> int -> float
+val population_variance : t -> int -> float
+val stddev : t -> int -> float
+val population_stddev : t -> int -> float
+
+(** See {!Running.cov}: 0. when the slot mean's magnitude is below
+    [Float.min_float]. *)
+val cov : t -> int -> float
+
+val min_value : t -> int -> float (* +infinity when empty *)
+val max_value : t -> int -> float (* -infinity when empty *)
+val total : t -> int -> float
+
+(** [merge_into ~src i ~dst j] folds slot [i] of [src] into slot [j] of
+    [dst], as if [dst.(j)] had also seen [src.(i)]'s samples (same
+    pairwise formula as {!Running.merge}). *)
+val merge_into : src:t -> int -> dst:t -> int -> unit
+
+(** [reset_slot t i] returns slot [i] to the empty state. *)
+val reset_slot : t -> int -> unit

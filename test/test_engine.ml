@@ -226,6 +226,112 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare times)
 
+(* --- Timing_wheel ------------------------------------------------------ *)
+
+let test_wheel_ordering () =
+  let q = Engine.Timing_wheel.create () in
+  List.iter
+    (fun t -> Engine.Timing_wheel.push q ~time:t t)
+    [ 5.; 1.; 3.; 2.; 4.; 0.5 ];
+  let rec drain acc =
+    match Engine.Timing_wheel.pop q with
+    | None -> List.rev acc
+    | Some (t, _) -> drain (t :: acc)
+  in
+  check
+    Alcotest.(list (float 1e-9))
+    "pops in time order"
+    [ 0.5; 1.; 2.; 3.; 4.; 5. ]
+    (drain [])
+
+let test_wheel_fifo_ties () =
+  let q = Engine.Timing_wheel.create () in
+  List.iter (fun v -> Engine.Timing_wheel.push q ~time:1. v) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Engine.Timing_wheel.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  check Alcotest.(list int) "ties pop in insertion order" [ 1; 2; 3; 4; 5 ]
+    (drain [])
+
+let test_wheel_far_future_overflow () =
+  (* A tiny wheel whose total window is granularity*slots^levels = 0.016 s:
+     far-future pushes must overflow and still come back in order. *)
+  let q = Engine.Timing_wheel.create ~granularity:1e-3 ~slots:4 ~levels:2 () in
+  List.iter
+    (fun t -> Engine.Timing_wheel.push q ~time:t t)
+    [ 100.; 0.001; 7.; 0.01; 1e6; 0.5 ];
+  let rec drain acc =
+    match Engine.Timing_wheel.pop q with
+    | None -> List.rev acc
+    | Some (t, _) -> drain (t :: acc)
+  in
+  check
+    Alcotest.(list (float 1e-9))
+    "overflow drains in order"
+    [ 0.001; 0.01; 0.5; 7.; 100.; 1e6 ]
+    (drain [])
+
+let test_wheel_rejects_bad_times () =
+  let q = Engine.Timing_wheel.create () in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        "non-finite/negative push raises" true
+        (match Engine.Timing_wheel.push q ~time:t 0 with
+        | () -> false
+        | exception Invalid_argument _ -> true))
+    [ Float.nan; infinity; neg_infinity; -1. ]
+
+let test_wheel_prune () =
+  let q = Engine.Timing_wheel.create ~granularity:1e-3 ~slots:4 ~levels:2 () in
+  for i = 1 to 20 do
+    Engine.Timing_wheel.push q ~time:(float_of_int i *. 0.4) i
+  done;
+  Engine.Timing_wheel.prune q ~keep:(fun v -> v mod 2 = 0);
+  check Alcotest.int "half survive" 10 (Engine.Timing_wheel.size q);
+  let rec drain acc =
+    match Engine.Timing_wheel.pop q with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  check Alcotest.(list int) "survivors in order"
+    [ 2; 4; 6; 8; 10; 12; 14; 16; 18; 20 ]
+    (drain [])
+
+let[@inline never] wheel_push_weak q w =
+  let v = Bytes.make 64 'x' in
+  Weak.set w 0 (Some v);
+  Engine.Timing_wheel.push q ~time:1. v
+
+let test_wheel_pop_releases () =
+  let q = Engine.Timing_wheel.create () in
+  let w = Weak.create 1 in
+  wheel_push_weak q w;
+  ignore (Engine.Timing_wheel.pop q);
+  check Alcotest.bool "popped value collectable" true (collected w)
+
+let test_wheel_clear_releases () =
+  let q = Engine.Timing_wheel.create () in
+  let w = Weak.create 1 in
+  wheel_push_weak q w;
+  Engine.Timing_wheel.clear q;
+  check Alcotest.bool "cleared value collectable" true (collected w)
+
+let prop_wheel_sorts =
+  QCheck.Test.make ~name:"timing wheel sorts any input" ~count:200
+    QCheck.(list (float_range 0. 1e6))
+    (fun times ->
+      let q = Engine.Timing_wheel.create () in
+      List.iter (fun t -> Engine.Timing_wheel.push q ~time:t t) times;
+      let rec drain acc =
+        match Engine.Timing_wheel.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      drain [] = List.sort compare times)
+
 (* --- Sim --------------------------------------------------------------- *)
 
 let test_sim_runs_in_order () =
@@ -272,6 +378,28 @@ let test_sim_past_raises () =
   Alcotest.check_raises "scheduling in the past"
     (Invalid_argument "Sim.at: time 1 is in the past (now 6)") (fun () ->
       ignore (Engine.Sim.at sim 1. ignore))
+
+let test_sim_rejects_non_finite () =
+  (* Regression: NaN slipped past the past-guard ([nan < clock] is false)
+     and then wandered the queue unorderably; +inf pinned [run] forever. *)
+  let sim = Engine.Sim.create () in
+  Alcotest.check_raises "at nan" (Invalid_argument "Sim.at: non-finite time nan")
+    (fun () -> ignore (Engine.Sim.at sim Float.nan ignore));
+  Alcotest.check_raises "at +inf"
+    (Invalid_argument "Sim.at: non-finite time inf") (fun () ->
+      ignore (Engine.Sim.at sim infinity ignore));
+  Alcotest.check_raises "after nan"
+    (Invalid_argument "Sim.after: non-finite delay nan") (fun () ->
+      ignore (Engine.Sim.after sim Float.nan ignore));
+  Alcotest.check_raises "after +inf"
+    (Invalid_argument "Sim.after: non-finite delay inf") (fun () ->
+      ignore (Engine.Sim.after sim infinity ignore));
+  check Alcotest.int "nothing was scheduled" 0 (Engine.Sim.pending_events sim);
+  (* The sim must still run normally afterwards. *)
+  let fired = ref false in
+  ignore (Engine.Sim.at sim 1. (fun () -> fired := true));
+  Engine.Sim.run sim ~until:2.;
+  check Alcotest.bool "still usable" true !fired
 
 let test_sim_stop () =
   let sim = Engine.Sim.create () in
@@ -367,6 +495,21 @@ let () =
           Alcotest.test_case "compact" `Quick test_heap_compact;
           qtest prop_heap_sorts;
         ] );
+      ( "timing_wheel",
+        [
+          Alcotest.test_case "ordering" `Quick test_wheel_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_wheel_fifo_ties;
+          Alcotest.test_case "far-future overflow" `Quick
+            test_wheel_far_future_overflow;
+          Alcotest.test_case "rejects bad times" `Quick
+            test_wheel_rejects_bad_times;
+          Alcotest.test_case "prune" `Quick test_wheel_prune;
+          Alcotest.test_case "pop releases reference" `Quick
+            test_wheel_pop_releases;
+          Alcotest.test_case "clear releases references" `Quick
+            test_wheel_clear_releases;
+          qtest prop_wheel_sorts;
+        ] );
       ( "sim",
         [
           Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
@@ -374,6 +517,8 @@ let () =
           Alcotest.test_case "cancel" `Quick test_sim_cancel;
           Alcotest.test_case "after relative" `Quick test_sim_after_relative;
           Alcotest.test_case "past raises" `Quick test_sim_past_raises;
+          Alcotest.test_case "rejects non-finite times" `Quick
+            test_sim_rejects_non_finite;
           Alcotest.test_case "stop" `Quick test_sim_stop;
           Alcotest.test_case "cascading events" `Quick test_sim_cascading_events;
           Alcotest.test_case "is_pending" `Quick test_sim_is_pending;

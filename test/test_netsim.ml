@@ -45,6 +45,38 @@ let test_packet_is_data () =
   in
   Alcotest.(check bool) "feedback is not data" false (Netsim.Packet.is_data fb)
 
+(* The freelist pool must recycle records (that's its whole point) while
+   keeping packet identity fresh: a reused record gets a new id from the
+   sim allocator and fully reinitialized fields. *)
+let test_packet_pool_recycles () =
+  let sim = Engine.Sim.create () in
+  let pool = Netsim.Packet.Pool.create () in
+  let p1 =
+    Netsim.Packet.Pool.alloc pool sim ~ecn:true ~flow:1 ~seq:10 ~size:1000
+      ~now:1. Netsim.Packet.Data
+  in
+  let id1 = p1.Netsim.Packet.id in
+  p1.Netsim.Packet.ecn_marked <- true;
+  p1.Netsim.Packet.corrupted <- true;
+  Alcotest.(check int) "one outstanding" 1
+    (Netsim.Packet.Pool.outstanding pool);
+  Netsim.Packet.Pool.release pool p1;
+  Alcotest.(check int) "none outstanding" 0
+    (Netsim.Packet.Pool.outstanding pool);
+  Alcotest.(check int) "one idle" 1 (Netsim.Packet.Pool.idle pool);
+  let p2 =
+    Netsim.Packet.Pool.alloc pool sim ~flow:2 ~seq:20 ~size:500 ~now:2.
+      Netsim.Packet.Data
+  in
+  Alcotest.(check bool) "record reused" true (p1 == p2);
+  Alcotest.(check bool) "fresh id on reuse" true (p2.Netsim.Packet.id <> id1);
+  Alcotest.(check int) "flow rewritten" 2 p2.Netsim.Packet.flow;
+  Alcotest.(check int) "seq rewritten" 20 p2.Netsim.Packet.seq;
+  Alcotest.(check int) "size rewritten" 500 p2.Netsim.Packet.size;
+  Alcotest.(check bool) "ecn reset" false p2.Netsim.Packet.ecn_capable;
+  Alcotest.(check bool) "mark reset" false p2.Netsim.Packet.ecn_marked;
+  Alcotest.(check bool) "corruption reset" false p2.Netsim.Packet.corrupted
+
 (* Packet ids are a pure function of the owning simulation's allocation
    order, never of process-global state: two sims in one process each get
    the sequence 1, 2, 3, ... regardless of how their allocations
@@ -512,6 +544,8 @@ let () =
           Alcotest.test_case "per-sim id sequences" `Quick
             test_packet_ids_per_sim;
           qtest prop_packet_ids_independent;
+          Alcotest.test_case "pool recycles records" `Quick
+            test_packet_pool_recycles;
           Alcotest.test_case "is_data" `Quick test_packet_is_data;
           Alcotest.test_case "pp" `Quick test_packet_pp;
         ] );

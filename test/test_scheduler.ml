@@ -1,0 +1,201 @@
+(* Heap-vs-wheel scheduler equivalence.
+
+   The timing wheel is only admissible as the default backend because it is
+   observationally identical to the binary heap: same (time, insertion-seq)
+   pop order, hence byte-identical simulations and traces. These tests
+   drive both backends with the same randomized programs — at the raw
+   queue level and through full [Sim] runs with cancel/sweep churn and
+   far-future timers — and require exact agreement. *)
+
+let check = Alcotest.check
+let qtest t = QCheck_alcotest.to_alcotest t
+
+(* --- Queue level ------------------------------------------------------- *)
+
+(* A program is a list of instructions over time values; interleaved pops
+   exercise the wheel mid-advance, not just after all pushes. *)
+type instr = Push of float | Pop | Prune_mod of int
+
+let run_heap prog =
+  let q = Engine.Event_queue.create () in
+  let tag = ref 0 in
+  let out = ref [] in
+  List.iter
+    (fun i ->
+      match i with
+      | Push t ->
+          incr tag;
+          Engine.Event_queue.push q ~time:t !tag
+      | Pop -> out := Engine.Event_queue.pop q :: !out
+      | Prune_mod k -> Engine.Event_queue.prune q ~keep:(fun v -> v mod k <> 0))
+    prog;
+  let rec drain () =
+    match Engine.Event_queue.pop q with
+    | None -> ()
+    | Some _ as r ->
+        out := r :: !out;
+        drain ()
+  in
+  drain ();
+  List.rev !out
+
+let run_wheel ~granularity ~slots ~levels prog =
+  let q = Engine.Timing_wheel.create ~granularity ~slots ~levels () in
+  let tag = ref 0 in
+  let out = ref [] in
+  List.iter
+    (fun i ->
+      match i with
+      | Push t ->
+          incr tag;
+          Engine.Timing_wheel.push q ~time:t !tag
+      | Pop -> out := Engine.Timing_wheel.pop q :: !out
+      | Prune_mod k ->
+          Engine.Timing_wheel.prune q ~keep:(fun v -> v mod k <> 0))
+    prog;
+  let rec drain () =
+    match Engine.Timing_wheel.pop q with
+    | None -> ()
+    | Some _ as r ->
+        out := r :: !out;
+        drain ()
+  in
+  drain ();
+  List.rev !out
+
+(* Pops may interleave with pushes, but a popped time never exceeds a
+   later-pushed one within the heap's semantics — both backends see the
+   same prefix at every step, so simple sequence equality is the oracle. *)
+let instr_gen =
+  let open QCheck.Gen in
+  let time =
+    (* Mixed scales: sub-granularity clusters, in-window spread, and
+       far-future overflow territory. *)
+    oneof
+      [
+        float_bound_inclusive 0.001;
+        float_bound_inclusive 10.;
+        float_bound_inclusive 1e5;
+        map (fun t -> 1e7 +. t) (float_bound_inclusive 1e7);
+      ]
+  in
+  let instr =
+    frequency
+      [
+        (6, map (fun t -> Push t) time);
+        (3, return Pop);
+        (1, map (fun k -> Prune_mod (2 + k)) (int_bound 3));
+      ]
+  in
+  list_size (int_range 0 200) instr
+
+let instr_print prog =
+  String.concat ";"
+    (List.map
+       (function
+         | Push t -> Printf.sprintf "push %g" t
+         | Pop -> "pop"
+         | Prune_mod k -> Printf.sprintf "prune%%%d" k)
+       prog)
+
+let prop_queue_equivalence =
+  QCheck.Test.make ~name:"heap and wheel pop identically" ~count:300
+    (QCheck.make ~print:instr_print instr_gen)
+    (fun prog ->
+      let expect = run_heap prog in
+      List.for_all
+        (fun (granularity, slots, levels) ->
+          run_wheel ~granularity ~slots ~levels prog = expect)
+        [ (1e-4, 256, 4); (1e-3, 4, 2); (0.1, 8, 1); (1e-6, 16, 3) ])
+
+(* --- Sim level --------------------------------------------------------- *)
+
+(* One deterministic pseudo-protocol: periodic per-flow timers that
+   reschedule themselves, cancel and re-arm a watchdog on every fire (the
+   churn that triggers [Sim]'s bulk sweeps), and occasionally plant a
+   far-future timer that the horizon never reaches. Everything observable
+   goes through the trace bus and an execution log. *)
+let sim_program ~seed ~scheduler =
+  let bus = Engine.Trace.create () in
+  let sink, captured = Engine.Trace.memory_sink () in
+  Engine.Trace.add_sink bus sink;
+  let sim = Engine.Sim.create ~trace:bus ~scheduler () in
+  let rng = Engine.Rng.create ~seed in
+  let log = Buffer.create 4096 in
+  let nflows = 40 in
+  let watchdog = Array.make nflows Engine.Sim.null_handle in
+  let rec fire i () =
+    Buffer.add_string log
+      (Printf.sprintf "%d@%.9f;" i (Engine.Sim.now sim));
+    Engine.Trace.emit bus ~time:(Engine.Sim.now sim) ~cat:"test" ~name:"fire"
+      [ ("flow", Engine.Trace.Int i) ];
+    Engine.Sim.cancel watchdog.(i);
+    watchdog.(i) <- Engine.Sim.after sim 1.5 ignore;
+    if Engine.Rng.bool rng ~p:0.05 then
+      (* Far-future timer: lands in overflow territory for the wheel. *)
+      ignore (Engine.Sim.after sim (1e6 +. Engine.Rng.float rng 1e6) ignore);
+    ignore (Engine.Sim.after sim (0.01 +. Engine.Rng.float rng 0.3) (fire i))
+  in
+  for i = 0 to nflows - 1 do
+    ignore (Engine.Sim.at sim (Engine.Rng.float rng 0.5) (fire i))
+  done;
+  Engine.Sim.run sim ~until:20.;
+  Engine.Trace.remove_sink bus sink;
+  let digest =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\n" (List.map Engine.Trace.to_json (captured ()))))
+  in
+  (Buffer.contents log, digest, Engine.Sim.pending_events sim)
+
+let test_sim_equivalence () =
+  List.iter
+    (fun seed ->
+      let log_h, digest_h, pending_h = sim_program ~seed ~scheduler:`Heap in
+      let log_w, digest_w, pending_w = sim_program ~seed ~scheduler:`Wheel in
+      check Alcotest.string
+        (Printf.sprintf "execution log (seed %d)" seed)
+        log_h log_w;
+      check Alcotest.string
+        (Printf.sprintf "trace digest (seed %d)" seed)
+        digest_h digest_w;
+      check Alcotest.int
+        (Printf.sprintf "pending after run (seed %d)" seed)
+        pending_h pending_w)
+    [ 1; 42; 1337 ]
+
+(* Same program under an explicit sweep-heavy regime: cancel far more than
+   fires, so both backends cross the sweep threshold repeatedly. *)
+let test_sim_sweep_equivalence () =
+  let run scheduler =
+    let sim = Engine.Sim.create ~scheduler () in
+    let log = Buffer.create 1024 in
+    let rec churn n () =
+      Buffer.add_string log (Printf.sprintf "%d@%.9f;" n (Engine.Sim.now sim));
+      if n < 400 then begin
+        (* Arm a cohort of decoys and cancel them all immediately. *)
+        let decoys =
+          List.init 16 (fun k ->
+              Engine.Sim.after sim (0.5 +. (float_of_int k *. 0.01)) ignore)
+        in
+        List.iter Engine.Sim.cancel decoys;
+        ignore (Engine.Sim.after sim 0.001 (churn (n + 1)))
+      end
+    in
+    ignore (Engine.Sim.at sim 0. (churn 0));
+    Engine.Sim.run sim ~until:10.;
+    Buffer.contents log
+  in
+  check Alcotest.string "sweep-heavy logs match" (run `Heap) (run `Wheel)
+
+let () =
+  Alcotest.run "scheduler"
+    [
+      ("queue", [ qtest prop_queue_equivalence ]);
+      ( "sim",
+        [
+          Alcotest.test_case "trace equivalence" `Quick test_sim_equivalence;
+          Alcotest.test_case "sweep-heavy equivalence" `Quick
+            test_sim_sweep_equivalence;
+        ] );
+    ]
