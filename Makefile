@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-many-flows lint clean
+.PHONY: all check test bench bench-many-flows ratchet wire-smoke lint clean
 
 all:
 	dune build @all
@@ -24,6 +24,18 @@ bench:
 bench-many-flows:
 	dune exec bench/main.exe -- --many-flows >> BENCH_many_flows.json
 	tail -n 1 BENCH_many_flows.json
+
+# Perf ratchet (CI): rerun the scale bench at the smoke scale and fail on
+# a >30% wheel-throughput regression against the last committed
+# BENCH_many_flows.json entry at that scale.
+ratchet:
+	bash tools/bench_ratchet.sh
+
+# Real-UDP smoke: deterministic seeded loopback transfer plus the
+# sim-vs-wire decision-log differential.
+wire-smoke:
+	dune exec bin/tfrc_sim.exe -- wire loopback-demo --packets 100 --seed 7
+	dune exec bin/tfrc_sim.exe -- wire validate --duration 10
 
 clean:
 	dune clean

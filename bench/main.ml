@@ -66,7 +66,7 @@ let micro () =
            for i = 0 to 199 do
              now := float_of_int i *. 1e-3;
              let pkt =
-               Netsim.Packet.make sim ~flow:1 ~seq:i ~size:1000 ~now:!now
+               Netsim.Packet.make (Engine.Sim.runtime sim) ~flow:1 ~seq:i ~size:1000 ~now:!now
                  Netsim.Packet.Data
              in
              ignore (q.Netsim.Queue_disc.enqueue pkt);
@@ -274,7 +274,7 @@ let many_flows_run ~scheduler ~flows ~wall =
     incr events;
     let now = Engine.Sim.now sim in
     let p =
-      Netsim.Packet.Pool.alloc pool sim ~flow:i ~seq:!events ~size:1000 ~now
+      Netsim.Packet.Pool.alloc pool (Engine.Sim.runtime sim) ~flow:i ~seq:!events ~size:1000 ~now
         Netsim.Packet.Data
     in
     Stats.Soa.add soa i (float_of_int p.Netsim.Packet.size);

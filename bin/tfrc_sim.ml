@@ -5,6 +5,10 @@
      exp <id> [--full] [--seed n]   regenerate one figure/table
      all [--full] [--seed n]        regenerate everything
      duel [options]            ad-hoc TCP-vs-TFRC dumbbell run
+     wire <sub>                real-time UDP mode: the same TFRC state
+                               machines on a select()-based event loop
+                               (sender / receiver / loopback-demo /
+                               validate)
 
    The grid subcommands (exp/all/chaos) accept supervision flags —
    --retries, --max-events, --max-sim-time, --checkpoint, --resume — that
@@ -627,6 +631,204 @@ let repro_cmd =
           fails the recorded oracles.")
     Term.(const run $ bundle_arg)
 
+(* --- wire: the TFRC state machines over real UDP ------------------------ *)
+
+let wire_cmd =
+  let loss_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Shaper drop probability per frame, each direction.")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt float 0.002
+      & info [ "delay" ] ~docv:"S"
+          ~doc:"Shaper one-way base delay, seconds, each direction.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "jitter" ] ~docv:"S"
+          ~doc:"Shaper extra delay, uniform in [0,$(docv)), each direction.")
+  in
+  let reorder_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "reorder" ] ~docv:"P"
+          ~doc:
+            "Probability a frame skips the base delay and overtakes \
+             in-flight predecessors (netem-style reordering).")
+  in
+  let shaper_of loss delay jitter reorder =
+    { Wire.Shaper.loss; delay; jitter; reorder }
+  in
+  let demo_config () = Tfrc.Tfrc_config.default ~initial_rtt:0.05 () in
+  let pp_sender_stats m =
+    Format.printf
+      "sent %d data packets (%d bytes); %d feedbacks received; allowed rate \
+       %.0f B/s; rtt %.4f s; loss event rate %h@."
+      (Tfrc.Tfrc_sender.packets_sent m)
+      (Tfrc.Tfrc_sender.bytes_sent m)
+      (Tfrc.Tfrc_sender.feedbacks_received m)
+      (Tfrc.Tfrc_sender.rate m) (Tfrc.Tfrc_sender.rtt m)
+      (Tfrc.Tfrc_sender.loss_event_rate m)
+  in
+  let sender_cmd =
+    let port_arg =
+      Arg.(
+        required
+        & opt (some int) None
+        & info [ "port" ] ~docv:"PORT"
+            ~doc:"Receiver's UDP port on 127.0.0.1.")
+    in
+    let duration_arg =
+      Arg.(
+        value & opt float 5.
+        & info [ "duration" ] ~docv:"S" ~doc:"How long to transmit, seconds.")
+    in
+    let run port duration =
+      let loop = Wire.Loop.create () in
+      let udp = Wire.Udp.create loop () in
+      let s =
+        Wire.Endpoint.sender loop udp ~config:(demo_config ()) ~flow:1
+          ~dest:(Wire.Udp.addr ~port) ()
+      in
+      Wire.Endpoint.start_sender s ~at:(Wire.Loop.now loop);
+      Wire.Loop.run loop ~until:duration;
+      Wire.Endpoint.stop_sender s;
+      pp_sender_stats (Wire.Endpoint.sender_machine s);
+      Wire.Udp.close udp
+    in
+    Cmd.v
+      (Cmd.info "sender"
+         ~doc:
+           "Transmit TFRC data to a $(b,tfrc_sim wire receiver) over \
+            loopback UDP for a fixed duration.")
+      Term.(const run $ port_arg $ duration_arg)
+  in
+  let receiver_cmd =
+    let port_arg =
+      Arg.(
+        value & opt int 0
+        & info [ "port" ] ~docv:"PORT"
+            ~doc:"UDP port to bind on 127.0.0.1 (0 = ephemeral, printed).")
+    in
+    let packets_arg =
+      Arg.(
+        value & opt int 200
+        & info [ "packets" ] ~docv:"N"
+            ~doc:"Exit successfully once $(docv) data packets arrived.")
+    in
+    let timeout_arg =
+      Arg.(
+        value & opt float 30.
+        & info [ "timeout" ] ~docv:"S"
+            ~doc:"Give up (non-zero exit) after $(docv) seconds.")
+    in
+    let run port packets timeout =
+      let loop = Wire.Loop.create () in
+      let udp = Wire.Udp.create loop ~port () in
+      Format.printf "listening on 127.0.0.1:%d@." (Wire.Udp.port udp);
+      let r =
+        Wire.Endpoint.receiver loop udp ~config:(demo_config ()) ~flow:1 ()
+      in
+      let m = Wire.Endpoint.receiver_machine r in
+      let rec check () =
+        if Tfrc.Tfrc_receiver.packets_received m >= packets then
+          Wire.Loop.stop loop
+        else ignore (Wire.Loop.after loop 0.005 check)
+      in
+      ignore (Wire.Loop.after loop 0.005 check);
+      Wire.Loop.run loop ~until:timeout;
+      Wire.Endpoint.stop_receiver r;
+      let got = Tfrc.Tfrc_receiver.packets_received m in
+      Format.printf
+        "received %d data packets (%d bytes); sent %d feedbacks; %d decode \
+         errors@."
+        got
+        (Tfrc.Tfrc_receiver.bytes_received m)
+        (Tfrc.Tfrc_receiver.feedbacks_sent m)
+        (Wire.Endpoint.receiver_decode_errors r);
+      Wire.Udp.close udp;
+      exit (if got >= packets then 0 else 1)
+    in
+    Cmd.v
+      (Cmd.info "receiver"
+         ~doc:
+           "Receive TFRC data on loopback UDP; exit 0 once the target \
+            packet count arrived.")
+      Term.(const run $ port_arg $ packets_arg $ timeout_arg)
+  in
+  let demo_cmd =
+    let packets_arg =
+      Arg.(
+        value & opt int 200
+        & info [ "packets" ] ~docv:"N"
+            ~doc:"Data packets the receiver must get for success.")
+    in
+    let timeout_arg =
+      Arg.(
+        value & opt float 30.
+        & info [ "timeout" ] ~docv:"S" ~doc:"Wall-clock budget, seconds.")
+    in
+    let run packets timeout seed loss delay jitter reorder =
+      let shaper = shaper_of loss delay jitter reorder in
+      let r =
+        Wire.Endpoint.loopback_demo ~packets ~seed ~shaper ~timeout ()
+      in
+      Format.printf "%a@." Wire.Endpoint.pp_demo_result r;
+      exit (if r.Wire.Endpoint.completed then 0 else 1)
+    in
+    Cmd.v
+      (Cmd.info "loopback-demo"
+         ~doc:
+           "One-process demo: a TFRC sender and receiver exchange real UDP \
+            datagrams on 127.0.0.1 through a seeded netem-style shaper; \
+            exit 0 when the transfer completes.")
+      Term.(
+        const run $ packets_arg $ timeout_arg $ seed_arg $ loss_arg
+        $ delay_arg $ jitter_arg $ reorder_arg)
+  in
+  let validate_cmd =
+    let duration_arg =
+      Arg.(
+        value & opt float 30.
+        & info [ "duration" ] ~docv:"S"
+            ~doc:"Virtual seconds to drive each side.")
+    in
+    let app_limit_arg =
+      Arg.(
+        value & opt (some float) (Some 1e5)
+        & info [ "app-limit" ] ~docv:"BPS"
+            ~doc:
+              "Application pacing limit, bytes/s, applied to both sides \
+               (bounds lossless slow start; pass a huge value to lift).")
+    in
+    let run duration app_limit seed loss delay jitter reorder =
+      let shaper = shaper_of loss delay jitter reorder in
+      let r = Wire.Validate.run ~shaper ?app_limit ~seed ~duration () in
+      Format.printf "%a@." Wire.Validate.pp_result r;
+      exit (if r.Wire.Validate.equal then 0 else 1)
+    in
+    Cmd.v
+      (Cmd.info "validate"
+         ~doc:
+           "Differential check: run the same TFRC session on the simulator \
+            and on the warp wire loop (with codec framing) and demand \
+            bit-identical sender decision logs. Non-zero exit on any \
+            divergence.")
+      Term.(
+        const run $ duration_arg $ app_limit_arg $ seed_arg $ loss_arg
+        $ delay_arg $ jitter_arg $ reorder_arg)
+  in
+  Cmd.group
+    (Cmd.info "wire"
+       ~doc:
+         "Real-time UDP mode: the simulator's TFRC state machines on a \
+          select()-based event loop.")
+    [ sender_cmd; receiver_cmd; demo_cmd; validate_cmd ]
+
 let () =
   let info =
     Cmd.info "tfrc_sim" ~version:"1.0.0"
@@ -639,5 +841,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; exp_cmd; all_cmd; duel_cmd; chaos_cmd; trace_cmd;
-            fuzz_cmd; repro_cmd;
+            fuzz_cmd; repro_cmd; wire_cmd;
           ]))

@@ -29,14 +29,14 @@ let () =
   let config = Tfrc.Tfrc_config.default () in
   let mon = Netsim.Flowmon.create (fun () -> Engine.Sim.now sim) in
   let receiver =
-    Tfrc.Tfrc_receiver.create sim ~config ~flow:1
+    Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1
       ~transmit:(Netsim.Parking_lot.dst_sender lot ~flow:1)
       ()
   in
   Netsim.Parking_lot.set_dst_recv lot ~flow:1
     (Netsim.Flowmon.wrap mon (Tfrc.Tfrc_receiver.recv receiver));
   let sender =
-    Tfrc.Tfrc_sender.create sim ~config ~flow:1
+    Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1
       ~transmit:(Netsim.Parking_lot.src_sender lot ~flow:1)
       ()
   in

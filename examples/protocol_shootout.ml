@@ -38,13 +38,13 @@ let run contender ~seed =
   | Rap_c ->
       Netsim.Dumbbell.add_flow db ~flow ~rtt_base:0.08;
       let sink =
-        Baselines.Echo_sink.create sim ~flow
+        Baselines.Echo_sink.create (Engine.Sim.runtime sim) ~flow
           ~transmit:(Netsim.Dumbbell.dst_sender db ~flow) ()
       in
       Netsim.Dumbbell.set_dst_recv db ~flow
         (Netsim.Flowmon.wrap mon (Baselines.Echo_sink.recv sink));
       let rap =
-        Baselines.Rap.create sim ~flow
+        Baselines.Rap.create (Engine.Sim.runtime sim) ~flow
           ~transmit:(Netsim.Dumbbell.src_sender db ~flow) ()
       in
       Netsim.Dumbbell.set_src_recv db ~flow (Baselines.Rap.recv rap);
@@ -52,13 +52,13 @@ let run contender ~seed =
   | Tfrcp_c ->
       Netsim.Dumbbell.add_flow db ~flow ~rtt_base:0.08;
       let sink =
-        Baselines.Echo_sink.create sim ~flow
+        Baselines.Echo_sink.create (Engine.Sim.runtime sim) ~flow
           ~transmit:(Netsim.Dumbbell.dst_sender db ~flow) ()
       in
       Netsim.Dumbbell.set_dst_recv db ~flow
         (Netsim.Flowmon.wrap mon (Baselines.Echo_sink.recv sink));
       let tp =
-        Baselines.Tfrcp.create sim ~flow
+        Baselines.Tfrcp.create (Engine.Sim.runtime sim) ~flow
           ~transmit:(Netsim.Dumbbell.src_sender db ~flow) ()
       in
       Netsim.Dumbbell.set_src_recv db ~flow (Baselines.Tfrcp.recv tp);
@@ -66,13 +66,13 @@ let run contender ~seed =
   | Tear_c ->
       Netsim.Dumbbell.add_flow db ~flow ~rtt_base:0.08;
       let recvr =
-        Baselines.Tear.Receiver.create sim ~flow
+        Baselines.Tear.Receiver.create (Engine.Sim.runtime sim) ~flow
           ~transmit:(Netsim.Dumbbell.dst_sender db ~flow) ()
       in
       Netsim.Dumbbell.set_dst_recv db ~flow
         (Netsim.Flowmon.wrap mon (Baselines.Tear.Receiver.recv recvr));
       let snd =
-        Baselines.Tear.Sender.create sim ~flow
+        Baselines.Tear.Sender.create (Engine.Sim.runtime sim) ~flow
           ~transmit:(Netsim.Dumbbell.src_sender db ~flow) ()
       in
       Netsim.Dumbbell.set_src_recv db ~flow (Baselines.Tear.Sender.recv snd);

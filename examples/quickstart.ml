@@ -26,7 +26,7 @@ let () =
   let config = Tfrc.Tfrc_config.default () in
   let monitor = Netsim.Flowmon.create (fun () -> Engine.Sim.now sim) in
   let receiver =
-    Tfrc.Tfrc_receiver.create sim ~config ~flow
+    Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow
       ~transmit:(Netsim.Dumbbell.dst_sender db ~flow)
       ()
   in
@@ -35,7 +35,7 @@ let () =
 
   (* 4. A TFRC sender; feedback packets are routed to it. *)
   let sender =
-    Tfrc.Tfrc_sender.create sim ~config ~flow
+    Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow
       ~transmit:(Netsim.Dumbbell.src_sender db ~flow)
       ()
   in

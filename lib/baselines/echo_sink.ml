@@ -1,5 +1,5 @@
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   ack_size : int;
   flow : int;
   transmit : Netsim.Packet.handler;
@@ -7,8 +7,8 @@ type t = {
   mutable bytes : int;
 }
 
-let create sim ?(ack_size = 40) ~flow ~transmit () =
-  { sim; ack_size; flow; transmit; packets = 0; bytes = 0 }
+let create rt ?(ack_size = 40) ~flow ~transmit () =
+  { rt; ack_size; flow; transmit; packets = 0; bytes = 0 }
 
 let recv t (pkt : Netsim.Packet.t) =
   match pkt.payload with
@@ -16,8 +16,8 @@ let recv t (pkt : Netsim.Packet.t) =
       t.packets <- t.packets + 1;
       t.bytes <- t.bytes + pkt.size;
       let echo =
-        Netsim.Packet.make t.sim ~flow:t.flow ~seq:pkt.seq ~size:t.ack_size
-          ~now:(Engine.Sim.now t.sim)
+        Netsim.Packet.make t.rt ~flow:t.flow ~seq:pkt.seq ~size:t.ack_size
+          ~now:(Engine.Runtime.now t.rt)
           (Netsim.Packet.Tcp_ack
              { ack = pkt.seq + 1; sack = []; ece = pkt.ecn_marked })
       in

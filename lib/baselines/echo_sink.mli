@@ -7,7 +7,7 @@
 type t
 
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   ?ack_size:int ->
   flow:int ->
   transmit:Netsim.Packet.handler ->

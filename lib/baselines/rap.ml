@@ -1,5 +1,5 @@
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   pkt_size : int;
   flow : int;
   transmit : Netsim.Packet.handler;
@@ -15,9 +15,9 @@ type t = {
   mutable last_ack_at : float;
 }
 
-let create sim ?(pkt_size = 1000) ?(initial_rtt = 0.5) ~flow ~transmit () =
+let create rt ?(pkt_size = 1000) ?(initial_rtt = 0.5) ~flow ~transmit () =
   {
-    sim;
+    rt;
     pkt_size;
     flow;
     transmit;
@@ -37,21 +37,21 @@ let s_bytes t = float_of_int t.pkt_size
 
 let rec send_loop t =
   if t.running then begin
-    let now = Engine.Sim.now t.sim in
+    let now = Engine.Runtime.now t.rt in
     let pkt =
-      Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
+      Netsim.Packet.make t.rt ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
         Netsim.Packet.Data
     in
     if t.send_times = None then t.send_times <- Some (t.seq, now);
     t.seq <- t.seq + 1;
     t.transmit pkt;
-    ignore (Engine.Sim.after t.sim (s_bytes t /. t.rate) (fun () -> send_loop t))
+    ignore (Engine.Runtime.after t.rt (s_bytes t /. t.rate) (fun () -> send_loop t))
   end
 
 (* Additive increase: one packet per RTT, applied once per RTT. *)
 let rec increase_loop t =
   if t.running then begin
-    let now = Engine.Sim.now t.sim in
+    let now = Engine.Runtime.now t.rt in
     (* Silence detection: no acks for several RTTs means heavy loss. *)
     if now -. t.last_ack_at > 4. *. t.srtt && t.have_rtt then begin
       t.rate <- Float.max (s_bytes t /. 4.) (t.rate /. 2.);
@@ -59,11 +59,11 @@ let rec increase_loop t =
       t.last_decrease <- now
     end
     else t.rate <- t.rate +. (s_bytes t /. t.srtt);
-    ignore (Engine.Sim.after t.sim t.srtt (fun () -> increase_loop t))
+    ignore (Engine.Runtime.after t.rt t.srtt (fun () -> increase_loop t))
   end
 
 let decrease t =
-  let now = Engine.Sim.now t.sim in
+  let now = Engine.Runtime.now t.rt in
   (* At most one multiplicative decrease per RTT: losses within a round
      trip are one congestion signal. *)
   if now -. t.last_decrease > t.srtt then begin
@@ -78,7 +78,7 @@ let recv t (pkt : Netsim.Packet.t) =
   match pkt.payload with
   | Tcp_ack { ack; _ } ->
       if t.running then begin
-        let now = Engine.Sim.now t.sim in
+        let now = Engine.Runtime.now t.rt in
         t.last_ack_at <- now;
         let echoed = ack - 1 in
         (match t.send_times with
@@ -101,9 +101,9 @@ let recv t = recv t
 
 let start t ~at =
   ignore
-    (Engine.Sim.at t.sim at (fun () ->
+    (Engine.Runtime.at t.rt at (fun () ->
          t.running <- true;
-         t.last_ack_at <- Engine.Sim.now t.sim;
+         t.last_ack_at <- Engine.Runtime.now t.rt;
          send_loop t;
          increase_loop t))
 

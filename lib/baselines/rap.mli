@@ -14,7 +14,7 @@
 type t
 
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   ?pkt_size:int ->
   ?initial_rtt:float ->
   flow:int ->

@@ -1,6 +1,6 @@
 module Sender = struct
   type t = {
-    sim : Engine.Sim.t;
+    rt : Engine.Runtime.t;
     pkt_size : int;
     flow : int;
     transmit : Netsim.Packet.handler;
@@ -10,9 +10,9 @@ module Sender = struct
     mutable seq : int;
   }
 
-  let create sim ?(pkt_size = 1000) ?(initial_rtt = 0.5) ~flow ~transmit () =
+  let create rt ?(pkt_size = 1000) ?(initial_rtt = 0.5) ~flow ~transmit () =
     {
-      sim;
+      rt;
       pkt_size;
       flow;
       transmit;
@@ -25,14 +25,14 @@ module Sender = struct
   let rec send_loop t =
     if t.running then begin
       let pkt =
-        Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
-          ~now:(Engine.Sim.now t.sim)
+        Netsim.Packet.make t.rt ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
+          ~now:(Engine.Runtime.now t.rt)
           (Netsim.Packet.Tfrc_data { rtt = t.rtt })
       in
       t.seq <- t.seq + 1;
       t.transmit pkt;
       ignore
-        (Engine.Sim.after t.sim
+        (Engine.Runtime.after t.rt
            (float_of_int t.pkt_size /. t.rate)
            (fun () -> send_loop t))
     end
@@ -42,7 +42,7 @@ module Sender = struct
     match pkt.payload with
     | Tfrc_feedback { recv_rate; ts_echo; ts_delay; _ } ->
         if t.running then begin
-          let sample = Engine.Sim.now t.sim -. ts_echo -. ts_delay in
+          let sample = Engine.Runtime.now t.rt -. ts_echo -. ts_delay in
           if sample > 0. then t.rtt <- (0.9 *. t.rtt) +. (0.1 *. sample);
           if recv_rate > 0. then
             t.rate <- Float.max (float_of_int t.pkt_size /. 8.) recv_rate
@@ -53,7 +53,7 @@ module Sender = struct
 
   let start t ~at =
     ignore
-      (Engine.Sim.at t.sim at (fun () ->
+      (Engine.Runtime.at t.rt at (fun () ->
            t.running <- true;
            send_loop t))
 
@@ -64,7 +64,7 @@ end
 
 module Receiver = struct
   type t = {
-    sim : Engine.Sim.t;
+    rt : Engine.Runtime.t;
     pkt_size : int;
     ewma : float;
     flow : int;
@@ -84,11 +84,11 @@ module Receiver = struct
     mutable running : bool;
   }
 
-  let rec create sim ?(pkt_size = 1000) ?(ewma = 0.1) ?(initial_rtt = 0.5)
+  let rec create rt ?(pkt_size = 1000) ?(ewma = 0.1) ?(initial_rtt = 0.5)
       ~flow ~transmit () =
     let t =
       {
-        sim;
+        rt;
         pkt_size;
         ewma;
         flow;
@@ -111,18 +111,18 @@ module Receiver = struct
     let rec tick () =
       if t.running then begin
         send_feedback t;
-        ignore (Engine.Sim.after sim t.rtt tick)
+        ignore (Engine.Runtime.after rt t.rtt tick)
       end
     in
-    ignore (Engine.Sim.after sim t.rtt tick);
+    ignore (Engine.Runtime.after rt t.rtt tick);
     t
 
   and send_feedback t =
     if t.have_rate then begin
-      let now = Engine.Sim.now t.sim in
+      let now = Engine.Runtime.now t.rt in
       t.fb_seq <- t.fb_seq + 1;
       t.transmit
-        (Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.fb_seq ~size:40 ~now
+        (Netsim.Packet.make t.rt ~flow:t.flow ~seq:t.fb_seq ~size:40 ~now
            (Netsim.Packet.Tfrc_feedback
               {
                 p = 0.;
@@ -170,7 +170,7 @@ module Receiver = struct
     | Tfrc_data { rtt } ->
         if rtt > 0. then t.rtt <- rtt;
         t.last_data_sent_at <- pkt.sent_at;
-        t.last_data_arrival <- Engine.Sim.now t.sim;
+        t.last_data_arrival <- Engine.Runtime.now t.rt;
         if pkt.seq > t.expected then
           (* Gap: the missing packets are losses for the emulation. *)
           for _ = t.expected to pkt.seq - 1 do

@@ -19,7 +19,7 @@ module Sender : sig
   type t
 
   val create :
-    Engine.Sim.t ->
+    Engine.Runtime.t ->
     ?pkt_size:int ->
     ?initial_rtt:float ->
     flow:int ->
@@ -39,7 +39,7 @@ module Receiver : sig
   type t
 
   val create :
-    Engine.Sim.t ->
+    Engine.Runtime.t ->
     ?pkt_size:int ->
     ?ewma:float (** weight on the newest cwnd/RTT sample, default 0.1 *) ->
     ?initial_rtt:float ->

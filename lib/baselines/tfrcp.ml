@@ -1,5 +1,5 @@
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   pkt_size : int;
   update_interval : float;
   ewma : float;
@@ -18,10 +18,10 @@ type t = {
   mutable epoch_holes : int;
 }
 
-let create sim ?(pkt_size = 1000) ?(initial_rtt = 0.5) ?(update_interval = 0.5)
+let create rt ?(pkt_size = 1000) ?(initial_rtt = 0.5) ?(update_interval = 0.5)
     ?(ewma = 0.3) ~flow ~transmit () =
   {
-    sim;
+    rt;
     pkt_size;
     update_interval;
     ewma;
@@ -43,15 +43,15 @@ let s_bytes t = float_of_int t.pkt_size
 
 let rec send_loop t =
   if t.running then begin
-    let now = Engine.Sim.now t.sim in
+    let now = Engine.Runtime.now t.rt in
     let pkt =
-      Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
+      Netsim.Packet.make t.rt ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
         Netsim.Packet.Data
     in
     if t.timing = None then t.timing <- Some (t.seq, now);
     t.seq <- t.seq + 1;
     t.transmit pkt;
-    ignore (Engine.Sim.after t.sim (s_bytes t /. t.rate) (fun () -> send_loop t))
+    ignore (Engine.Runtime.after t.rt (s_bytes t /. t.rate) (fun () -> send_loop t))
   end
 
 let rec epoch_loop t =
@@ -72,14 +72,14 @@ let rec epoch_loop t =
     end;
     t.epoch_echoes <- 0;
     t.epoch_holes <- 0;
-    ignore (Engine.Sim.after t.sim t.update_interval (fun () -> epoch_loop t))
+    ignore (Engine.Runtime.after t.rt t.update_interval (fun () -> epoch_loop t))
   end
 
 let recv t (pkt : Netsim.Packet.t) =
   match pkt.payload with
   | Tcp_ack { ack; _ } ->
       if t.running then begin
-        let now = Engine.Sim.now t.sim in
+        let now = Engine.Runtime.now t.rt in
         let echoed = ack - 1 in
         (match t.timing with
         | Some (seq, sent) when echoed >= seq ->
@@ -102,11 +102,11 @@ let recv t = recv t
 
 let start t ~at =
   ignore
-    (Engine.Sim.at t.sim at (fun () ->
+    (Engine.Runtime.at t.rt at (fun () ->
          t.running <- true;
          send_loop t;
          ignore
-           (Engine.Sim.after t.sim t.update_interval (fun () -> epoch_loop t))))
+           (Engine.Runtime.after t.rt t.update_interval (fun () -> epoch_loop t))))
 
 let stop t = t.running <- false
 let rate t = t.rate

@@ -13,7 +13,7 @@
 type t
 
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   ?pkt_size:int ->
   ?initial_rtt:float ->
   ?update_interval:float (** epoch length, default 0.5 s *) ->

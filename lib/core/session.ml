@@ -3,7 +3,7 @@ type t = {
   receiver : Tfrc_receiver.t;
 }
 
-let create sim ?config ~flow ~data_path ~feedback_path () =
+let create rt ?config ~flow ~data_path ~feedback_path () =
   let config =
     match config with Some c -> c | None -> Tfrc_config.default ()
   in
@@ -16,12 +16,12 @@ let create sim ?config ~flow ~data_path ~feedback_path () =
     | None -> ()
   in
   let sender =
-    Tfrc_sender.create sim ~config ~flow
+    Tfrc_sender.create rt ~config ~flow
       ~transmit:(data_path deliver_to_receiver)
       ()
   in
   let receiver =
-    Tfrc_receiver.create sim ~config ~flow
+    Tfrc_receiver.create rt ~config ~flow
       ~transmit:(feedback_path (Tfrc_sender.recv sender))
       ()
   in
@@ -37,7 +37,7 @@ let stop t =
 let over_dumbbell db ?config ~flow ~rtt_base () =
   let sim = Netsim.Dumbbell.sim db in
   Netsim.Dumbbell.add_flow db ~flow ~rtt_base;
-  create sim ?config ~flow
+  create (Engine.Sim.runtime sim) ?config ~flow
     ~data_path:(fun deliver ->
       Netsim.Dumbbell.set_dst_recv db ~flow deliver;
       Netsim.Dumbbell.src_sender db ~flow)

@@ -10,31 +10,36 @@
 
     {[
       (* 80 ms symmetric path with 1% random loss on data: *)
+      let rt = Engine.Sim.runtime sim in
       let session =
-        Tfrc.Session.create sim ~flow:1
+        Tfrc.Session.create rt ~flow:1
           ~data_path:(fun deliver ->
             fun pkt ->
               if not (Engine.Rng.bool rng ~p:0.01) then
-                ignore (Engine.Sim.after sim 0.04 (fun () -> deliver pkt)))
+                ignore (Engine.Runtime.after rt 0.04 (fun () -> deliver pkt)))
           ~feedback_path:(fun deliver ->
             fun pkt ->
-              ignore (Engine.Sim.after sim 0.04 (fun () -> deliver pkt)))
+              ignore (Engine.Runtime.after rt 0.04 (fun () -> deliver pkt)))
           ()
       in
       Tfrc.Session.start session ~at:0.
-    ]} *)
+    ]}
+
+    The session is runtime-agnostic: pass {!Engine.Sim.runtime} to
+    simulate, or a wire loop's runtime to run the same state machines
+    over real time and sockets. *)
 
 type t = {
   sender : Tfrc_sender.t;
   receiver : Tfrc_receiver.t;
 }
 
-(** [create sim ?config ~flow ~data_path ~feedback_path ()] builds a
+(** [create rt ?config ~flow ~data_path ~feedback_path ()] builds a
     connected sender/receiver pair. [data_path] receives the receiver's
     handler and must return the handler the sender transmits into;
     [feedback_path] the same for the reverse direction. *)
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   ?config:Tfrc_config.t ->
   flow:int ->
   data_path:(Netsim.Packet.handler -> Netsim.Packet.handler) ->

@@ -1,5 +1,5 @@
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   config : Tfrc_config.t;
   flow : int;
   transmit : Netsim.Packet.handler;
@@ -20,10 +20,10 @@ type t = {
   mutable running : bool;
 }
 
-let rec create sim ~config ~flow ~transmit () =
+let rec create rt ~config ~flow ~transmit () =
   let t =
     {
-      sim;
+      rt;
       config;
       flow;
       transmit;
@@ -37,7 +37,7 @@ let rec create sim ~config ~flow ~transmit () =
       last_data_sent_at = 0.;
       last_data_arrival = 0.;
       bytes_since_fb = 0.;
-      last_fb_time = Engine.Sim.now sim;
+      last_fb_time = Engine.Runtime.now rt;
       prev_recv_rate = 0.;
       packets = 0;
       bytes = 0;
@@ -52,14 +52,14 @@ let rec create sim ~config ~flow ~transmit () =
   let rec tick () =
     if t.running then begin
       if t.bytes_since_fb > 0. then send_feedback t;
-      ignore (Engine.Sim.after sim t.rtt tick)
+      ignore (Engine.Runtime.after rt t.rtt tick)
     end
   in
-  ignore (Engine.Sim.after sim t.rtt tick);
+  ignore (Engine.Runtime.after rt t.rtt tick);
   t
 
 and send_feedback t =
-  let now = Engine.Sim.now t.sim in
+  let now = Engine.Runtime.now t.rt in
   let elapsed = now -. t.last_fb_time in
   let recv_rate =
     if elapsed > 0. then t.bytes_since_fb /. elapsed else t.prev_recv_rate
@@ -71,7 +71,7 @@ and send_feedback t =
   t.fb_seq <- t.fb_seq + 1;
   let avg = Loss_intervals.average t.intervals in
   let p = Loss_intervals.rate_of_average avg in
-  let tr = Engine.Sim.trace t.sim in
+  let tr = Engine.Runtime.trace t.rt in
   if Engine.Trace.active tr then
     Engine.Trace.emit tr ~time:now ~cat:"tfrc" ~name:"feedback"
       [
@@ -82,7 +82,7 @@ and send_feedback t =
         ("avg_interval", Engine.Trace.Float (Option.value avg ~default:0.));
       ];
   let pkt =
-    Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.fb_seq
+    Netsim.Packet.make t.rt ~flow:t.flow ~seq:t.fb_seq
       ~size:t.config.Tfrc_config.feedback_size ~now
       (Netsim.Packet.Tfrc_feedback
          {
@@ -98,7 +98,7 @@ and send_feedback t =
    equation produce half the rate at which data was arriving when the first
    loss occurred (Section 3.4.1). *)
 let seed_history t =
-  let now = Engine.Sim.now t.sim in
+  let now = Engine.Runtime.now t.rt in
   let elapsed = now -. t.last_fb_time in
   let recent_rate =
     if t.bytes_since_fb > 0. && elapsed > 1e-9 then t.bytes_since_fb /. elapsed
@@ -128,7 +128,7 @@ let recv t (pkt : Netsim.Packet.t) =
          sequence number it has already resolved. *)
       t.duplicates <- t.duplicates + 1
   | Tfrc_data { rtt } ->
-      let now = Engine.Sim.now t.sim in
+      let now = Engine.Runtime.now t.rt in
       t.packets <- t.packets + 1;
       t.bytes <- t.bytes + pkt.size;
       t.bytes_since_fb <- t.bytes_since_fb +. float_of_int pkt.size;

@@ -17,8 +17,11 @@
 
 type t
 
+(** [create rt ~config ~flow ~transmit ()] builds a receiver driven by the
+    sans-IO runtime [rt] — {!Engine.Sim.runtime} for simulation, the wire
+    loop's runtime for real time. *)
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   config:Tfrc_config.t ->
   flow:int ->
   transmit:Netsim.Packet.handler (** feedback goes here *) ->

@@ -1,5 +1,5 @@
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   config : Tfrc_config.t;
   flow : int;
   transmit : Netsim.Packet.handler;
@@ -15,14 +15,14 @@ type t = {
   mutable nofb_expiries : int;
   mutable expiries_since_fb : int; (* expirations since the last feedback *)
   mutable app_limit : float option; (* application ceiling on the pace, bytes/s *)
-  mutable send_timer : Engine.Sim.handle;
-  mutable nofb_timer : Engine.Sim.handle;
+  mutable send_timer : Engine.Runtime.handle;
+  mutable nofb_timer : Engine.Runtime.handle;
   mutable listeners : (float -> rate:float -> rtt:float -> p:float -> unit) list;
 }
 
-let create sim ~config ~flow ~transmit () =
+let create rt ~config ~flow ~transmit () =
   {
-    sim;
+    rt;
     config;
     flow;
     transmit;
@@ -42,22 +42,22 @@ let create sim ~config ~flow ~transmit () =
     nofb_expiries = 0;
     expiries_since_fb = 0;
     app_limit = None;
-    send_timer = Engine.Sim.null_handle;
-    nofb_timer = Engine.Sim.null_handle;
+    send_timer = Engine.Runtime.null_handle;
+    nofb_timer = Engine.Runtime.null_handle;
     listeners = [];
   }
 
 let s_bytes t = float_of_int t.config.Tfrc_config.packet_size
 
-let tracing t = Engine.Trace.active (Engine.Sim.trace t.sim)
+let tracing t = Engine.Trace.active (Engine.Runtime.trace t.rt)
 
 let trace_ev t name fields =
-  Engine.Trace.emit (Engine.Sim.trace t.sim) ~time:(Engine.Sim.now t.sim)
+  Engine.Trace.emit (Engine.Runtime.trace t.rt) ~time:(Engine.Runtime.now t.rt)
     ~cat:"tfrc" ~name
     (("flow", Engine.Trace.Int t.flow) :: fields)
 
 let notify t =
-  let now = Engine.Sim.now t.sim in
+  let now = Engine.Runtime.now t.rt in
   List.iter
     (fun f -> f now ~rate:t.rate ~rtt:(Rtt_estimator.rtt t.rtt_est) ~p:t.p)
     t.listeners
@@ -81,9 +81,9 @@ let rec send_packet t =
        TCP competitors). The long-run rate is unchanged. *)
     for _ = 1 to t.config.Tfrc_config.burst_pkts do
       let pkt =
-        Netsim.Packet.make t.sim ~ecn:t.config.Tfrc_config.ecn ~flow:t.flow
+        Netsim.Packet.make t.rt ~ecn:t.config.Tfrc_config.ecn ~flow:t.flow
           ~seq:t.seq ~size:t.config.Tfrc_config.packet_size
-          ~now:(Engine.Sim.now t.sim)
+          ~now:(Engine.Runtime.now t.rt)
           (Netsim.Packet.Tfrc_data { rtt = Rtt_estimator.rtt t.rtt_est })
       in
       t.seq <- t.seq + 1;
@@ -92,7 +92,7 @@ let rec send_packet t =
       t.transmit pkt
     done;
     t.send_timer <-
-      Engine.Sim.after t.sim
+      Engine.Runtime.after t.rt
         (float_of_int t.config.Tfrc_config.burst_pkts
         *. interpacket_interval t)
         (fun () -> send_packet t)
@@ -115,10 +115,10 @@ let nofb_interval t =
     t.config.Tfrc_config.t_mbi
 
 let rec restart_nofb_timer t =
-  Engine.Sim.cancel t.nofb_timer;
+  Engine.Runtime.cancel t.nofb_timer;
   if t.running then
     t.nofb_timer <-
-      Engine.Sim.after t.sim (nofb_interval t) (fun () -> on_nofb_expiry t)
+      Engine.Runtime.after t.rt (nofb_interval t) (fun () -> on_nofb_expiry t)
 
 and on_nofb_expiry t =
   if t.running then begin
@@ -151,7 +151,7 @@ let on_feedback t ~p ~recv_rate ~ts_echo ~ts_delay =
     t.config.Tfrc_config.slow_restart && t.expiries_since_fb > 0
   in
   t.expiries_since_fb <- 0;
-  let now = Engine.Sim.now t.sim in
+  let now = Engine.Runtime.now t.rt in
   let rtt_sample = now -. ts_echo -. ts_delay in
   if rtt_sample > 0. then Rtt_estimator.sample t.rtt_est rtt_sample;
   let r = Rtt_estimator.rtt t.rtt_est in
@@ -219,7 +219,7 @@ let recv t = recv t
 
 let start t ~at =
   ignore
-    (Engine.Sim.at t.sim at (fun () ->
+    (Engine.Runtime.at t.rt at (fun () ->
          t.running <- true;
          if tracing t then
            trace_ev t "start"
@@ -235,8 +235,8 @@ let start t ~at =
 
 let stop t =
   t.running <- false;
-  Engine.Sim.cancel t.send_timer;
-  Engine.Sim.cancel t.nofb_timer
+  Engine.Runtime.cancel t.send_timer;
+  Engine.Runtime.cancel t.nofb_timer
 
 let rate t = t.rate
 let rate_pkts_per_rtt t = t.rate *. Rtt_estimator.rtt t.rtt_est /. s_bytes t

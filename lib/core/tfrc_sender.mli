@@ -20,8 +20,12 @@
 
 type t
 
+(** [create rt ~config ~flow ~transmit ()] builds a sender driven by the
+    sans-IO runtime [rt] — {!Engine.Sim.runtime} for simulation, the wire
+    loop's runtime for real time. The module contains no scheduler- or
+    IO-specific code. *)
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   config:Tfrc_config.t ->
   flow:int ->
   transmit:Netsim.Packet.handler ->

@@ -1,0 +1,31 @@
+(* Record-of-closures runtime: one allocation per runtime, one indirect
+   call per operation. The protocol hot paths go through [at]/[after]
+   once per packet or timer, so the indirection is noise next to the
+   scheduling work behind it. *)
+
+type handle = { h_cancel : unit -> unit; h_pending : unit -> bool }
+
+let handle ~cancel ~is_pending = { h_cancel = cancel; h_pending = is_pending }
+
+let null_handle = { h_cancel = ignore; h_pending = (fun () -> false) }
+
+let cancel h = h.h_cancel ()
+let is_pending h = h.h_pending ()
+
+type t = {
+  r_now : unit -> float;
+  r_at : float -> (unit -> unit) -> handle;
+  r_after : float -> (unit -> unit) -> handle;
+  r_trace : Trace.t;
+  r_fresh_id : unit -> int;
+}
+
+let make ~now ~at ~after ~trace ~fresh_id =
+  { r_now = now; r_at = at; r_after = after; r_trace = trace;
+    r_fresh_id = fresh_id }
+
+let now t = t.r_now ()
+let at t time f = t.r_at time f
+let after t delay f = t.r_after delay f
+let trace t = t.r_trace
+let fresh_id t = t.r_fresh_id ()

@@ -1,0 +1,74 @@
+(** Sans-IO runtime interface.
+
+    A [Runtime.t] is the complete contract between protocol state machines
+    (TFRC sender/receiver, the baseline controllers) and whatever drives
+    them: a virtual clock with one-shot cancellable timers, a trace bus,
+    and a per-runtime identity allocator. Protocol modules written against
+    this interface contain no scheduler- or IO-specific code, so the same
+    modules run
+
+    - under {!Sim} (the discrete-event simulator; {!Sim.runtime} is the
+      canonical implementation and every existing experiment uses it), and
+    - under [Wire.Loop] (a real-time poll loop over the monotonic clock
+      and UDP sockets).
+
+    What a protocol module may assume about a runtime:
+    - [now] is monotone non-decreasing and starts at 0 at runtime creation;
+    - a timer scheduled with [at]/[after] fires at most once, at a time
+      [>= ] its deadline, with [now] reading the deadline or later inside
+      the callback; timers fire in (deadline, scheduling order);
+    - [cancel] is idempotent and a cancelled timer never fires;
+    - [fresh_id] yields 1, 2, 3, … private to this runtime.
+
+    What it must {e not} assume: that time advances only when events fire
+    (real time moves between callbacks), that scheduling is free, or that
+    two runtimes in one process share any state. See DESIGN.md,
+    "Sans-IO runtime contract". *)
+
+(** Cancellable handle for a scheduled timer. *)
+type handle
+
+(** [handle ~cancel ~is_pending] wraps an implementation's timer.
+    [cancel] must be idempotent. *)
+val handle : cancel:(unit -> unit) -> is_pending:(unit -> bool) -> handle
+
+(** A handle that is never pending; useful as an initial field value. *)
+val null_handle : handle
+
+(** [cancel h] prevents the timer from firing. Idempotent. *)
+val cancel : handle -> unit
+
+(** [is_pending h] is [true] if the timer has neither fired nor been
+    cancelled. *)
+val is_pending : handle -> bool
+
+type t
+
+(** [make ~now ~at ~after ~trace ~fresh_id] builds a runtime from an
+    implementation's closures. [at] schedules at an absolute time on the
+    runtime's clock; [after] relative to [now]; both must reject
+    non-finite arguments rather than corrupt their timer queue. *)
+val make :
+  now:(unit -> float) ->
+  at:(float -> (unit -> unit) -> handle) ->
+  after:(float -> (unit -> unit) -> handle) ->
+  trace:Trace.t ->
+  fresh_id:(unit -> int) ->
+  t
+
+(** Current time in seconds on this runtime's clock (0 at creation). *)
+val now : t -> float
+
+(** [at t time f] schedules [f] at absolute [time]; [after t delay f]
+    schedules [f] in [delay] seconds. *)
+val at : t -> float -> (unit -> unit) -> handle
+
+val after : t -> float -> (unit -> unit) -> handle
+
+(** The trace bus components built on this runtime emit to. *)
+val trace : t -> Trace.t
+
+(** Next identity from this runtime's private counter (1, 2, 3, …);
+    packet ids are drawn here, so identity streams are deterministic per
+    runtime, never process-global. *)
+val fresh_id : t -> int

@@ -26,6 +26,10 @@ type t = {
      sequence: two sims in one process, or the same grid cell on any
      worker domain, allocate identical ids. *)
   mutable next_id : int;
+  (* Memoized sans-IO view of this scheduler ({!runtime}): built on first
+     use so handing a sim to protocol code costs one record, not one per
+     call. *)
+  mutable runtime : Runtime.t option;
 }
 
 (* --- Cooperative budgets --------------------------------------------------
@@ -146,6 +150,7 @@ let create ?trace ?scheduler () =
       cancelled = ref 0;
       trace;
       next_id = 0;
+      runtime = None;
     }
   in
   (* Marks a fresh virtual clock: observers (e.g. the invariant checker)
@@ -194,6 +199,31 @@ let null_handle = { state = `Fired; f = ignore; cancelled_in_heap = ref 0 }
 let pending_events t = q_size t
 
 let stop t = t.stopping <- true
+
+(* The canonical {!Runtime} implementation: virtual time, the event heap's
+   timers, this sim's trace bus and id allocator. Wrapping a handle costs
+   one record + two closures per scheduled timer — the sans-IO price, paid
+   only by components written against Runtime (the TFRC state machines),
+   not by raw [Sim.at] users. *)
+let wrap_handle h =
+  Runtime.handle
+    ~cancel:(fun () -> cancel h)
+    ~is_pending:(fun () -> is_pending h)
+
+let runtime t =
+  match t.runtime with
+  | Some rt -> rt
+  | None ->
+      let rt =
+        Runtime.make
+          ~now:(fun () -> t.clock)
+          ~at:(fun time f -> wrap_handle (at t time f))
+          ~after:(fun delay f -> wrap_handle (after t delay f))
+          ~trace:t.trace
+          ~fresh_id:(fun () -> fresh_id t)
+      in
+      t.runtime <- Some rt;
+      rt
 
 (* Sweep the heap once cancelled entries dominate it: timer-heavy protocols
    (TCP retransmit, TFRC no-feedback) cancel far more events than they fire,

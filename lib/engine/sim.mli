@@ -73,6 +73,15 @@ val is_pending : handle -> bool
 (** A dummy handle that is never pending; useful as an initial value. *)
 val null_handle : handle
 
+(** [runtime t] is the sans-IO {!Runtime} view of this scheduler — virtual
+    clock, cancellable timers, trace bus and id allocator — the canonical
+    runtime implementation that protocol state machines ([Tfrc_sender],
+    [Tfrc_receiver], the baselines) are written against. Memoized: repeated
+    calls return the same record. Timers scheduled through it are ordinary
+    sim events, so behavior — including traces and [-j N] byte-identity —
+    is exactly as if the protocol called [Sim.at] directly. *)
+val runtime : t -> Runtime.t
+
 (** {2 Cooperative budgets}
 
     A budget caps what {!run} may consume: a total count of executed events

@@ -9,9 +9,10 @@
 
    Byte-identical resume needs lossless round-trips, and %.12g (Job.to_json)
    is not one for doubles. Floats are therefore encoded as hex-float
-   strings ({"f":"0x1.9p-4"}), which [float_of_string] reads back exactly;
-   ints, bools, strings and lists use plain JSON, so the Int/Float
-   distinction in Job.value survives too.
+   strings ({"f":"0x1.9p-4"}) via [Engine.Hexfloat] (shared with the
+   fuzzer's scenario codec), which reads back exactly; ints, bools,
+   strings and lists use plain JSON, so the Int/Float distinction in
+   Job.value survives too.
 
    [record] may be called from worker domains (the parallel runner
    checkpoints each cell as it completes, not at batch end — that is what
@@ -39,7 +40,7 @@ let rec add_value buf (v : Job.value) =
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
       Buffer.add_string buf "{\"f\":\"";
-      Buffer.add_string buf (Printf.sprintf "%h" f);
+      Buffer.add_string buf (Engine.Hexfloat.to_string f);
       Buffer.add_string buf "\"}"
   | Str s -> add_quoted buf s
   | List l ->
@@ -222,7 +223,10 @@ let rec value_of_json : json -> Job.value = function
   | J_bool b -> Bool b
   | J_int i -> Int i
   | J_str s -> Str s
-  | J_obj [ ("f", J_str h) ] -> Float (float_of_string h)
+  | J_obj [ ("f", J_str h) ] -> (
+      match Engine.Hexfloat.of_string_opt h with
+      | Some f -> Float f
+      | None -> raise (Bad ("bad hex float " ^ h)))
   | J_list l -> List (List.map value_of_json l)
   | J_obj _ -> raise (Bad "unexpected object value")
 

@@ -21,13 +21,13 @@ let create ?config ~rtt ~drop () =
              | Some r -> Tfrc.Tfrc_receiver.recv r pkt
              | None -> ()))
   in
-  let sender = Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver () in
+  let sender = Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_receiver () in
   let to_sender pkt =
     ignore
       (Engine.Sim.after sim one_way (fun () -> Tfrc.Tfrc_sender.recv sender pkt))
   in
   let receiver =
-    Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender ()
+    Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender ()
   in
   receiver_cell := Some receiver;
   { sim; sender; receiver }

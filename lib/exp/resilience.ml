@@ -106,7 +106,7 @@ let run_case ~seed ~proto ~fault ~run_until =
     | `Tfrc ->
         let config = tfrc_config () in
         let receiver =
-          Tfrc.Tfrc_receiver.create sim ~config ~flow
+          Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow
             ~transmit:(wrap_fb (Netsim.Dumbbell.dst_sender db ~flow))
             ()
         in
@@ -114,7 +114,7 @@ let run_case ~seed ~proto ~fault ~run_until =
           (wrap_data
              (Netsim.Flowmon.wrap recv_mon (Tfrc.Tfrc_receiver.recv receiver)));
         let sender =
-          Tfrc.Tfrc_sender.create sim ~config ~flow
+          Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow
             ~transmit:
               (Netsim.Flowmon.wrap send_mon (Netsim.Dumbbell.src_sender db ~flow))
             ()

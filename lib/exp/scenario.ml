@@ -40,13 +40,13 @@ let attach_tfrc db ~flow ~rtt_base ~config =
   let send_mon = Netsim.Flowmon.create now in
   let recv_mon = Netsim.Flowmon.create now in
   let tfrc_receiver =
-    Tfrc.Tfrc_receiver.create sim ~config ~flow
+    Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow
       ~transmit:(Netsim.Dumbbell.dst_sender db ~flow) ()
   in
   Netsim.Dumbbell.set_dst_recv db ~flow
     (Netsim.Flowmon.wrap recv_mon (Tfrc.Tfrc_receiver.recv tfrc_receiver));
   let tfrc_sender =
-    Tfrc.Tfrc_sender.create sim ~config ~flow
+    Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow
       ~transmit:
         (Netsim.Flowmon.wrap send_mon (Netsim.Dumbbell.src_sender db ~flow))
       ()

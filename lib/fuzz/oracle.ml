@@ -192,14 +192,14 @@ let run_once ~mutate (sc : Scenario.t) =
       | Scenario.Tfrc ->
           let config = Tfrc.Tfrc_config.default () in
           let receiver =
-            Tfrc.Tfrc_receiver.create sim ~config ~flow
+            Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow
               ~transmit:(wrap_fb (net.dst_sender ~flow))
               ()
           in
           net.set_dst_recv ~flow
             (wrap_data (count (Tfrc.Tfrc_receiver.recv receiver)));
           let sender =
-            Tfrc.Tfrc_sender.create sim ~config ~flow
+            Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow
               ~transmit:(net.src_sender ~flow) ()
           in
           net.set_src_recv ~flow (Tfrc.Tfrc_sender.recv sender);
@@ -232,14 +232,14 @@ let run_once ~mutate (sc : Scenario.t) =
             Rate_gauge
       | Scenario.Tfrcp ->
           let sink =
-            Baselines.Echo_sink.create sim ~flow
+            Baselines.Echo_sink.create (Engine.Sim.runtime sim) ~flow
               ~transmit:(wrap_fb (net.dst_sender ~flow))
               ()
           in
           net.set_dst_recv ~flow
             (wrap_data (count (Baselines.Echo_sink.recv sink)));
           let sender =
-            Baselines.Tfrcp.create sim ~flow ~transmit:(net.src_sender ~flow) ()
+            Baselines.Tfrcp.create (Engine.Sim.runtime sim) ~flow ~transmit:(net.src_sender ~flow) ()
           in
           net.set_src_recv ~flow (Baselines.Tfrcp.recv sender);
           Baselines.Tfrcp.start sender ~at:f.start;
@@ -249,14 +249,14 @@ let run_once ~mutate (sc : Scenario.t) =
             Loss_gauge
       | Scenario.Rap ->
           let sink =
-            Baselines.Echo_sink.create sim ~flow
+            Baselines.Echo_sink.create (Engine.Sim.runtime sim) ~flow
               ~transmit:(wrap_fb (net.dst_sender ~flow))
               ()
           in
           net.set_dst_recv ~flow
             (wrap_data (count (Baselines.Echo_sink.recv sink)));
           let sender =
-            Baselines.Rap.create sim ~flow ~transmit:(net.src_sender ~flow) ()
+            Baselines.Rap.create (Engine.Sim.runtime sim) ~flow ~transmit:(net.src_sender ~flow) ()
           in
           net.set_src_recv ~flow (Baselines.Rap.recv sender);
           Baselines.Rap.start sender ~at:f.start;

@@ -130,10 +130,11 @@ let generate ~id rng =
 
 (* ----- sexp codec -----
 
-   Floats are hex-float atoms ([%h]); [float_of_string] reads them back
-   bit-exactly, so a scenario file replays the identical simulation. *)
+   Floats are hex-float atoms via [Engine.Hexfloat] (shared with
+   [Exp.Checkpoint]); they read back bit-exactly, so a scenario file
+   replays the identical simulation. *)
 
-let fl f = Sexp.Atom (Printf.sprintf "%h" f)
+let fl f = Sexp.Atom (Engine.Hexfloat.to_string f)
 let int i = Sexp.Atom (string_of_int i)
 let fld name v = Sexp.List [ Sexp.Atom name; v ]
 let ffld name f = fld name (fl f)
@@ -162,7 +163,7 @@ let queue_to_sexp = function
 let float_atom v =
   match v with
   | Sexp.Atom s -> (
-      match float_of_string_opt s with
+      match Engine.Hexfloat.of_string_opt s with
       | Some f -> f
       | None -> raise (Sexp.Parse_error ("not a float: " ^ s)))
   | _ -> raise (Sexp.Parse_error "expected float atom")

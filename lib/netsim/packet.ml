@@ -25,13 +25,14 @@ type t = {
 
 type handler = t -> unit
 
-(* Ids come from the owning simulation's allocator, never from a process
+(* Ids come from the owning runtime's allocator, never from a process
    global: a global counter is a data race under [Domain.spawn] workers and
    leaks identity across jobs even sequentially, breaking byte-identical
-   replay of a grid cell. *)
-let make sim ?(ecn = false) ~flow ~seq ~size ~now payload =
+   replay of a grid cell. Taking {!Engine.Runtime.t} (not [Sim.t]) keeps
+   packet construction usable from the real-time wire loop too. *)
+let make rt ?(ecn = false) ~flow ~seq ~size ~now payload =
   {
-    id = Engine.Sim.fresh_id sim;
+    id = Engine.Runtime.fresh_id rt;
     flow;
     seq;
     size;
@@ -57,15 +58,15 @@ module Pool = struct
 
   let create () = { free = []; outstanding = 0 }
 
-  let alloc pool sim ?(ecn = false) ~flow ~seq ~size ~now payload =
+  let alloc pool rt ?(ecn = false) ~flow ~seq ~size ~now payload =
     pool.outstanding <- pool.outstanding + 1;
     match pool.free with
-    | [] -> make sim ~ecn ~flow ~seq ~size ~now payload
+    | [] -> make rt ~ecn ~flow ~seq ~size ~now payload
     | p :: rest ->
         pool.free <- rest;
-        (* Fresh id even on reuse: packet identity stays unique per sim
-           regardless of which record carries it. *)
-        p.id <- Engine.Sim.fresh_id sim;
+        (* Fresh id even on reuse: packet identity stays unique per
+           runtime regardless of which record carries it. *)
+        p.id <- Engine.Runtime.fresh_id rt;
         p.flow <- flow;
         p.seq <- seq;
         p.size <- size;

@@ -47,13 +47,15 @@ type t = {
     the pool a packet is written once at allocation and treated as
     immutable apart from the in-flight [ecn_marked]/[corrupted] marks. *)
 
-(** [make sim ?ecn ~flow ~seq ~size ~now payload] allocates a packet whose
-    id is drawn from [sim]'s per-simulation counter ({!Engine.Sim.fresh_id}),
-    so packet identity is deterministic per simulation and safe under
-    domain-parallel runs — there is no process-global id state. [ecn]
+(** [make rt ?ecn ~flow ~seq ~size ~now payload] allocates a packet whose
+    id is drawn from [rt]'s per-runtime counter
+    ({!Engine.Runtime.fresh_id}), so packet identity is deterministic per
+    simulation (pass [Engine.Sim.runtime sim]) and safe under
+    domain-parallel runs — there is no process-global id state. The wire
+    loop's runtime serves the same role for real-time endpoints. [ecn]
     (default false) declares the flow ECN-capable. *)
 val make :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   ?ecn:bool ->
   flow:int ->
   seq:int ->
@@ -72,8 +74,9 @@ type handler = t -> unit
     dominant cost. Opt-in at allocation sites that own the packet's whole
     lifetime — only [release] a packet once nothing (queue, tracer,
     endpoint, loss history) still references it, or the next [alloc] will
-    mutate it under that reader. Ids are drawn fresh from the sim on every
-    [alloc], reused record or not, so packet identity is unaffected. *)
+    mutate it under that reader. Ids are drawn fresh from the runtime on
+    every [alloc], reused record or not, so packet identity is
+    unaffected. *)
 module Pool : sig
   type packet := t
   type t
@@ -83,7 +86,7 @@ module Pool : sig
   (** Like {!make}, but reuses a released record when one is available. *)
   val alloc :
     t ->
-    Engine.Sim.t ->
+    Engine.Runtime.t ->
     ?ecn:bool ->
     flow:int ->
     seq:int ->

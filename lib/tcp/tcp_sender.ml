@@ -126,7 +126,7 @@ and send_seq t seq =
   let retransmit = seq < t.high_water in
   if not retransmit then t.high_water <- seq + 1;
   let pkt =
-    Netsim.Packet.make t.sim ~ecn:t.config.ecn ~flow:t.flow ~seq ~size:t.config.mss
+    Netsim.Packet.make (Engine.Sim.runtime t.sim) ~ecn:t.config.ecn ~flow:t.flow ~seq ~size:t.config.mss
       ~now:(Engine.Sim.now t.sim) Netsim.Packet.Data
   in
   t.stats.packets_sent <- t.stats.packets_sent + 1;

@@ -60,7 +60,7 @@ let send_ack t =
   t.unacked <- 0;
   Engine.Sim.cancel t.delack_timer;
   let pkt =
-    Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.next_expected ~size:t.config.ack_size
+    Netsim.Packet.make (Engine.Sim.runtime t.sim) ~flow:t.flow ~seq:t.next_expected ~size:t.config.ack_size
       ~now:(Engine.Sim.now t.sim)
       (Netsim.Packet.Tcp_ack
          { ack = t.next_expected; sack = sack_blocks t; ece = t.ce_pending })

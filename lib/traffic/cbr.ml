@@ -23,7 +23,7 @@ let create sim ~flow ~rate ~pkt_size ~transmit () =
 let rec send t =
   if t.running then begin
     let pkt =
-      Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
+      Netsim.Packet.make (Engine.Sim.runtime t.sim) ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
         ~now:(Engine.Sim.now t.sim) Netsim.Packet.Data
     in
     t.seq <- t.seq + 1;

@@ -45,7 +45,7 @@ let rec send_loop t =
     if now >= t.phase_end then go_off t
     else begin
       let pkt =
-        Netsim.Packet.make t.sim ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
+        Netsim.Packet.make (Engine.Sim.runtime t.sim) ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
           Netsim.Packet.Data
       in
       t.seq <- t.seq + 1;

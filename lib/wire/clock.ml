@@ -1,0 +1,10 @@
+type t = { origin : float; mutable last : float }
+
+let create () = { origin = Unix.gettimeofday (); last = 0. }
+
+let now t =
+  let elapsed = Unix.gettimeofday () -. t.origin in
+  (* Clamp: gettimeofday may step backwards; reporting a decreasing time
+     would make Runtime.at reject timers the protocol just computed. *)
+  if elapsed > t.last then t.last <- elapsed;
+  t.last

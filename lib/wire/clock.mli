@@ -1,0 +1,22 @@
+(** Monotonic wall clock, in seconds since {!create}.
+
+    [Unix.gettimeofday] is the only portable clock in the stdlib Unix
+    binding, and it can step backwards (NTP adjustment, manual clock
+    set). Protocol code built on {!Engine.Runtime} assumes time never
+    decreases — the scheduler rejects past timers — so this clock
+    remembers the highest value it has reported and never goes below
+    it: a backwards step freezes the clock until real time catches up
+    again.
+
+    Starting at 0 (rather than the epoch) keeps wire timestamps in the
+    same magnitude range as simulation virtual time, so traces and
+    decision logs from the two runtimes are directly comparable. *)
+
+type t
+
+(** [create ()] starts a clock reading 0 now. *)
+val create : unit -> t
+
+(** [now t] is the elapsed time since [create], monotonically
+    non-decreasing across calls. *)
+val now : t -> float

@@ -1,0 +1,201 @@
+let header_len = 29
+let max_frame = 65535
+let version = 1
+
+type error =
+  | Truncated of { expected : int; got : int }
+  | Oversized of { limit : int; got : int }
+  | Bad_magic
+  | Bad_version of int
+  | Bad_tag of int
+  | Bad_length of { expected : int; got : int }
+  | Bad_checksum of { expected : int; got : int }
+  | Bad_value of string
+
+let pp_error ppf = function
+  | Truncated { expected; got } ->
+      Format.fprintf ppf "truncated: need %d bytes, got %d" expected got
+  | Oversized { limit; got } ->
+      Format.fprintf ppf "oversized: %d bytes exceeds limit %d" got limit
+  | Bad_magic -> Format.fprintf ppf "bad magic"
+  | Bad_version v -> Format.fprintf ppf "unsupported version %d" v
+  | Bad_tag tag -> Format.fprintf ppf "unknown payload tag %d" tag
+  | Bad_length { expected; got } ->
+      Format.fprintf ppf "bad length: expected %d bytes, got %d" expected got
+  | Bad_checksum { expected; got } ->
+      Format.fprintf ppf "bad checksum: expected %08x, got %08x" expected got
+  | Bad_value what -> Format.fprintf ppf "bad value: %s" what
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* FNV-1a 32-bit over [pos, pos+len). Not cryptographic — it guards
+   against in-flight corruption and truncation splices, like UDP's own
+   checksum but over the whole frame. *)
+let fnv_seed = 0x811c9dc5
+
+let fnv1a32 b ~pos ~len ~init =
+  let h = ref init in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * 0x01000193
+         land 0xFFFFFFFF
+  done;
+  !h
+
+(* Checksum of everything except the checksum field itself (bytes 5-8). *)
+let frame_checksum b =
+  let head = fnv1a32 b ~pos:0 ~len:5 ~init:fnv_seed in
+  fnv1a32 b ~pos:9 ~len:(Bytes.length b - 9) ~init:head
+
+let tag_of_payload : Netsim.Packet.payload -> int = function
+  | Data -> 0
+  | Tcp_ack _ -> 1
+  | Tfrc_data _ -> 2
+  | Tfrc_feedback _ -> 3
+
+let payload_len : Netsim.Packet.payload -> int = function
+  | Data -> 0
+  | Tcp_ack { sack; _ } -> 7 + (8 * List.length sack)
+  | Tfrc_data _ -> 8
+  | Tfrc_feedback _ -> 32
+
+let u32_max = 0xFFFFFFFF
+
+let check_u32 what v =
+  if v < 0 || v > u32_max then
+    invalid_arg (Printf.sprintf "Wire.Codec.encode: %s %d out of u32 range" what v)
+
+let set_u32 b off v = Bytes.set_int32_be b off (Int32.of_int v)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land u32_max
+
+let set_f64 b off f = Bytes.set_int64_be b off (Int64.bits_of_float f)
+let get_f64 b off = Int64.float_of_bits (Bytes.get_int64_be b off)
+
+let encode (p : Netsim.Packet.t) =
+  check_u32 "flow" p.flow;
+  check_u32 "seq" p.seq;
+  check_u32 "size" p.size;
+  let plen = payload_len p.payload in
+  let total = header_len + plen in
+  if total > max_frame then
+    invalid_arg
+      (Printf.sprintf "Wire.Codec.encode: frame %d exceeds max_frame" total);
+  let b = Bytes.create total in
+  Bytes.set b 0 'T';
+  Bytes.set b 1 'F';
+  Bytes.set_uint8 b 2 version;
+  Bytes.set_uint8 b 3 (tag_of_payload p.payload);
+  let flags =
+    (if p.ecn_capable then 1 else 0)
+    lor (if p.ecn_marked then 2 else 0)
+    lor if p.corrupted then 4 else 0
+  in
+  Bytes.set_uint8 b 4 flags;
+  set_u32 b 9 p.flow;
+  set_u32 b 13 p.seq;
+  set_u32 b 17 p.size;
+  set_f64 b 21 p.sent_at;
+  (match p.payload with
+  | Data -> ()
+  | Tfrc_data { rtt } -> set_f64 b 29 rtt
+  | Tfrc_feedback { p = lp; recv_rate; ts_echo; ts_delay } ->
+      set_f64 b 29 lp;
+      set_f64 b 37 recv_rate;
+      set_f64 b 45 ts_echo;
+      set_f64 b 53 ts_delay
+  | Tcp_ack { ack; sack; ece } ->
+      check_u32 "ack" ack;
+      let n = List.length sack in
+      if n > 0xFFFF then
+        invalid_arg "Wire.Codec.encode: more than 65535 sack ranges";
+      set_u32 b 29 ack;
+      Bytes.set_uint8 b 33 (if ece then 1 else 0);
+      Bytes.set_uint16_be b 34 n;
+      List.iteri
+        (fun i (lo, hi) ->
+          check_u32 "sack lo" lo;
+          check_u32 "sack hi" hi;
+          set_u32 b (36 + (8 * i)) lo;
+          set_u32 b (40 + (8 * i)) hi)
+        sack);
+  set_u32 b 5 (frame_checksum b);
+  Bytes.unsafe_to_string b
+
+(* Monadic short-circuit keeps the check sequence flat. *)
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let finite what f =
+  if Float.is_finite f then Ok f
+  else Error (Bad_value (what ^ " is not finite"))
+
+let decode rt s =
+  let got = String.length s in
+  if got > max_frame then Error (Oversized { limit = max_frame; got })
+  else if got < header_len then
+    Error (Truncated { expected = header_len; got })
+  else begin
+    let b = Bytes.unsafe_of_string s in
+    if Bytes.get b 0 <> 'T' || Bytes.get b 1 <> 'F' then Error Bad_magic
+    else begin
+      let v = Bytes.get_uint8 b 2 in
+      if v <> version then Error (Bad_version v)
+      else begin
+        let tag = Bytes.get_uint8 b 3 in
+        let expected_len =
+          match tag with
+          | 0 -> Ok header_len
+          | 2 -> Ok (header_len + 8)
+          | 3 -> Ok (header_len + 32)
+          | 1 ->
+              (* Variable: the sack count lives 7 bytes into the payload. *)
+              if got < header_len + 7 then
+                Error (Truncated { expected = header_len + 7; got })
+              else Ok (header_len + 7 + (8 * Bytes.get_uint16_be b 34))
+          | tag -> Error (Bad_tag tag)
+        in
+        let* expected = expected_len in
+        if got <> expected then Error (Bad_length { expected; got })
+        else begin
+          let sum = get_u32 b 5 in
+          let computed = frame_checksum b in
+          if sum <> computed then
+            Error (Bad_checksum { expected = computed; got = sum })
+          else begin
+            let flags = Bytes.get_uint8 b 4 in
+            let* sent_at = finite "sent_at" (get_f64 b 21) in
+            let* payload =
+              match tag with
+              | 0 -> Ok Netsim.Packet.Data
+              | 2 ->
+                  let* rtt = finite "rtt" (get_f64 b 29) in
+                  Ok (Netsim.Packet.Tfrc_data { rtt })
+              | 3 ->
+                  let* p = finite "p" (get_f64 b 29) in
+                  let* recv_rate = finite "recv_rate" (get_f64 b 37) in
+                  let* ts_echo = finite "ts_echo" (get_f64 b 45) in
+                  let* ts_delay = finite "ts_delay" (get_f64 b 53) in
+                  Ok (Netsim.Packet.Tfrc_feedback
+                        { p; recv_rate; ts_echo; ts_delay })
+              | _ ->
+                  let ack = get_u32 b 29 in
+                  let ece = Bytes.get_uint8 b 33 <> 0 in
+                  let n = Bytes.get_uint16_be b 34 in
+                  let sack =
+                    List.init n (fun i ->
+                        (get_u32 b (36 + (8 * i)), get_u32 b (40 + (8 * i))))
+                  in
+                  Ok (Netsim.Packet.Tcp_ack { ack; sack; ece })
+            in
+            let p =
+              Netsim.Packet.make rt
+                ~ecn:(flags land 1 <> 0)
+                ~flow:(get_u32 b 9) ~seq:(get_u32 b 13) ~size:(get_u32 b 17)
+                ~now:sent_at payload
+            in
+            p.ecn_marked <- flags land 2 <> 0;
+            p.corrupted <- flags land 4 <> 0;
+            Ok p
+          end
+        end
+      end
+    end
+  end

@@ -1,0 +1,64 @@
+(** Binary wire format for {!Netsim.Packet} headers.
+
+    Layout (big-endian), [header_len] = 29 bytes:
+
+    {v
+      0-1   magic 'T' 'F'
+      2     version (1)
+      3     payload tag: 0 Data, 1 Tcp_ack, 2 Tfrc_data, 3 Tfrc_feedback
+      4     flags: bit0 ecn_capable, bit1 ecn_marked, bit2 corrupted
+      5-8   FNV-1a-32 checksum of bytes 0-4 and 9..end
+      9-12  flow id        (u32)
+      13-16 sequence       (u32)
+      17-20 size in bytes  (u32; the simulated size, not the frame length)
+      21-28 sent_at        (IEEE-754 bits, lossless)
+      29-   payload, by tag:
+              Data           nothing
+              Tfrc_data      rtt (8B float bits)
+              Tfrc_feedback  p, recv_rate, ts_echo, ts_delay (4 x 8B)
+              Tcp_ack        ack (u32), ece (u8), sack count (u16),
+                             then lo,hi (u32 each) per sack range
+    v}
+
+    Floats travel as raw IEEE-754 bits, so every value — nan, -0.,
+    denormals — survives the trip bit-for-bit; the sim-vs-wire
+    differential depends on that.
+
+    {!decode} is total: any byte string returns [Ok] or [Error], never
+    raises. The checksum covers everything except its own field, so a
+    corrupted datagram (any flipped bit) is rejected rather than parsed
+    into a half-plausible packet. *)
+
+val header_len : int
+
+(** Largest frame {!encode} emits / {!decode} accepts (one UDP datagram). *)
+val max_frame : int
+
+type error =
+  | Truncated of { expected : int; got : int }
+      (** shorter than its header or its declared payload *)
+  | Oversized of { limit : int; got : int }
+  | Bad_magic
+  | Bad_version of int
+  | Bad_tag of int
+  | Bad_length of { expected : int; got : int }
+      (** trailing or missing payload bytes *)
+  | Bad_checksum of { expected : int; got : int }
+  | Bad_value of string
+      (** structurally valid but semantically impossible field (e.g. a
+          non-finite [sent_at]) — only reachable with a correct checksum,
+          i.e. a crafted datagram *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** [encode p] renders [p] as one datagram. Raises [Invalid_argument] if a
+    field does not fit the format (negative or >2^32-1 counters, more than
+    65535 sack ranges) — encoder misuse, not a runtime condition. *)
+val encode : Netsim.Packet.t -> string
+
+(** [decode rt s] parses a datagram. The packet's id is drawn fresh from
+    [rt] ({!Engine.Runtime.fresh_id}) — wire ids are local to the
+    receiving loop, exactly as simulated ids are local to their sim. *)
+val decode :
+  Engine.Runtime.t -> string -> (Netsim.Packet.t, error) result

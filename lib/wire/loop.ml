@@ -1,0 +1,245 @@
+type mode = [ `Monotonic | `Warp ]
+
+type timer = {
+  mutable state : [ `Pending | `Fired | `Cancelled ];
+  f : unit -> unit;
+  (* Shared with the owning loop: counts cancelled timers still in the
+     wheel, so [run] knows when a sweep pays off (same scheme as Sim). *)
+  cancelled_in_wheel : int ref;
+}
+
+type watch = { wfd : Unix.file_descr; on_readable : unit -> unit }
+
+type t = {
+  mode : mode;
+  clock : Clock.t;
+  (* Monotone time watermark. [`Warp]: the virtual clock itself, advanced
+     by firing timers. [`Monotonic]: the highest observed Clock reading,
+     so [now] never decreases even across the Clock's own clamping. *)
+  mutable vnow : float;
+  timers : timer Engine.Timing_wheel.t;
+  cancelled : int ref;
+  trace : Engine.Trace.t;
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable watches : watch list;
+  mutable runtime : Engine.Runtime.t option;
+}
+
+let create ?trace ?(mode = `Monotonic) () =
+  let trace =
+    match trace with Some tr -> tr | None -> Engine.Trace.default ()
+  in
+  let t =
+    {
+      mode;
+      clock = Clock.create ();
+      vnow = 0.;
+      timers = Engine.Timing_wheel.create ();
+      cancelled = ref 0;
+      trace;
+      next_id = 0;
+      stopping = false;
+      watches = [];
+      runtime = None;
+    }
+  in
+  if Engine.Trace.active trace then
+    Engine.Trace.emit trace ~time:0. ~cat:"wire" ~name:"loop_created"
+      [ ("mode", Engine.Trace.Str (match mode with
+          | `Monotonic -> "monotonic" | `Warp -> "warp")) ];
+  t
+
+let mode t = t.mode
+
+let now t =
+  (match t.mode with
+  | `Warp -> ()
+  | `Monotonic ->
+      let e = Clock.now t.clock in
+      if e > t.vnow then t.vnow <- e);
+  t.vnow
+
+let at t time f =
+  if not (Float.is_finite time) then
+    invalid_arg (Printf.sprintf "Wire.Loop.at: non-finite time %g" time);
+  let time =
+    if time >= now t then time
+    else
+      match t.mode with
+      (* Real clock: "at" races against time itself — the caller computed
+         a deadline from a [now] that has already moved on. A
+         microseconds-stale deadline is a request to fire as soon as
+         possible, not a bug, so clamp it to the current instant. *)
+      | `Monotonic -> t.vnow
+      (* Virtual clock: time only moves when the loop fires a timer, so a
+         past deadline here is a genuine caller bug, as in Sim. *)
+      | `Warp ->
+          invalid_arg
+            (Printf.sprintf "Wire.Loop.at: time %g is in the past (now %g)"
+               time t.vnow)
+  in
+  let tm = { state = `Pending; f; cancelled_in_wheel = t.cancelled } in
+  Engine.Timing_wheel.push t.timers ~time tm;
+  tm
+
+let after t delay f =
+  if not (Float.is_finite delay) then
+    invalid_arg (Printf.sprintf "Wire.Loop.after: non-finite delay %g" delay);
+  if delay < 0. then invalid_arg "Wire.Loop.after: negative delay";
+  at t (now t +. delay) f
+
+let cancel tm =
+  if tm.state = `Pending then begin
+    tm.state <- `Cancelled;
+    incr tm.cancelled_in_wheel
+  end
+
+let is_pending tm = tm.state = `Pending
+
+let pending_timers t = Engine.Timing_wheel.size t.timers
+
+let stop t = t.stopping <- true
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let wrap_timer tm =
+  Engine.Runtime.handle
+    ~cancel:(fun () -> cancel tm)
+    ~is_pending:(fun () -> is_pending tm)
+
+let runtime t =
+  match t.runtime with
+  | Some rt -> rt
+  | None ->
+      let rt =
+        Engine.Runtime.make
+          ~now:(fun () -> now t)
+          ~at:(fun time f -> wrap_timer (at t time f))
+          ~after:(fun delay f -> wrap_timer (after t delay f))
+          ~trace:t.trace
+          ~fresh_id:(fun () -> fresh_id t)
+      in
+      t.runtime <- Some rt;
+      rt
+
+let watch_fd t fd ~on_readable =
+  t.watches <-
+    { wfd = fd; on_readable }
+    :: List.filter (fun w -> w.wfd <> fd) t.watches
+
+let unwatch_fd t fd =
+  t.watches <- List.filter (fun w -> w.wfd <> fd) t.watches
+
+(* Same sweep policy as Sim: once cancelled timers dominate a non-tiny
+   wheel, prune them in bulk so cancel-heavy protocols (the TFRC
+   no-feedback timer is re-armed on every feedback) keep memory bounded
+   by the live-timer count. *)
+let sweep_floor = 64
+
+let maybe_sweep t =
+  let n = Engine.Timing_wheel.size t.timers in
+  if n >= sweep_floor && 2 * !(t.cancelled) > n then begin
+    Engine.Timing_wheel.prune t.timers ~keep:(fun tm -> tm.state = `Pending);
+    Engine.Timing_wheel.compact t.timers;
+    t.cancelled := 0;
+    if Engine.Trace.active t.trace then
+      Engine.Trace.emit t.trace ~time:t.vnow ~cat:"wire" ~name:"sweep"
+        [
+          ("before", Engine.Trace.Int n);
+          ("after", Engine.Trace.Int (Engine.Timing_wheel.size t.timers));
+        ]
+  end
+
+(* Service watched descriptors, sleeping at most [timeout] (0 = poll).
+   With nothing watched this is a plain sleep. EINTR is a retry at the
+   caller's next iteration, not an error. *)
+let poll_fds t ~timeout =
+  match t.watches with
+  | [] -> if timeout > 0. then ignore (Unix.select [] [] [] timeout)
+  | ws -> (
+      let fds = List.map (fun w -> w.wfd) ws in
+      match Unix.select fds [] [] timeout with
+      | ready, _, _ ->
+          List.iter
+            (fun w -> if List.mem w.wfd ready then w.on_readable ())
+            ws
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+
+(* Fire the next due timer; true if the queue may hold more work. *)
+let pop_fire t ~due =
+  match Engine.Timing_wheel.pop t.timers with
+  | None -> false
+  | Some (time, tm) ->
+      (match tm.state with
+      | `Cancelled -> decr t.cancelled
+      | `Fired -> ()
+      | `Pending ->
+          if time > t.vnow then t.vnow <- time;
+          tm.state <- `Fired;
+          tm.f ());
+      ignore due;
+      true
+
+let run_warp t ~until =
+  let continue = ref true in
+  while !continue && not t.stopping do
+    maybe_sweep t;
+    if t.watches <> [] then poll_fds t ~timeout:0.;
+    match Engine.Timing_wheel.peek_time t.timers with
+    | None -> continue := false
+    | Some time when time > until -> continue := false
+    | Some time -> continue := pop_fire t ~due:time
+  done;
+  if until < infinity && t.vnow < until && not t.stopping then t.vnow <- until
+
+(* Cap one select so [until] and newly due timers stay responsive even if
+   a watched descriptor goes quiet for a long stretch. *)
+let max_block = 0.25
+
+let run_monotonic t ~until =
+  let continue = ref true in
+  while !continue && not t.stopping do
+    maybe_sweep t;
+    let now_ = now t in
+    if now_ >= until then continue := false
+    else begin
+      (* Fire everything due; callbacks may schedule more due work. *)
+      let rec fire_due () =
+        if not t.stopping then
+          match Engine.Timing_wheel.peek_time t.timers with
+          | Some time when time <= now_ ->
+              ignore (pop_fire t ~due:time);
+              fire_due ()
+          | _ -> ()
+      in
+      fire_due ();
+      if not t.stopping then begin
+        match (Engine.Timing_wheel.peek_time t.timers, t.watches) with
+        | None, [] ->
+            (* Nothing queued, nothing watched: no event can ever arrive.
+               Returning beats sleeping to a possibly-infinite [until]. *)
+            continue := false
+        | next, _ ->
+            let deadline =
+              match next with Some tt -> Float.min tt until | None -> until
+            in
+            let timeout = Float.max 0. (deadline -. now t) in
+            poll_fds t ~timeout:(Float.min timeout max_block)
+      end
+    end
+  done
+
+let run t ~until =
+  t.stopping <- false;
+  if Engine.Trace.active t.trace then
+    Engine.Trace.emit t.trace ~time:(now t) ~cat:"wire" ~name:"run_start"
+      [ ("until", Engine.Trace.Float until) ];
+  (match t.mode with
+  | `Warp -> run_warp t ~until
+  | `Monotonic -> run_monotonic t ~until);
+  if Engine.Trace.active t.trace then
+    Engine.Trace.emit t.trace ~time:t.vnow ~cat:"wire" ~name:"run_end"
+      [ ("pending", Engine.Trace.Int (Engine.Timing_wheel.size t.timers)) ]

@@ -1,0 +1,81 @@
+(** Real-time event loop: the wire-side {!Engine.Runtime} implementation.
+
+    Owns a timer queue (reusing {!Engine.Timing_wheel}, the same backend
+    the simulator runs on) and a set of watched file descriptors serviced
+    through [Unix.select]. Protocol state machines written against
+    {!Engine.Runtime} — the TFRC sender and receiver, the baselines — run
+    on this loop unchanged: {!runtime} hands them the same interface
+    {!Engine.Sim.runtime} does.
+
+    Two clock modes:
+
+    - [`Monotonic] (default): time is the monotonic wall clock ({!Clock}),
+      starting at 0 when the loop is created. [run] sleeps in [select]
+      until the next timer deadline or a watched descriptor becomes
+      readable. This is the mode for real UDP endpoints.
+
+    - [`Warp]: time is virtual. [run] never sleeps; it jumps the clock to
+      each timer's deadline and fires timers in exactly the simulator's
+      (time, insertion-sequence) order. A protocol driven by a warp loop
+      is deterministic — no wall-clock jitter reaches its RTT samples —
+      which is what lets the sim-vs-wire differential ({!Validate})
+      demand bit-identical decision logs. Descriptors may still be
+      watched; they are polled (zero timeout) between timer batches. *)
+
+type t
+
+type mode = [ `Monotonic | `Warp ]
+
+(** [create ?trace ?mode ()] makes a loop at time 0 attached to [trace]
+    (default {!Engine.Trace.default}); [mode] defaults to [`Monotonic]. *)
+val create : ?trace:Engine.Trace.t -> ?mode:mode -> unit -> t
+
+val mode : t -> mode
+
+(** Current loop time, seconds: elapsed monotonic time since [create]
+    ([`Monotonic]) or the virtual clock ([`Warp]). Never decreases. *)
+val now : t -> float
+
+(** Timer handle, with {!Engine.Sim}'s cancel/is_pending semantics. *)
+type timer
+
+(** [at t time f] schedules [f] at absolute loop time [time] ([time]
+    must be finite; [Invalid_argument] otherwise). A [time] earlier than
+    [now t] is clamped to the current instant in [`Monotonic] mode —
+    on a real clock every absolute deadline races against time itself —
+    but raises [Invalid_argument] in [`Warp] mode, where the clock only
+    moves when timers fire, making a past deadline a caller bug (same
+    contract as [Engine.Sim.at]). *)
+val at : t -> float -> (unit -> unit) -> timer
+
+(** [after t delay f] schedules [f] in [delay] seconds ([delay] finite and
+    non-negative). *)
+val after : t -> float -> (unit -> unit) -> timer
+
+val cancel : timer -> unit
+val is_pending : timer -> bool
+
+(** Timers still queued, including cancelled ones not yet swept. *)
+val pending_timers : t -> int
+
+(** [watch_fd t fd ~on_readable] has [run] call [on_readable] whenever
+    [fd] selects readable. One watch per descriptor; watching an already
+    watched [fd] replaces its callback. *)
+val watch_fd : t -> Unix.file_descr -> on_readable:(unit -> unit) -> unit
+
+val unwatch_fd : t -> Unix.file_descr -> unit
+
+(** The sans-IO view of this loop, memoized. Timers scheduled through it
+    are loop timers; ids come from the loop's private counter, so decoded
+    packets get deterministic identities per loop. *)
+val runtime : t -> Engine.Runtime.t
+
+(** [run t ~until] drives the loop until loop time reaches [until], or
+    {!stop} is called, or — when [until] is infinite — no timer is queued
+    and no descriptor watched (nothing can ever happen again). In
+    [`Warp] mode the clock lands exactly on [until] (finite) when the
+    queue drains early, mirroring [Sim.run]. *)
+val run : t -> until:float -> unit
+
+(** [stop t] makes [run] return after the currently executing callback. *)
+val stop : t -> unit

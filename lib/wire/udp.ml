@@ -1,0 +1,86 @@
+type t = {
+  fd : Unix.file_descr;
+  loop : Loop.t;
+  buf : Bytes.t;
+  mutable on_datagram : string -> Unix.sockaddr -> unit;
+  mutable rx : int;
+  mutable tx : int;
+  mutable tx_drops : int;
+  mutable closed : bool;
+}
+
+let addr ~port = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+(* Drain every queued datagram: select is level-triggered, but one
+   callback per readiness event would add a loop turn of latency per
+   datagram under bursts. *)
+let rec drain t =
+  if not t.closed then
+    match Unix.recvfrom t.fd t.buf 0 (Bytes.length t.buf) [] with
+    | 0, _ -> ()
+    | n, src ->
+        t.rx <- t.rx + 1;
+        t.on_datagram (Bytes.sub_string t.buf 0 n) src;
+        drain t
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+        ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain t
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+        (* Linux surfaces a previous send's ICMP error on recv; the
+           datagram it refers to is already counted as sent. *)
+        drain t
+
+let create loop ?(port = 0) () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.set_nonblock fd;
+  Unix.bind fd (addr ~port);
+  let t =
+    {
+      fd;
+      loop;
+      buf = Bytes.create Codec.max_frame;
+      on_datagram = (fun _ _ -> ());
+      rx = 0;
+      tx = 0;
+      tx_drops = 0;
+      closed = false;
+    }
+  in
+  Loop.watch_fd loop fd ~on_readable:(fun () -> drain t);
+  t
+
+let port t =
+  match Unix.getsockname t.fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> 0
+
+let set_handler t f = t.on_datagram <- f
+
+let send t ~dest data =
+  let len = String.length data in
+  if len > Codec.max_frame then
+    invalid_arg
+      (Printf.sprintf "Wire.Udp.send: datagram %d exceeds max_frame" len);
+  if not t.closed then
+    match
+      Unix.sendto t.fd (Bytes.unsafe_of_string data) 0 len [] dest
+    with
+    | _ -> t.tx <- t.tx + 1
+    | exception
+        Unix.Unix_error
+          ( ( Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.ECONNREFUSED
+            | Unix.ENOBUFS ),
+            _,
+            _ ) ->
+        t.tx_drops <- t.tx_drops + 1
+
+let datagrams_received t = t.rx
+let datagrams_sent t = t.tx
+let send_drops t = t.tx_drops
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Loop.unwatch_fd t.loop t.fd;
+    Unix.close t.fd
+  end

@@ -1,0 +1,37 @@
+(** Non-blocking UDP endpoint on a {!Loop}.
+
+    Binds a loopback datagram socket, watches it on the loop, and drains
+    every readable datagram to the installed handler. Sends are
+    fire-and-forget: transient send failures (full socket buffer,
+    ICMP-induced [ECONNREFUSED] from a not-yet-listening peer) count as
+    drops — UDP semantics — rather than raising into protocol code. *)
+
+type t
+
+(** [create loop ?port ()] binds [127.0.0.1:port] ([port] defaults to 0 =
+    ephemeral) and registers with [loop]. *)
+val create : Loop.t -> ?port:int -> unit -> t
+
+(** The locally bound port (useful after an ephemeral bind). *)
+val port : t -> int
+
+(** [addr ~port] is the loopback destination for [port]. *)
+val addr : port:int -> Unix.sockaddr
+
+(** [set_handler t f] installs the datagram handler, called with each
+    datagram's bytes and source address. Replaces any previous handler. *)
+val set_handler : t -> (string -> Unix.sockaddr -> unit) -> unit
+
+(** [send t ~dest data] transmits one datagram; drops (and counts) it on
+    transient failure. Raises [Invalid_argument] if [data] exceeds
+    {!Codec.max_frame}. *)
+val send : t -> dest:Unix.sockaddr -> string -> unit
+
+val datagrams_received : t -> int
+val datagrams_sent : t -> int
+
+(** Sends dropped on transient socket errors. *)
+val send_drops : t -> int
+
+(** Unregisters from the loop and closes the socket. Idempotent. *)
+val close : t -> unit

@@ -22,9 +22,9 @@ let wire_rap ?(rtt = 0.1) ~drop () =
            | Some s -> Baselines.Rap.recv s pkt
            | None -> ()))
   in
-  let sender = Baselines.Rap.create sim ~initial_rtt:rtt ~flow:1 ~transmit:to_sink () in
+  let sender = Baselines.Rap.create (Engine.Sim.runtime sim) ~initial_rtt:rtt ~flow:1 ~transmit:to_sink () in
   sender_cell := Some sender;
-  let sink = Baselines.Echo_sink.create sim ~flow:1 ~transmit:to_sender () in
+  let sink = Baselines.Echo_sink.create (Engine.Sim.runtime sim) ~flow:1 ~transmit:to_sender () in
   sink_cell := Some sink;
   (sim, sender, delivered)
 
@@ -49,10 +49,10 @@ let wire_tfrcp ?(rtt = 0.1) ~drop () =
            | None -> ()))
   in
   let sender =
-    Baselines.Tfrcp.create sim ~initial_rtt:rtt ~flow:1 ~transmit:to_sink ()
+    Baselines.Tfrcp.create (Engine.Sim.runtime sim) ~initial_rtt:rtt ~flow:1 ~transmit:to_sink ()
   in
   sender_cell := Some sender;
-  let sink = Baselines.Echo_sink.create sim ~flow:1 ~transmit:to_sender () in
+  let sink = Baselines.Echo_sink.create (Engine.Sim.runtime sim) ~flow:1 ~transmit:to_sender () in
   sink_cell := Some sink;
   (sim, sender, delivered)
 
@@ -62,7 +62,7 @@ let test_echo_sink_echoes_each_packet () =
   let sim = Engine.Sim.create () in
   let echoes = ref [] in
   let sink =
-    Baselines.Echo_sink.create sim ~flow:1
+    Baselines.Echo_sink.create (Engine.Sim.runtime sim) ~flow:1
       ~transmit:(fun pkt ->
         match pkt.Netsim.Packet.payload with
         | Netsim.Packet.Tcp_ack { ack; _ } -> echoes := ack :: !echoes
@@ -72,7 +72,7 @@ let test_echo_sink_echoes_each_packet () =
   let recv = Baselines.Echo_sink.recv sink in
   List.iter
     (fun seq ->
-      recv (Netsim.Packet.make sim ~flow:1 ~seq ~size:1000 ~now:0. Netsim.Packet.Data))
+      recv (Netsim.Packet.make (Engine.Sim.runtime sim) ~flow:1 ~seq ~size:1000 ~now:0. Netsim.Packet.Data))
     [ 0; 1; 3 ];
   Alcotest.(check (list int)) "echoes seq+1, per packet" [ 1; 2; 4 ]
     (List.rev !echoes);
@@ -82,10 +82,10 @@ let test_echo_sink_ignores_acks () =
   let sim = Engine.Sim.create () in
   let echoes = ref 0 in
   let sink =
-    Baselines.Echo_sink.create sim ~flow:1 ~transmit:(fun _ -> incr echoes) ()
+    Baselines.Echo_sink.create (Engine.Sim.runtime sim) ~flow:1 ~transmit:(fun _ -> incr echoes) ()
   in
   Baselines.Echo_sink.recv sink
-    (Netsim.Packet.make sim ~flow:1 ~seq:0 ~size:40 ~now:0.
+    (Netsim.Packet.make (Engine.Sim.runtime sim) ~flow:1 ~seq:0 ~size:40 ~now:0.
        (Netsim.Packet.Tcp_ack { ack = 1; sack = []; ece = false }));
   Alcotest.(check int) "no echo for an ack" 0 !echoes
 

@@ -450,6 +450,66 @@ let test_sim_fresh_id_independent () =
   check Alcotest.int "a continues at 2" 2 (Engine.Sim.fresh_id a);
   check Alcotest.int "b unaffected by a" 2 (Engine.Sim.fresh_id b)
 
+(* --- Runtime ------------------------------------------------------------ *)
+
+let test_runtime_mirrors_sim () =
+  (* The sans-IO view must be indistinguishable from calling Sim directly:
+     same clock, same timer semantics, same id stream, and memoized. *)
+  let sim = Engine.Sim.create () in
+  let rt = Engine.Sim.runtime sim in
+  check Alcotest.bool "memoized" true (rt == Engine.Sim.runtime sim);
+  check Alcotest.int "shares the sim's id allocator" 1
+    (Engine.Runtime.fresh_id rt);
+  check Alcotest.int "sim sees runtime allocations" 2 (Engine.Sim.fresh_id sim);
+  let log = ref [] in
+  let h_cancelled =
+    Engine.Runtime.after rt 2. (fun () -> log := "cancelled" :: !log)
+  in
+  ignore
+    (Engine.Runtime.at rt 1. (fun () ->
+         log := Printf.sprintf "at %g" (Engine.Runtime.now rt) :: !log));
+  check Alcotest.bool "pending before run" true
+    (Engine.Runtime.is_pending h_cancelled);
+  Engine.Runtime.cancel h_cancelled;
+  check Alcotest.bool "cancelled" false (Engine.Runtime.is_pending h_cancelled);
+  Engine.Sim.run sim ~until:5.;
+  check Alcotest.(list string) "only the live timer fired" [ "at 1" ] !log;
+  check Alcotest.bool "null handle never pending" false
+    (Engine.Runtime.is_pending Engine.Runtime.null_handle)
+
+(* --- Hexfloat ----------------------------------------------------------- *)
+
+let test_hexfloat_roundtrip () =
+  (* The floats %.12g mangles — the exact set Checkpoint and the fuzzer's
+     scenario codec depend on surviving bit-for-bit. *)
+  let cases =
+    [ 3.14159265358979312; 0.1; 1e-300; 2e-308; Float.nan; Float.infinity;
+      Float.neg_infinity; -0.; 0.; Float.max_float; Float.min_float;
+      epsilon_float; 1.5e200; -7.25 ]
+  in
+  List.iter
+    (fun f ->
+      let s = Engine.Hexfloat.to_string f in
+      check Alcotest.bool
+        (Printf.sprintf "%s round-trips bit-exactly" s)
+        true
+        (Engine.Hexfloat.equal f (Engine.Hexfloat.of_string s));
+      match Engine.Hexfloat.of_string_opt s with
+      | Some f' ->
+          check Alcotest.bool (s ^ " via of_string_opt") true
+            (Engine.Hexfloat.equal f f')
+      | None -> Alcotest.fail (s ^ " failed to parse"))
+    cases;
+  check Alcotest.bool "-0. distinguished from 0." false
+    (Engine.Hexfloat.equal (-0.) 0.);
+  check Alcotest.bool "nan equals nan under round-trip equality" true
+    (Engine.Hexfloat.equal Float.nan Float.nan);
+  check Alcotest.(option (float 0.)) "garbage rejected" None
+    (Engine.Hexfloat.of_string_opt "0xzoo");
+  match Engine.Hexfloat.of_string "not a float" with
+  | exception Failure _ -> ()
+  | f -> Alcotest.failf "of_string accepted garbage: %h" f
+
 (* --- Units ------------------------------------------------------------- *)
 
 let test_units () =
@@ -526,6 +586,14 @@ let () =
             test_sim_fresh_id_monotone;
           Alcotest.test_case "fresh_id per-sim" `Quick
             test_sim_fresh_id_independent;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "mirrors sim" `Quick test_runtime_mirrors_sim;
+        ] );
+      ( "hexfloat",
+        [
+          Alcotest.test_case "round-trip" `Quick test_hexfloat_roundtrip;
         ] );
       ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
     ]

@@ -37,7 +37,7 @@ let prop_jain_range =
 let pkt_sim = Engine.Sim.create ()
 
 let mk_pkt ?(ecn = false) ~seq () =
-  Netsim.Packet.make pkt_sim ~ecn ~flow:1 ~seq ~size:1000 ~now:0.
+  Netsim.Packet.make (Engine.Sim.runtime pkt_sim) ~ecn ~flow:1 ~seq ~size:1000 ~now:0.
     Netsim.Packet.Data
 
 let test_packet_ecn_default_off () =
@@ -224,9 +224,9 @@ let test_tfrc_responds_to_marks_without_loss () =
            | Some s -> Tfrc.Tfrc_sender.recv s pkt
            | None -> ()))
   in
-  let sender = Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver () in
+  let sender = Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_receiver () in
   sender_cell := Some sender;
-  let receiver = Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender () in
+  let receiver = Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
   receiver_cell := Some receiver;
   Tfrc.Tfrc_sender.start sender ~at:0.;
   Engine.Sim.run sim ~until:60.;
@@ -271,9 +271,9 @@ let test_burst_preserves_rate () =
              | Some s -> Tfrc.Tfrc_sender.recv s pkt
              | None -> ()))
     in
-    let sender = Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver () in
+    let sender = Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_receiver () in
     sender_cell := Some sender;
-    let receiver = Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender () in
+    let receiver = Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
     receiver_cell := Some receiver;
     Tfrc.Tfrc_sender.start sender ~at:0.;
     Engine.Sim.run sim ~until:60.;

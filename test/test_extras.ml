@@ -25,9 +25,9 @@ let wire_tear ?(rtt = 0.1) ~drop () =
            | Some s -> Baselines.Tear.Sender.recv s pkt
            | None -> ()))
   in
-  let sender = Baselines.Tear.Sender.create sim ~flow:1 ~transmit:to_receiver () in
+  let sender = Baselines.Tear.Sender.create (Engine.Sim.runtime sim) ~flow:1 ~transmit:to_receiver () in
   send_cell := Some sender;
-  let receiver = Baselines.Tear.Receiver.create sim ~flow:1 ~transmit:to_sender () in
+  let receiver = Baselines.Tear.Receiver.create (Engine.Sim.runtime sim) ~flow:1 ~transmit:to_sender () in
   recv_cell := Some receiver;
   (sim, sender, receiver, delivered)
 

@@ -306,7 +306,7 @@ let prop_receiver_survives_hostile_streams =
       let config = Tfrc.Tfrc_config.default () in
       let flow = 7 in
       let receiver =
-        Tfrc.Tfrc_receiver.create sim ~config ~flow ~transmit:ignore ()
+        Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow ~transmit:ignore ()
       in
       let recv = Tfrc.Tfrc_receiver.recv receiver in
       let n = 200 + Engine.Rng.int rng 300 in
@@ -344,7 +344,7 @@ let prop_receiver_survives_hostile_streams =
                        { rtt = Engine.Rng.uniform rng 0. 0.5 }
                in
                let pkt =
-                 Netsim.Packet.make sim ~flow ~seq ~size:1000 ~now payload
+                 Netsim.Packet.make (Engine.Sim.runtime sim) ~flow ~seq ~size:1000 ~now payload
                in
                if Engine.Rng.bool rng ~p:0.15 then
                  pkt.Netsim.Packet.corrupted <- true;

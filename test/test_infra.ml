@@ -7,7 +7,7 @@ let checkf ?(eps = 1e-9) msg = Alcotest.check (Alcotest.float eps) msg
 let pkt_sim = Engine.Sim.create ()
 
 let mk_pkt ?(flow = 1) ~seq () =
-  Netsim.Packet.make pkt_sim ~flow ~seq ~size:1000 ~now:0. Netsim.Packet.Data
+  Netsim.Packet.make (Engine.Sim.runtime pkt_sim) ~flow ~seq ~size:1000 ~now:0. Netsim.Packet.Data
 
 (* --- Tracer ----------------------------------------------------------------- *)
 
@@ -169,14 +169,14 @@ let test_lot_tfrc_end_to_end () =
   let config = Tfrc.Tfrc_config.default () in
   let mon = Netsim.Flowmon.create (fun () -> Engine.Sim.now sim) in
   let receiver =
-    Tfrc.Tfrc_receiver.create sim ~config ~flow:1
+    Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1
       ~transmit:(Netsim.Parking_lot.dst_sender lot ~flow:1)
       ()
   in
   Netsim.Parking_lot.set_dst_recv lot ~flow:1
     (Netsim.Flowmon.wrap mon (Tfrc.Tfrc_receiver.recv receiver));
   let sender =
-    Tfrc.Tfrc_sender.create sim ~config ~flow:1
+    Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1
       ~transmit:(Netsim.Parking_lot.src_sender lot ~flow:1)
       ()
   in
@@ -236,9 +236,9 @@ let wire_tfrc ~config ~drop () =
            | Some s -> Tfrc.Tfrc_sender.recv s pkt
            | None -> ()))
   in
-  let sender = Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver () in
+  let sender = Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_receiver () in
   sender_cell := Some sender;
-  let receiver = Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender () in
+  let receiver = Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
   receiver_cell := Some receiver;
   (sim, sender, delivered)
 
@@ -300,7 +300,7 @@ let test_session_loopback () =
      exponentially expensive. *)
   let sim = Engine.Sim.create () in
   let session =
-    Tfrc.Session.create sim ~flow:1
+    Tfrc.Session.create (Engine.Sim.runtime sim) ~flow:1
       ~data_path:(fun deliver pkt ->
         ignore (Engine.Sim.after sim 0.05 (fun () -> deliver pkt)))
       ~feedback_path:(fun deliver pkt ->
@@ -335,7 +335,7 @@ let test_session_over_dumbbell () =
 let test_session_stop () =
   let sim = Engine.Sim.create () in
   let session =
-    Tfrc.Session.create sim ~flow:1
+    Tfrc.Session.create (Engine.Sim.runtime sim) ~flow:1
       ~data_path:(fun deliver pkt ->
         ignore (Engine.Sim.after sim 0.02 (fun () -> deliver pkt)))
       ~feedback_path:(fun deliver pkt ->

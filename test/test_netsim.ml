@@ -9,7 +9,7 @@ let qtest t = QCheck_alcotest.to_alcotest t
 let pkt_sim = Engine.Sim.create ()
 
 let mk_pkt ?(flow = 1) ?(seq = 0) ?(size = 1000) ?(now = 0.) () =
-  Netsim.Packet.make pkt_sim ~flow ~seq ~size ~now Netsim.Packet.Data
+  Netsim.Packet.make (Engine.Sim.runtime pkt_sim) ~flow ~seq ~size ~now Netsim.Packet.Data
 
 (* --- Packet --------------------------------------------------------------- *)
 
@@ -34,12 +34,12 @@ let test_packet_pp () =
 let test_packet_is_data () =
   Alcotest.(check bool) "data" true (Netsim.Packet.is_data (mk_pkt ()));
   let ack =
-    Netsim.Packet.make pkt_sim ~flow:1 ~seq:0 ~size:40 ~now:0.
+    Netsim.Packet.make (Engine.Sim.runtime pkt_sim) ~flow:1 ~seq:0 ~size:40 ~now:0.
       (Netsim.Packet.Tcp_ack { ack = 1; sack = []; ece = false })
   in
   Alcotest.(check bool) "ack is not data" false (Netsim.Packet.is_data ack);
   let fb =
-    Netsim.Packet.make pkt_sim ~flow:1 ~seq:0 ~size:40 ~now:0.
+    Netsim.Packet.make (Engine.Sim.runtime pkt_sim) ~flow:1 ~seq:0 ~size:40 ~now:0.
       (Netsim.Packet.Tfrc_feedback
          { p = 0.; recv_rate = 0.; ts_echo = 0.; ts_delay = 0. })
   in
@@ -52,7 +52,7 @@ let test_packet_pool_recycles () =
   let sim = Engine.Sim.create () in
   let pool = Netsim.Packet.Pool.create () in
   let p1 =
-    Netsim.Packet.Pool.alloc pool sim ~ecn:true ~flow:1 ~seq:10 ~size:1000
+    Netsim.Packet.Pool.alloc pool (Engine.Sim.runtime sim) ~ecn:true ~flow:1 ~seq:10 ~size:1000
       ~now:1. Netsim.Packet.Data
   in
   let id1 = p1.Netsim.Packet.id in
@@ -65,7 +65,7 @@ let test_packet_pool_recycles () =
     (Netsim.Packet.Pool.outstanding pool);
   Alcotest.(check int) "one idle" 1 (Netsim.Packet.Pool.idle pool);
   let p2 =
-    Netsim.Packet.Pool.alloc pool sim ~flow:2 ~seq:20 ~size:500 ~now:2.
+    Netsim.Packet.Pool.alloc pool (Engine.Sim.runtime sim) ~flow:2 ~seq:20 ~size:500 ~now:2.
       Netsim.Packet.Data
   in
   Alcotest.(check bool) "record reused" true (p1 == p2);
@@ -84,7 +84,7 @@ let test_packet_pool_recycles () =
    when traces carry packet ids. *)
 let test_packet_ids_per_sim () =
   let mk sim seq =
-    Netsim.Packet.make sim ~flow:1 ~seq ~size:100 ~now:0. Netsim.Packet.Data
+    Netsim.Packet.make (Engine.Sim.runtime sim) ~flow:1 ~seq ~size:100 ~now:0. Netsim.Packet.Data
   in
   let a = Engine.Sim.create () and b = Engine.Sim.create () in
   let ids_a = ref [] and ids_b = ref [] in
@@ -109,7 +109,7 @@ let prop_packet_ids_independent =
         (fun pick_a ->
           let sim, acc = if pick_a then (a, got_a) else (b, got_b) in
           let pkt =
-            Netsim.Packet.make sim ~flow:0 ~seq:0 ~size:40 ~now:0.
+            Netsim.Packet.make (Engine.Sim.runtime sim) ~flow:0 ~seq:0 ~size:40 ~now:0.
               Netsim.Packet.Data
           in
           acc := pkt.Netsim.Packet.id :: !acc)
@@ -496,7 +496,7 @@ let test_flowmon_records_data_only () =
   let sink = Netsim.Flowmon.tap mon in
   sink (mk_pkt ~size:100 ());
   sink
-    (Netsim.Packet.make pkt_sim ~flow:1 ~seq:0 ~size:40 ~now:0.
+    (Netsim.Packet.make (Engine.Sim.runtime pkt_sim) ~flow:1 ~seq:0 ~size:40 ~now:0.
        (Netsim.Packet.Tcp_ack { ack = 1; sack = []; ece = false }));
   Alcotest.(check int) "one data packet" 1 (Netsim.Flowmon.packets mon);
   Alcotest.(check int) "bytes" 100 (Netsim.Flowmon.bytes mon);

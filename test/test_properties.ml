@@ -158,11 +158,11 @@ let prop_tfrc_rate_and_p_in_range =
                | None -> ()))
       in
       let sender =
-        Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver ()
+        Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_receiver ()
       in
       sender_cell := Some sender;
       let receiver =
-        Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender ()
+        Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender ()
       in
       receiver_cell := Some receiver;
       let ok = ref true in
@@ -200,11 +200,11 @@ let prop_tfrc_estimate_positive_after_loss =
                | None -> ()))
       in
       let sender =
-        Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver ()
+        Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_receiver ()
       in
       sender_cell := Some sender;
       let receiver =
-        Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender ()
+        Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender ()
       in
       receiver_cell := Some receiver;
       Tfrc.Tfrc_sender.start sender ~at:0.;
@@ -260,13 +260,13 @@ let prop_tfrc_rate_bounded_under_outages =
                    | None -> ())))
       in
       let sender =
-        Tfrc.Tfrc_sender.create sim ~config ~flow:1
+        Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1
           ~transmit:(Netsim.Link.send link)
           ()
       in
       sender_cell := Some sender;
       let receiver =
-        Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:fb_handler ()
+        Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:fb_handler ()
       in
       receiver_cell := Some receiver;
       Netsim.Faults.outage sim link ~at:outage_at ~duration:outage_dur ();

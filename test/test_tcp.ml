@@ -73,7 +73,7 @@ let test_rto_aggressive_mode () =
 let pkt_sim = Engine.Sim.create ()
 
 let mk_data ~seq =
-  Netsim.Packet.make pkt_sim ~flow:1 ~seq ~size:1000 ~now:0. Netsim.Packet.Data
+  Netsim.Packet.make (Engine.Sim.runtime pkt_sim) ~flow:1 ~seq ~size:1000 ~now:0. Netsim.Packet.Data
 
 let sink_harness () =
   let sim = Engine.Sim.create () in

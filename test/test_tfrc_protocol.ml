@@ -34,9 +34,9 @@ let wire ?(config = Tfrc.Tfrc_config.default ()) ?(rtt = 0.1) ~drop () =
              | Some s -> Tfrc.Tfrc_sender.recv s pkt
              | None -> ()))
   in
-  let sender = Tfrc.Tfrc_sender.create sim ~config ~flow:1 ~transmit:to_receiver () in
+  let sender = Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_receiver () in
   sender_cell := Some sender;
-  let receiver = Tfrc.Tfrc_receiver.create sim ~config ~flow:1 ~transmit:to_sender () in
+  let receiver = Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
   receiver_cell := Some receiver;
   { sim; sender; receiver; delivered; feedback_blocked }
 

@@ -1,0 +1,370 @@
+(* Wire layer: codec round-trip and hostile-input behavior, shaper
+   determinism, warp-loop scheduling parity with Sim, and a real-UDP
+   loopback transfer. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let fresh_rt () = Engine.Sim.runtime (Engine.Sim.create ())
+
+(* --- Codec -------------------------------------------------------------- *)
+
+let mk_packet rt ?(ecn = false) ~flow ~seq ~size ~sent_at payload =
+  let p = Netsim.Packet.make rt ~ecn ~flow ~seq ~size ~now:sent_at payload in
+  p
+
+let sample_payloads : Netsim.Packet.payload list =
+  [
+    Data;
+    Tfrc_data { rtt = 0.04637 };
+    Tfrc_data { rtt = 1e-300 };
+    Tfrc_feedback
+      { p = 0.0123; recv_rate = 1.25e6; ts_echo = 17.75; ts_delay = 0.002 };
+    Tfrc_feedback { p = 0.; recv_rate = 0.; ts_echo = -0.; ts_delay = 0.1 };
+    Tcp_ack { ack = 42; sack = []; ece = false };
+    Tcp_ack { ack = 7; sack = [ (10, 12); (20, 25) ]; ece = true };
+  ]
+
+(* Field-level equality; ids are per-runtime so they legitimately differ. *)
+let packet_eq (a : Netsim.Packet.t) (b : Netsim.Packet.t) =
+  a.flow = b.flow && a.seq = b.seq && a.size = b.size
+  && Engine.Hexfloat.equal a.sent_at b.sent_at
+  && a.ecn_capable = b.ecn_capable
+  && a.ecn_marked = b.ecn_marked
+  && a.corrupted = b.corrupted
+  &&
+  match (a.payload, b.payload) with
+  | Data, Data -> true
+  | Tfrc_data { rtt = x }, Tfrc_data { rtt = y } -> Engine.Hexfloat.equal x y
+  | Tfrc_feedback x, Tfrc_feedback y ->
+      Engine.Hexfloat.equal x.p y.p
+      && Engine.Hexfloat.equal x.recv_rate y.recv_rate
+      && Engine.Hexfloat.equal x.ts_echo y.ts_echo
+      && Engine.Hexfloat.equal x.ts_delay y.ts_delay
+  | Tcp_ack x, Tcp_ack y -> x.ack = y.ack && x.sack = y.sack && x.ece = y.ece
+  | _ -> false
+
+let test_codec_roundtrip () =
+  let rt = fresh_rt () in
+  List.iteri
+    (fun i payload ->
+      let p =
+        mk_packet rt ~ecn:(i mod 2 = 0) ~flow:(i + 1) ~seq:(i * 7)
+          ~size:(1000 + i) ~sent_at:(float_of_int i *. 0.125)
+          payload
+      in
+      p.ecn_marked <- i mod 3 = 0;
+      let frame = Wire.Codec.encode p in
+      match Wire.Codec.decode rt frame with
+      | Error e -> Alcotest.failf "decode %d: %s" i (Wire.Codec.error_to_string e)
+      | Ok p' ->
+          check Alcotest.bool
+            (Printf.sprintf "payload %d round-trips" i)
+            true (packet_eq p p');
+          (* Re-encoding the decoded packet must give the same bytes:
+             string equality covers every field bit-for-bit. *)
+          check Alcotest.string
+            (Printf.sprintf "payload %d re-encodes identically" i)
+            frame (Wire.Codec.encode p'))
+    sample_payloads
+
+let arb_payload : Netsim.Packet.payload QCheck.arbitrary =
+  let open QCheck.Gen in
+  let sp =
+    (* Floats the wire must carry losslessly, including the awkward ones. *)
+    oneofl
+      [ 0.; -0.; 0.1; 1e-300; 2e-308; 1.5e15; 0.04637; infinity *. 0. |> Float.abs ]
+  in
+  let sp = map (fun f -> if Float.is_nan f then 0.25 else f) sp in
+  let gen =
+    frequency
+      [
+        (1, return Netsim.Packet.Data);
+        (2, map (fun rtt -> Netsim.Packet.Tfrc_data { rtt }) sp);
+        ( 3,
+          map
+            (fun ((p, recv_rate), (ts_echo, ts_delay)) ->
+              Netsim.Packet.Tfrc_feedback { p; recv_rate; ts_echo; ts_delay })
+            (pair (pair sp sp) (pair sp sp)) );
+        ( 2,
+          map
+            (fun (ack, (sack, ece)) -> Netsim.Packet.Tcp_ack { ack; sack; ece })
+            (pair (int_bound 1_000_000)
+               (pair
+                  (list_size (int_bound 5)
+                     (map
+                        (fun (lo, n) -> (lo, lo + n))
+                        (pair (int_bound 100_000) (int_bound 50))))
+                  bool)) );
+      ]
+  in
+  QCheck.make gen
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec round-trips arbitrary packets" ~count:300
+    (QCheck.triple arb_payload
+       (QCheck.int_bound 100_000)
+       (QCheck.int_bound 10_000))
+    (fun (payload, seq, flow) ->
+      let rt = fresh_rt () in
+      let p =
+        mk_packet rt ~flow ~seq ~size:((seq mod 1500) + 1)
+          ~sent_at:(float_of_int seq *. 0.01)
+          payload
+      in
+      let frame = Wire.Codec.encode p in
+      match Wire.Codec.decode rt frame with
+      | Error e -> QCheck.Test.fail_report (Wire.Codec.error_to_string e)
+      | Ok p' -> packet_eq p p' && String.equal frame (Wire.Codec.encode p'))
+
+let test_codec_rejects_hostile () =
+  let rt = fresh_rt () in
+  let p =
+    mk_packet rt ~flow:3 ~seq:9 ~size:1000 ~sent_at:1.5
+      (Tfrc_feedback
+         { p = 0.01; recv_rate = 5e5; ts_echo = 1.25; ts_delay = 0.004 })
+  in
+  let frame = Wire.Codec.encode p in
+  let expect_error what = function
+    | Ok _ -> Alcotest.failf "%s decoded successfully" what
+    | Error _ -> ()
+  in
+  (* Every truncation of a valid frame must be rejected. *)
+  for len = 0 to String.length frame - 1 do
+    expect_error
+      (Printf.sprintf "truncation to %d bytes" len)
+      (Wire.Codec.decode rt (String.sub frame 0 len))
+  done;
+  (* Every single-bit flip must be rejected: the checksum covers all
+     bytes outside its own field, and flips inside the field mismatch
+     the recomputation. *)
+  for byte = 0 to String.length frame - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string frame in
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+      expect_error
+        (Printf.sprintf "bit flip at %d.%d" byte bit)
+        (Wire.Codec.decode rt (Bytes.to_string b))
+    done
+  done;
+  (* Trailing garbage, oversized input, and junk never raise. *)
+  expect_error "trailing garbage" (Wire.Codec.decode rt (frame ^ "x"));
+  expect_error "oversized"
+    (Wire.Codec.decode rt (String.make (Wire.Codec.max_frame + 1) 'T'));
+  expect_error "empty" (Wire.Codec.decode rt "");
+  expect_error "junk" (Wire.Codec.decode rt "this is not a TFRC frame");
+  (* A sack count pointing past the end of the datagram. *)
+  let b = Bytes.of_string frame in
+  Bytes.set_uint8 b 3 1 (* claim Tcp_ack *);
+  expect_error "tag swapped" (Wire.Codec.decode rt (Bytes.to_string b))
+
+let test_codec_encode_validates () =
+  let rt = fresh_rt () in
+  let p = mk_packet rt ~flow:(-1) ~seq:0 ~size:10 ~sent_at:0. Data in
+  (match Wire.Codec.encode p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative flow encoded");
+  let p = mk_packet rt ~flow:1 ~seq:0x1_0000_0000 ~size:10 ~sent_at:0. Data in
+  match Wire.Codec.encode p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range seq encoded"
+
+(* --- Shaper ------------------------------------------------------------- *)
+
+(* Same seed => identical drop/delay/reorder pattern, on any runtime. *)
+let shaper_trace ~seed ~config n =
+  let sim = Engine.Sim.create ~trace:(Engine.Trace.create ()) () in
+  let rt = Engine.Sim.runtime sim in
+  let log = ref [] in
+  let sh =
+    Wire.Shaper.create rt ~seed ~config
+      ~deliver:(fun i ->
+        log := (i, Engine.Runtime.now rt) :: !log)
+      ()
+  in
+  for i = 1 to n do
+    Wire.Shaper.send sh i
+  done;
+  Engine.Sim.run sim ~until:10.;
+  (List.rev !log, Wire.Shaper.dropped sh, Wire.Shaper.reordered sh)
+
+let test_shaper_deterministic () =
+  let config =
+    { Wire.Shaper.loss = 0.2; delay = 0.05; jitter = 0.02; reorder = 0.1 }
+  in
+  let a = shaper_trace ~seed:7 ~config 500 in
+  let b = shaper_trace ~seed:7 ~config 500 in
+  let c = shaper_trace ~seed:8 ~config 500 in
+  check Alcotest.bool "same seed, same trace" true (a = b);
+  let log_a, dropped_a, _ = a and log_c, _, _ = c in
+  check Alcotest.bool "different seed differs" true (log_a <> log_c);
+  check Alcotest.bool "losses happened" true (dropped_a > 0);
+  check Alcotest.int "drops + deliveries = sends" 500
+    (dropped_a + List.length log_a)
+
+let test_shaper_passthrough_ordered () =
+  let log, dropped, reordered =
+    shaper_trace ~seed:3 ~config:Wire.Shaper.passthrough 100
+  in
+  check Alcotest.int "nothing dropped" 0 dropped;
+  check Alcotest.int "nothing reordered" 0 reordered;
+  check
+    Alcotest.(list int)
+    "FIFO order preserved"
+    (List.init 100 (fun i -> i + 1))
+    (List.map fst log)
+
+(* --- Warp loop ---------------------------------------------------------- *)
+
+(* The warp loop must fire timers in Sim's exact (time, insertion-seq)
+   order, including same-time ties and cancellations. *)
+let schedule_mix schedule_at cancel now =
+  let log = ref [] in
+  let note tag () = log := (tag, now ()) :: !log in
+  ignore (schedule_at 0.5 (note "a"));
+  let h = schedule_at 0.5 (note "cancelled") in
+  ignore (schedule_at 0.5 (note "b"));
+  ignore (schedule_at 0.1 (note "early"));
+  ignore
+    (schedule_at 0.2 (fun () ->
+         note "nest" ();
+         ignore (schedule_at 0.2 (note "nest-same-time"))));
+  cancel h;
+  log
+
+let test_warp_matches_sim_order () =
+  let sim = Engine.Sim.create ~trace:(Engine.Trace.create ()) () in
+  let sim_log =
+    schedule_mix
+      (fun t f -> Engine.Sim.at sim t f)
+      Engine.Sim.cancel
+      (fun () -> Engine.Sim.now sim)
+  in
+  Engine.Sim.run sim ~until:1.;
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) ~mode:`Warp () in
+  let loop_log =
+    schedule_mix
+      (fun t f -> Wire.Loop.at loop t f)
+      Wire.Loop.cancel
+      (fun () -> Wire.Loop.now loop)
+  in
+  Wire.Loop.run loop ~until:1.;
+  check
+    Alcotest.(list (pair string (float 0.)))
+    "identical firing order and times" (List.rev !sim_log)
+    (List.rev !loop_log);
+  check Alcotest.(float 0.) "clock lands on until" 1. (Wire.Loop.now loop)
+
+let test_loop_guards () =
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) ~mode:`Warp () in
+  (match Wire.Loop.at loop Float.nan ignore with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "nan accepted");
+  (match Wire.Loop.after loop (-1.) ignore with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative delay accepted");
+  let h = Wire.Loop.after loop 1. ignore in
+  check Alcotest.bool "pending" true (Wire.Loop.is_pending h);
+  Wire.Loop.cancel h;
+  check Alcotest.bool "cancelled" false (Wire.Loop.is_pending h);
+  Wire.Loop.run loop ~until:2.;
+  check Alcotest.(float 0.) "time advanced to until" 2. (Wire.Loop.now loop)
+
+(* --- Sim-vs-wire differential ------------------------------------------- *)
+
+let test_validate_passthrough () =
+  (* The acceptance setting: zero loss, zero delay. The app limit bounds
+     slow start's exponential rate growth so 30 virtual seconds stay
+     cheap; it is applied identically on both sides. *)
+  let r = Wire.Validate.run ~app_limit:1e5 ~seed:42 ~duration:30. () in
+  (match r.first_diff with
+  | Some (i, a, b) ->
+      Alcotest.failf "diverged at %d:\n  sim:  %s\n  wire: %s" i a b
+  | None -> ());
+  check Alcotest.bool "logs equal" true r.equal;
+  check Alcotest.bool "made enough decisions" true (r.decisions_sim > 20)
+
+let test_validate_under_impairment () =
+  (* Loss, delay, jitter and reordering: both sides draw identical RNG
+     streams, so decisions must still match bit-for-bit. *)
+  let shaper =
+    { Wire.Shaper.loss = 0.02; delay = 0.03; jitter = 0.005; reorder = 0.01 }
+  in
+  let r = Wire.Validate.run ~shaper ~seed:7 ~duration:30. () in
+  (match r.first_diff with
+  | Some (i, a, b) ->
+      Alcotest.failf "diverged at %d:\n  sim:  %s\n  wire: %s" i a b
+  | None -> ());
+  check Alcotest.bool "decisions under loss" true (r.decisions_sim > 20)
+
+(* --- Real UDP loopback -------------------------------------------------- *)
+
+let test_udp_loopback_transfer () =
+  let r = Wire.Endpoint.loopback_demo ~packets:30 ~seed:1 ~timeout:20. () in
+  if not r.completed then
+    Alcotest.failf "transfer incomplete: %s"
+      (Format.asprintf "%a" Wire.Endpoint.pp_demo_result r);
+  check Alcotest.bool "received at least the target" true
+    (r.data_received >= 30);
+  check Alcotest.bool "feedback flowed" true (r.feedbacks_received > 0);
+  check Alcotest.int "no decode errors" 0 r.decode_errors
+
+let test_udp_socket_basics () =
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) () in
+  let a = Wire.Udp.create loop () in
+  let b = Wire.Udp.create loop () in
+  let got = ref [] in
+  Wire.Udp.set_handler b (fun data _src ->
+      got := data :: !got;
+      if List.length !got >= 2 then Wire.Loop.stop loop);
+  let dest = Wire.Udp.addr ~port:(Wire.Udp.port b) in
+  Wire.Udp.send a ~dest "hello";
+  Wire.Udp.send a ~dest "world";
+  Wire.Loop.run loop ~until:5.;
+  check
+    Alcotest.(slist string compare)
+    "both datagrams arrived" [ "hello"; "world" ] !got;
+  check Alcotest.int "tx counted" 2 (Wire.Udp.datagrams_sent a);
+  check Alcotest.int "rx counted" 2 (Wire.Udp.datagrams_received b);
+  Wire.Udp.close a;
+  Wire.Udp.close b;
+  (* Idempotent close. *)
+  Wire.Udp.close a
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip samples" `Quick test_codec_roundtrip;
+          qtest prop_codec_roundtrip;
+          Alcotest.test_case "hostile input" `Quick test_codec_rejects_hostile;
+          Alcotest.test_case "encode validates" `Quick
+            test_codec_encode_validates;
+        ] );
+      ( "shaper",
+        [
+          Alcotest.test_case "deterministic" `Quick test_shaper_deterministic;
+          Alcotest.test_case "passthrough order" `Quick
+            test_shaper_passthrough_ordered;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "warp matches sim" `Quick
+            test_warp_matches_sim_order;
+          Alcotest.test_case "guards" `Quick test_loop_guards;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "passthrough" `Quick test_validate_passthrough;
+          Alcotest.test_case "under impairment" `Quick
+            test_validate_under_impairment;
+        ] );
+      ( "udp",
+        [
+          Alcotest.test_case "socket basics" `Quick test_udp_socket_basics;
+          Alcotest.test_case "loopback transfer" `Slow
+            test_udp_loopback_transfer;
+        ] );
+    ]

@@ -50,8 +50,28 @@ while IFS= read -r file; do
   fi
 done < <(find lib -name '*.ml' | sort)
 
+# Sans-IO boundary: wall clocks and sockets belong to lib/wire (the
+# real-time runtime) alone. Protocol and experiment code gets time from
+# Engine.Runtime / Engine.Sim, so a direct clock or socket call in any
+# other library reintroduces scheduler-specific behavior the Runtime
+# refactor removed. File IO (checkpoint stores, trace sinks) is fine.
+while IFS= read -r file; do
+  case "$file" in
+    lib/wire/*) continue ;;
+    # Wall-clock job metering for the supervision report — observability,
+    # not protocol behavior; virtual time still comes from Sim.
+    lib/exp/runner.ml) continue ;;
+  esac
+  hits=$(grep -nE 'Unix\.(gettimeofday|time\b|sleepf?|select|socket|recvfrom|sendto|setsockopt|bind .*ADDR_INET)' "$file")
+  if [ -n "$hits" ]; then
+    fail=1
+    printf '%s: wall-clock/socket call outside lib/wire (use Engine.Runtime):\n' "$file"
+    printf '%s\n' "$hits"
+  fi
+done < <(find lib -name '*.ml' | sort)
+
 if [ "$fail" -ne 0 ]; then
   echo "lint_global_state: FAILED (see above)" >&2
   exit 1
 fi
-echo "lint_global_state: ok (no top-level mutable refs outside the allowlist)"
+echo "lint_global_state: ok (no top-level mutable refs outside the allowlist; clocks and sockets confined to lib/wire)"
