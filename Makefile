@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-many-flows ratchet wire-smoke lint clean
+.PHONY: all check test bench bench-many-flows ratchet wire-smoke soak-smoke lint clean
 
 all:
 	dune build @all
@@ -36,6 +36,12 @@ ratchet:
 wire-smoke:
 	dune exec bin/tfrc_sim.exe -- wire loopback-demo --packets 100 --seed 7
 	dune exec bin/tfrc_sim.exe -- wire validate --duration 10
+
+# Wire-mode chaos soak: seeded syscall-fault endurance runs with the
+# supervised endpoint lifecycle, plus the planted-bug oracle self-test.
+soak-smoke:
+	dune exec bin/tfrc_sim.exe -- wire soak --cases 50 --seed 1
+	dune exec bin/tfrc_sim.exe -- wire soak --cases 20 --seed 1 --mutate
 
 clean:
 	dune clean

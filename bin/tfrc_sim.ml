@@ -822,12 +822,92 @@ let wire_cmd =
         const run $ duration_arg $ app_limit_arg $ seed_arg $ loss_arg
         $ delay_arg $ jitter_arg $ reorder_arg)
   in
+  let soak_cmd =
+    let cases_arg =
+      Arg.(
+        value & opt int 50
+        & info [ "cases" ] ~docv:"N"
+            ~doc:"Number of random chaos cases to run.")
+    in
+    let mutate_arg =
+      Arg.(
+        value & flag
+        & info [ "mutate" ]
+            ~doc:
+              "Self-test: deterministically plant a known supervisor \
+               lifecycle bug (a dead peer restarts without backing off) and \
+               exit successfully only if the soak catches it (and nothing \
+               else).")
+    in
+    let artifacts_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "artifacts" ] ~docv:"DIR"
+            ~doc:
+              "Write a replayable repro bundle for every failing case under \
+               $(docv); replay with $(b,--replay).")
+    in
+    let replay_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "replay" ] ~docv:"BUNDLE"
+            ~doc:
+              "Instead of soaking, replay one repro bundle and check that \
+               it reproduces its recorded verdict.")
+    in
+    let run cases seed j mutate artifacts replay =
+      match replay with
+      | Some path ->
+          let ok =
+            try Fuzz.Wire_soak.replay ~out:Format.std_formatter path
+            with Failure msg | Sys_error msg ->
+              Format.eprintf "tfrc_sim: %s@." msg;
+              exit 2
+          in
+          exit (if ok then 0 else 1)
+      | None ->
+          if cases <= 0 then begin
+            Format.eprintf "tfrc_sim: --cases must be positive@.";
+            exit 1
+          end;
+          let summary =
+            Fuzz.Wire_soak.run ~out:Format.std_formatter
+              { Fuzz.Wire_soak.cases; seed; j; mutate; artifacts }
+          in
+          if mutate then
+            if Fuzz.Wire_soak.mutate_ok summary then begin
+              Format.printf "mutate self-test: planted bug caught by sup-legal@.";
+              exit 0
+            end
+            else begin
+              Format.printf
+                "mutate self-test FAILED: the planted lifecycle bug was not \
+                 isolated (expected every failure to be sup-legal, with at \
+                 least one)@.";
+              exit 1
+            end
+          else exit (if summary.Fuzz.Wire_soak.failed = 0 then 0 else 1)
+    in
+    Cmd.v
+      (Cmd.info "soak"
+         ~doc:
+           "Chaos soak over real loopback sockets: seeded syscall faults \
+            (EAGAIN/EINTR/ECONNREFUSED bursts, hard-errno blackouts, \
+            truncated reads) against the supervised endpoint lifecycle, \
+            judged by wire oracles. Deterministic: equal (--cases, --seed) \
+            give equal output at any -j.")
+      Term.(
+        const run $ cases_arg $ seed_arg $ jobs_arg $ mutate_arg
+        $ artifacts_arg $ replay_arg)
+  in
   Cmd.group
     (Cmd.info "wire"
        ~doc:
          "Real-time UDP mode: the simulator's TFRC state machines on a \
           select()-based event loop.")
-    [ sender_cmd; receiver_cmd; demo_cmd; validate_cmd ]
+    [ sender_cmd; receiver_cmd; demo_cmd; validate_cmd; soak_cmd ]
 
 let () =
   let info =

@@ -21,7 +21,13 @@
      never exceed packets offered (nothing is created in flight).
    - queue-conservation: a [link/queue] counter snapshot (emitted at
      up/down transitions and on demand) satisfies the strict per-queue
-     arithmetic arrivals = departures + drops + queued, exactly. *)
+     arithmetic arrivals = departures + drops + queued, exactly.
+   - wire-sup-legal: supervised endpoint lifecycle transitions
+     ([wire/sup_transition] events, emitted by the wire layer's
+     supervisor) follow the state machine — each event's [from] matches
+     the last recorded state for its flow, and the edge is in the legal
+     relation (no self-loops; Backoff only from Degraded or Starting;
+     Closed terminal). *)
 
 type violation = { time : float; rule : string; detail : string }
 
@@ -45,6 +51,7 @@ type t = {
   mutable violations : violation list; (* newest first, capped *)
   flows : (int, flow_state) Hashtbl.t;
   links : (string, link_state) Hashtbl.t;
+  sup_states : (int, string) Hashtbl.t; (* per-flow last supervisor state *)
   mutable self_sink : Engine.Trace.sink option; (* cached so detach matches attach *)
 }
 
@@ -61,13 +68,15 @@ let create () =
     violations = [];
     flows = Hashtbl.create 8;
     links = Hashtbl.create 8;
+    sup_states = Hashtbl.create 4;
     self_sink = None;
   }
 
 let reset_run_state t =
   t.last_time <- neg_infinity;
   Hashtbl.reset t.flows;
-  Hashtbl.reset t.links
+  Hashtbl.reset t.links;
+  Hashtbl.reset t.sup_states
 
 let violate t ~time ~rule fmt =
   Printf.ksprintf
@@ -265,6 +274,34 @@ let check_queue_snapshot t (ev : Engine.Trace.event) =
       "link %s: arrivals %d <> departures %d + drops %d + queued %d" link
       arrivals departures drops queued
 
+(* Supervised endpoint lifecycle (the wire library's Supervisor): every
+   [wire/sup_transition] must continue from the last recorded state and
+   take a legal edge. The relation is duplicated here as strings because
+   this library cannot depend on the wire library; Supervisor.legal is
+   the authoritative copy and the wire tests pin the two together. *)
+let sup_legal from to_ =
+  match (from, to_) with
+  | "starting", ("established" | "degraded" | "backoff" | "closed") -> true
+  | "established", ("degraded" | "closed") -> true
+  | "degraded", ("established" | "backoff" | "closed") -> true
+  | "backoff", ("starting" | "closed") -> true
+  | _ -> false
+
+let check_sup_transition t (ev : Engine.Trace.event) =
+  let flow = ifield ev "flow" ~default:0 in
+  let from = sfield ev "from" ~default:"?" in
+  let to_ = sfield ev "to" ~default:"?" in
+  (match Hashtbl.find_opt t.sup_states flow with
+  | Some prev when prev <> from ->
+      violate t ~time:ev.time ~rule:"wire-sup-legal"
+        "flow %d: transition claims from=%s but last recorded state is %s"
+        flow from prev
+  | _ -> ());
+  if not (sup_legal from to_) then
+    violate t ~time:ev.time ~rule:"wire-sup-legal"
+      "flow %d: illegal supervisor transition %s -> %s" flow from to_;
+  Hashtbl.replace t.sup_states flow to_
+
 let check_event t (ev : Engine.Trace.event) =
   t.n_events <- t.n_events + 1;
   if ev.cat = "sim" && ev.name = "created" then reset_run_state t
@@ -285,6 +322,7 @@ let check_event t (ev : Engine.Trace.event) =
     | "tfrc", "start" -> check_start t ev
     | "link", "queue" -> check_queue_snapshot t ev
     | "link", _ -> check_link t ev
+    | "wire", "sup_transition" -> check_sup_transition t ev
     | _ -> ()
   end
 

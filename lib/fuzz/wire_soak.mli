@@ -1,0 +1,78 @@
+(** Wire-mode chaos soak: seeded syscall-fault endurance runs over real
+    loopback sockets.
+
+    Each case stands up a supervised TFRC sender and a managed receiver
+    ({!Wire.Supervisor}) on two UDP sockets whose syscalls go through
+    {!Wire.Faultio} (EAGAIN/ENOBUFS bursts, EINTR storms, ECONNREFUSED
+    replays, hard-errno blackouts, truncated deliveries) with a seeded
+    {!Wire.Shaper} in each direction, drives the whole session on a
+    [`Warp] loop for a fault window plus a recovery window, and judges
+    the run with wire oracles:
+
+    - [no-crash] — nothing unwinds out of the loop;
+    - [sup-legal] — every supervisor lifecycle transition is a legal
+      edge (the {!Tfrc.Invariants} [wire-sup-legal] rule);
+    - [invariants] — no other RFC 3448 invariant violation;
+    - [recovery] — data flowed, and the session was [Established] at or
+      after the end of the fault window ([Closed], for graceful-close
+      cases); death cases must additionally have restarted at least once
+      on a fresh epoch;
+    - [conservation] — per direction, exact counter chains: every frame
+      offered to the shaper is dropped there, still in flight, or landed
+      in exactly one send bucket; every datagram the kernel delivered is
+      a fault-layer drop or was decoded into exactly one receive bucket;
+    - [io-health] — the warp settle never gave a datagram up for lost;
+    - [busy-loop] — [select] calls are bounded by work done;
+    - [determinism] — the case runs twice and must produce an identical
+      trace digest, event count and counter snapshot.
+
+    Everything printed by {!run} is a pure function of the config — no
+    worker count, no wall clock — so [-j N] output is byte-identical to
+    [-j 1]. *)
+
+type config = {
+  cases : int;
+  seed : int;
+  j : int;  (** worker domains *)
+  mutate : bool;
+      (** plant the known supervisor bug — a dead peer restarts
+          immediately, skipping [Backoff] — as a self-test that the
+          [sup-legal] oracle catches illegal lifecycle edges *)
+  artifacts : string option;  (** where to write repro bundles *)
+}
+
+type case_failure = {
+  key : string;
+  oracles : string list;  (** failing oracle names *)
+  summary : string;  (** the case's one-line description *)
+  bundle_path : string option;
+}
+
+type summary = {
+  total : int;
+  passed : int;
+  failed : int;
+  failures : case_failure list;
+  events : int;  (** trace events across all cases (first runs) *)
+  delivered : int;  (** data packets delivered across all cases *)
+  injected : int;  (** syscall faults injected across all cases *)
+}
+
+(** Stable oracle names, in evaluation order. *)
+val oracle_names : string list
+
+(** The stable job key of case [i], e.g. ["soak/0013"]. *)
+val case_key : int -> string
+
+(** [run ~out config] soaks and reports; one line per failing case plus
+    a totals line. *)
+val run : out:Format.formatter -> config -> summary
+
+(** Did the [--mutate] self-test succeed: at least one case tripped the
+    [sup-legal] oracle, and no case failed anything else. *)
+val mutate_ok : summary -> bool
+
+(** [replay ~out path] loads a repro bundle, regenerates its case from
+    the recorded seed, re-runs it, and compares the fresh failing-oracle
+    set against the recorded one; [true] iff they match. *)
+val replay : out:Format.formatter -> string -> bool

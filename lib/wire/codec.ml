@@ -1,6 +1,7 @@
-let header_len = 29
+let header_len = 31
 let max_frame = 65535
-let version = 1
+let version = 2
+let max_epoch = 0xFFFF
 
 type error =
   | Truncated of { expected : int; got : int }
@@ -41,16 +42,19 @@ let fnv1a32 b ~pos ~len ~init =
   done;
   !h
 
-(* Checksum of everything except the checksum field itself (bytes 5-8). *)
+(* Checksum of everything except the checksum field itself (bytes 7-10). *)
 let frame_checksum b =
-  let head = fnv1a32 b ~pos:0 ~len:5 ~init:fnv_seed in
-  fnv1a32 b ~pos:9 ~len:(Bytes.length b - 9) ~init:head
+  let head = fnv1a32 b ~pos:0 ~len:7 ~init:fnv_seed in
+  fnv1a32 b ~pos:11 ~len:(Bytes.length b - 11) ~init:head
 
 let tag_of_payload : Netsim.Packet.payload -> int = function
   | Data -> 0
   | Tcp_ack _ -> 1
   | Tfrc_data _ -> 2
   | Tfrc_feedback _ -> 3
+
+let tag_close = 4
+let tag_close_ack = 5
 
 let payload_len : Netsim.Packet.payload -> int = function
   | Data -> 0
@@ -64,61 +68,97 @@ let check_u32 what v =
   if v < 0 || v > u32_max then
     invalid_arg (Printf.sprintf "Wire.Codec.encode: %s %d out of u32 range" what v)
 
+let check_epoch v =
+  if v < 0 || v > max_epoch then
+    invalid_arg
+      (Printf.sprintf "Wire.Codec.encode: epoch %d out of u16 range" v)
+
 let set_u32 b off v = Bytes.set_int32_be b off (Int32.of_int v)
 let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land u32_max
 
 let set_f64 b off f = Bytes.set_int64_be b off (Int64.bits_of_float f)
 let get_f64 b off = Int64.float_of_bits (Bytes.get_int64_be b off)
 
-let encode (p : Netsim.Packet.t) =
+(* Shared header writer: everything except the checksum, which is set
+   last over the complete frame. *)
+let write_header b ~tag ~flags ~epoch ~flow ~seq ~size ~sent_at =
+  Bytes.set b 0 'T';
+  Bytes.set b 1 'F';
+  Bytes.set_uint8 b 2 version;
+  Bytes.set_uint8 b 3 tag;
+  Bytes.set_uint8 b 4 flags;
+  Bytes.set_uint16_be b 5 epoch;
+  set_u32 b 11 flow;
+  set_u32 b 15 seq;
+  set_u32 b 19 size;
+  set_f64 b 23 sent_at
+
+let encode ?(epoch = 0) (p : Netsim.Packet.t) =
   check_u32 "flow" p.flow;
   check_u32 "seq" p.seq;
   check_u32 "size" p.size;
+  check_epoch epoch;
   let plen = payload_len p.payload in
   let total = header_len + plen in
   if total > max_frame then
     invalid_arg
       (Printf.sprintf "Wire.Codec.encode: frame %d exceeds max_frame" total);
   let b = Bytes.create total in
-  Bytes.set b 0 'T';
-  Bytes.set b 1 'F';
-  Bytes.set_uint8 b 2 version;
-  Bytes.set_uint8 b 3 (tag_of_payload p.payload);
   let flags =
     (if p.ecn_capable then 1 else 0)
     lor (if p.ecn_marked then 2 else 0)
     lor if p.corrupted then 4 else 0
   in
-  Bytes.set_uint8 b 4 flags;
-  set_u32 b 9 p.flow;
-  set_u32 b 13 p.seq;
-  set_u32 b 17 p.size;
-  set_f64 b 21 p.sent_at;
+  write_header b
+    ~tag:(tag_of_payload p.payload)
+    ~flags ~epoch ~flow:p.flow ~seq:p.seq ~size:p.size ~sent_at:p.sent_at;
   (match p.payload with
   | Data -> ()
-  | Tfrc_data { rtt } -> set_f64 b 29 rtt
+  | Tfrc_data { rtt } -> set_f64 b 31 rtt
   | Tfrc_feedback { p = lp; recv_rate; ts_echo; ts_delay } ->
-      set_f64 b 29 lp;
-      set_f64 b 37 recv_rate;
-      set_f64 b 45 ts_echo;
-      set_f64 b 53 ts_delay
+      set_f64 b 31 lp;
+      set_f64 b 39 recv_rate;
+      set_f64 b 47 ts_echo;
+      set_f64 b 55 ts_delay
   | Tcp_ack { ack; sack; ece } ->
       check_u32 "ack" ack;
       let n = List.length sack in
       if n > 0xFFFF then
         invalid_arg "Wire.Codec.encode: more than 65535 sack ranges";
-      set_u32 b 29 ack;
-      Bytes.set_uint8 b 33 (if ece then 1 else 0);
-      Bytes.set_uint16_be b 34 n;
+      set_u32 b 31 ack;
+      Bytes.set_uint8 b 35 (if ece then 1 else 0);
+      Bytes.set_uint16_be b 36 n;
       List.iteri
         (fun i (lo, hi) ->
           check_u32 "sack lo" lo;
           check_u32 "sack hi" hi;
-          set_u32 b (36 + (8 * i)) lo;
-          set_u32 b (40 + (8 * i)) hi)
+          set_u32 b (38 + (8 * i)) lo;
+          set_u32 b (42 + (8 * i)) hi)
         sack);
-  set_u32 b 5 (frame_checksum b);
+  set_u32 b 7 (frame_checksum b);
   Bytes.unsafe_to_string b
+
+let encode_ctrl ~tag ~epoch ~flow ~now =
+  check_u32 "flow" flow;
+  check_epoch epoch;
+  if not (Float.is_finite now) then
+    invalid_arg "Wire.Codec.encode_close: non-finite time";
+  let b = Bytes.create header_len in
+  write_header b ~tag ~flags:0 ~epoch ~flow ~seq:0 ~size:0 ~sent_at:now;
+  set_u32 b 7 (frame_checksum b);
+  Bytes.unsafe_to_string b
+
+let encode_close ~epoch ~flow ~now = encode_ctrl ~tag:tag_close ~epoch ~flow ~now
+
+let encode_close_ack ~epoch ~flow ~now =
+  encode_ctrl ~tag:tag_close_ack ~epoch ~flow ~now
+
+type body =
+  | Packet of Netsim.Packet.t
+  | Close
+  | Close_ack
+
+type msg = { epoch : int; flow : int; body : body }
 
 (* Monadic short-circuit keeps the check sequence flat. *)
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
@@ -145,57 +185,70 @@ let decode rt s =
           | 0 -> Ok header_len
           | 2 -> Ok (header_len + 8)
           | 3 -> Ok (header_len + 32)
+          | 4 | 5 -> Ok header_len
           | 1 ->
               (* Variable: the sack count lives 7 bytes into the payload. *)
               if got < header_len + 7 then
                 Error (Truncated { expected = header_len + 7; got })
-              else Ok (header_len + 7 + (8 * Bytes.get_uint16_be b 34))
+              else Ok (header_len + 7 + (8 * Bytes.get_uint16_be b 36))
           | tag -> Error (Bad_tag tag)
         in
         let* expected = expected_len in
         if got <> expected then Error (Bad_length { expected; got })
         else begin
-          let sum = get_u32 b 5 in
+          let sum = get_u32 b 7 in
           let computed = frame_checksum b in
           if sum <> computed then
             Error (Bad_checksum { expected = computed; got = sum })
           else begin
-            let flags = Bytes.get_uint8 b 4 in
-            let* sent_at = finite "sent_at" (get_f64 b 21) in
-            let* payload =
-              match tag with
-              | 0 -> Ok Netsim.Packet.Data
-              | 2 ->
-                  let* rtt = finite "rtt" (get_f64 b 29) in
-                  Ok (Netsim.Packet.Tfrc_data { rtt })
-              | 3 ->
-                  let* p = finite "p" (get_f64 b 29) in
-                  let* recv_rate = finite "recv_rate" (get_f64 b 37) in
-                  let* ts_echo = finite "ts_echo" (get_f64 b 45) in
-                  let* ts_delay = finite "ts_delay" (get_f64 b 53) in
-                  Ok (Netsim.Packet.Tfrc_feedback
-                        { p; recv_rate; ts_echo; ts_delay })
-              | _ ->
-                  let ack = get_u32 b 29 in
-                  let ece = Bytes.get_uint8 b 33 <> 0 in
-                  let n = Bytes.get_uint16_be b 34 in
-                  let sack =
-                    List.init n (fun i ->
-                        (get_u32 b (36 + (8 * i)), get_u32 b (40 + (8 * i))))
-                  in
-                  Ok (Netsim.Packet.Tcp_ack { ack; sack; ece })
-            in
-            let p =
-              Netsim.Packet.make rt
-                ~ecn:(flags land 1 <> 0)
-                ~flow:(get_u32 b 9) ~seq:(get_u32 b 13) ~size:(get_u32 b 17)
-                ~now:sent_at payload
-            in
-            p.ecn_marked <- flags land 2 <> 0;
-            p.corrupted <- flags land 4 <> 0;
-            Ok p
+            let epoch = Bytes.get_uint16_be b 5 in
+            let flow = get_u32 b 11 in
+            if tag = tag_close then Ok { epoch; flow; body = Close }
+            else if tag = tag_close_ack then Ok { epoch; flow; body = Close_ack }
+            else begin
+              let flags = Bytes.get_uint8 b 4 in
+              let* sent_at = finite "sent_at" (get_f64 b 23) in
+              let* payload =
+                match tag with
+                | 0 -> Ok Netsim.Packet.Data
+                | 2 ->
+                    let* rtt = finite "rtt" (get_f64 b 31) in
+                    Ok (Netsim.Packet.Tfrc_data { rtt })
+                | 3 ->
+                    let* p = finite "p" (get_f64 b 31) in
+                    let* recv_rate = finite "recv_rate" (get_f64 b 39) in
+                    let* ts_echo = finite "ts_echo" (get_f64 b 47) in
+                    let* ts_delay = finite "ts_delay" (get_f64 b 55) in
+                    Ok (Netsim.Packet.Tfrc_feedback
+                          { p; recv_rate; ts_echo; ts_delay })
+                | _ ->
+                    let ack = get_u32 b 31 in
+                    let ece = Bytes.get_uint8 b 35 <> 0 in
+                    let n = Bytes.get_uint16_be b 36 in
+                    let sack =
+                      List.init n (fun i ->
+                          (get_u32 b (38 + (8 * i)), get_u32 b (42 + (8 * i))))
+                    in
+                    Ok (Netsim.Packet.Tcp_ack { ack; sack; ece })
+              in
+              let p =
+                Netsim.Packet.make rt
+                  ~ecn:(flags land 1 <> 0)
+                  ~flow ~seq:(get_u32 b 15) ~size:(get_u32 b 19)
+                  ~now:sent_at payload
+              in
+              p.ecn_marked <- flags land 2 <> 0;
+              p.corrupted <- flags land 4 <> 0;
+              Ok { epoch; flow; body = Packet p }
+            end
           end
         end
       end
     end
   end
+
+let decode_packet rt s =
+  match decode rt s with
+  | Ok { body = Packet p; _ } -> Ok p
+  | Ok _ -> Error (Bad_value "control frame where a packet was expected")
+  | Error _ as e -> e

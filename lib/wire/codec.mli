@@ -1,24 +1,36 @@
-(** Binary wire format for {!Netsim.Packet} headers.
+(** Binary wire format for {!Netsim.Packet} headers and session control
+    frames.
 
-    Layout (big-endian), [header_len] = 29 bytes:
+    Layout (big-endian), [header_len] = 31 bytes:
 
     {v
       0-1   magic 'T' 'F'
-      2     version (1)
-      3     payload tag: 0 Data, 1 Tcp_ack, 2 Tfrc_data, 3 Tfrc_feedback
+      2     version (2)
+      3     tag: 0 Data, 1 Tcp_ack, 2 Tfrc_data, 3 Tfrc_feedback,
+            4 CLOSE, 5 CLOSE-ACK
       4     flags: bit0 ecn_capable, bit1 ecn_marked, bit2 corrupted
-      5-8   FNV-1a-32 checksum of bytes 0-4 and 9..end
-      9-12  flow id        (u32)
-      13-16 sequence       (u32)
-      17-20 size in bytes  (u32; the simulated size, not the frame length)
-      21-28 sent_at        (IEEE-754 bits, lossless)
-      29-   payload, by tag:
+      5-6   session epoch (u16)
+      7-10  FNV-1a-32 checksum of bytes 0-6 and 11..end
+      11-14 flow id        (u32)
+      15-18 sequence       (u32)
+      19-22 size in bytes  (u32; the simulated size, not the frame length)
+      23-30 sent_at        (IEEE-754 bits, lossless)
+      31-   payload, by tag:
               Data           nothing
               Tfrc_data      rtt (8B float bits)
               Tfrc_feedback  p, recv_rate, ts_echo, ts_delay (4 x 8B)
               Tcp_ack        ack (u32), ece (u8), sack count (u16),
                              then lo,hi (u32 each) per sack range
+              CLOSE/CLOSE-ACK  nothing (header-only; seq and size are 0)
     v}
+
+    Version 2 adds the session-epoch field and the CLOSE/CLOSE-ACK
+    control pair for supervised endpoint lifecycles: a restarted sender
+    bumps its epoch so frames from the previous incarnation are
+    discarded instead of corrupting RTT/loss state. Version-1 frames
+    fail with [Bad_version 1] — rejected cleanly, never misparsed
+    (their checksum field lands elsewhere, so even a same-length v1
+    frame cannot pass the v2 checksum).
 
     Floats travel as raw IEEE-754 bits, so every value — nan, -0.,
     denormals — survives the trip bit-for-bit; the sim-vs-wire
@@ -33,6 +45,12 @@ val header_len : int
 
 (** Largest frame {!encode} emits / {!decode} accepts (one UDP datagram). *)
 val max_frame : int
+
+val version : int
+
+(** Epochs are u16: [0] (the default for unsupervised endpoints) through
+    [max_epoch]. *)
+val max_epoch : int
 
 type error =
   | Truncated of { expected : int; got : int }
@@ -52,13 +70,36 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
-(** [encode p] renders [p] as one datagram. Raises [Invalid_argument] if a
-    field does not fit the format (negative or >2^32-1 counters, more than
-    65535 sack ranges) — encoder misuse, not a runtime condition. *)
-val encode : Netsim.Packet.t -> string
+(** [encode ?epoch p] renders [p] as one datagram stamped with the
+    session [epoch] (default 0). Raises [Invalid_argument] if a field
+    does not fit the format (negative or >2^32-1 counters, epoch outside
+    u16, more than 65535 sack ranges) — encoder misuse, not a runtime
+    condition. *)
+val encode : ?epoch:int -> Netsim.Packet.t -> string
 
-(** [decode rt s] parses a datagram. The packet's id is drawn fresh from
+(** Header-only control frames for graceful teardown. [flow] and [now]
+    fill the flow-id and [sent_at] fields. *)
+val encode_close : epoch:int -> flow:int -> now:float -> string
+
+val encode_close_ack : epoch:int -> flow:int -> now:float -> string
+
+type body =
+  | Packet of Netsim.Packet.t
+  | Close
+  | Close_ack
+
+(** A decoded frame: its session epoch, flow id, and either a packet or
+    a control message. For [Packet p], [flow = p.flow]. *)
+type msg = { epoch : int; flow : int; body : body }
+
+(** [decode rt s] parses a datagram. A packet's id is drawn fresh from
     [rt] ({!Engine.Runtime.fresh_id}) — wire ids are local to the
-    receiving loop, exactly as simulated ids are local to their sim. *)
-val decode :
+    receiving loop, exactly as simulated ids are local to their sim;
+    control frames draw nothing. *)
+val decode : Engine.Runtime.t -> string -> (msg, error) result
+
+(** [decode_packet rt s] is {!decode} restricted to data-plane frames:
+    control frames return [Error (Bad_value _)]. For callers that
+    predate the session layer. *)
+val decode_packet :
   Engine.Runtime.t -> string -> (Netsim.Packet.t, error) result

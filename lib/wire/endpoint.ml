@@ -1,3 +1,12 @@
+(* Decode failures are observable both as a counter and on the trace
+   bus, so --trace/--check cover wire runs. *)
+let trace_decode_error rt err =
+  let tr = Engine.Runtime.trace rt in
+  if Engine.Trace.active tr then
+    Engine.Trace.emit tr ~time:(Engine.Runtime.now rt) ~cat:"wire"
+      ~name:"decode_error"
+      [ ("error", Engine.Trace.Str (Codec.error_to_string err)) ]
+
 type sender = {
   s_machine : Tfrc.Tfrc_sender.t;
   mutable s_decode_errors : int;
@@ -18,8 +27,11 @@ let sender loop udp ~config ~flow ~dest ?send () =
   let t = { s_machine = machine; s_decode_errors = 0 } in
   Udp.set_handler udp (fun data _src ->
       match Codec.decode rt data with
-      | Ok pkt -> Tfrc.Tfrc_sender.recv machine pkt
-      | Error _ -> t.s_decode_errors <- t.s_decode_errors + 1);
+      | Ok { body = Codec.Packet pkt; _ } -> Tfrc.Tfrc_sender.recv machine pkt
+      | Ok _ -> (* session control is the Supervisor's business *) ()
+      | Error e ->
+          t.s_decode_errors <- t.s_decode_errors + 1;
+          trace_decode_error rt e);
   t
 
 let start_sender t ~at = Tfrc.Tfrc_sender.start t.s_machine ~at
@@ -55,10 +67,20 @@ let receiver loop udp ~config ~flow ?reply_to ?send () =
   let t = { r_machine = machine; r_decode_errors = 0 } in
   Udp.set_handler udp (fun data src ->
       match Codec.decode rt data with
-      | Ok pkt ->
+      | Ok { body = Codec.Packet pkt; _ } ->
+          (* Latest-wins on every validly decoded data frame: a sender
+             that restarted on a new ephemeral port gets feedback again
+             as soon as its first frame lands. *)
           if reply_to = None then peer := Some src;
           Tfrc.Tfrc_receiver.recv machine pkt
-      | Error _ -> t.r_decode_errors <- t.r_decode_errors + 1);
+      | Ok { body = Codec.Close; epoch; flow } ->
+          (* Graceful teardown: acknowledge to whoever asked. *)
+          Udp.send udp ~dest:src
+            (Codec.encode_close_ack ~epoch ~flow ~now:(Loop.now loop))
+      | Ok { body = Codec.Close_ack; _ } -> ()
+      | Error e ->
+          t.r_decode_errors <- t.r_decode_errors + 1;
+          trace_decode_error rt e);
   t
 
 let stop_receiver t = Tfrc.Tfrc_receiver.stop t.r_machine

@@ -24,6 +24,14 @@ type t = {
   mutable stopping : bool;
   mutable watches : watch list;
   mutable runtime : Engine.Runtime.t option;
+  (* Per-socket sends-minus-receives counters ({!Netio.t.inflight});
+     their sum is the number of datagrams inside the kernel between this
+     loop's sockets. [`Warp] waits for the sum to reach zero before
+     advancing virtual time — see [settle_io]. *)
+  mutable inflight_refs : int ref list;
+  mutable polls : int;  (* poll_fds calls; the busy-loop oracle's input *)
+  mutable fired : int;  (* timers actually fired *)
+  mutable io_giveups : int;  (* settle rounds that timed out *)
 }
 
 let create ?trace ?(mode = `Monotonic) () =
@@ -42,6 +50,10 @@ let create ?trace ?(mode = `Monotonic) () =
       stopping = false;
       watches = [];
       runtime = None;
+      inflight_refs = [];
+      polls = 0;
+      fired = 0;
+      io_giveups = 0;
     }
   in
   if Engine.Trace.active trace then
@@ -125,6 +137,17 @@ let runtime t =
       t.runtime <- Some rt;
       rt
 
+let register_inflight t r =
+  if not (List.memq r t.inflight_refs) then
+    t.inflight_refs <- r :: t.inflight_refs
+
+let total_inflight t =
+  List.fold_left (fun acc r -> acc + !r) 0 t.inflight_refs
+
+let polls t = t.polls
+let fired t = t.fired
+let io_giveups t = t.io_giveups
+
 let watch_fd t fd ~on_readable =
   t.watches <-
     { wfd = fd; on_readable }
@@ -157,6 +180,7 @@ let maybe_sweep t =
    With nothing watched this is a plain sleep. EINTR is a retry at the
    caller's next iteration, not an error. *)
 let poll_fds t ~timeout =
+  t.polls <- t.polls + 1;
   match t.watches with
   | [] -> if timeout > 0. then ignore (Unix.select [] [] [] timeout)
   | ws -> (
@@ -179,20 +203,53 @@ let pop_fire t ~due =
       | `Pending ->
           if time > t.vnow then t.vnow <- time;
           tm.state <- `Fired;
+          t.fired <- t.fired + 1;
           tm.f ());
       ignore due;
       true
+
+(* Loopback delivery is asynchronous: a datagram written a microsecond
+   ago may not be readable yet, and whether a zero-timeout poll sees it
+   is a kernel race. Under [`Warp] that race would move the datagram's
+   processing to a different virtual time between runs, so before each
+   timer pop the loop waits — with a short real block per try — until
+   every in-kernel datagram has been drained (or injected away by a
+   Faultio). select returns as soon as an fd turns readable, so the wait
+   costs delivery latency, not the timeout. A datagram the kernel
+   genuinely dropped (receive-buffer overflow) would stall this forever;
+   the bounded retry count turns that into a counted give-up instead. *)
+let settle_wait = 0.002
+let settle_max_tries = 250
+
+let settle_io t =
+  if t.inflight_refs <> [] then begin
+    let tries = ref 0 in
+    while total_inflight t > 0 && !tries < settle_max_tries do
+      incr tries;
+      poll_fds t ~timeout:settle_wait
+    done;
+    if total_inflight t > 0 then begin
+      t.io_giveups <- t.io_giveups + 1;
+      if Engine.Trace.active t.trace then
+        Engine.Trace.emit t.trace ~time:t.vnow ~cat:"wire"
+          ~name:"settle_giveup"
+          [ ("inflight", Engine.Trace.Int (total_inflight t)) ];
+      List.iter (fun r -> r := 0) t.inflight_refs
+    end
+  end
 
 let run_warp t ~until =
   let continue = ref true in
   while !continue && not t.stopping do
     maybe_sweep t;
-    if t.watches <> [] then poll_fds t ~timeout:0.;
+    if t.watches <> [] then
+      if t.inflight_refs = [] then poll_fds t ~timeout:0. else settle_io t;
     match Engine.Timing_wheel.peek_time t.timers with
     | None -> continue := false
     | Some time when time > until -> continue := false
     | Some time -> continue := pop_fire t ~due:time
   done;
+  settle_io t;
   if until < infinity && t.vnow < until && not t.stopping then t.vnow <- until
 
 (* Cap one select so [until] and newly due timers stay responsive even if

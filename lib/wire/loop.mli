@@ -14,13 +14,17 @@
       until the next timer deadline or a watched descriptor becomes
       readable. This is the mode for real UDP endpoints.
 
-    - [`Warp]: time is virtual. [run] never sleeps; it jumps the clock to
-      each timer's deadline and fires timers in exactly the simulator's
-      (time, insertion-sequence) order. A protocol driven by a warp loop
-      is deterministic — no wall-clock jitter reaches its RTT samples —
-      which is what lets the sim-vs-wire differential ({!Validate})
-      demand bit-identical decision logs. Descriptors may still be
-      watched; they are polled (zero timeout) between timer batches. *)
+    - [`Warp]: time is virtual. [run] never sleeps on timers; it jumps
+      the clock to each timer's deadline and fires timers in exactly the
+      simulator's (time, insertion-sequence) order. A protocol driven by
+      a warp loop is deterministic — no wall-clock jitter reaches its
+      RTT samples — which is what lets the sim-vs-wire differential
+      ({!Validate}) demand bit-identical decision logs. Descriptors may
+      still be watched; they are polled (zero timeout) between timer
+      batches, or — when sockets register their {!Netio} in-flight
+      counters via {!register_inflight} — drained to quiescence before
+      each batch ({!settle_io}), which extends the determinism guarantee
+      to traffic through real loopback sockets. *)
 
 type t
 
@@ -64,6 +68,32 @@ val pending_timers : t -> int
 val watch_fd : t -> Unix.file_descr -> on_readable:(unit -> unit) -> unit
 
 val unwatch_fd : t -> Unix.file_descr -> unit
+
+(** [register_inflight t r] adds a {!Netio.t.inflight} counter to the
+    loop's in-kernel datagram accounting ({!Udp.create} does this).
+    Idempotent per ref. The sum over registered refs is the number of
+    datagrams sent between this loop's sockets but not yet received. *)
+val register_inflight : t -> int ref -> unit
+
+(** [settle_io t] polls watched descriptors — blocking a few
+    milliseconds per try, bounded — until the registered in-flight sum
+    reaches zero, so every datagram already handed to the kernel is
+    processed at the current virtual time. Called by [`Warp]'s [run]
+    before each timer pop and once before returning; exposed for tests
+    and harnesses that inject datagrams outside [run]. If the kernel
+    genuinely dropped a datagram the wait gives up after a bounded
+    number of tries, zeroes the counters, and counts an
+    {!io_giveups}. *)
+val settle_io : t -> unit
+
+(** Diagnostic counters over the loop's lifetime: [select] calls made,
+    timers fired, and settle give-ups (kernel-dropped datagrams; 0 in a
+    healthy run). The soak's busy-loop oracle bounds [polls] by work
+    done. *)
+val polls : t -> int
+
+val fired : t -> int
+val io_giveups : t -> int
 
 (** The sans-IO view of this loop, memoized. Timers scheduled through it
     are loop timers; ids come from the loop's private counter, so decoded

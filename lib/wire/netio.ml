@@ -1,0 +1,25 @@
+type t = {
+  sendto : Unix.file_descr -> Bytes.t -> int -> int -> Unix.sockaddr -> int;
+  recvfrom : Unix.file_descr -> Bytes.t -> int -> int -> int * Unix.sockaddr;
+  close : Unix.file_descr -> unit;
+  inflight : int ref;
+}
+
+let unix () =
+  let inflight = ref 0 in
+  {
+    sendto =
+      (fun fd b pos len dest ->
+        let n = Unix.sendto fd b pos len [] dest in
+        incr inflight;
+        n);
+    recvfrom =
+      (fun fd b pos len ->
+        let r = Unix.recvfrom fd b pos len [] in
+        (* A pair socket receives what its peer sent, so this counter can
+           go negative; only the per-loop sum is meaningful. *)
+        decr inflight;
+        r);
+    close = Unix.close;
+    inflight;
+  }

@@ -1,0 +1,33 @@
+(** Injectable syscall interface for the wire stack.
+
+    Mirrors {!Engine.Runtime}'s record-of-closures style at the OS
+    boundary: {!Udp} performs every socket operation through a [Netio.t]
+    instead of calling [Unix] directly, so tests and the chaos soak can
+    substitute implementations that fail deterministically ({!Faultio})
+    without monkey-patching or subprocesses.
+
+    The closures keep [Unix]'s error contract: failures are signalled by
+    raising [Unix.Unix_error], exactly as the real syscalls do, so the
+    errno policy in {!Udp} is exercised identically against the kernel
+    and against injected faults.
+
+    [inflight] counts datagrams handed to the kernel but not yet pulled
+    back out ([sendto] successes minus [recvfrom] successes). Loopback
+    delivery is asynchronous — a datagram sent a microsecond ago may not
+    be readable yet — so the [`Warp] loop sums these counters across its
+    sockets and waits for the sum to reach zero before advancing virtual
+    time, which is what makes warp runs over real sockets deterministic.
+    Within one loop the counter is meaningful only as part of that sum: a
+    socket that receives more than it sends goes negative. *)
+
+type t = {
+  sendto : Unix.file_descr -> Bytes.t -> int -> int -> Unix.sockaddr -> int;
+  recvfrom : Unix.file_descr -> Bytes.t -> int -> int -> int * Unix.sockaddr;
+  close : Unix.file_descr -> unit;
+  inflight : int ref;
+      (** sends minus receives through this interface; see above *)
+}
+
+(** The real thing: wraps [Unix.sendto]/[Unix.recvfrom]/[Unix.close]
+    (no flags), maintaining [inflight]. *)
+val unix : unit -> t

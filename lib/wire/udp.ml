@@ -1,24 +1,37 @@
 type t = {
   fd : Unix.file_descr;
   loop : Loop.t;
+  netio : Netio.t;
   buf : Bytes.t;
   mutable on_datagram : string -> Unix.sockaddr -> unit;
+  mutable on_health : Unix.error -> unit;
   mutable rx : int;
   mutable tx : int;
   mutable tx_drops : int;
+  mutable tx_errors : int;
+  mutable rx_errors : int;
   mutable closed : bool;
 }
 
 let addr ~port = Unix.ADDR_INET (Unix.inet_addr_loopback, port)
 
+let emit_errno_event t ~name err =
+  let tr = Engine.Runtime.trace (Loop.runtime t.loop) in
+  if Engine.Trace.active tr then
+    Engine.Trace.emit tr ~time:(Loop.now t.loop) ~cat:"wire" ~name
+      [ ("errno", Engine.Trace.Str (Unix.error_message err)) ]
+
 (* Drain every queued datagram: select is level-triggered, but one
    callback per readiness event would add a loop turn of latency per
-   datagram under bursts. *)
+   datagram under bursts. Every [Unix_error] goes through the errno
+   policy; none unwinds into the loop. *)
 let rec drain t =
   if not t.closed then
-    match Unix.recvfrom t.fd t.buf 0 (Bytes.length t.buf) [] with
-    | 0, _ -> ()
+    match t.netio.recvfrom t.fd t.buf 0 (Bytes.length t.buf) with
     | n, src ->
+        (* n = 0 is a legitimate zero-length datagram, not end-of-input:
+           count it and deliver it (Codec rejects it as truncated), then
+           keep draining. *)
         t.rx <- t.rx + 1;
         t.on_datagram (Bytes.sub_string t.buf 0 n) src;
         drain t
@@ -29,23 +42,41 @@ let rec drain t =
         (* Linux surfaces a previous send's ICMP error on recv; the
            datagram it refers to is already counted as sent. *)
         drain t
+    | exception Unix.Unix_error (err, _, _) ->
+        (* Anything else (ENOMEM, injected chaos): count, surface to the
+           health handler, stop this drain — the loop survives and the
+           next readiness event retries. *)
+        t.rx_errors <- t.rx_errors + 1;
+        emit_errno_event t ~name:"rx_error" err;
+        t.on_health err
 
-let create loop ?(port = 0) () =
+let create loop ?(port = 0) ?netio () =
+  let netio = match netio with Some io -> io | None -> Netio.unix () in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.set_nonblock fd;
+  (* A generous receive buffer keeps paced loopback traffic from
+     overflowing the socket while the warp loop settles in-flight
+     datagrams; best effort (the kernel clamps to its limits). *)
+  (try Unix.setsockopt_int fd Unix.SO_RCVBUF (1 lsl 20)
+   with Unix.Unix_error _ -> ());
   Unix.bind fd (addr ~port);
   let t =
     {
       fd;
       loop;
+      netio;
       buf = Bytes.create Codec.max_frame;
       on_datagram = (fun _ _ -> ());
+      on_health = (fun _ -> ());
       rx = 0;
       tx = 0;
       tx_drops = 0;
+      tx_errors = 0;
+      rx_errors = 0;
       closed = false;
     }
   in
+  Loop.register_inflight loop netio.Netio.inflight;
   Loop.watch_fd loop fd ~on_readable:(fun () -> drain t);
   t
 
@@ -55,6 +86,31 @@ let port t =
   | Unix.ADDR_UNIX _ -> 0
 
 let set_handler t f = t.on_datagram <- f
+let set_health_handler t f = t.on_health <- f
+
+(* Errno policy for sends. Transient conditions (full buffer, ICMP
+   ECONNREFUSED replay, ENOBUFS) are UDP drops; EINTR gets a bounded
+   retry; everything else — EHOSTUNREACH, ENETUNREACH, EPERM, ENOMEM,
+   whatever an adversarial kernel produces — is counted and surfaced to
+   the health handler. Nothing unwinds into protocol code. *)
+let rec send_bytes t data len dest retries =
+  match t.netio.sendto t.fd data 0 len dest with
+  | _ -> t.tx <- t.tx + 1
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if retries > 0 then send_bytes t data len dest (retries - 1)
+      else t.tx_drops <- t.tx_drops + 1
+  | exception
+      Unix.Unix_error
+        ( ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.ECONNREFUSED | Unix.ENOBUFS)
+           as err),
+          _,
+          _ ) ->
+      t.tx_drops <- t.tx_drops + 1;
+      emit_errno_event t ~name:"tx_drop" err
+  | exception Unix.Unix_error (err, _, _) ->
+      t.tx_errors <- t.tx_errors + 1;
+      emit_errno_event t ~name:"tx_error" err;
+      t.on_health err
 
 let send t ~dest data =
   let len = String.length data in
@@ -62,25 +118,18 @@ let send t ~dest data =
     invalid_arg
       (Printf.sprintf "Wire.Udp.send: datagram %d exceeds max_frame" len);
   if not t.closed then
-    match
-      Unix.sendto t.fd (Bytes.unsafe_of_string data) 0 len [] dest
-    with
-    | _ -> t.tx <- t.tx + 1
-    | exception
-        Unix.Unix_error
-          ( ( Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.ECONNREFUSED
-            | Unix.ENOBUFS ),
-            _,
-            _ ) ->
-        t.tx_drops <- t.tx_drops + 1
+    send_bytes t (Bytes.unsafe_of_string data) len dest 3
 
+let drain_now t = drain t
 let datagrams_received t = t.rx
 let datagrams_sent t = t.tx
 let send_drops t = t.tx_drops
+let send_errors t = t.tx_errors
+let recv_errors t = t.rx_errors
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
     Loop.unwatch_fd t.loop t.fd;
-    Unix.close t.fd
+    t.netio.close t.fd
   end

@@ -63,7 +63,7 @@ let run_wire ~config ~seed ~shaper ~app_limit ~duration =
   let loop = Loop.create ~trace:(Engine.Trace.create ()) ~mode:`Warp () in
   let rt = Loop.runtime loop in
   let decode frame =
-    match Codec.decode rt frame with
+    match Codec.decode_packet rt frame with
     | Ok pkt -> pkt
     | Error e ->
         (* Unreachable by construction: the codec just produced the

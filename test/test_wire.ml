@@ -55,7 +55,7 @@ let test_codec_roundtrip () =
       in
       p.ecn_marked <- i mod 3 = 0;
       let frame = Wire.Codec.encode p in
-      match Wire.Codec.decode rt frame with
+      match Wire.Codec.decode_packet rt frame with
       | Error e -> Alcotest.failf "decode %d: %s" i (Wire.Codec.error_to_string e)
       | Ok p' ->
           check Alcotest.bool
@@ -113,7 +113,7 @@ let prop_codec_roundtrip =
           payload
       in
       let frame = Wire.Codec.encode p in
-      match Wire.Codec.decode rt frame with
+      match Wire.Codec.decode_packet rt frame with
       | Error e -> QCheck.Test.fail_report (Wire.Codec.error_to_string e)
       | Ok p' -> packet_eq p p' && String.equal frame (Wire.Codec.encode p'))
 
@@ -170,6 +170,61 @@ let test_codec_encode_validates () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "out-of-range seq encoded"
 
+(* --- Codec v2: session epochs and control frames ------------------------ *)
+
+let test_codec_epoch_roundtrip () =
+  let rt = fresh_rt () in
+  let p =
+    mk_packet rt ~flow:5 ~seq:3 ~size:1200 ~sent_at:2.5
+      (Tfrc_data { rtt = 0.05 })
+  in
+  List.iter
+    (fun epoch ->
+      let frame = Wire.Codec.encode ~epoch p in
+      match Wire.Codec.decode rt frame with
+      | Error e ->
+          Alcotest.failf "epoch %d: %s" epoch (Wire.Codec.error_to_string e)
+      | Ok m ->
+          check Alcotest.int "epoch carried" epoch m.Wire.Codec.epoch;
+          check Alcotest.int "flow carried" 5 m.flow;
+          (match m.body with
+          | Wire.Codec.Packet p' ->
+              check Alcotest.bool "packet intact" true (packet_eq p p')
+          | _ -> Alcotest.fail "data frame decoded to a control message"))
+    [ 0; 1; 7; Wire.Codec.max_epoch ];
+  match Wire.Codec.encode ~epoch:(Wire.Codec.max_epoch + 1) p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range epoch encoded"
+
+let test_codec_control_frames () =
+  let rt = fresh_rt () in
+  let close = Wire.Codec.encode_close ~epoch:3 ~flow:9 ~now:1.25 in
+  (match Wire.Codec.decode rt close with
+  | Ok { Wire.Codec.epoch = 3; flow = 9; body = Wire.Codec.Close } -> ()
+  | Ok _ -> Alcotest.fail "CLOSE decoded to the wrong message"
+  | Error e -> Alcotest.failf "CLOSE: %s" (Wire.Codec.error_to_string e));
+  let ack = Wire.Codec.encode_close_ack ~epoch:3 ~flow:9 ~now:1.5 in
+  (match Wire.Codec.decode rt ack with
+  | Ok { Wire.Codec.epoch = 3; flow = 9; body = Wire.Codec.Close_ack } -> ()
+  | Ok _ -> Alcotest.fail "CLOSE-ACK decoded to the wrong message"
+  | Error e -> Alcotest.failf "CLOSE-ACK: %s" (Wire.Codec.error_to_string e));
+  (* Control frames are data-plane errors for pre-session callers. *)
+  match Wire.Codec.decode_packet rt close with
+  | Error (Wire.Codec.Bad_value _) -> ()
+  | _ -> Alcotest.fail "decode_packet accepted a control frame"
+
+let test_codec_rejects_v1 () =
+  (* A frame claiming the old version must fail with Bad_version, not be
+     misparsed: the epoch/checksum fields moved between v1 and v2. *)
+  let rt = fresh_rt () in
+  let p = mk_packet rt ~flow:1 ~seq:2 ~size:100 ~sent_at:0.5 Data in
+  let b = Bytes.of_string (Wire.Codec.encode p) in
+  Bytes.set_uint8 b 2 1;
+  match Wire.Codec.decode rt (Bytes.to_string b) with
+  | Error (Wire.Codec.Bad_version 1) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "v1 frame decoded"
+
 (* --- Shaper ------------------------------------------------------------- *)
 
 (* Same seed => identical drop/delay/reorder pattern, on any runtime. *)
@@ -214,6 +269,116 @@ let test_shaper_passthrough_ordered () =
     "FIFO order preserved"
     (List.init 100 (fun i -> i + 1))
     (List.map fst log)
+
+(* --- Faultio ------------------------------------------------------------ *)
+
+(* Timer-driven traffic between two real sockets, send faults on one
+   side and recv faults on the other. Returns everything observable so
+   determinism can compare whole runs. *)
+let faultio_session ~seed =
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) ~mode:`Warp () in
+  let rt = Wire.Loop.runtime loop in
+  let send_plan =
+    {
+      Wire.Faultio.no_faults with
+      send_eagain = 0.15;
+      send_eintr = 0.1;
+      send_refused = 0.05;
+    }
+  in
+  let recv_plan =
+    {
+      Wire.Faultio.no_faults with
+      recv_drop = 0.1;
+      recv_truncate = 0.1;
+      recv_eintr = 0.1;
+    }
+  in
+  let fa = Wire.Faultio.wrap rt ~seed ~plan:send_plan (Wire.Netio.unix ()) in
+  let fb =
+    Wire.Faultio.wrap rt ~seed:(seed + 1) ~plan:recv_plan (Wire.Netio.unix ())
+  in
+  let a = Wire.Udp.create loop ~netio:(Wire.Faultio.netio fa) () in
+  let b = Wire.Udp.create loop ~netio:(Wire.Faultio.netio fb) () in
+  let got = ref [] in
+  Wire.Udp.set_handler b (fun data _src -> got := data :: !got);
+  let dest = Wire.Udp.addr ~port:(Wire.Udp.port b) in
+  for i = 1 to 200 do
+    ignore
+      (Wire.Loop.at loop
+         (float_of_int i *. 0.01)
+         (fun () -> Wire.Udp.send a ~dest (Printf.sprintf "datagram-%03d" i)))
+  done;
+  Wire.Loop.run loop ~until:3.;
+  Wire.Loop.settle_io loop;
+  let r =
+    ( Wire.Faultio.log fa,
+      Wire.Faultio.log fb,
+      Wire.Faultio.counts fa,
+      Wire.Faultio.counts fb,
+      (Wire.Udp.datagrams_sent a, Wire.Udp.send_drops a),
+      (Wire.Faultio.pulled fb, Wire.Faultio.drops fb, Wire.Faultio.truncated fb),
+      List.rev !got )
+  in
+  Wire.Udp.close a;
+  Wire.Udp.close b;
+  r
+
+let test_faultio_deterministic () =
+  let x = faultio_session ~seed:5 in
+  let y = faultio_session ~seed:5 in
+  let z = faultio_session ~seed:6 in
+  check Alcotest.bool "same seed, same injections and deliveries" true (x = y);
+  let log_x, _, _, _, _, _, _ = x and log_z, _, _, _, _, _, _ = z in
+  check Alcotest.bool "different seed differs" true (log_x <> log_z);
+  check Alcotest.bool "send faults fired" true (log_x <> [])
+
+let test_faultio_conservation () =
+  (* Every datagram is accounted for exactly once: sends either failed at
+     the syscall (drops) or reached the kernel; everything the kernel
+     delivered was pulled, and every pull was dropped, truncated-then-
+     delivered, or delivered intact. *)
+  let log_a, _, _, _, (sent, sdrops), (pulled, fdrops, trunc), got =
+    faultio_session ~seed:5
+  in
+  check Alcotest.int "attempts = sent + syscall drops" 200 (sent + sdrops);
+  check Alcotest.int "kernel conserved datagrams" sent pulled;
+  check Alcotest.int "pulls = fault drops + deliveries" pulled
+    (fdrops + List.length got);
+  check Alcotest.bool "some of everything happened" true
+    (sdrops > 0 && fdrops > 0 && trunc > 0 && log_a <> []);
+  (* Truncation delivers a strict prefix, never garbage: every delivery
+     matches its sent form "datagram-NNN" up to its own length. *)
+  List.iter
+    (fun d ->
+      let n = String.length d in
+      check Alcotest.bool "delivery is a datagram prefix" true
+        (n <= 12 && String.sub d 0 (min n 9) = String.sub "datagram-" 0 (min n 9)))
+    got
+
+let test_faultio_validates_plan () =
+  let rt = fresh_rt () in
+  (match
+     Wire.Faultio.wrap rt ~seed:1
+       ~plan:{ Wire.Faultio.no_faults with send_eagain = 0.7; send_eintr = 0.7 }
+       (Wire.Netio.unix ())
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fate probabilities summing past 1 accepted");
+  (match
+     Wire.Faultio.wrap rt ~seed:1
+       ~plan:{ Wire.Faultio.no_faults with recv_drop = -0.1 }
+       (Wire.Netio.unix ())
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative probability accepted");
+  match
+    Wire.Faultio.wrap rt ~seed:1
+      ~plan:{ Wire.Faultio.no_faults with send_blackout = Some (2., 1.) }
+      (Wire.Netio.unix ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "inverted blackout window accepted"
 
 (* --- Warp loop ---------------------------------------------------------- *)
 
@@ -332,6 +497,345 @@ let test_udp_socket_basics () =
   (* Idempotent close. *)
   Wire.Udp.close a
 
+let test_udp_zero_length_datagram () =
+  (* A zero-length datagram is valid UDP: it must be delivered (and
+     counted), not spin or end the drain — and the codec rejects it as
+     truncated rather than crashing. *)
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) () in
+  let a = Wire.Udp.create loop () in
+  let b = Wire.Udp.create loop () in
+  let got = ref None in
+  Wire.Udp.set_handler b (fun data _src ->
+      got := Some data;
+      Wire.Loop.stop loop);
+  Wire.Udp.send a ~dest:(Wire.Udp.addr ~port:(Wire.Udp.port b)) "";
+  Wire.Loop.run loop ~until:5.;
+  check
+    Alcotest.(option string)
+    "empty datagram delivered" (Some "") !got;
+  check Alcotest.int "rx counted" 1 (Wire.Udp.datagrams_received b);
+  (match Wire.Codec.decode (fresh_rt ()) "" with
+  | Error (Wire.Codec.Truncated _) -> ()
+  | _ -> Alcotest.fail "empty frame not rejected as truncated");
+  Wire.Udp.close a;
+  Wire.Udp.close b
+
+let test_udp_hard_errno_policy () =
+  (* Hard send errnos (EHOSTUNREACH et al) never unwind into the caller:
+     they are counted as send errors and surfaced to the health handler. *)
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) () in
+  let hostile =
+    {
+      (Wire.Netio.unix ()) with
+      Wire.Netio.sendto =
+        (fun _ _ _ _ _ -> raise (Unix.Unix_error (Unix.EHOSTUNREACH, "sendto", "")));
+    }
+  in
+  let a = Wire.Udp.create loop ~netio:hostile () in
+  let health = ref [] in
+  Wire.Udp.set_health_handler a (fun err -> health := err :: !health);
+  let dest = Wire.Udp.addr ~port:9 in
+  for _ = 1 to 5 do
+    Wire.Udp.send a ~dest "x"
+  done;
+  check Alcotest.int "nothing sent" 0 (Wire.Udp.datagrams_sent a);
+  check Alcotest.int "every failure counted as a send error" 5
+    (Wire.Udp.send_errors a);
+  check Alcotest.int "no transient drops" 0 (Wire.Udp.send_drops a);
+  check Alcotest.int "health handler saw every failure" 5 (List.length !health);
+  check Alcotest.bool "with the errno" true
+    (List.for_all (fun e -> e = Unix.EHOSTUNREACH) !health);
+  Wire.Udp.close a
+
+let test_udp_transient_errno_policy () =
+  (* Transient errnos are UDP drops: counted, no health signal. *)
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) () in
+  let full =
+    {
+      (Wire.Netio.unix ()) with
+      Wire.Netio.sendto =
+        (fun _ _ _ _ _ ->
+          raise (Unix.Unix_error (Unix.EAGAIN, "sendto", "")));
+    }
+  in
+  let a = Wire.Udp.create loop ~netio:full () in
+  let health = ref 0 in
+  Wire.Udp.set_health_handler a (fun _ -> incr health);
+  for _ = 1 to 4 do
+    Wire.Udp.send a ~dest:(Wire.Udp.addr ~port:9) "x"
+  done;
+  check Alcotest.int "all dropped" 4 (Wire.Udp.send_drops a);
+  check Alcotest.int "no send errors" 0 (Wire.Udp.send_errors a);
+  check Alcotest.int "health handler silent" 0 !health;
+  Wire.Udp.close a
+
+(* --- Supervisor --------------------------------------------------------- *)
+
+let sup_test_config =
+  {
+    Wire.Supervisor.default_config with
+    backoff_base = 0.25;
+    backoff_max = 1.;
+    close_timeout = 0.5;
+    health_period = 0.05;
+  }
+
+let sup_tfrc_config =
+  Tfrc.Tfrc_config.default ~initial_rtt:0.05 ~min_rate:500. ~t_mbi:0.25
+    ~initial_nofb_timeout:0.5 ()
+
+(* A supervised sender and a managed receiver on real sockets, the
+   sender's syscalls behind a fault plan, invariants checked online.
+   Both directions cross a lossless shaper with a few ms of delay: on a
+   warp loop a direct loopback send is delivered at the *same* virtual
+   time, so the measured RTT would be zero and the rate degenerate. *)
+let sup_session ?(snd_plan = Wire.Faultio.no_faults) ?(mutate = false) ~seed ()
+    =
+  let bus = Engine.Trace.create ~ring:40 () in
+  let checker = Tfrc.Invariants.create () in
+  Tfrc.Invariants.attach checker bus;
+  let loop = Wire.Loop.create ~trace:bus ~mode:`Warp () in
+  let rt = Wire.Loop.runtime loop in
+  let fio = Wire.Faultio.wrap rt ~seed ~plan:snd_plan (Wire.Netio.unix ()) in
+  let snd_udp = Wire.Udp.create loop ~netio:(Wire.Faultio.netio fio) () in
+  let rcv_udp = Wire.Udp.create loop () in
+  let snd_addr = Wire.Udp.addr ~port:(Wire.Udp.port snd_udp) in
+  let rcv_addr = Wire.Udp.addr ~port:(Wire.Udp.port rcv_udp) in
+  let wire = { Wire.Shaper.passthrough with delay = 0.005 } in
+  let data_shaper =
+    Wire.Shaper.create rt ~seed:(seed + 2) ~config:wire
+      ~deliver:(fun frame -> Wire.Udp.send snd_udp ~dest:rcv_addr frame)
+      ()
+  in
+  let fb_shaper =
+    Wire.Shaper.create rt ~seed:(seed + 3) ~config:wire
+      ~deliver:(fun frame -> Wire.Udp.send rcv_udp ~dest:snd_addr frame)
+      ()
+  in
+  let sup =
+    Wire.Supervisor.create loop snd_udp ~config:sup_tfrc_config
+      ~sup:sup_test_config ~flow:1 ~dest:rcv_addr
+      ~send:(Wire.Shaper.send data_shaper)
+      ~seed:(seed + 1) ~mutate ()
+  in
+  let rcv =
+    Wire.Supervisor.Receiver.create loop rcv_udp ~config:sup_tfrc_config
+      ~flow:1
+      ~send:(Wire.Shaper.send fb_shaper)
+      ()
+  in
+  Tfrc.Tfrc_sender.set_app_limit (Wire.Supervisor.machine sup) (Some 8e3);
+  (loop, checker, sup, rcv, snd_udp, rcv_udp)
+
+let finish_session loop sup rcv a b ~until =
+  Wire.Supervisor.quiesce sup;
+  Wire.Supervisor.Receiver.quiesce rcv;
+  Wire.Loop.run loop ~until;
+  Wire.Loop.settle_io loop;
+  Wire.Udp.close a;
+  Wire.Udp.close b
+
+let test_supervisor_legal_matches_checker () =
+  (* The wire layer's transition relation and the invariant checker's
+     string table must agree edge-for-edge. *)
+  let states =
+    Wire.Supervisor.[ Starting; Established; Degraded; Backoff; Closed ]
+  in
+  List.iter
+    (fun from ->
+      List.iter
+        (fun to_ ->
+          let n = Wire.Supervisor.state_name in
+          check Alcotest.bool
+            (Printf.sprintf "%s -> %s" (n from) (n to_))
+            (Tfrc.Invariants.sup_legal (n from) (n to_))
+            (Wire.Supervisor.legal from to_))
+        states)
+    states
+
+let test_supervisor_death_and_recovery () =
+  (* The acceptance scenario: every send fails with EHOSTUNREACH for a
+     long window. The loop must not crash; the supervisor must degrade,
+     declare the peer dead, back off, restart on a fresh epoch, and
+     re-establish once the faults clear. *)
+  let plan =
+    {
+      Wire.Faultio.no_faults with
+      send_blackout = Some (0.5, 6.);
+      blackout_errno = Unix.EHOSTUNREACH;
+    }
+  in
+  let loop, checker, sup, rcv, a, b = sup_session ~snd_plan:plan ~seed:11 () in
+  Wire.Supervisor.start sup ~at:0.;
+  Wire.Loop.run loop ~until:12.;
+  check Alcotest.string "re-established after the blackout" "established"
+    (Wire.Supervisor.state_name (Wire.Supervisor.state sup));
+  check Alcotest.bool "restarted at least once" true
+    (Wire.Supervisor.restarts sup >= 1);
+  check Alcotest.bool "epoch bumped" true (Wire.Supervisor.epoch sup >= 2);
+  let visited =
+    List.map (fun (_, _, to_) -> to_) (Wire.Supervisor.transitions sup)
+  in
+  List.iter
+    (fun s ->
+      check Alcotest.bool
+        (Wire.Supervisor.state_name s ^ " visited")
+        true (List.mem s visited))
+    Wire.Supervisor.[ Established; Degraded; Backoff; Starting ];
+  check Alcotest.bool "hard errnos surfaced, not raised" true
+    (Wire.Udp.send_errors a > 0);
+  check Alcotest.bool "receiver adopted the new incarnation" true
+    (Wire.Supervisor.Receiver.epochs_seen rcv >= 2);
+  check Alcotest.bool "old-epoch stragglers discarded or none arrived" true
+    (Wire.Supervisor.Receiver.current_epoch rcv = Wire.Supervisor.epoch sup);
+  if not (Tfrc.Invariants.ok checker) then
+    Alcotest.failf "invariant violations:@.%a" (fun ppf () ->
+        Tfrc.Invariants.report ppf checker) ();
+  finish_session loop sup rcv a b ~until:12.1
+
+let test_supervisor_mutate_caught () =
+  (* The planted bug — a dead peer restarts immediately, skipping
+     Backoff — must trip the wire-sup-legal rule and nothing else needs
+     to notice. This is the self-test behind `wire soak --mutate`. *)
+  let plan =
+    {
+      Wire.Faultio.no_faults with
+      send_blackout = Some (0.5, 6.);
+      blackout_errno = Unix.EHOSTUNREACH;
+    }
+  in
+  let loop, checker, sup, rcv, a, b =
+    sup_session ~snd_plan:plan ~mutate:true ~seed:11 ()
+  in
+  Wire.Supervisor.start sup ~at:0.;
+  Wire.Loop.run loop ~until:12.;
+  check Alcotest.bool "illegal edge detected" false (Tfrc.Invariants.ok checker);
+  check Alcotest.bool "attributed to wire-sup-legal" true
+    (List.exists
+       (fun (v : Tfrc.Invariants.violation) -> v.rule = "wire-sup-legal")
+       (Tfrc.Invariants.violations checker));
+  finish_session loop sup rcv a b ~until:12.1
+
+let test_supervisor_graceful_close () =
+  let loop, checker, sup, rcv, a, b = sup_session ~seed:21 () in
+  Wire.Supervisor.start sup ~at:0.;
+  ignore (Wire.Loop.after loop 2. (fun () -> Wire.Supervisor.close sup));
+  Wire.Loop.run loop ~until:4.;
+  Wire.Loop.settle_io loop;
+  check Alcotest.string "closed" "closed"
+    (Wire.Supervisor.state_name (Wire.Supervisor.state sup));
+  check Alcotest.bool "receiver saw the close" true
+    (Wire.Supervisor.Receiver.closed rcv);
+  check Alcotest.bool "CLOSE/CLOSE-ACK exchanged" true
+    (Wire.Supervisor.ctrl_frames sup > 0
+    && Wire.Supervisor.Receiver.ctrl_frames rcv > 0);
+  check Alcotest.int "healthy session never restarted" 0
+    (Wire.Supervisor.restarts sup);
+  check Alcotest.bool "feedback flowed first" true
+    (Wire.Supervisor.feedback_delivered sup > 0);
+  check Alcotest.bool "invariants hold" true (Tfrc.Invariants.ok checker);
+  finish_session loop sup rcv a b ~until:4.1
+
+let test_supervisor_close_timeout () =
+  (* CLOSE into the void: no CLOSE-ACK ever comes back, so the timeout
+     fallback must still reach Closed. *)
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) ~mode:`Warp () in
+  let a = Wire.Udp.create loop () in
+  let sup =
+    Wire.Supervisor.create loop a ~config:sup_tfrc_config ~sup:sup_test_config
+      ~flow:1
+      ~dest:(Wire.Udp.addr ~port:(Wire.Udp.port a))
+      ~send:(fun _ -> ())
+      ~seed:3 ()
+  in
+  Wire.Supervisor.start sup ~at:0.;
+  ignore (Wire.Loop.after loop 0.3 (fun () -> Wire.Supervisor.close sup));
+  Wire.Loop.run loop ~until:2.;
+  check Alcotest.string "closed by timeout" "closed"
+    (Wire.Supervisor.state_name (Wire.Supervisor.state sup));
+  Wire.Udp.close a
+
+let test_receiver_epoch_adoption () =
+  (* Two sender incarnations from two sockets: the receiver adopts the
+     higher epoch (fresh machine — sequence numbers restart), discards
+     old-epoch stragglers, and re-learns the peer address latest-wins. *)
+  let loop = Wire.Loop.create ~trace:(Engine.Trace.create ()) ~mode:`Warp () in
+  let rt = Wire.Loop.runtime loop in
+  let src1 = Wire.Udp.create loop () in
+  let src2 = Wire.Udp.create loop () in
+  let got1 = ref 0 and got2 = ref 0 in
+  Wire.Udp.set_handler src1 (fun _ _ -> incr got1);
+  Wire.Udp.set_handler src2 (fun _ _ -> incr got2);
+  let rcv_udp = Wire.Udp.create loop () in
+  let rcv =
+    Wire.Supervisor.Receiver.create loop rcv_udp ~config:sup_tfrc_config
+      ~flow:1 ()
+  in
+  let dest = Wire.Udp.addr ~port:(Wire.Udp.port rcv_udp) in
+  let send_at udp t ~epoch ~seq =
+    ignore
+      (Wire.Loop.at loop t (fun () ->
+           let p =
+             mk_packet rt ~flow:1 ~seq ~size:1000 ~sent_at:t
+               (Tfrc_data { rtt = 0.05 })
+           in
+           Wire.Udp.send udp ~dest (Wire.Codec.encode ~epoch p)))
+  in
+  send_at src1 0.1 ~epoch:1 ~seq:0;
+  send_at src1 0.2 ~epoch:1 ~seq:1;
+  send_at src2 0.3 ~epoch:2 ~seq:0;
+  (* A straggler from the retired incarnation. *)
+  send_at src1 0.4 ~epoch:1 ~seq:2;
+  send_at src2 0.5 ~epoch:2 ~seq:1;
+  Wire.Loop.run loop ~until:1.;
+  Wire.Loop.settle_io loop;
+  check Alcotest.int "current epoch" 2
+    (Wire.Supervisor.Receiver.current_epoch rcv);
+  check Alcotest.int "incarnations adopted" 2
+    (Wire.Supervisor.Receiver.epochs_seen rcv);
+  check Alcotest.int "frames delivered across epochs" 4
+    (Wire.Supervisor.Receiver.delivered rcv);
+  check Alcotest.int "straggler discarded as stale" 1
+    (Wire.Supervisor.Receiver.stale_frames rcv);
+  check Alcotest.bool "feedback flowed" true
+    (Wire.Supervisor.Receiver.feedbacks_sent rcv > 0);
+  check Alcotest.bool "feedback re-targeted the newest peer" true (!got2 > 0);
+  Wire.Supervisor.Receiver.quiesce rcv;
+  List.iter Wire.Udp.close [ src1; src2; rcv_udp ]
+
+(* --- Chaos soak --------------------------------------------------------- *)
+
+let soak_config ?(j = 1) cases mutate =
+  { Fuzz.Wire_soak.cases; seed = 1; j; mutate; artifacts = None }
+
+let soak_output config =
+  let buf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buf in
+  let s = Fuzz.Wire_soak.run ~out config in
+  Format.pp_print_flush out ();
+  (s, Buffer.contents buf)
+
+let test_soak_smoke () =
+  let s, rendered = soak_output (soak_config 3 false) in
+  if s.Fuzz.Wire_soak.failed > 0 then
+    Alcotest.failf "soak failures:\n%s" rendered;
+  check Alcotest.int "all cases passed" 3 s.passed;
+  check Alcotest.bool "data flowed" true (s.delivered > 0);
+  check Alcotest.bool "faults injected" true (s.injected > 0);
+  (* The report is a pure function of the config: parallel workers must
+     render byte-identically to sequential. *)
+  let _, rendered_j2 = soak_output (soak_config ~j:2 3 false) in
+  check Alcotest.string "-j2 output byte-identical to -j1" rendered
+    rendered_j2
+
+let test_soak_mutate_self_test () =
+  let buf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buf in
+  let s = Fuzz.Wire_soak.run ~out (soak_config 5 true) in
+  Format.pp_print_flush out ();
+  check Alcotest.bool "planted bug caught, and only by sup-legal" true
+    (Fuzz.Wire_soak.mutate_ok s)
+
 let () =
   Alcotest.run "wire"
     [
@@ -342,12 +846,23 @@ let () =
           Alcotest.test_case "hostile input" `Quick test_codec_rejects_hostile;
           Alcotest.test_case "encode validates" `Quick
             test_codec_encode_validates;
+          Alcotest.test_case "epoch round-trip" `Quick
+            test_codec_epoch_roundtrip;
+          Alcotest.test_case "control frames" `Quick test_codec_control_frames;
+          Alcotest.test_case "rejects v1" `Quick test_codec_rejects_v1;
         ] );
       ( "shaper",
         [
           Alcotest.test_case "deterministic" `Quick test_shaper_deterministic;
           Alcotest.test_case "passthrough order" `Quick
             test_shaper_passthrough_ordered;
+        ] );
+      ( "faultio",
+        [
+          Alcotest.test_case "deterministic" `Quick test_faultio_deterministic;
+          Alcotest.test_case "conservation" `Quick test_faultio_conservation;
+          Alcotest.test_case "plan validation" `Quick
+            test_faultio_validates_plan;
         ] );
       ( "loop",
         [
@@ -366,5 +881,32 @@ let () =
           Alcotest.test_case "socket basics" `Quick test_udp_socket_basics;
           Alcotest.test_case "loopback transfer" `Slow
             test_udp_loopback_transfer;
+          Alcotest.test_case "zero-length datagram" `Quick
+            test_udp_zero_length_datagram;
+          Alcotest.test_case "hard errno policy" `Quick
+            test_udp_hard_errno_policy;
+          Alcotest.test_case "transient errno policy" `Quick
+            test_udp_transient_errno_policy;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "legal matches checker" `Quick
+            test_supervisor_legal_matches_checker;
+          Alcotest.test_case "death and recovery" `Quick
+            test_supervisor_death_and_recovery;
+          Alcotest.test_case "mutate caught" `Quick
+            test_supervisor_mutate_caught;
+          Alcotest.test_case "graceful close" `Quick
+            test_supervisor_graceful_close;
+          Alcotest.test_case "close timeout" `Quick
+            test_supervisor_close_timeout;
+          Alcotest.test_case "epoch adoption" `Quick
+            test_receiver_epoch_adoption;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "smoke" `Slow test_soak_smoke;
+          Alcotest.test_case "mutate self-test" `Slow
+            test_soak_mutate_self_test;
         ] );
     ]
