@@ -1,4 +1,4 @@
-.PHONY: all check test bench bench-many-flows ratchet wire-smoke soak-smoke lint clean
+.PHONY: all check test bench bench-many-flows ratchet topo-smoke wire-smoke soak-smoke lint clean
 
 all:
 	dune build @all
@@ -30,6 +30,13 @@ bench-many-flows:
 # BENCH_many_flows.json entry at that scale.
 ratchet:
 	bash tools/bench_ratchet.sh
+
+# Routed-WAN failure-impact smoke: static partition/re-route analysis
+# must agree with the goodput the chaos layer produces (exits non-zero
+# on a mismatch or an invariant violation).
+topo-smoke:
+	dune exec bin/tfrc_sim.exe -- topo --check
+	dune exec bin/tfrc_sim.exe -- topo --dark nyc-atl --dark atl-sfo --check
 
 # Real-UDP smoke: deterministic seeded loopback transfer plus the
 # sim-vs-wire decision-log differential.

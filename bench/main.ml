@@ -78,7 +78,7 @@ let micro () =
       (Staged.stage (fun () ->
            let sim = Engine.Sim.create () in
            let db =
-             Netsim.Dumbbell.create sim
+             Netsim.Dumbbell.create (Engine.Sim.runtime sim)
                ~bandwidth:(Engine.Units.mbps 2.)
                ~delay:0.01
                ~queue:(Netsim.Dumbbell.Droptail_q 20)

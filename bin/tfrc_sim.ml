@@ -468,6 +468,97 @@ let chaos_cmd =
       const run $ at $ outage_duration $ seed_arg $ jobs_arg $ trace_arg
       $ check_arg $ sup_term $ scheduler_arg)
 
+let topo_cmd =
+  let fail_arg =
+    let doc =
+      "Backbone segment to cut, both directions (one of nyc-chi, chi-den, \
+       den-sfo, nyc-atl, atl-sfo)."
+    in
+    Arg.(value & opt string "chi-den" & info [ "fail" ] ~docv:"LABEL" ~doc)
+  in
+  let dark_arg =
+    let doc =
+      "Keep this segment dark for the whole run (repeatable). E.g. \
+       $(b,--dark nyc-atl --dark atl-sfo) removes the southern detour, \
+       turning a $(b,chi-den) cut from a re-route into a partition."
+    in
+    Arg.(value & opt_all string [] & info [ "dark" ] ~docv:"LABEL" ~doc)
+  in
+  let at_arg =
+    Arg.(
+      value & opt float 15.
+      & info [ "outage-at" ] ~docv:"SECONDS" ~doc:"Cut start time.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "outage-duration" ] ~docv:"SECONDS" ~doc:"Cut length.")
+  in
+  let run fail dark at duration trace check scheduler =
+    Engine.Sim.set_default_scheduler scheduler;
+    observe ~trace ~check @@ fun () ->
+    List.iter
+      (fun l ->
+        if not (List.mem l Exp.Topo_impact.segment_labels) then begin
+          Format.eprintf "tfrc_sim: unknown segment %S (expected one of %s)@." l
+            (String.concat ", " Exp.Topo_impact.segment_labels);
+          exit 1
+        end)
+      (fail :: dark);
+    if at <= 0. || duration <= 0. then begin
+      Format.eprintf
+        "tfrc_sim: --outage-at and --outage-duration must be positive@.";
+      exit 1
+    end;
+    let reports, recomputes =
+      Exp.Topo_impact.scripted ~fail ~dark ~at ~duration ()
+    in
+    let ppf = Format.std_formatter in
+    Format.fprintf ppf
+      "Transcontinental WAN, %s cut at t=%g for %g s%s; TFRC probe flows \
+       coast (nyc-sfo), short (nyc-chi), south (atl-sfo).@.@."
+      fail at duration
+      (match dark with
+      | [] -> ""
+      | ls -> Printf.sprintf " (dark: %s)" (String.concat ", " ls));
+    Exp.Table.print ppf
+      ~header:
+        [ "flow"; "static impact"; "pre KB/s"; "during KB/s"; "post KB/s";
+          "verdict" ]
+      (List.map
+         (fun (r : Exp.Topo_impact.flow_report) ->
+           [
+             r.fname;
+             r.kind;
+             Printf.sprintf "%.1f" (r.pre /. 1e3);
+             Printf.sprintf "%.1f" (r.during /. 1e3);
+             Printf.sprintf "%.1f" (r.post /. 1e3);
+             (if r.consistent then "consistent" else "MISMATCH");
+           ])
+         reports);
+    Format.fprintf ppf
+      "@.%d routing recomputations; verdict: rerouted flows must keep >= \
+       5%% of pre-cut goodput through the outage, partitioned ones must \
+       fall below 5%%.@."
+      recomputes;
+    if List.exists (fun (r : Exp.Topo_impact.flow_report) -> not r.consistent)
+         reports
+    then begin
+      Format.eprintf "tfrc_sim: static impact and dynamics disagree@.";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:
+         "Cut a backbone segment of the routed transcontinental WAN and \
+          check the static partition/re-route impact analysis against the \
+          goodput the chaos layer actually produces (see also `exp \
+          topology').")
+    Term.(
+      const run $ fail_arg $ dark_arg $ at_arg $ duration_arg $ trace_arg
+      $ check_arg $ scheduler_arg)
+
 let trace_cmd =
   let out_arg =
     Arg.(
@@ -486,7 +577,7 @@ let trace_cmd =
     let sim = Engine.Sim.create () in
     let rng = Engine.Rng.create ~seed in
     let db =
-      Netsim.Dumbbell.create sim
+      Netsim.Dumbbell.create (Engine.Sim.runtime sim)
         ~bandwidth:(Engine.Units.mbps 2.)
         ~delay:0.01
         ~queue:(Netsim.Dumbbell.Droptail_q 20)
@@ -920,6 +1011,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            list_cmd; exp_cmd; all_cmd; duel_cmd; chaos_cmd; trace_cmd;
-            fuzz_cmd; repro_cmd; wire_cmd;
+            list_cmd; exp_cmd; all_cmd; duel_cmd; chaos_cmd; topo_cmd;
+            trace_cmd; fuzz_cmd; repro_cmd; wire_cmd;
           ]))

@@ -13,7 +13,7 @@ let () =
   let rng = Engine.Rng.create ~seed:9 in
   let bandwidth = Engine.Units.mbps 3. in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.02
       ~queue:
         (Netsim.Dumbbell.Red_q
            (Netsim.Red.params ~min_th:5. ~max_th:20. ~ecn:true ~limit_pkts:40 ()))

@@ -16,7 +16,7 @@ let () =
   (* RED at each hop: DropTail's full-queue bias against sparse arrivals
      would otherwise starve the low-rate through flow outright. *)
   let lot =
-    Netsim.Parking_lot.create sim ~hops ~bandwidth ~delay:0.008
+    Netsim.Parking_lot.create (Engine.Sim.runtime sim) ~hops ~bandwidth ~delay:0.008
       ~queue:(fun () ->
         Netsim.Red.create
           ~params:(Netsim.Red.params ~min_th:5. ~max_th:15. ~limit_pkts:30 ())
@@ -53,14 +53,14 @@ let () =
             let tcp_config = Tcpsim.Tcp_common.ns_sack in
             let cmon = Netsim.Flowmon.create (fun () -> Engine.Sim.now sim) in
             let sink =
-              Tcpsim.Tcp_sink.create sim ~config:tcp_config ~flow
+              Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config:tcp_config ~flow
                 ~transmit:(Netsim.Parking_lot.dst_sender lot ~flow)
                 ()
             in
             Netsim.Parking_lot.set_dst_recv lot ~flow
               (Netsim.Flowmon.wrap cmon (Tcpsim.Tcp_sink.recv sink));
             let tcp =
-              Tcpsim.Tcp_sender.create sim ~config:tcp_config ~flow
+              Tcpsim.Tcp_sender.create (Engine.Sim.runtime sim) ~config:tcp_config ~flow
                 ~transmit:(Netsim.Parking_lot.src_sender lot ~flow)
                 ()
             in

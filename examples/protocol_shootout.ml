@@ -15,7 +15,7 @@ type contender = Tfrc_c | Rap_c | Tfrcp_c | Tear_c
 let run contender ~seed =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.02
       ~queue:(Netsim.Dumbbell.Droptail_q 35) ()
   in
   (* The TCP opponent. *)
@@ -98,7 +98,7 @@ let run contender ~seed =
 let run_tfrc ~seed =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.02
       ~queue:(Netsim.Dumbbell.Droptail_q 35) ()
   in
   let tcp =

@@ -10,7 +10,7 @@ let () =
         25-packet DropTail buffer. *)
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim)
       ~bandwidth:(Engine.Units.mbps 1.5)
       ~delay:0.010
       ~queue:(Netsim.Dumbbell.Droptail_q 25)

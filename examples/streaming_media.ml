@@ -14,7 +14,7 @@ let run_stream ~use_tfrc ~seed =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.02
       ~queue:
         (Netsim.Dumbbell.Red_q
            (Netsim.Red.params ~min_th:5. ~max_th:20. ~limit_pkts:40 ()))

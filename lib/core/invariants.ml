@@ -323,6 +323,15 @@ let check_event t (ev : Engine.Trace.event) =
     | "link", "queue" -> check_queue_snapshot t ev
     | "link", _ -> check_link t ev
     | "wire", "sup_transition" -> check_sup_transition t ev
+    | "topo", "loop" ->
+        (* Netsim.Topology emits topo/loop only when a packet exhausts its
+           TTL, which a shortest-path routing table can never cause — any
+           such event is a routing bug, so the rule is simply "never". *)
+        violate t ~time:ev.time ~rule:"topo-loop-free"
+          "packet %d (flow %d) looped at node %d"
+          (ifield ev "id" ~default:(-1))
+          (ifield ev "flow" ~default:(-1))
+          (ifield ev "node" ~default:(-1))
     | _ -> ()
   end
 

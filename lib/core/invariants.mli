@@ -22,7 +22,10 @@
     - [queue-conservation] — a [link/queue] counter snapshot (emitted by
       {!Netsim.Link} at up/down transitions and via
       [Link.emit_queue_stats]) satisfies the strict balance
-      arrivals = departures + drops + queued, exactly.
+      arrivals = departures + drops + queued, exactly;
+    - [topo-loop-free] — a [topo/loop] event (a packet exhausting its TTL
+      in {!Netsim.Topology}) is always a violation: shortest-path routing
+      tables cannot loop, so any occurrence is a routing bug.
 
     Per-flow constants the rules depend on (segment size, rate floor,
     rate-validation flag, t_mbi) are taken from the flow's one-shot

@@ -35,9 +35,9 @@ let stop t =
   Tfrc_receiver.stop t.receiver
 
 let over_dumbbell db ?config ~flow ~rtt_base () =
-  let sim = Netsim.Dumbbell.sim db in
+  let rt = Netsim.Dumbbell.runtime db in
   Netsim.Dumbbell.add_flow db ~flow ~rtt_base;
-  create (Engine.Sim.runtime sim) ?config ~flow
+  create rt ?config ~flow
     ~data_path:(fun deliver ->
       Netsim.Dumbbell.set_dst_recv db ~flow deliver;
       Netsim.Dumbbell.src_sender db ~flow)

@@ -11,7 +11,7 @@ let versus_tcp ~config ~duration ~seed =
   let rng = Engine.Rng.create ~seed in
   let bandwidth = Engine.Units.mbps 15. in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.025
       ~queue:(Scenario.scaled_queue `Red ~bandwidth) ()
   in
   (* Background load so a meaningful loss process exists. *)
@@ -240,7 +240,7 @@ let burst_run ~burst_pkts ~duration ~seed =
   let rng = Engine.Rng.create ~seed in
   let bandwidth = Engine.Units.mbps 0.8 in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.02
       ~queue:(Netsim.Dumbbell.Droptail_q 8) ()
   in
   let tcp =
@@ -300,7 +300,7 @@ let ecn_run ~use_ecn ~duration ~seed =
     Netsim.Red.params ~min_th:10. ~max_th:50. ~limit_pkts:100 ~ecn:use_ecn ()
   in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.025
       ~queue:(Netsim.Dumbbell.Red_q red) ()
   in
   let tcps =
@@ -392,7 +392,7 @@ let aimd_mixed ~smooth_config ~duration ~seed =
   let rng = Engine.Rng.create ~seed in
   let bandwidth = Engine.Units.mbps 15. in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.025
       ~queue:(Scenario.scaled_queue `Red ~bandwidth) ()
   in
   let attach config flow =

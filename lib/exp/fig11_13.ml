@@ -14,7 +14,7 @@ let one ~sources ~duration ~seed =
   let rng = Engine.Rng.create ~seed in
   let bandwidth = Engine.Units.mbps 15. in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.025
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.025
       ~queue:
         (Netsim.Dumbbell.Red_q
            (Netsim.Red.params ~min_th:10. ~max_th:50. ~limit_pkts:100 ()))
@@ -40,7 +40,7 @@ let one ~sources ~duration ~seed =
       ~rtt_base:(Engine.Rng.uniform rng 0.08 0.12);
     Netsim.Dumbbell.set_dst_recv db ~flow ignore;
     let src =
-      Traffic.On_off.create sim (Engine.Rng.split rng) ~flow
+      Traffic.On_off.create (Engine.Sim.runtime sim) (Engine.Rng.split rng) ~flow
         ~on_rate:(Engine.Units.kbps 500.) ~pkt_size:1000 ~mean_on:1.
         ~mean_off:2.
         ~transmit:(Netsim.Dumbbell.src_sender db ~flow)

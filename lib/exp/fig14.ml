@@ -12,7 +12,7 @@ let one ~proto ~duration ~seed =
   let rng = Engine.Rng.create ~seed in
   let bandwidth = Engine.Units.mbps 15. in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.011
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.011
       ~queue:(Netsim.Dumbbell.Droptail_q 250) ()
   in
   (* 40 long-lived flows, starts spread over the first 20 s; round-trip
@@ -46,12 +46,12 @@ let one ~proto ~duration ~seed =
   Netsim.Dumbbell.add_flow db ~flow:9999 ~rtt_base:0.045;
   Netsim.Dumbbell.set_src_recv db ~flow:9999 ignore;
   let rev =
-    Traffic.Cbr.create sim ~flow:9999 ~rate:(0.05 *. bandwidth) ~pkt_size:1000
+    Traffic.Cbr.create (Engine.Sim.runtime sim) ~flow:9999 ~rate:(0.05 *. bandwidth) ~pkt_size:1000
       ~transmit:(Netsim.Dumbbell.dst_sender db ~flow:9999) ()
   in
   Traffic.Cbr.start rev ~at:0.;
   let sampler =
-    Netsim.Flowmon.Queue_sampler.start sim ~period:0.1
+    Netsim.Flowmon.Queue_sampler.start (Engine.Sim.runtime sim) ~period:0.1
       ~queue:(Netsim.Link.queue (Netsim.Dumbbell.forward_link db))
   in
   Engine.Sim.run sim ~until:duration;

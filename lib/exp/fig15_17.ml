@@ -81,7 +81,7 @@ let build_path p ~seed =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:p.bandwidth ~delay:(p.rtt /. 4.)
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:p.bandwidth ~delay:(p.rtt /. 4.)
       ~queue:(Netsim.Dumbbell.Droptail_q p.queue_pkts) ()
   in
   (* Background web-like traffic sized to the profile's load. *)

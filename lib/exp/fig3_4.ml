@@ -9,7 +9,7 @@ let rtt_base = 0.030
 let run_flow ~rtt_gain ~delay_gain ~buffer ~duration =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.005
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.005
       ~queue:(Netsim.Dumbbell.Droptail_q buffer) ()
   in
   let config = Tfrc.Tfrc_config.default ~rtt_gain ~delay_gain () in

@@ -3,7 +3,7 @@ let nokia ~delay_gain ~duration ~seed =
   let rng = Engine.Rng.create ~seed in
   let bandwidth = Engine.Units.mbps 1.5 in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.015
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.015
       ~queue:(Netsim.Dumbbell.Droptail_q 15) ()
   in
   let n_tfrc = 6 in
@@ -34,7 +34,7 @@ let tcp_phase_full ~queue ~identical_rtt ~duration ~seed =
   let rng = Engine.Rng.create ~seed in
   let bandwidth = Engine.Units.mbps 10. in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth ~delay:0.02
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth ~delay:0.02
       ~queue:(Scenario.scaled_queue queue ~bandwidth) ()
   in
   let handles =

@@ -123,6 +123,14 @@ let all =
       render = Resilience.render;
     };
     {
+      id = "topology";
+      title =
+        "Failure impact on a routed WAN: partition vs re-route, static \
+         analysis vs chaos-layer dynamics";
+      jobs = Topo_impact.jobs;
+      render = Topo_impact.render;
+    };
+    {
       id = "ablations";
       title =
         "Design-choice ablations: history, discounting, RTT gain, feedback,          burstiness, ECN";

@@ -60,7 +60,7 @@ let run_case ~seed ~proto ~fault ~run_until =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:bottleneck_bw ~delay:0.005
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:bottleneck_bw ~delay:0.005
       ~queue:(Netsim.Dumbbell.Droptail_q 20) ()
   in
   let now () = Engine.Sim.now sim in
@@ -70,13 +70,13 @@ let run_case ~seed ~proto ~fault ~run_until =
   (* Link-level faults. *)
   (match fault with
   | Outage { at; duration } ->
-      Netsim.Faults.outage sim (Netsim.Dumbbell.forward_link db) ~at ~duration ()
+      Netsim.Faults.outage (Engine.Sim.runtime sim) (Netsim.Dumbbell.forward_link db) ~at ~duration ()
   | Flap { at; stop; period; down_fraction } ->
-      Netsim.Faults.flapping sim
+      Netsim.Faults.flapping (Engine.Sim.runtime sim)
         (Netsim.Dumbbell.forward_link db)
         ~start:at ~stop ~period ~down_fraction ()
   | Route_change { at; bandwidth_factor } ->
-      Netsim.Faults.route_change sim
+      Netsim.Faults.route_change (Engine.Sim.runtime sim)
         (Netsim.Dumbbell.forward_link db)
         ~at
         ~bandwidth:(bottleneck_bw *. bandwidth_factor)
@@ -87,7 +87,7 @@ let run_case ~seed ~proto ~fault ~run_until =
   let wrap_data dest =
     match fault with
     | Reorder { p; jitter; _ } ->
-        let faulty, _ = Netsim.Faults.reorder sim rng ~p ~jitter dest in
+        let faulty, _ = Netsim.Faults.reorder (Engine.Sim.runtime sim) rng ~p ~jitter dest in
         windowed ~now ~a ~b faulty dest
     | _ -> dest
   in
@@ -132,7 +132,7 @@ let run_case ~seed ~proto ~fault ~run_until =
     | `Tcp ->
         let config = Tcpsim.Tcp_common.ns_sack in
         let sink =
-          Tcpsim.Tcp_sink.create sim ~config ~flow
+          Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config ~flow
             ~transmit:(wrap_fb (Netsim.Dumbbell.dst_sender db ~flow))
             ()
         in
@@ -140,7 +140,7 @@ let run_case ~seed ~proto ~fault ~run_until =
           (wrap_data
              (Netsim.Flowmon.wrap recv_mon (Tcpsim.Tcp_sink.recv sink)));
         let sender =
-          Tcpsim.Tcp_sender.create sim ~config ~flow
+          Tcpsim.Tcp_sender.create (Engine.Sim.runtime sim) ~config ~flow
             ~transmit:
               (Netsim.Flowmon.wrap send_mon (Netsim.Dumbbell.src_sender db ~flow))
             ()

@@ -233,7 +233,25 @@ let run_jobs_supervised ?(j = 1) ?(retries = 0) ?budget ?checkpoint ~seed jobs =
             ( (jb.key, Completed r),
               { key = jb.key; status = `Resumed; attempts = 0; wall_s = 0. } )
         | `Run (jb : Job.t) ->
-            let outcome, attempts, wall = Hashtbl.find by_key jb.key in
+            (* find_opt, not find: a bare Not_found here would escape the
+               crash-isolation machinery and kill the whole report. A job
+               the executor somehow recorded no outcome for becomes a
+               failure cell, rendered as a MISSING(key) hole downstream. *)
+            let outcome, attempts, wall =
+              match Hashtbl.find_opt by_key jb.key with
+              | Some cell -> cell
+              | None ->
+                  ( Gave_up
+                      {
+                        kind = `Failed;
+                        detail = "internal: executor recorded no outcome";
+                        attempts = 0;
+                        exn_ = Not_found;
+                        backtrace = Printexc.get_callstack 0;
+                      },
+                    0,
+                    0. )
+            in
             let status =
               match outcome with
               | Completed _ -> `Ok

@@ -13,19 +13,19 @@ type tfrc_handle = {
 }
 
 let attach_tcp db ~flow ~rtt_base ~config =
-  let sim = Netsim.Dumbbell.sim db in
-  let now () = Engine.Sim.now sim in
+  let rt = Netsim.Dumbbell.runtime db in
+  let now () = Engine.Runtime.now rt in
   Netsim.Dumbbell.add_flow db ~flow ~rtt_base;
   let send_mon = Netsim.Flowmon.create now in
   let recv_mon = Netsim.Flowmon.create now in
   let tcp_sink =
-    Tcpsim.Tcp_sink.create sim ~config ~flow
+    Tcpsim.Tcp_sink.create rt ~config ~flow
       ~transmit:(Netsim.Dumbbell.dst_sender db ~flow) ()
   in
   Netsim.Dumbbell.set_dst_recv db ~flow
     (Netsim.Flowmon.wrap recv_mon (Tcpsim.Tcp_sink.recv tcp_sink));
   let tcp_sender =
-    Tcpsim.Tcp_sender.create sim ~config ~flow
+    Tcpsim.Tcp_sender.create rt ~config ~flow
       ~transmit:
         (Netsim.Flowmon.wrap send_mon (Netsim.Dumbbell.src_sender db ~flow))
       ()
@@ -34,19 +34,19 @@ let attach_tcp db ~flow ~rtt_base ~config =
   { tcp_sender; tcp_sink; tcp_send_mon = send_mon; tcp_recv_mon = recv_mon }
 
 let attach_tfrc db ~flow ~rtt_base ~config =
-  let sim = Netsim.Dumbbell.sim db in
-  let now () = Engine.Sim.now sim in
+  let rt = Netsim.Dumbbell.runtime db in
+  let now () = Engine.Runtime.now rt in
   Netsim.Dumbbell.add_flow db ~flow ~rtt_base;
   let send_mon = Netsim.Flowmon.create now in
   let recv_mon = Netsim.Flowmon.create now in
   let tfrc_receiver =
-    Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow
+    Tfrc.Tfrc_receiver.create rt ~config ~flow
       ~transmit:(Netsim.Dumbbell.dst_sender db ~flow) ()
   in
   Netsim.Dumbbell.set_dst_recv db ~flow
     (Netsim.Flowmon.wrap recv_mon (Tfrc.Tfrc_receiver.recv tfrc_receiver));
   let tfrc_sender =
-    Tfrc.Tfrc_sender.create (Engine.Sim.runtime sim) ~config ~flow
+    Tfrc.Tfrc_sender.create rt ~config ~flow
       ~transmit:
         (Netsim.Flowmon.wrap send_mon (Netsim.Dumbbell.src_sender db ~flow))
       ()
@@ -120,7 +120,7 @@ let run_mixed p =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed:p.seed in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:p.bandwidth ~delay:p.delay
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:p.bandwidth ~delay:p.delay
       ~queue:p.queue ()
   in
   let drop_times = ref [] in

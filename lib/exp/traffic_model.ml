@@ -35,7 +35,7 @@ let hurst_of_aggregate ~sources ~shape ~duration ~seed =
     let source_rng = Engine.Rng.split rng in
     if shape > 0. then begin
       let src =
-        Traffic.On_off.create sim source_rng ~flow
+        Traffic.On_off.create (Engine.Sim.runtime sim) source_rng ~flow
           ~on_rate:(Engine.Units.kbps 100.) ~pkt_size:500 ~mean_on:1.
           ~mean_off:2. ~shape ~transmit ()
       in

@@ -39,9 +39,16 @@ let make_queue (sc : Scenario.t) sim () =
         ~now:(fun () -> Engine.Sim.now sim)
         ~ptc:(sc.bandwidth /. (8. *. mean_pktsize))
 
-let build_net sim (sc : Scenario.t) =
-  match sc.topology with
-  | Scenario.Dumbbell ->
+(* Flow endpoints on a [Graph] scenario: a pure function of flow index
+   and node count, so the scenario file alone still replays the run. *)
+let graph_endpoints ~nodes ~flow =
+  let src = flow mod nodes in
+  let dst = (flow + max 1 (nodes / 2)) mod nodes in
+  if dst = src then (src, (src + 1) mod nodes) else (src, dst)
+
+let build_net ~builders sim (sc : Scenario.t) =
+  match (sc.topology, builders) with
+  | Scenario.Dumbbell, _ ->
       let queue =
         match sc.queue with
         | Scenario.Droptail limit -> Netsim.Dumbbell.Droptail_q limit
@@ -49,26 +56,47 @@ let build_net sim (sc : Scenario.t) =
             Netsim.Dumbbell.Red_q
               (Netsim.Red.params ~min_th ~max_th ~limit_pkts:limit ())
       in
-      let db =
-        Netsim.Dumbbell.create sim ~bandwidth:sc.bandwidth ~delay:sc.delay
-          ~queue ()
-      in
-      List.iteri
-        (fun flow (f : Scenario.flow) ->
-          Netsim.Dumbbell.add_flow db ~flow ~rtt_base:f.rtt_base)
-        sc.flows;
-      {
-        src_sender = (fun ~flow -> Netsim.Dumbbell.src_sender db ~flow);
-        dst_sender = (fun ~flow -> Netsim.Dumbbell.dst_sender db ~flow);
-        set_src_recv = (fun ~flow h -> Netsim.Dumbbell.set_src_recv db ~flow h);
-        set_dst_recv = (fun ~flow h -> Netsim.Dumbbell.set_dst_recv db ~flow h);
-        links =
-          [ Netsim.Dumbbell.forward_link db; Netsim.Dumbbell.reverse_link db ];
-      }
-  | Scenario.Path | Scenario.Parking_lot _ ->
+      let rt = Engine.Sim.runtime sim in
+      (match builders with
+      | `Legacy ->
+          let db =
+            Netsim.Dumbbell.create rt ~bandwidth:sc.bandwidth ~delay:sc.delay
+              ~queue ()
+          in
+          List.iteri
+            (fun flow (f : Scenario.flow) ->
+              Netsim.Dumbbell.add_flow db ~flow ~rtt_base:f.rtt_base)
+            sc.flows;
+          {
+            src_sender = (fun ~flow -> Netsim.Dumbbell.src_sender db ~flow);
+            dst_sender = (fun ~flow -> Netsim.Dumbbell.dst_sender db ~flow);
+            set_src_recv =
+              (fun ~flow h -> Netsim.Dumbbell.set_src_recv db ~flow h);
+            set_dst_recv =
+              (fun ~flow h -> Netsim.Dumbbell.set_dst_recv db ~flow h);
+            links =
+              [ Netsim.Dumbbell.forward_link db; Netsim.Dumbbell.reverse_link db ];
+          }
+      | `Graph ->
+          let module G = Netsim.Topo_builders.Graph_dumbbell in
+          let db =
+            G.create rt ~bandwidth:sc.bandwidth ~delay:sc.delay ~queue ()
+          in
+          List.iteri
+            (fun flow (f : Scenario.flow) ->
+              G.add_flow db ~flow ~rtt_base:f.rtt_base)
+            sc.flows;
+          {
+            src_sender = (fun ~flow -> G.src_sender db ~flow);
+            dst_sender = (fun ~flow -> G.dst_sender db ~flow);
+            set_src_recv = (fun ~flow h -> G.set_src_recv db ~flow h);
+            set_dst_recv = (fun ~flow h -> G.set_dst_recv db ~flow h);
+            links = [ G.forward_link db; G.reverse_link db ];
+          })
+  | (Scenario.Path | Scenario.Parking_lot _), `Legacy ->
       let hops = Scenario.hops sc in
       let pl =
-        Netsim.Parking_lot.create sim ~hops ~bandwidth:sc.bandwidth
+        Netsim.Parking_lot.create (Engine.Sim.runtime sim) ~hops ~bandwidth:sc.bandwidth
           ~delay:sc.delay ~queue:(make_queue sc sim) ()
       in
       List.iteri
@@ -89,6 +117,77 @@ let build_net sim (sc : Scenario.t) =
           (fun ~flow h -> Netsim.Parking_lot.set_dst_recv pl ~flow h);
         links =
           List.init hops (fun i -> Netsim.Parking_lot.link pl ~hop:(i + 1));
+      }
+  | (Scenario.Path | Scenario.Parking_lot _), `Graph ->
+      let module G = Netsim.Topo_builders.Graph_parking_lot in
+      let hops = Scenario.hops sc in
+      let pl =
+        G.create (Engine.Sim.runtime sim) ~hops ~bandwidth:sc.bandwidth
+          ~delay:sc.delay ~queue:(make_queue sc sim) ()
+      in
+      List.iteri
+        (fun flow (f : Scenario.flow) ->
+          match f.hop with
+          | Some hop -> G.add_cross_flow pl ~flow ~hop ~rtt_base:f.rtt_base
+          | None -> G.add_through_flow pl ~flow ~rtt_base:f.rtt_base)
+        sc.flows;
+      {
+        src_sender = (fun ~flow -> G.src_sender pl ~flow);
+        dst_sender = (fun ~flow -> G.dst_sender pl ~flow);
+        set_src_recv = (fun ~flow h -> G.set_src_recv pl ~flow h);
+        set_dst_recv = (fun ~flow h -> G.set_dst_recv pl ~flow h);
+        links = List.init hops (fun i -> G.link pl ~hop:(i + 1));
+      }
+  | Scenario.Graph { nodes; extra }, _ ->
+      (* Routed graph: [nodes] routers on a bidirectional ring plus
+         [extra] bidirectional chords; feedback shares the graph (no
+         dedicated reverse path), so routing is exercised both ways. *)
+      let rt = Engine.Sim.runtime sim in
+      let topo = Netsim.Topology.create rt () in
+      let routers = Array.init nodes (fun _ -> Netsim.Topology.add_node topo) in
+      let links = ref [] in
+      let connect a b =
+        let l =
+          Netsim.Link.create rt ~bandwidth:sc.bandwidth ~delay:sc.delay
+            ~queue:(make_queue sc sim ()) ()
+        in
+        links := l :: !links;
+        ignore (Netsim.Topology.add_link topo ~src:routers.(a) ~dst:routers.(b) l)
+      in
+      for i = 0 to nodes - 1 do
+        let j = (i + 1) mod nodes in
+        connect i j;
+        connect j i
+      done;
+      for c = 0 to extra - 1 do
+        let a = c mod nodes in
+        let b = (a + (nodes / 2)) mod nodes in
+        if b <> a then begin
+          connect a b;
+          connect b a
+        end
+      done;
+      List.iteri
+        (fun flow (f : Scenario.flow) ->
+          let src_r, dst_r = graph_endpoints ~nodes ~flow in
+          let access =
+            Float.max 0.
+              (((f.rtt_base /. 2.) -. (float_of_int nodes *. sc.delay)) /. 2.)
+          in
+          let host r =
+            let h = Netsim.Topology.add_node topo in
+            ignore (Netsim.Topology.add_wire topo ~src:h ~dst:routers.(r) access);
+            ignore (Netsim.Topology.add_wire topo ~src:routers.(r) ~dst:h access);
+            h
+          in
+          Netsim.Topology.add_flow topo ~flow ~src:(host src_r) ~dst:(host dst_r))
+        sc.flows;
+      {
+        src_sender = (fun ~flow -> Netsim.Topology.src_sender topo ~flow);
+        dst_sender = (fun ~flow -> Netsim.Topology.dst_sender topo ~flow);
+        set_src_recv = (fun ~flow h -> Netsim.Topology.set_src_recv topo ~flow h);
+        set_dst_recv = (fun ~flow h -> Netsim.Topology.set_dst_recv topo ~flow h);
+        links = List.rev !links;
       }
 
 (* Sampled-value checks: `Rate values must be finite and non-negative,
@@ -118,7 +217,7 @@ type run_stats = {
 let fnv_prime = 0x100000001b3
 let fnv_offset = 0x811c9dc5
 
-let run_once ~mutate (sc : Scenario.t) =
+let run_once ~mutate ~builders (sc : Scenario.t) =
   let bus = Engine.Trace.create ~ring:40 () in
   let checker = Tfrc.Invariants.create () in
   Tfrc.Invariants.attach checker bus;
@@ -132,7 +231,7 @@ let run_once ~mutate (sc : Scenario.t) =
   let sim = Engine.Sim.create ~trace:bus () in
   let rng = Engine.Rng.create ~seed:sc.sim_seed in
   let now () = Engine.Sim.now sim in
-  let net = build_net sim sc in
+  let net = build_net ~builders sim sc in
   let bottleneck = List.hd net.links in
   (* Link-level faults hit the first congested link (the dumbbell's
      forward bottleneck / the parking lot's first hop). *)
@@ -140,12 +239,12 @@ let run_once ~mutate (sc : Scenario.t) =
     (fun (fault : Scenario.fault) ->
       match fault with
       | Scenario.Outage { at; duration } ->
-          Netsim.Faults.outage sim bottleneck ~at ~duration ()
+          Netsim.Faults.outage (Engine.Sim.runtime sim) bottleneck ~at ~duration ()
       | Scenario.Flap { at; stop; period; down_fraction } ->
-          Netsim.Faults.flapping sim bottleneck ~start:at ~stop ~period
+          Netsim.Faults.flapping (Engine.Sim.runtime sim) bottleneck ~start:at ~stop ~period
             ~down_fraction ()
       | Scenario.Route_change { at; bandwidth_factor } ->
-          Netsim.Faults.route_change sim bottleneck ~at
+          Netsim.Faults.route_change (Engine.Sim.runtime sim) bottleneck ~at
             ~bandwidth:(sc.bandwidth *. bandwidth_factor)
             ()
       | Scenario.Reorder _ | Scenario.Duplicate _ | Scenario.Corrupt _
@@ -167,9 +266,9 @@ let run_once ~mutate (sc : Scenario.t) =
       (fun dest (fault : Scenario.fault) ->
         match fault with
         | Scenario.Reorder { p; jitter } ->
-            fst (Netsim.Faults.reorder sim rng ~p ~jitter dest)
+            fst (Netsim.Faults.reorder (Engine.Sim.runtime sim) rng ~p ~jitter dest)
         | Scenario.Duplicate { p; delay } ->
-            fst (Netsim.Faults.duplicate sim rng ~p ~delay dest)
+            fst (Netsim.Faults.duplicate (Engine.Sim.runtime sim) rng ~p ~delay dest)
         | Scenario.Corrupt { p } -> fst (Netsim.Faults.corrupt rng ~p dest)
         | _ -> dest)
       dest sc.faults
@@ -216,13 +315,13 @@ let run_once ~mutate (sc : Scenario.t) =
       | Scenario.Tcp ->
           let config = Tcpsim.Tcp_common.ns_sack in
           let sink =
-            Tcpsim.Tcp_sink.create sim ~config ~flow
+            Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config ~flow
               ~transmit:(wrap_fb (net.dst_sender ~flow))
               ()
           in
           net.set_dst_recv ~flow (wrap_data (count (Tcpsim.Tcp_sink.recv sink)));
           let sender =
-            Tcpsim.Tcp_sender.create sim ~config ~flow
+            Tcpsim.Tcp_sender.create (Engine.Sim.runtime sim) ~config ~flow
               ~transmit:(net.src_sender ~flow) ()
           in
           net.set_src_recv ~flow (Tcpsim.Tcp_sender.recv sender);
@@ -359,9 +458,9 @@ let run_once ~mutate (sc : Scenario.t) =
     r_tail = List.map Engine.Trace.to_json (Engine.Trace.recent bus);
   }
 
-let run ?(mutate = false) sc =
-  let a = run_once ~mutate sc in
-  let b = run_once ~mutate sc in
+let run ?(mutate = false) ?(builders = `Legacy) sc =
+  let a = run_once ~mutate ~builders sc in
+  let b = run_once ~mutate ~builders sc in
   let determinism =
     if
       a.r_digest = b.r_digest && a.r_events = b.r_events

@@ -40,8 +40,16 @@ val oracle_names : string list
     runs, so the queue-conservation oracle must catch it whenever the
     scenario's fault schedule produces outage drops. Used by the
     [--mutate] self-test to prove the fuzzer detects and shrinks real
-    violations. *)
-val run : ?mutate:bool -> Scenario.t -> outcome
+    violations.
+
+    [builders] picks the network construction for [Path]/[Dumbbell]/
+    [Parking_lot] scenarios: [`Legacy] (default) uses the hand-wired
+    builders, [`Graph] the {!Netsim.Topo_builders} graph equivalents.
+    The two must produce byte-identical traces — the differential tests
+    compare their outcomes on the same scenario. [Graph] scenarios are
+    always built on {!Netsim.Topology} regardless. *)
+val run :
+  ?mutate:bool -> ?builders:[ `Legacy | `Graph ] -> Scenario.t -> outcome
 
 (** [failed_oracles o] is the distinct failing oracle names, in order. *)
 val failed_oracles : outcome -> string list

@@ -1,4 +1,11 @@
-type topology = Path | Dumbbell | Parking_lot of int
+type topology =
+  | Path
+  | Dumbbell
+  | Parking_lot of int
+  | Graph of { nodes : int; extra : int }
+      (* [nodes] routers on a bidirectional ring plus [extra] chord links;
+         see Oracle.build_net — structure is a pure function of the two
+         counts, so the codec stays tiny and replays are exact. *)
 
 type queue =
   | Droptail of int
@@ -34,20 +41,28 @@ type t = {
   duration : float;
 }
 
-let hops t = match t.topology with Parking_lot h -> h | Path | Dumbbell -> 1
+let hops t =
+  match t.topology with Parking_lot h -> h | Path | Dumbbell | Graph _ -> 1
 
 let min_rtt topology ~delay =
   match topology with
   | Path | Dumbbell -> 2. *. delay
   | Parking_lot h -> 2. *. float_of_int h *. delay
+  | Graph { nodes; _ } ->
+      (* Worst-case shortest path is under [nodes] hops; the floor leaves
+         room for non-negative access wires on both sides. *)
+      2. *. float_of_int nodes *. delay
 
 (* ----- generation ----- *)
 
 let gen_topology rng =
-  match Engine.Rng.int rng 5 with
+  match Engine.Rng.int rng 7 with
   | 0 | 1 -> Path
   | 2 | 3 -> Dumbbell
-  | _ -> Parking_lot (2 + Engine.Rng.int rng 2)
+  | 4 | 5 -> Parking_lot (2 + Engine.Rng.int rng 2)
+  | _ ->
+      Graph
+        { nodes = 3 + Engine.Rng.int rng 3; extra = 1 + Engine.Rng.int rng 2 }
 
 let gen_queue rng =
   if Engine.Rng.bool rng ~p:0.6 then Droptail (8 + Engine.Rng.int rng 43)
@@ -144,6 +159,7 @@ let topology_to_sexp = function
   | Path -> Sexp.Atom "path"
   | Dumbbell -> Sexp.Atom "dumbbell"
   | Parking_lot h -> Sexp.List [ Sexp.Atom "parking-lot"; int h ]
+  | Graph { nodes; extra } -> Sexp.List [ Sexp.Atom "graph"; int nodes; int extra ]
 
 let topology_of_sexp = function
   | Sexp.Atom "path" -> Path
@@ -153,6 +169,11 @@ let topology_of_sexp = function
       | Some h when h >= 2 -> Parking_lot h
       | _ ->
           raise (Sexp.Parse_error ("bad parking-lot hops: " ^ Sexp.to_string v)))
+  | Sexp.List [ Sexp.Atom "graph"; Sexp.Atom n; Sexp.Atom x ] as v -> (
+      match (int_of_string_opt n, int_of_string_opt x) with
+      | Some nodes, Some extra when nodes >= 3 && extra >= 0 ->
+          Graph { nodes; extra }
+      | _ -> raise (Sexp.Parse_error ("bad graph: " ^ Sexp.to_string v)))
   | v -> raise (Sexp.Parse_error ("unknown topology: " ^ Sexp.to_string v))
 
 let queue_to_sexp = function
@@ -311,6 +332,7 @@ let topology_str = function
   | Path -> "path"
   | Dumbbell -> "dumbbell"
   | Parking_lot h -> Printf.sprintf "parking-lot/%d" h
+  | Graph { nodes; extra } -> Printf.sprintf "graph/%d+%d" nodes extra
 
 let summary t =
   Printf.sprintf "%s %.1fMb/s %s %d flow%s %d fault%s %.0fs" (topology_str t.topology)
@@ -415,6 +437,11 @@ let shrink_candidates t =
       }
     in
     match t.topology with
+    | Graph { nodes; extra } when extra > 0 ->
+        [ retarget (Graph { nodes; extra = extra - 1 }) ]
+    | Graph { nodes; _ } when nodes > 3 ->
+        [ retarget (Graph { nodes = nodes - 1; extra = 0 }) ]
+    | Graph _ -> [ retarget Dumbbell ]
     | Parking_lot h when h > 2 -> [ retarget (Parking_lot (h - 1)) ]
     | Parking_lot _ -> [ retarget Dumbbell ]
     | Dumbbell -> [ retarget Path ]

@@ -14,6 +14,10 @@ type topology =
   | Path  (** single link, one hop *)
   | Dumbbell  (** shared bottleneck + well-provisioned reverse path *)
   | Parking_lot of int  (** chain of [n >= 2] congested hops *)
+  | Graph of { nodes : int; extra : int }
+      (** routed {!Netsim.Topology}: [nodes >= 3] routers on a
+          bidirectional ring plus [extra] chord links; flow endpoints are
+          derived from flow index (see [Oracle.build_net]) *)
 
 type queue =
   | Droptail of int  (** buffer limit, packets *)

@@ -18,12 +18,13 @@ type queue_spec =
 
 type t
 
-(** [create sim ~bandwidth ~delay ~queue ()] builds the bottleneck pair.
-    [bandwidth] in bits/s, [delay] one-way propagation of the bottleneck.
-    [reverse_queue] defaults to [queue]. [mean_pktsize] (default 1000)
-    calibrates RED's idle-time aging. *)
+(** [create rt ~bandwidth ~delay ~queue ()] builds the bottleneck pair on
+    the given sans-IO runtime (use [Engine.Sim.runtime sim] under the
+    simulator). [bandwidth] in bits/s, [delay] one-way propagation of the
+    bottleneck. [reverse_queue] defaults to [queue]. [mean_pktsize]
+    (default 1000) calibrates RED's idle-time aging. *)
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   bandwidth:float ->
   delay:float ->
   queue:queue_spec ->
@@ -32,7 +33,7 @@ val create :
   unit ->
   t
 
-val sim : t -> Engine.Sim.t
+val runtime : t -> Engine.Runtime.t
 
 (** [add_flow t ~flow ~rtt_base] registers a flow whose base round-trip
     time (excluding queueing) is [rtt_base]. The access delay on each of
@@ -62,3 +63,12 @@ val on_forward_drop : t -> Packet.handler -> unit
 
 (** Loss fraction at the forward bottleneck queue so far. *)
 val forward_drop_rate : t -> float
+
+(** Number of access-segment deliveries currently scheduled but not yet
+    fired. *)
+val in_flight : t -> int
+
+(** [teardown t] cancels every pending access-segment delivery, so no
+    packet fires into an endpoint after the scenario has stopped. The
+    topology remains usable (subsequent sends schedule normally). *)
+val teardown : t -> unit

@@ -3,25 +3,25 @@
 (* Fault events ride the simulation's trace bus alongside the [link/*]
    events the link itself emits, so a trace reader can tell injected faults
    from organic congestion. *)
-let fault_ev sim link name fields =
-  let tr = Engine.Sim.trace sim in
+let fault_ev rt link name fields =
+  let tr = Engine.Runtime.trace rt in
   if Engine.Trace.active tr then
-    Engine.Trace.emit tr ~time:(Engine.Sim.now sim) ~cat:"fault" ~name
+    Engine.Trace.emit tr ~time:(Engine.Runtime.now rt) ~cat:"fault" ~name
       (("link", Engine.Trace.Str (Link.label link)) :: fields)
 
-let outage sim link ~at ~duration ?(policy = Link.Drop_queued) () =
+let outage rt link ~at ~duration ?(policy = Link.Drop_queued) () =
   if duration < 0. then invalid_arg "Faults.outage: negative duration";
   ignore
-    (Engine.Sim.at sim at (fun () ->
+    (Engine.Runtime.at rt at (fun () ->
          Link.set_up link ~policy false;
-         fault_ev sim link "outage_start"
+         fault_ev rt link "outage_start"
            [ ("duration", Engine.Trace.Float duration) ]));
   ignore
-    (Engine.Sim.at sim (at +. duration) (fun () ->
+    (Engine.Runtime.at rt (at +. duration) (fun () ->
          Link.set_up link true;
-         fault_ev sim link "outage_end" []))
+         fault_ev rt link "outage_end" []))
 
-let flapping sim link ~start ~stop ~period ~down_fraction ?(policy = Link.Drop_queued)
+let flapping rt link ~start ~stop ~period ~down_fraction ?(policy = Link.Drop_queued)
     () =
   if period <= 0. then invalid_arg "Faults.flapping: period must be positive";
   if down_fraction < 0. || down_fraction > 1. then
@@ -32,23 +32,23 @@ let flapping sim link ~start ~stop ~period ~down_fraction ?(policy = Link.Drop_q
       let down_at = at +. up_span in
       if down_at < stop then begin
         ignore
-          (Engine.Sim.at sim down_at (fun () -> Link.set_up link ~policy false));
+          (Engine.Runtime.at rt down_at (fun () -> Link.set_up link ~policy false));
         let up_at = Float.min (at +. period) stop in
-        ignore (Engine.Sim.at sim up_at (fun () -> Link.set_up link true));
+        ignore (Engine.Runtime.at rt up_at (fun () -> Link.set_up link true));
         cycle (at +. period)
       end
     end
   in
   cycle start;
   (* Whatever phase the last cycle ended in, the link is up after [stop]. *)
-  ignore (Engine.Sim.at sim stop (fun () -> Link.set_up link true))
+  ignore (Engine.Runtime.at rt stop (fun () -> Link.set_up link true))
 
-let route_change sim link ~at ?bandwidth ?delay () =
+let route_change rt link ~at ?bandwidth ?delay () =
   ignore
-    (Engine.Sim.at sim at (fun () ->
+    (Engine.Runtime.at rt at (fun () ->
          Option.iter (Link.set_bandwidth link) bandwidth;
          Option.iter (Link.set_delay link) delay;
-         fault_ev sim link "route_change"
+         fault_ev rt link "route_change"
            [
              ("bandwidth", Engine.Trace.Float (Link.bandwidth link));
              ("delay", Engine.Trace.Float (Link.delay link));
@@ -60,19 +60,19 @@ let counted f =
   let n = ref 0 in
   (f (fun () -> incr n), fun () -> !n)
 
-let reorder sim rng ~p ~jitter dest =
+let reorder rt rng ~p ~jitter dest =
   if p < 0. || p > 1. then invalid_arg "Faults.reorder: bad p";
   if jitter < 0. then invalid_arg "Faults.reorder: negative jitter";
   counted (fun hit pkt ->
       if jitter > 0. && Engine.Rng.bool rng ~p then begin
         hit ();
         ignore
-          (Engine.Sim.after sim (Engine.Rng.float rng jitter) (fun () ->
+          (Engine.Runtime.after rt (Engine.Rng.float rng jitter) (fun () ->
                dest pkt))
       end
       else dest pkt)
 
-let duplicate sim rng ~p ?(delay = 0.) dest =
+let duplicate rt rng ~p ?(delay = 0.) dest =
   if p < 0. || p > 1. then invalid_arg "Faults.duplicate: bad p";
   if delay < 0. then invalid_arg "Faults.duplicate: negative delay";
   counted (fun hit pkt ->
@@ -80,7 +80,7 @@ let duplicate sim rng ~p ?(delay = 0.) dest =
       if Engine.Rng.bool rng ~p then begin
         hit ();
         if delay > 0. then
-          ignore (Engine.Sim.after sim delay (fun () -> dest pkt))
+          ignore (Engine.Runtime.after rt delay (fun () -> dest pkt))
         else dest pkt
       end)
 

@@ -9,7 +9,7 @@
     {- {b Handler-level faults}: wrappers around a {!Packet.handler} that
        reorder, duplicate, corrupt or black out packets in flight. They
        compose with each other and with {!Loss_model} wrappers, e.g.
-       [Faults.reorder sim rng ~p ~jitter (Loss_model.bernoulli rng ~p:0.01
+       [Faults.reorder rt rng ~p ~jitter (Loss_model.bernoulli rng ~p:0.01
        dest)].}}
 
     All randomness comes from an explicit {!Engine.Rng.t} so chaos schedules
@@ -17,11 +17,11 @@
 
 (** {1 Link faults} *)
 
-(** [outage sim link ~at ~duration ?policy ()] takes the link down at time
+(** [outage rt link ~at ~duration ?policy ()] takes the link down at time
     [at] and restores it [duration] seconds later. [policy] (default
     [Drop_queued]) governs packets queued at the moment of failure. *)
 val outage :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   Link.t ->
   at:float ->
   duration:float ->
@@ -29,12 +29,12 @@ val outage :
   unit ->
   unit
 
-(** [flapping sim link ~start ~stop ~period ~down_fraction ?policy ()]
+(** [flapping rt link ~start ~stop ~period ~down_fraction ?policy ()]
     makes the link flap between [start] and [stop]: each [period] it is up
     for [(1 - down_fraction) * period] then down for the rest. The link is
     left up at [stop]. *)
 val flapping :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   Link.t ->
   start:float ->
   stop:float ->
@@ -44,12 +44,12 @@ val flapping :
   unit ->
   unit
 
-(** [route_change sim link ~at ?bandwidth ?delay ()] applies new link
+(** [route_change rt link ~at ?bandwidth ?delay ()] applies new link
     parameters at time [at], emulating a route switching to a path with
     different capacity and propagation delay. Omitted parameters keep
     their current value. *)
 val route_change :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   Link.t ->
   at:float ->
   ?bandwidth:float ->
@@ -62,23 +62,23 @@ val route_change :
     Each wrapper keeps a count of the faults it injected, readable through
     the second component of the returned pair. *)
 
-(** [reorder sim rng ~p ~jitter dest] delays each packet by an extra
+(** [reorder rt rng ~p ~jitter dest] delays each packet by an extra
     uniform [0, jitter) seconds with probability [p] before delivering it,
     letting later packets overtake it — random reordering as seen across
     route flutter. Unaffected packets are delivered synchronously. *)
 val reorder :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   Engine.Rng.t ->
   p:float ->
   jitter:float ->
   Packet.handler ->
   Packet.handler * (unit -> int)
 
-(** [duplicate sim rng ~p ?delay dest] delivers each packet once and, with
+(** [duplicate rt rng ~p ?delay dest] delivers each packet once and, with
     probability [p], a second time [delay] (default 0) seconds later —
     duplication as produced by spurious link-layer retransmission. *)
 val duplicate :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   Engine.Rng.t ->
   p:float ->
   ?delay:float ->

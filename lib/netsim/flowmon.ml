@@ -28,23 +28,23 @@ module Queue_sampler = struct
   type sampler = {
     series : Stats.Time_series.t;
     mutable running : bool;
-    mutable timer : Engine.Sim.handle; (* pending tick, cancelled on stop *)
+    mutable timer : Engine.Runtime.handle; (* pending tick, cancelled on stop *)
   }
 
-  let start sim ~period ~queue =
+  let start rt ~period ~queue =
     if period <= 0. then invalid_arg "Queue_sampler.start: period must be positive";
     let s =
       {
         series = Stats.Time_series.create ();
         running = true;
-        timer = Engine.Sim.null_handle;
+        timer = Engine.Runtime.null_handle;
       }
     in
     let sample () =
-      let now = Engine.Sim.now sim in
+      let now = Engine.Runtime.now rt in
       let len = queue.Queue_disc.len_pkts () in
       Stats.Time_series.add s.series ~time:now ~value:(float_of_int len);
-      let tr = Engine.Sim.trace sim in
+      let tr = Engine.Runtime.trace rt in
       if Engine.Trace.active tr then
         Engine.Trace.emit tr ~time:now ~cat:"queue" ~name:"sample"
           [ ("len", Engine.Trace.Int len) ]
@@ -52,12 +52,12 @@ module Queue_sampler = struct
     let rec tick () =
       if s.running then begin
         sample ();
-        s.timer <- Engine.Sim.after sim period tick
+        s.timer <- Engine.Runtime.after rt period tick
       end
     in
     (* Sample at t0 too, so the first period isn't blind. *)
     sample ();
-    s.timer <- Engine.Sim.after sim period tick;
+    s.timer <- Engine.Runtime.after rt period tick;
     s
 
   let series s = s.series
@@ -67,5 +67,5 @@ module Queue_sampler = struct
     (* Cancel rather than rely on the [running] flag: an orphaned pending
        tick would keep the sampler (queue closure included) live in the
        event heap until it fired. *)
-    Engine.Sim.cancel s.timer
+    Engine.Runtime.cancel s.timer
 end

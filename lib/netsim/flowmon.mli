@@ -27,11 +27,11 @@ val mean_rate : t -> t0:float -> t1:float -> float
 module Queue_sampler : sig
   type sampler
 
-  (** [start sim ~period ~queue] records (time, queue length in packets)
+  (** [start rt ~period ~queue] records (time, queue length in packets)
       immediately and then every [period] seconds until the simulation ends
       or {!stop} is called. Samples are also emitted as [queue/sample]
       trace events when the simulation's bus is active. *)
-  val start : Engine.Sim.t -> period:float -> queue:Queue_disc.t -> sampler
+  val start : Engine.Runtime.t -> period:float -> queue:Queue_disc.t -> sampler
 
   val series : sampler -> Stats.Time_series.t
 

@@ -1,7 +1,7 @@
 type down_policy = Drop_queued | Hold_queued
 
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   label : string;
   mutable bandwidth : float;
   mutable delay : float;
@@ -17,18 +17,18 @@ type t = {
   mutable outage_drops : int;
 }
 
-let create sim ?label ~bandwidth ~delay ~queue () =
+let create rt ?label ~bandwidth ~delay ~queue () =
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if delay < 0. then invalid_arg "Link.create: negative delay";
   {
-    sim;
-    (* Default labels come from the sim's own allocator, not a process
+    rt;
+    (* Default labels come from the runtime's own allocator, not a process
        global: trace output stays identical across process lifetimes and
        worker domains. *)
     label =
       (match label with
       | Some l -> l
-      | None -> Printf.sprintf "link-%d" (Engine.Sim.fresh_id sim));
+      | None -> Printf.sprintf "link-%d" (Engine.Runtime.fresh_id rt));
     bandwidth;
     delay;
     queue;
@@ -45,10 +45,10 @@ let create sim ?label ~bandwidth ~delay ~queue () =
 
 (* Trace instrumentation: [tracing t] is the hot-path guard; [ev] builds and
    emits, so call sites only allocate field lists when a sink is attached. *)
-let tracing t = Engine.Trace.active (Engine.Sim.trace t.sim)
+let tracing t = Engine.Trace.active (Engine.Runtime.trace t.rt)
 
 let ev t name fields =
-  Engine.Trace.emit (Engine.Sim.trace t.sim) ~time:(Engine.Sim.now t.sim)
+  Engine.Trace.emit (Engine.Runtime.trace t.rt) ~time:(Engine.Runtime.now t.rt)
     ~cat:"link" ~name
     (("link", Engine.Trace.Str t.label) :: fields)
 
@@ -124,10 +124,10 @@ let rec start_tx t =
         let tx = Engine.Units.tx_time ~bits_per_s:t.bandwidth ~bytes:pkt.Packet.size in
         t.busy_time <- t.busy_time +. tx;
         ignore
-          (Engine.Sim.after t.sim tx (fun () ->
+          (Engine.Runtime.after t.rt tx (fun () ->
                t.delivered_bytes <- t.delivered_bytes + pkt.Packet.size;
                if t.delay > 0. then
-                 ignore (Engine.Sim.after t.sim t.delay (fun () -> deliver t pkt))
+                 ignore (Engine.Runtime.after t.rt t.delay (fun () -> deliver t pkt))
                else deliver t pkt;
                start_tx t))
 

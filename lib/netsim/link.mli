@@ -19,10 +19,12 @@ type t
     layer-2 rerouting hiccup). *)
 type down_policy = Drop_queued | Hold_queued
 
-(** [create sim ?label ~bandwidth ~delay ~queue ()] makes a link, initially
-    up. Set the destination with [set_dest] before sending. [label] names
-    the link in trace events ("link-N" by default); the invariant checker
-    keys per-link packet-conservation counters on it.
+(** [create rt ?label ~bandwidth ~delay ~queue ()] makes a link, initially
+    up, on the given sans-IO runtime (use [Engine.Sim.runtime sim] under the
+    simulator). Set the destination with [set_dest] before sending. [label]
+    names the link in trace events ("link-N" by default, numbered from the
+    runtime's id allocator); the invariant checker keys per-link
+    packet-conservation counters on it.
 
     When the simulation's trace bus is active the link emits [link/send],
     [link/deliver], [link/drop] (with a ["queue"] or ["outage"] reason) and
@@ -32,7 +34,7 @@ type down_policy = Drop_queued | Hold_queued
     (arrivals, departures, drops, queued), which the invariant checker
     verifies satisfy [arrivals = departures + drops + queued] exactly. *)
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   ?label:string ->
   bandwidth:float (** bits/s *) ->
   delay:float (** seconds *) ->

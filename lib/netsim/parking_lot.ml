@@ -8,18 +8,43 @@ type route = {
 }
 
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   links : Link.t array;
   delay : float;
   flows : (int, route) Hashtbl.t;
+  (* Pending access/reverse-segment deliveries, retained so teardown can
+     cancel them instead of letting them fire into stopped endpoints (and
+     keep the endpoint closures live) in cancel-heavy sims. Timers remove
+     their own entry on firing. *)
+  pending : (int, Engine.Runtime.handle) Hashtbl.t;
+  mutable next_token : int;
 }
 
-let create sim ~hops ~bandwidth ~delay ~queue () =
+let delayed t d f =
+  let k = t.next_token in
+  t.next_token <- k + 1;
+  let h =
+    Engine.Runtime.after t.rt d (fun () ->
+        Hashtbl.remove t.pending k;
+        f ())
+  in
+  Hashtbl.add t.pending k h
+
+let create rt ~hops ~bandwidth ~delay ~queue () =
   if hops < 1 then invalid_arg "Parking_lot.create: need at least one hop";
   let links =
-    Array.init hops (fun _ -> Link.create sim ~bandwidth ~delay ~queue:(queue ()) ())
+    Array.init hops (fun _ -> Link.create rt ~bandwidth ~delay ~queue:(queue ()) ())
   in
-  let t = { sim; links; delay; flows = Hashtbl.create 32 } in
+  let t =
+    {
+      rt;
+      links;
+      delay;
+      flows = Hashtbl.create 32;
+      pending = Hashtbl.create 64;
+      next_token = 0;
+    }
+  in
   (* Each link forwards to the next hop or delivers to the flow's
      destination after its egress access delay. *)
   Array.iteri
@@ -29,13 +54,11 @@ let create sim ~hops ~bandwidth ~delay ~queue () =
           | None -> ()
           | Some r ->
               if hop < r.exit_ then Link.send t.links.(hop + 1) pkt
-              else
-                ignore
-                  (Engine.Sim.after sim r.access (fun () -> r.dst_recv pkt))))
+              else delayed t r.access (fun () -> r.dst_recv pkt)))
     links;
   t
 
-let sim t = t.sim
+let runtime t = t.rt
 let n_hops t = Array.length t.links
 
 let register t ~flow ~entry ~exit_ ~rtt_base =
@@ -73,13 +96,12 @@ let set_dst_recv t ~flow h = (find t flow).dst_recv <- h
 
 let src_sender t ~flow pkt =
   let r = find t flow in
-  ignore
-    (Engine.Sim.after t.sim r.access (fun () -> Link.send t.links.(r.entry) pkt))
+  delayed t r.access (fun () -> Link.send t.links.(r.entry) pkt)
 
 let dst_sender t ~flow pkt =
   let r = find t flow in
   (* Well-provisioned reverse path: fixed delay. *)
-  ignore (Engine.Sim.after t.sim r.reverse (fun () -> r.src_recv pkt))
+  delayed t r.reverse (fun () -> r.src_recv pkt)
 
 let link t ~hop =
   if hop < 1 || hop > n_hops t then invalid_arg "Parking_lot: bad hop";
@@ -94,3 +116,9 @@ let drop_rate t =
       drops := !drops + s.drops)
     t.links;
   if !arrivals = 0 then 0. else float_of_int !drops /. float_of_int !arrivals
+
+let in_flight t = Hashtbl.length t.pending
+
+let teardown t =
+  Hashtbl.iter (fun _ h -> Engine.Runtime.cancel h) t.pending;
+  Hashtbl.reset t.pending

@@ -13,11 +13,12 @@
 
 type t
 
-(** [create sim ~hops ~bandwidth ~delay ~queue ()] builds a chain of
-    [hops] identical links. [queue] builds a fresh discipline per hop
-    (disciplines are stateful and cannot be shared). *)
+(** [create rt ~hops ~bandwidth ~delay ~queue ()] builds a chain of
+    [hops] identical links on the given sans-IO runtime (use
+    [Engine.Sim.runtime sim] under the simulator). [queue] builds a fresh
+    discipline per hop (disciplines are stateful and cannot be shared). *)
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   hops:int ->
   bandwidth:float ->
   delay:float ->
@@ -25,7 +26,7 @@ val create :
   unit ->
   t
 
-val sim : t -> Engine.Sim.t
+val runtime : t -> Engine.Runtime.t
 val n_hops : t -> int
 
 (** [add_through_flow t ~flow ~rtt_base] registers an end-to-end flow.
@@ -46,3 +47,11 @@ val link : t -> hop:int -> Link.t
 
 (** Aggregate drop rate across all hops. *)
 val drop_rate : t -> float
+
+(** Number of access/reverse-segment deliveries scheduled but not yet
+    fired. *)
+val in_flight : t -> int
+
+(** [teardown t] cancels every pending access/reverse-segment delivery so
+    nothing fires into an endpoint after the scenario has stopped. *)
+val teardown : t -> unit

@@ -1,0 +1,322 @@
+(* Graph-backed scenario builders. [dumbbell] and [parking_lot] replicate
+   the hand-wired {!Dumbbell}/{!Parking_lot} builders' event structure and
+   fresh-id consumption exactly, so their traces are byte-identical — the
+   differential tests in test_topology.ml hold them to that. [fat_tree] and
+   [transcontinental] are graph-native scenarios with redundant paths, the
+   shapes routing and failure-impact analysis exist for. *)
+
+(* --- graph-backed dumbbell ------------------------------------------------ *)
+
+module Graph_dumbbell = struct
+  type t = {
+    topo : Topology.t;
+    left : Topology.node;
+    right : Topology.node;
+    fwd : Link.t;
+    bwd : Link.t;
+    delay : float;
+  }
+
+  let make_queue rt ~spec ~bandwidth ~mean_pktsize =
+    match spec with
+    | Dumbbell.Droptail_q limit -> Droptail.create ~limit_pkts:limit
+    | Dumbbell.Red_q params ->
+        Red.create ~params
+          ~now:(fun () -> Engine.Runtime.now rt)
+          ~ptc:(bandwidth /. (8. *. float_of_int mean_pktsize))
+
+  let create rt ~bandwidth ~delay ~queue ?reverse_queue ?(mean_pktsize = 1000)
+      () =
+    let reverse_queue = Option.value reverse_queue ~default:queue in
+    let fwd_q = make_queue rt ~spec:queue ~bandwidth ~mean_pktsize in
+    let bwd_q = make_queue rt ~spec:reverse_queue ~bandwidth ~mean_pktsize in
+    (* Same explicit labels as Dumbbell.create: no fresh ids consumed, so
+       packet ids downstream are unchanged. *)
+    let fwd =
+      Link.create rt ~label:"bottleneck-fwd" ~bandwidth ~delay ~queue:fwd_q ()
+    in
+    let bwd =
+      Link.create rt ~label:"bottleneck-bwd" ~bandwidth ~delay ~queue:bwd_q ()
+    in
+    let topo = Topology.create rt () in
+    let left = Topology.add_node topo in
+    let right = Topology.add_node topo in
+    ignore (Topology.add_link topo ~src:left ~dst:right fwd);
+    ignore (Topology.add_link topo ~src:right ~dst:left bwd);
+    { topo; left; right; fwd; bwd; delay }
+
+  let topology t = t.topo
+  let runtime t = Topology.runtime t.topo
+
+  let add_flow t ~flow ~rtt_base =
+    let access = ((rtt_base /. 2.) -. t.delay) /. 2. in
+    if access < 0. then
+      invalid_arg "Graph_dumbbell.add_flow: rtt_base smaller than bottleneck RTT";
+    let src = Topology.add_node t.topo in
+    let dst = Topology.add_node t.topo in
+    (* Zero-delay access wires stay synchronous, like Dumbbell's demux. *)
+    ignore (Topology.add_wire t.topo ~src ~dst:t.left access);
+    ignore (Topology.add_wire t.topo ~src:t.left ~dst:src access);
+    ignore (Topology.add_wire t.topo ~src:t.right ~dst access);
+    ignore (Topology.add_wire t.topo ~src:dst ~dst:t.right access);
+    Topology.add_flow t.topo ~flow ~src ~dst
+
+  let set_src_recv t ~flow h = Topology.set_src_recv t.topo ~flow h
+  let set_dst_recv t ~flow h = Topology.set_dst_recv t.topo ~flow h
+  let src_sender t ~flow = Topology.src_sender t.topo ~flow
+  let dst_sender t ~flow = Topology.dst_sender t.topo ~flow
+  let forward_link t = t.fwd
+  let reverse_link t = t.bwd
+  let forward_drop_rate t = Queue_disc.drop_rate (Link.queue t.fwd)
+end
+
+(* --- graph-backed parking lot --------------------------------------------- *)
+
+module Graph_parking_lot = struct
+  type t = {
+    topo : Topology.t;
+    links : Link.t array;
+    routers : Topology.node array; (* hops + 1 of them *)
+    delay : float;
+  }
+
+  let create rt ~hops ~bandwidth ~delay ~queue () =
+    if hops < 1 then
+      invalid_arg "Graph_parking_lot.create: need at least one hop";
+    (* Unlabelled links first, in hop order: consumes fresh ids 1..hops
+       exactly like Parking_lot.create, keeping default labels and all
+       later packet ids identical. *)
+    let links =
+      Array.init hops (fun _ ->
+          Link.create rt ~bandwidth ~delay ~queue:(queue ()) ())
+    in
+    let topo = Topology.create rt () in
+    let routers = Array.init (hops + 1) (fun _ -> Topology.add_node topo) in
+    Array.iteri
+      (fun i link ->
+        ignore
+          (Topology.add_link topo ~src:routers.(i) ~dst:routers.(i + 1) link))
+      links;
+    { topo; links; routers; delay }
+
+  let topology t = t.topo
+  let runtime t = Topology.runtime t.topo
+  let n_hops t = Array.length t.links
+
+  let register t ~flow ~entry ~exit_ ~rtt_base =
+    let span = float_of_int (exit_ - entry + 1) *. t.delay in
+    let one_way = rtt_base /. 2. in
+    let access = (one_way -. span) /. 2. in
+    if access < 0. then
+      invalid_arg "Graph_parking_lot: rtt_base smaller than the path propagation";
+    let src = Topology.add_node t.topo in
+    let dst = Topology.add_node t.topo in
+    (* The legacy builder schedules every access/reverse segment through
+       the event queue even at zero delay; always_schedule matches that. *)
+    ignore
+      (Topology.add_wire t.topo ~src ~dst:t.routers.(entry) ~always_schedule:true
+         access);
+    ignore
+      (Topology.add_wire t.topo ~src:t.routers.(exit_ + 1) ~dst
+         ~always_schedule:true access);
+    (* Well-provisioned reverse path: one fixed-delay wire. *)
+    ignore (Topology.add_wire t.topo ~src:dst ~dst:src ~always_schedule:true one_way);
+    Topology.add_flow t.topo ~flow ~src ~dst
+
+  let add_through_flow t ~flow ~rtt_base =
+    register t ~flow ~entry:0 ~exit_:(n_hops t - 1) ~rtt_base
+
+  let add_cross_flow t ~flow ~hop ~rtt_base =
+    if hop < 1 || hop > n_hops t then invalid_arg "Graph_parking_lot: bad hop";
+    register t ~flow ~entry:(hop - 1) ~exit_:(hop - 1) ~rtt_base
+
+  let set_src_recv t ~flow h = Topology.set_src_recv t.topo ~flow h
+  let set_dst_recv t ~flow h = Topology.set_dst_recv t.topo ~flow h
+  let src_sender t ~flow = Topology.src_sender t.topo ~flow
+  let dst_sender t ~flow = Topology.dst_sender t.topo ~flow
+
+  let link t ~hop =
+    if hop < 1 || hop > n_hops t then invalid_arg "Graph_parking_lot: bad hop";
+    t.links.(hop - 1)
+
+  let drop_rate t =
+    let arrivals = ref 0 and drops = ref 0 in
+    Array.iter
+      (fun l ->
+        let s = (Link.queue l).Queue_disc.stats in
+        arrivals := !arrivals + s.arrivals;
+        drops := !drops + s.drops)
+      t.links;
+    if !arrivals = 0 then 0.
+    else float_of_int !drops /. float_of_int !arrivals
+end
+
+(* --- fat tree ------------------------------------------------------------- *)
+
+module Fat_tree = struct
+  type t = {
+    topo : Topology.t;
+    cores : Topology.node array; (* 2 cores: redundant spine *)
+    aggs : Topology.node array; (* one per pod *)
+    edges : Topology.node array array; (* 2 edge switches per pod *)
+  }
+
+  let duplex topo ~a ~b make_link label_ab label_ba =
+    ignore (Topology.add_link topo ~src:a ~dst:b (make_link label_ab));
+    ignore (Topology.add_link topo ~src:b ~dst:a (make_link label_ba))
+
+  let create rt ~pods ~bandwidth ~delay ~queue () =
+    if pods < 2 then invalid_arg "Fat_tree.create: need at least two pods";
+    let topo = Topology.create rt () in
+    let mk label = Link.create rt ~label ~bandwidth ~delay ~queue:(queue ()) () in
+    let cores = Array.init 2 (fun _ -> Topology.add_node topo) in
+    let aggs = Array.init pods (fun _ -> Topology.add_node topo) in
+    let edges =
+      Array.init pods (fun _ ->
+          Array.init 2 (fun _ -> Topology.add_node topo))
+    in
+    Array.iteri
+      (fun p agg ->
+        Array.iteri
+          (fun c core ->
+            duplex topo ~a:core ~b:agg mk
+              (Printf.sprintf "c%d-a%d" c p)
+              (Printf.sprintf "a%d-c%d" p c))
+          cores;
+        Array.iteri
+          (fun e edge ->
+            duplex topo ~a:agg ~b:edge mk
+              (Printf.sprintf "a%d-e%d.%d" p p e)
+              (Printf.sprintf "e%d.%d-a%d" p e p))
+          edges.(p))
+      aggs;
+    { topo; cores; aggs; edges }
+
+  let topology t = t.topo
+  let pods t = Array.length t.aggs
+
+  let check_pod t p name =
+    if p < 0 || p >= pods t then invalid_arg ("Fat_tree." ^ name ^ ": bad pod")
+
+  (* Hosts hang off edge switches by pure-delay wires, one node per flow
+     endpoint so each flow gets its own access delay. *)
+  let add_flow t ~flow ~src_pod ~src_edge ~dst_pod ~dst_edge ~access =
+    check_pod t src_pod "add_flow";
+    check_pod t dst_pod "add_flow";
+    if src_edge < 0 || src_edge > 1 || dst_edge < 0 || dst_edge > 1 then
+      invalid_arg "Fat_tree.add_flow: edge switch index must be 0 or 1";
+    let host sw =
+      let h = Topology.add_node t.topo in
+      ignore (Topology.add_wire t.topo ~src:h ~dst:sw access);
+      ignore (Topology.add_wire t.topo ~src:sw ~dst:h access);
+      h
+    in
+    let src = host t.edges.(src_pod).(src_edge) in
+    let dst = host t.edges.(dst_pod).(dst_edge) in
+    Topology.add_flow t.topo ~flow ~src ~dst
+
+  let set_src_recv t ~flow h = Topology.set_src_recv t.topo ~flow h
+  let set_dst_recv t ~flow h = Topology.set_dst_recv t.topo ~flow h
+  let src_sender t ~flow = Topology.src_sender t.topo ~flow
+  let dst_sender t ~flow = Topology.dst_sender t.topo ~flow
+
+  let link t label =
+    match Topology.find_link t.topo label with
+    | Some (l, _) -> l
+    | None -> invalid_arg ("Fat_tree.link: no link labelled " ^ label)
+end
+
+(* --- transcontinental multi-bottleneck ------------------------------------ *)
+
+module Transcontinental = struct
+  (* A two-route WAN: the northern path (nyc-chi-den-sfo) is fast and
+     preferred under the Delay cost model; the southern path (nyc-atl-sfo)
+     is a slower detour. Losing one northern segment re-routes coast-to-
+     coast traffic south; losing a city's only remaining attachment
+     partitions it — the canonical impact-analysis scenario. *)
+  type t = {
+    topo : Topology.t;
+    nyc : Topology.node;
+    chi : Topology.node;
+    den : Topology.node;
+    sfo : Topology.node;
+    atl : Topology.node;
+  }
+
+  type city = Nyc | Chi | Den | Sfo | Atl
+
+  let node t = function
+    | Nyc -> t.nyc
+    | Chi -> t.chi
+    | Den -> t.den
+    | Sfo -> t.sfo
+    | Atl -> t.atl
+
+  let city_str = function
+    | Nyc -> "nyc"
+    | Chi -> "chi"
+    | Den -> "den"
+    | Sfo -> "sfo"
+    | Atl -> "atl"
+
+  let city_of_string = function
+    | "nyc" -> Some Nyc
+    | "chi" -> Some Chi
+    | "den" -> Some Den
+    | "sfo" -> Some Sfo
+    | "atl" -> Some Atl
+    | _ -> None
+
+  let cities = [ Nyc; Chi; Den; Sfo; Atl ]
+
+  let create rt ~queue () =
+    let topo = Topology.create ~cost_model:Topology.Delay rt () in
+    let nyc = Topology.add_node topo in
+    let chi = Topology.add_node topo in
+    let den = Topology.add_node topo in
+    let sfo = Topology.add_node topo in
+    let atl = Topology.add_node topo in
+    let t = { topo; nyc; chi; den; sfo; atl } in
+    let duplex a b ~bandwidth ~delay =
+      let mk la lb =
+        let label = Printf.sprintf "%s-%s" (city_str la) (city_str lb) in
+        Link.create rt ~label ~bandwidth ~delay ~queue:(queue ()) ()
+      in
+      ignore (Topology.add_link topo ~src:(node t a) ~dst:(node t b) (mk a b));
+      ignore (Topology.add_link topo ~src:(node t b) ~dst:(node t a) (mk b a))
+    in
+    (* Northern route: fat, low-delay segments. *)
+    duplex Nyc Chi ~bandwidth:45e6 ~delay:0.008;
+    duplex Chi Den ~bandwidth:45e6 ~delay:0.010;
+    duplex Den Sfo ~bandwidth:45e6 ~delay:0.012;
+    (* Southern detour: thinner and slower, used only under failure. *)
+    duplex Nyc Atl ~bandwidth:10e6 ~delay:0.012;
+    duplex Atl Sfo ~bandwidth:10e6 ~delay:0.030;
+    t
+
+  let topology t = t.topo
+
+  let add_flow t ~flow ~src ~dst ~access =
+    let host city =
+      let h = Topology.add_node t.topo in
+      ignore (Topology.add_wire t.topo ~src:h ~dst:(node t city) access);
+      ignore (Topology.add_wire t.topo ~src:(node t city) ~dst:h access);
+      h
+    in
+    Topology.add_flow t.topo ~flow ~src:(host src) ~dst:(host dst)
+
+  let set_src_recv t ~flow h = Topology.set_src_recv t.topo ~flow h
+  let set_dst_recv t ~flow h = Topology.set_dst_recv t.topo ~flow h
+  let src_sender t ~flow = Topology.src_sender t.topo ~flow
+  let dst_sender t ~flow = Topology.dst_sender t.topo ~flow
+
+  let link t label =
+    match Topology.find_link t.topo label with
+    | Some (l, e) -> (l, e)
+    | None -> invalid_arg ("Transcontinental.link: no link labelled " ^ label)
+
+  let labels t =
+    List.filter_map
+      (fun e -> Option.map Link.label (Topology.edge_link e))
+      (Topology.edges t.topo)
+end

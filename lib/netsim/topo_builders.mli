@@ -1,0 +1,128 @@
+(** Graph-backed scenario builders over {!Topology}.
+
+    {!Graph_dumbbell} and {!Graph_parking_lot} are drop-in equivalents of
+    the hand-wired {!Dumbbell} and {!Parking_lot} builders with a hard
+    guarantee: identical inputs produce {e byte-identical} traces (same
+    events, same times, same packet ids), verified by differential tests.
+    {!Fat_tree} and {!Transcontinental} are graph-native scenarios with
+    redundant paths for routing and failure-impact studies. *)
+
+module Graph_dumbbell : sig
+  type t
+
+  val create :
+    Engine.Runtime.t ->
+    bandwidth:float ->
+    delay:float ->
+    queue:Dumbbell.queue_spec ->
+    ?reverse_queue:Dumbbell.queue_spec ->
+    ?mean_pktsize:int ->
+    unit ->
+    t
+
+  val topology : t -> Topology.t
+  val runtime : t -> Engine.Runtime.t
+  val add_flow : t -> flow:int -> rtt_base:float -> unit
+  val set_src_recv : t -> flow:int -> Packet.handler -> unit
+  val set_dst_recv : t -> flow:int -> Packet.handler -> unit
+  val src_sender : t -> flow:int -> Packet.handler
+  val dst_sender : t -> flow:int -> Packet.handler
+  val forward_link : t -> Link.t
+  val reverse_link : t -> Link.t
+  val forward_drop_rate : t -> float
+end
+
+module Graph_parking_lot : sig
+  type t
+
+  val create :
+    Engine.Runtime.t ->
+    hops:int ->
+    bandwidth:float ->
+    delay:float ->
+    queue:(unit -> Queue_disc.t) ->
+    unit ->
+    t
+
+  val topology : t -> Topology.t
+  val runtime : t -> Engine.Runtime.t
+  val n_hops : t -> int
+  val add_through_flow : t -> flow:int -> rtt_base:float -> unit
+  val add_cross_flow : t -> flow:int -> hop:int -> rtt_base:float -> unit
+  val set_src_recv : t -> flow:int -> Packet.handler -> unit
+  val set_dst_recv : t -> flow:int -> Packet.handler -> unit
+  val src_sender : t -> flow:int -> Packet.handler
+  val dst_sender : t -> flow:int -> Packet.handler
+  val link : t -> hop:int -> Link.t
+  val drop_rate : t -> float
+end
+
+module Fat_tree : sig
+  type t
+
+  (** [create rt ~pods ~bandwidth ~delay ~queue ()] builds a two-core
+      spine with [pods] pods of one aggregation and two edge switches
+      each; every switch-to-switch hop is a queued link in each direction,
+      labelled ["c0-a1"], ["a1-e1.0"], … *)
+  val create :
+    Engine.Runtime.t ->
+    pods:int ->
+    bandwidth:float ->
+    delay:float ->
+    queue:(unit -> Queue_disc.t) ->
+    unit ->
+    t
+
+  val topology : t -> Topology.t
+  val pods : t -> int
+
+  (** [add_flow t ~flow ~src_pod ~src_edge ~dst_pod ~dst_edge ~access]
+      attaches fresh host nodes under the named edge switches
+      ([*_edge] is 0 or 1) with [access]-delay wires. *)
+  val add_flow :
+    t ->
+    flow:int ->
+    src_pod:int ->
+    src_edge:int ->
+    dst_pod:int ->
+    dst_edge:int ->
+    access:float ->
+    unit
+
+  val set_src_recv : t -> flow:int -> Packet.handler -> unit
+  val set_dst_recv : t -> flow:int -> Packet.handler -> unit
+  val src_sender : t -> flow:int -> Packet.handler
+  val dst_sender : t -> flow:int -> Packet.handler
+
+  (** [link t label] finds a switch link by label; raises if absent. *)
+  val link : t -> string -> Link.t
+end
+
+module Transcontinental : sig
+  type t
+  type city = Nyc | Chi | Den | Sfo | Atl
+
+  val city_str : city -> string
+  val city_of_string : string -> city option
+  val cities : city list
+
+  (** [create rt ~queue ()] builds the two-route WAN: a fast northern path
+      nyc-chi-den-sfo and a thin southern detour nyc-atl-sfo, under the
+      [Delay] cost model so the north is preferred while it is up. Links
+      are labelled ["nyc-chi"], ["chi-den"], … per direction. *)
+  val create : Engine.Runtime.t -> queue:(unit -> Queue_disc.t) -> unit -> t
+
+  val topology : t -> Topology.t
+
+  val add_flow : t -> flow:int -> src:city -> dst:city -> access:float -> unit
+  val set_src_recv : t -> flow:int -> Packet.handler -> unit
+  val set_dst_recv : t -> flow:int -> Packet.handler -> unit
+  val src_sender : t -> flow:int -> Packet.handler
+  val dst_sender : t -> flow:int -> Packet.handler
+
+  (** [link t label] finds a segment by label; raises if absent. *)
+  val link : t -> string -> Link.t * Topology.edge
+
+  (** All link labels, in creation order. *)
+  val labels : t -> string list
+end

@@ -1,0 +1,118 @@
+(** Arbitrary-topology network layer: a directed graph of nodes joined by
+    either queued {!Link}s (bandwidth + queue discipline + propagation
+    delay, the congestible hops) or pure-delay wires (over-provisioned
+    access/stub segments). Multi-queue routers arise naturally: a node with
+    several outgoing queued links owns one queue per link, and each queue
+    keeps its own conservation counters, so the invariant checker's
+    queue-conservation rule holds per queue across the graph.
+
+    Forwarding is per-hop: packets follow static shortest-path routes
+    (Dijkstra over configurable link costs, deterministic lowest-edge-id
+    tie-break). Routes are recomputed lazily whenever a link changes
+    up/down state, so {!Faults.outage} and flapping actually shift traffic
+    onto alternate paths when one exists. When no up path remains, packets
+    fall back to the full-graph route and blackhole at the failed link's
+    ingress — identical drop accounting to a hand-wired topology.
+
+    {!impact} answers the planning-side question a failure poses: which
+    flows does losing this edge partition (no alternate path) and which
+    merely re-route. *)
+
+type node = int
+type t
+
+(** An edge of the graph; compare with {!edge_id}. *)
+type edge
+
+(** Default per-edge cost when none is given explicitly: [Hop] counts
+    edges; [Delay] reads each edge's propagation delay at recompute time
+    (so a {!Faults.route_change} that alters a link's delay shifts routes
+    after {!invalidate}). *)
+type cost_model = Hop | Delay
+
+type impact_kind = Partitioned | Rerouted | Unaffected
+
+(** [create ?cost_model rt ()] makes an empty graph on the given sans-IO
+    runtime (use [Engine.Sim.runtime sim] under the simulator).
+    [cost_model] defaults to [Hop]. *)
+val create : ?cost_model:cost_model -> Engine.Runtime.t -> unit -> t
+
+val runtime : t -> Engine.Runtime.t
+
+(** [add_node t] returns a fresh node (0, 1, 2, …). *)
+val add_node : t -> node
+
+val n_nodes : t -> int
+
+(** [add_link t ~src ~dst ?cost link] adds a unidirectional queued edge
+    carried by [link]. The topology takes over the link's destination
+    handler and registers drop/state-change listeners; callers may still
+    add their own drop listeners and drive faults at the link. *)
+val add_link : t -> src:node -> dst:node -> ?cost:float -> Link.t -> edge
+
+(** [add_wire t ~src ~dst ?cost ?always_schedule delay] adds a
+    unidirectional pure-delay edge. With [delay = 0] the hop is traversed
+    synchronously unless [always_schedule] (default false) forces a
+    zero-delay scheduler event — builders use this to reproduce the legacy
+    hand-wired builders' event structure exactly. *)
+val add_wire :
+  t -> src:node -> dst:node -> ?cost:float -> ?always_schedule:bool -> float -> edge
+
+(** [set_cost t e c] overrides the edge's cost and invalidates routes. *)
+val set_cost : t -> edge -> float -> unit
+
+(** Mark routing tables stale; the next packet (or query) recomputes them.
+    Needed only for changes the topology cannot observe itself, e.g. a
+    [Faults.route_change] delay shift under the [Delay] cost model. *)
+val invalidate : t -> unit
+
+(** Number of routing recomputations so far (tests assert outages
+    actually trigger one). *)
+val recomputes : t -> int
+
+(** Edges in creation order. *)
+val edges : t -> edge list
+
+val edge_id : edge -> int
+val edge_src : edge -> node
+val edge_dst : edge -> node
+
+(** The underlying link of a queued edge; [None] for wires. *)
+val edge_link : edge -> Link.t option
+
+(** [find_link t label] finds a queued edge by its link's trace label. *)
+val find_link : t -> string -> (Link.t * edge) option
+
+(** [add_flow t ~flow ~src ~dst] registers a flow between two (usually
+    host) nodes. Raises if the flow id is taken. *)
+val add_flow : t -> flow:int -> src:node -> dst:node -> unit
+
+val set_src_recv : t -> flow:int -> Packet.handler -> unit
+val set_dst_recv : t -> flow:int -> Packet.handler -> unit
+
+(** [src_sender t ~flow] injects packets at the flow's source, routed to
+    its destination ([dst_sender] the reverse). Unroutable packets are
+    silently discarded, like the hand-wired builders' demuxes. *)
+val src_sender : t -> flow:int -> Packet.handler
+
+val dst_sender : t -> flow:int -> Packet.handler
+
+(** [route t ~src ~dst] is the current up-links-only shortest path, or
+    [None] when [dst] is unreachable. *)
+val route : t -> src:node -> dst:node -> edge list option
+
+(** [impact t e] classifies every flow against the hypothetical failure of
+    edge [e], in flow-id order: [Partitioned] if the flow's forward or
+    reverse path uses [e] and no alternate up path exists, [Rerouted] if it
+    uses [e] but can detour, [Unaffected] otherwise. Pure query — no
+    link state is touched. *)
+val impact : t -> edge -> (int * impact_kind) list
+
+val impact_str : impact_kind -> string
+
+(** Pending wire deliveries not yet fired. *)
+val in_flight : t -> int
+
+(** [teardown t] cancels pending wire deliveries and forgets per-packet
+    forwarding state. *)
+val teardown : t -> unit

@@ -11,7 +11,7 @@ type stats = {
 type recovery = { recover : int (* highest seq outstanding at loss detection *) }
 
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   config : Tcp_common.config;
   flow : int;
   transmit : Netsim.Packet.handler;
@@ -35,15 +35,15 @@ type t = {
       (* One segment timed at a time (ns-2 style); cancelled when that
          segment is retransmitted, so stale samples never poison the RTO
          (Karn's algorithm). *)
-  mutable rto_timer : Engine.Sim.handle;
+  mutable rto_timer : Engine.Runtime.handle;
   mutable limit : int option; (* total packets to transfer; None = infinite *)
   mutable on_complete : unit -> unit;
   stats : stats;
 }
 
-let create sim ~config ~flow ~transmit () =
+let create rt ~config ~flow ~transmit () =
   {
-    sim;
+    rt;
     config;
     flow;
     transmit;
@@ -62,7 +62,7 @@ let create sim ~config ~flow ~transmit () =
     sacked = Int_set.empty;
     rtx = Int_set.empty;
     timing = None;
-    rto_timer = Engine.Sim.null_handle;
+    rto_timer = Engine.Runtime.null_handle;
     limit = None;
     on_complete = ignore;
     stats =
@@ -91,9 +91,9 @@ let in_recovery t = t.recovery <> None
 (* --- retransmission timer ------------------------------------------------ *)
 
 let rec set_rto_timer t =
-  Engine.Sim.cancel t.rto_timer;
+  Engine.Runtime.cancel t.rto_timer;
   if t.running && flight t > 0 then
-    t.rto_timer <- Engine.Sim.after t.sim (Rto.rto t.rto) (fun () -> on_timeout t)
+    t.rto_timer <- Engine.Runtime.after t.rt (Rto.rto t.rto) (fun () -> on_timeout t)
 
 and on_timeout t =
   if t.running && flight t > 0 then begin
@@ -126,8 +126,8 @@ and send_seq t seq =
   let retransmit = seq < t.high_water in
   if not retransmit then t.high_water <- seq + 1;
   let pkt =
-    Netsim.Packet.make (Engine.Sim.runtime t.sim) ~ecn:t.config.ecn ~flow:t.flow ~seq ~size:t.config.mss
-      ~now:(Engine.Sim.now t.sim) Netsim.Packet.Data
+    Netsim.Packet.make t.rt ~ecn:t.config.ecn ~flow:t.flow ~seq ~size:t.config.mss
+      ~now:(Engine.Runtime.now t.rt) Netsim.Packet.Data
   in
   t.stats.packets_sent <- t.stats.packets_sent + 1;
   if retransmit then begin
@@ -137,9 +137,9 @@ and send_seq t seq =
     | _ -> ())
   end
   else if t.timing = None then
-    t.timing <- Some (seq, Engine.Sim.now t.sim);
+    t.timing <- Some (seq, Engine.Runtime.now t.rt);
   t.transmit pkt;
-  if not (Engine.Sim.is_pending t.rto_timer) then set_rto_timer t
+  if not (Engine.Runtime.is_pending t.rto_timer) then set_rto_timer t
 
 (* SACK loss inference, RFC 6675 style (simplified): a hole is deemed lost
    once [dupack_thresh] sacked packets lie above it. *)
@@ -248,7 +248,7 @@ let note_sack t blocks =
 let sample_rtt t ~ack =
   match t.timing with
   | Some (seq, sent) when ack > seq ->
-      Rto.sample t.rto (Engine.Sim.now t.sim -. sent);
+      Rto.sample t.rto (Engine.Runtime.now t.rt -. sent);
       Rto.reset_backoff t.rto;
       t.timing <- None
   | _ -> ()
@@ -329,7 +329,7 @@ let check_complete t =
   match t.limit with
   | Some l when t.snd_una >= l && t.running ->
       t.running <- false;
-      Engine.Sim.cancel t.rto_timer;
+      Engine.Runtime.cancel t.rto_timer;
       t.on_complete ()
   | _ -> ()
 
@@ -362,13 +362,13 @@ let recv t = recv t
 
 let start t ~at =
   ignore
-    (Engine.Sim.at t.sim at (fun () ->
+    (Engine.Runtime.at t.rt at (fun () ->
          t.running <- true;
          maybe_send t))
 
 let stop t =
   t.running <- false;
-  Engine.Sim.cancel t.rto_timer
+  Engine.Runtime.cancel t.rto_timer
 
 let set_limit t n =
   if n <= 0 then invalid_arg "Tcp_sender.set_limit: must be positive";

@@ -21,7 +21,7 @@ type stats = {
 (** [create sim ~config ~flow ~transmit ()] builds a sender that emits
     packets through [transmit]. Wire acks into {!recv}. Call {!start}. *)
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   config:Tcp_common.config ->
   flow:int ->
   transmit:Netsim.Packet.handler ->

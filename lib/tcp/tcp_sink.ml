@@ -1,7 +1,7 @@
 module Int_set = Set.Make (Int)
 
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   config : Tcp_common.config;
   flow : int;
   transmit : Netsim.Packet.handler;
@@ -11,13 +11,13 @@ type t = {
   mutable packets : int;
   mutable bytes : int;
   mutable unacked : int; (* data packets since last ack (delack) *)
-  mutable delack_timer : Engine.Sim.handle;
+  mutable delack_timer : Engine.Runtime.handle;
   mutable ce_pending : bool; (* a CE mark not yet echoed *)
 }
 
-let create sim ~config ~flow ~transmit () =
+let create rt ~config ~flow ~transmit () =
   {
-    sim;
+    rt;
     config;
     flow;
     transmit;
@@ -27,7 +27,7 @@ let create sim ~config ~flow ~transmit () =
     packets = 0;
     bytes = 0;
     unacked = 0;
-    delack_timer = Engine.Sim.null_handle;
+    delack_timer = Engine.Runtime.null_handle;
     ce_pending = false;
   }
 
@@ -58,10 +58,10 @@ let sack_blocks t =
 
 let send_ack t =
   t.unacked <- 0;
-  Engine.Sim.cancel t.delack_timer;
+  Engine.Runtime.cancel t.delack_timer;
   let pkt =
-    Netsim.Packet.make (Engine.Sim.runtime t.sim) ~flow:t.flow ~seq:t.next_expected ~size:t.config.ack_size
-      ~now:(Engine.Sim.now t.sim)
+    Netsim.Packet.make t.rt ~flow:t.flow ~seq:t.next_expected ~size:t.config.ack_size
+      ~now:(Engine.Runtime.now t.rt)
       (Netsim.Packet.Tcp_ack
          { ack = t.next_expected; sack = sack_blocks t; ece = t.ce_pending })
   in
@@ -92,9 +92,9 @@ let recv t (pkt : Netsim.Packet.t) =
       else begin
         t.unacked <- t.unacked + 1;
         if t.unacked >= 2 then send_ack t
-        else if not (Engine.Sim.is_pending t.delack_timer) then
+        else if not (Engine.Runtime.is_pending t.delack_timer) then
           t.delack_timer <-
-            Engine.Sim.after t.sim t.config.delack_timeout (fun () ->
+            Engine.Runtime.after t.rt t.config.delack_timeout (fun () ->
                 if t.unacked > 0 then send_ack t)
       end
   | Tcp_ack _ | Tfrc_feedback _ -> ()

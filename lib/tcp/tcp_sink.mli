@@ -8,7 +8,7 @@
 type t
 
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   config:Tcp_common.config ->
   flow:int ->
   transmit:Netsim.Packet.handler ->

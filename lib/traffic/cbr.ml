@@ -1,5 +1,5 @@
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   flow : int;
   interval : float;
   pkt_size : int;
@@ -8,10 +8,10 @@ type t = {
   mutable seq : int;
 }
 
-let create sim ~flow ~rate ~pkt_size ~transmit () =
+let create rt ~flow ~rate ~pkt_size ~transmit () =
   if rate <= 0. then invalid_arg "Cbr.create: rate must be positive";
   {
-    sim;
+    rt;
     flow;
     interval = 8. *. float_of_int pkt_size /. rate;
     pkt_size;
@@ -23,17 +23,17 @@ let create sim ~flow ~rate ~pkt_size ~transmit () =
 let rec send t =
   if t.running then begin
     let pkt =
-      Netsim.Packet.make (Engine.Sim.runtime t.sim) ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
-        ~now:(Engine.Sim.now t.sim) Netsim.Packet.Data
+      Netsim.Packet.make t.rt ~flow:t.flow ~seq:t.seq ~size:t.pkt_size
+        ~now:(Engine.Runtime.now t.rt) Netsim.Packet.Data
     in
     t.seq <- t.seq + 1;
     t.transmit pkt;
-    ignore (Engine.Sim.after t.sim t.interval (fun () -> send t))
+    ignore (Engine.Runtime.after t.rt t.interval (fun () -> send t))
   end
 
 let start t ~at =
   ignore
-    (Engine.Sim.at t.sim at (fun () ->
+    (Engine.Runtime.at t.rt at (fun () ->
          t.running <- true;
          send t))
 

@@ -5,7 +5,7 @@ type t
 (** [create sim ~flow ~rate ~pkt_size ~transmit ()] sends [pkt_size]-byte
     [Data] packets back to back at [rate] bits/s. *)
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   flow:int ->
   rate:float (** bits/s *) ->
   pkt_size:int ->

@@ -1,5 +1,5 @@
 type t = {
-  sim : Engine.Sim.t;
+  rt : Engine.Runtime.t;
   rng : Engine.Rng.t;
   flow : int;
   interval : float; (* interpacket interval while ON *)
@@ -16,13 +16,13 @@ type t = {
   mutable started_at : float;
 }
 
-let create sim rng ~flow ~on_rate ~pkt_size ~mean_on ~mean_off ?(shape = 1.5)
+let create rt rng ~flow ~on_rate ~pkt_size ~mean_on ~mean_off ?(shape = 1.5)
     ~transmit () =
   if on_rate <= 0. then invalid_arg "On_off.create: rate must be positive";
   if shape <= 1. then invalid_arg "On_off.create: shape must exceed 1";
   let scale_for mean = mean *. (shape -. 1.) /. shape in
   {
-    sim;
+    rt;
     rng;
     flow;
     interval = 8. *. float_of_int pkt_size /. on_rate;
@@ -41,16 +41,16 @@ let create sim rng ~flow ~on_rate ~pkt_size ~mean_on ~mean_off ?(shape = 1.5)
 
 let rec send_loop t =
   if t.running && t.on then begin
-    let now = Engine.Sim.now t.sim in
+    let now = Engine.Runtime.now t.rt in
     if now >= t.phase_end then go_off t
     else begin
       let pkt =
-        Netsim.Packet.make (Engine.Sim.runtime t.sim) ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
+        Netsim.Packet.make t.rt ~flow:t.flow ~seq:t.seq ~size:t.pkt_size ~now
           Netsim.Packet.Data
       in
       t.seq <- t.seq + 1;
       t.transmit pkt;
-      ignore (Engine.Sim.after t.sim t.interval (fun () -> send_loop t))
+      ignore (Engine.Runtime.after t.rt t.interval (fun () -> send_loop t))
     end
   end
 
@@ -59,7 +59,7 @@ and go_on t =
     let d = Engine.Rng.pareto t.rng ~shape:t.shape ~scale:t.on_scale in
     t.on <- true;
     t.on_time <- t.on_time +. d;
-    t.phase_end <- Engine.Sim.now t.sim +. d;
+    t.phase_end <- Engine.Runtime.now t.rt +. d;
     send_loop t
   end
 
@@ -67,14 +67,14 @@ and go_off t =
   if t.running then begin
     let d = Engine.Rng.pareto t.rng ~shape:t.shape ~scale:t.off_scale in
     t.on <- false;
-    ignore (Engine.Sim.after t.sim d (fun () -> go_on t))
+    ignore (Engine.Runtime.after t.rt d (fun () -> go_on t))
   end
 
 let start t ~at =
   ignore
-    (Engine.Sim.at t.sim at (fun () ->
+    (Engine.Runtime.at t.rt at (fun () ->
          t.running <- true;
-         t.started_at <- Engine.Sim.now t.sim;
+         t.started_at <- Engine.Runtime.now t.rt;
          (* Begin in a random phase to decorrelate sources. *)
          if Engine.Rng.bool t.rng ~p:(1. /. 3.) then go_on t else go_off t))
 
@@ -82,5 +82,5 @@ let stop t = t.running <- false
 let packets_sent t = t.seq
 
 let on_fraction t =
-  let elapsed = Engine.Sim.now t.sim -. t.started_at in
+  let elapsed = Engine.Runtime.now t.rt -. t.started_at in
   if elapsed <= 0. then 0. else Float.min 1. (t.on_time /. elapsed)

@@ -9,7 +9,7 @@
 type t
 
 val create :
-  Engine.Sim.t ->
+  Engine.Runtime.t ->
   Engine.Rng.t ->
   flow:int ->
   on_rate:float (** bits/s while ON *) ->

@@ -38,7 +38,7 @@ let transfer_size t =
   max 1 (int_of_float (ceil n))
 
 let spawn t =
-  let sim = Netsim.Dumbbell.sim t.db in
+  let rt = Netsim.Dumbbell.runtime t.db in
   let flow = t.next_flow in
   t.next_flow <- t.next_flow + 1;
   t.started <- t.started + 1;
@@ -46,12 +46,12 @@ let spawn t =
   let rtt = t.rtt_base *. (0.8 +. Engine.Rng.float t.rng 0.4) in
   Netsim.Dumbbell.add_flow t.db ~flow ~rtt_base:rtt;
   let sink =
-    Tcpsim.Tcp_sink.create sim ~config:t.config ~flow
+    Tcpsim.Tcp_sink.create rt ~config:t.config ~flow
       ~transmit:(Netsim.Dumbbell.dst_sender t.db ~flow) ()
   in
   Netsim.Dumbbell.set_dst_recv t.db ~flow (Tcpsim.Tcp_sink.recv sink);
   let sender =
-    Tcpsim.Tcp_sender.create sim ~config:t.config ~flow
+    Tcpsim.Tcp_sender.create rt ~config:t.config ~flow
       ~transmit:(Netsim.Dumbbell.src_sender t.db ~flow) ()
   in
   Netsim.Dumbbell.set_src_recv t.db ~flow (Tcpsim.Tcp_sender.recv sender);
@@ -60,14 +60,14 @@ let spawn t =
   Tcpsim.Tcp_sender.on_complete sender (fun () ->
       t.completed <- t.completed + 1;
       t.delivered <- t.delivered + size);
-  Tcpsim.Tcp_sender.start sender ~at:(Engine.Sim.now sim)
+  Tcpsim.Tcp_sender.start sender ~at:(Engine.Runtime.now rt)
 
 let rec arrival_loop t =
   if t.running then begin
-    let sim = Netsim.Dumbbell.sim t.db in
+    let rt = Netsim.Dumbbell.runtime t.db in
     let gap = Engine.Rng.exponential t.rng ~mean:(1. /. t.arrival_rate) in
     ignore
-      (Engine.Sim.after sim gap (fun () ->
+      (Engine.Runtime.after rt gap (fun () ->
            if t.running then begin
              spawn t;
              arrival_loop t
@@ -75,9 +75,9 @@ let rec arrival_loop t =
   end
 
 let start t ~at =
-  let sim = Netsim.Dumbbell.sim t.db in
+  let rt = Netsim.Dumbbell.runtime t.db in
   ignore
-    (Engine.Sim.at sim at (fun () ->
+    (Engine.Runtime.at rt at (fun () ->
          t.running <- true;
          arrival_loop t))
 

@@ -142,7 +142,7 @@ let test_tcp_sink_echoes_ece () =
   let sim = Engine.Sim.create () in
   let eces = ref [] in
   let sink =
-    Tcpsim.Tcp_sink.create sim
+    Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim)
       ~config:(Tcpsim.Tcp_common.default ~ecn:true ())
       ~flow:1
       ~transmit:(fun pkt ->
@@ -183,9 +183,9 @@ let test_tcp_halves_on_ece () =
            | Some s -> Tcpsim.Tcp_sender.recv s pkt
            | None -> ()))
   in
-  let sink = Tcpsim.Tcp_sink.create sim ~config ~flow:1 ~transmit:to_sender () in
+  let sink = Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
   sink_cell := Some sink;
-  let sender = Tcpsim.Tcp_sender.create sim ~config ~flow:1 ~transmit:to_sink () in
+  let sender = Tcpsim.Tcp_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sink () in
   sender_cell := Some sender;
   Tcpsim.Tcp_sender.start sender ~at:0.;
   Engine.Sim.run sim ~until:1.;

@@ -117,9 +117,9 @@ let wire_tcp ~config ~drop () =
            | Some s -> Tcpsim.Tcp_sender.recv s pkt
            | None -> ()))
   in
-  let sink = Tcpsim.Tcp_sink.create sim ~config ~flow:1 ~transmit:to_sender () in
+  let sink = Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
   sink_cell := Some sink;
-  let sender = Tcpsim.Tcp_sender.create sim ~config ~flow:1 ~transmit:to_sink () in
+  let sender = Tcpsim.Tcp_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sink () in
   sender_cell := Some sender;
   (sim, sender)
 
@@ -199,7 +199,7 @@ let test_hurst_pareto_onoff_high () =
   for i = 1 to 30 do
     ignore i;
     let src =
-      Traffic.On_off.create sim (Engine.Rng.split rng) ~flow:i
+      Traffic.On_off.create (Engine.Sim.runtime sim) (Engine.Rng.split rng) ~flow:i
         ~on_rate:(Engine.Units.kbps 100.) ~pkt_size:500 ~mean_on:1.
         ~mean_off:2. ~shape:1.2
         ~transmit:(fun p ->

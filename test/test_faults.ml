@@ -9,7 +9,7 @@ let mk_pkt ?(flow = 1) ?(seq = 0) ?(size = 1000) ?(now = 0.) () =
   Netsim.Packet.make (Engine.Sim.runtime pkt_sim) ~flow ~seq ~size ~now Netsim.Packet.Data
 
 let mk_link ?(bandwidth = 8e5) ?(delay = 0.) ?(limit = 100) sim =
-  Netsim.Link.create sim ~bandwidth ~delay
+  Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth ~delay
     ~queue:(Netsim.Droptail.create ~limit_pkts:limit)
     ()
 
@@ -87,7 +87,7 @@ let test_down_policy_hold_queued () =
    stats while the link also counted it as an outage drop). *)
 let check_outage_drain_conservation queue =
   let sim = Engine.Sim.create () in
-  let link = Netsim.Link.create sim ~bandwidth:8e3 ~delay:0. ~queue () in
+  let link = Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth:8e3 ~delay:0. ~queue () in
   let received = ref 0 and dropped = ref 0 in
   Netsim.Link.set_dest link (fun _ -> incr received);
   Netsim.Link.on_drop link (fun _ -> incr dropped);
@@ -144,11 +144,11 @@ let test_flap_queue_conservation_checked () =
   let link = mk_link ~bandwidth:8e4 ~limit:8 sim in
   Netsim.Link.set_dest link ignore;
   let cbr =
-    Traffic.Cbr.create sim ~flow:1 ~rate:1.6e5 ~pkt_size:1000
+    Traffic.Cbr.create (Engine.Sim.runtime sim) ~flow:1 ~rate:1.6e5 ~pkt_size:1000
       ~transmit:(Netsim.Link.send link) ()
   in
   Traffic.Cbr.start cbr ~at:0.;
-  Netsim.Faults.flapping sim link ~start:0.5 ~stop:4.5 ~period:1.
+  Netsim.Faults.flapping (Engine.Sim.runtime sim) link ~start:0.5 ~stop:4.5 ~period:1.
     ~down_fraction:0.4 ();
   Engine.Sim.run sim ~until:5.;
   Netsim.Link.emit_queue_stats link;
@@ -198,7 +198,7 @@ let test_outage_schedule () =
   let sim = Engine.Sim.create () in
   let link = mk_link sim in
   Netsim.Link.set_dest link ignore;
-  Netsim.Faults.outage sim link ~at:1. ~duration:2. ();
+  Netsim.Faults.outage (Engine.Sim.runtime sim) link ~at:1. ~duration:2. ();
   let probe t expect =
     ignore
       (Engine.Sim.at sim t (fun () ->
@@ -218,7 +218,7 @@ let test_flapping_ends_up () =
   Netsim.Link.set_dest link ignore;
   let transitions = ref 0 in
   Netsim.Link.on_state_change link (fun _ -> incr transitions);
-  Netsim.Faults.flapping sim link ~start:0. ~stop:10. ~period:2.
+  Netsim.Faults.flapping (Engine.Sim.runtime sim) link ~start:0. ~stop:10. ~period:2.
     ~down_fraction:0.5 ();
   Engine.Sim.run sim ~until:20.;
   Alcotest.(check bool) "up after stop" true (Netsim.Link.is_up link);
@@ -231,7 +231,7 @@ let test_route_change () =
   let sim = Engine.Sim.create () in
   let link = mk_link ~bandwidth:8e3 ~delay:0.1 sim in
   Netsim.Link.set_dest link ignore;
-  Netsim.Faults.route_change sim link ~at:1. ~bandwidth:16e3 ~delay:0.3 ();
+  Netsim.Faults.route_change (Engine.Sim.runtime sim) link ~at:1. ~bandwidth:16e3 ~delay:0.3 ();
   Engine.Sim.run sim ~until:2.;
   Alcotest.(check (float 1e-9)) "new bandwidth" 16e3 (Netsim.Link.bandwidth link);
   Alcotest.(check (float 1e-9)) "new delay" 0.3 (Netsim.Link.delay link)
@@ -243,7 +243,7 @@ let test_duplicate_wrapper () =
   let rng = Engine.Rng.create ~seed:7 in
   let received = ref 0 in
   let handler, dups =
-    Netsim.Faults.duplicate sim rng ~p:1. (fun _ -> incr received)
+    Netsim.Faults.duplicate (Engine.Sim.runtime sim) rng ~p:1. (fun _ -> incr received)
   in
   ignore
     (Engine.Sim.at sim 0. (fun () ->
@@ -272,7 +272,7 @@ let test_reorder_wrapper_conserves () =
   let rng = Engine.Rng.create ~seed:3 in
   let seqs = ref [] in
   let handler, count =
-    Netsim.Faults.reorder sim rng ~p:0.5 ~jitter:0.05 (fun p ->
+    Netsim.Faults.reorder (Engine.Sim.runtime sim) rng ~p:0.5 ~jitter:0.05 (fun p ->
         seqs := p.Netsim.Packet.seq :: !seqs)
   in
   ignore

@@ -76,6 +76,7 @@ let well_formed (sc : Fuzz.Scenario.t) =
        sc.flows
   && (match sc.topology with
      | Fuzz.Scenario.Parking_lot h -> h >= 2
+     | Fuzz.Scenario.Graph { nodes; extra } -> nodes >= 3 && extra >= 0
      | Fuzz.Scenario.Path | Fuzz.Scenario.Dumbbell -> true)
   && sc.duration > 0.
 

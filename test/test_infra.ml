@@ -47,7 +47,7 @@ let test_tracer_filter () =
 let test_tracer_attach_link () =
   let sim = Engine.Sim.create () in
   let link =
-    Netsim.Link.create sim ~bandwidth:1e5 ~delay:0.01
+    Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth:1e5 ~delay:0.01
       ~queue:(Netsim.Droptail.create ~limit_pkts:2)
       ()
   in
@@ -82,7 +82,7 @@ let test_tracer_pp () =
 (* --- Parking lot --------------------------------------------------------------- *)
 
 let make_lot ?(hops = 3) sim =
-  Netsim.Parking_lot.create sim ~hops ~bandwidth:1e7 ~delay:0.005
+  Netsim.Parking_lot.create (Engine.Sim.runtime sim) ~hops ~bandwidth:1e7 ~delay:0.005
     ~queue:(fun () -> Netsim.Droptail.create ~limit_pkts:50)
     ()
 
@@ -159,7 +159,7 @@ let test_lot_validation () =
 let test_lot_tfrc_end_to_end () =
   let sim = Engine.Sim.create () in
   let lot =
-    Netsim.Parking_lot.create sim ~hops:2
+    Netsim.Parking_lot.create (Engine.Sim.runtime sim) ~hops:2
       ~bandwidth:(Engine.Units.mbps 2.)
       ~delay:0.01
       ~queue:(fun () -> Netsim.Droptail.create ~limit_pkts:25)
@@ -317,7 +317,7 @@ let test_session_loopback () =
 let test_session_over_dumbbell () =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim)
       ~bandwidth:(Engine.Units.mbps 1.)
       ~delay:0.01
       ~queue:(Netsim.Dumbbell.Droptail_q 20) ()

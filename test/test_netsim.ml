@@ -256,7 +256,7 @@ let test_red_params_validation () =
 let test_link_serialization_and_delay () =
   let sim = Engine.Sim.create () in
   let link =
-    Netsim.Link.create sim ~bandwidth:1e6 ~delay:0.05
+    Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth:1e6 ~delay:0.05
       ~queue:(Netsim.Droptail.create ~limit_pkts:10)
       ()
   in
@@ -275,7 +275,7 @@ let test_link_pipelining () =
      time only (propagation overlaps). *)
   let sim = Engine.Sim.create () in
   let link =
-    Netsim.Link.create sim ~bandwidth:1e6 ~delay:0.05
+    Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth:1e6 ~delay:0.05
       ~queue:(Netsim.Droptail.create ~limit_pkts:10)
       ()
   in
@@ -295,7 +295,7 @@ let test_link_pipelining () =
 let test_link_drop_listener () =
   let sim = Engine.Sim.create () in
   let link =
-    Netsim.Link.create sim ~bandwidth:1e4 ~delay:0.
+    Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth:1e4 ~delay:0.
       ~queue:(Netsim.Droptail.create ~limit_pkts:1)
       ()
   in
@@ -314,7 +314,7 @@ let test_link_drop_listener () =
 let test_link_utilization () =
   let sim = Engine.Sim.create () in
   let link =
-    Netsim.Link.create sim ~bandwidth:8e5 ~delay:0.
+    Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth:8e5 ~delay:0.
       ~queue:(Netsim.Droptail.create ~limit_pkts:100)
       ()
   in
@@ -411,7 +411,7 @@ let test_counted () =
 let test_dumbbell_roundtrip_delay () =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:1e8 ~delay:0.01
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:1e8 ~delay:0.01
       ~queue:(Netsim.Dumbbell.Droptail_q 100) ()
   in
   Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.1;
@@ -438,7 +438,7 @@ let test_dumbbell_roundtrip_delay () =
 let test_dumbbell_duplicate_flow () =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:1e6 ~delay:0.01
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:1e6 ~delay:0.01
       ~queue:(Netsim.Dumbbell.Droptail_q 10) ()
   in
   Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.1;
@@ -449,7 +449,7 @@ let test_dumbbell_duplicate_flow () =
 let test_dumbbell_rtt_too_small () =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:1e6 ~delay:0.05
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:1e6 ~delay:0.05
       ~queue:(Netsim.Dumbbell.Droptail_q 10) ()
   in
   Alcotest.check_raises "rtt below bottleneck"
@@ -459,7 +459,7 @@ let test_dumbbell_rtt_too_small () =
 let test_dumbbell_unknown_flow () =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:1e6 ~delay:0.01
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:1e6 ~delay:0.01
       ~queue:(Netsim.Dumbbell.Droptail_q 10) ()
   in
   Alcotest.check_raises "unknown flow"
@@ -470,7 +470,7 @@ let test_dumbbell_isolation () =
   (* Two flows: packets demux to the right receivers. *)
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:1e7 ~delay:0.005
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:1e7 ~delay:0.005
       ~queue:(Netsim.Dumbbell.Droptail_q 100) ()
   in
   Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.05;
@@ -505,7 +505,7 @@ let test_flowmon_records_data_only () =
 let test_queue_sampler () =
   let sim = Engine.Sim.create () in
   let q = Netsim.Droptail.create ~limit_pkts:100 in
-  let sampler = Netsim.Flowmon.Queue_sampler.start sim ~period:0.1 ~queue:q in
+  let sampler = Netsim.Flowmon.Queue_sampler.start (Engine.Sim.runtime sim) ~period:0.1 ~queue:q in
   ignore
     (Engine.Sim.at sim 0.05 (fun () ->
          for i = 1 to 5 do

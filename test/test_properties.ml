@@ -13,7 +13,7 @@ let prop_dumbbell_conserves_packets =
     (fun (seed, n_flows) ->
       let sim = Engine.Sim.create () in
       let db =
-        Netsim.Dumbbell.create sim ~bandwidth:1e6 ~delay:0.005
+        Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:1e6 ~delay:0.005
           ~queue:(Netsim.Dumbbell.Droptail_q 5) ()
       in
       let delivered = ref 0 in
@@ -24,7 +24,7 @@ let prop_dumbbell_conserves_packets =
               ~rtt_base:(0.02 +. (0.01 *. float_of_int i));
             Netsim.Dumbbell.set_dst_recv db ~flow (fun _ -> incr delivered);
             let src =
-              Traffic.Cbr.create sim ~flow
+              Traffic.Cbr.create (Engine.Sim.runtime sim) ~flow
                 ~rate:(1e6 /. float_of_int n_flows *. 1.5)
                 ~pkt_size:1000
                 ~transmit:(Netsim.Dumbbell.src_sender db ~flow)
@@ -73,10 +73,10 @@ let prop_tcp_transfer_completes =
                | Some s -> Tcpsim.Tcp_sender.recv s pkt
                | None -> ()))
       in
-      let sink = Tcpsim.Tcp_sink.create sim ~config ~flow:1 ~transmit:to_sender () in
+      let sink = Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
       sink_cell := Some sink;
       let sender =
-        Tcpsim.Tcp_sender.create sim ~config ~flow:1 ~transmit:to_sink ()
+        Tcpsim.Tcp_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sink ()
       in
       sender_cell := Some sender;
       Tcpsim.Tcp_sender.set_limit sender 50;
@@ -110,10 +110,10 @@ let prop_tcp_flight_bounded =
                | Some s -> Tcpsim.Tcp_sender.recv s pkt
                | None -> ()))
       in
-      let sink = Tcpsim.Tcp_sink.create sim ~config ~flow:1 ~transmit:to_sender () in
+      let sink = Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
       sink_cell := Some sink;
       let sender =
-        Tcpsim.Tcp_sender.create sim ~config ~flow:1 ~transmit:to_sink ()
+        Tcpsim.Tcp_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sink ()
       in
       sender_cell := Some sender;
       Tcpsim.Tcp_sender.start sender ~at:0.;
@@ -234,7 +234,7 @@ let prop_tfrc_rate_bounded_under_outages =
       let bw = 8e5 (* bits/s: 100 KB/s of payload *) in
       let prop_delay = 0.02 +. (0.001 *. float_of_int (seed mod 10)) in
       let link =
-        Netsim.Link.create sim ~bandwidth:bw ~delay:prop_delay
+        Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth:bw ~delay:prop_delay
           ~queue:(Netsim.Droptail.create ~limit_pkts:20)
           ()
       in
@@ -269,7 +269,7 @@ let prop_tfrc_rate_bounded_under_outages =
         Tfrc.Tfrc_receiver.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:fb_handler ()
       in
       receiver_cell := Some receiver;
-      Netsim.Faults.outage sim link ~at:outage_at ~duration:outage_dur ();
+      Netsim.Faults.outage (Engine.Sim.runtime sim) link ~at:outage_at ~duration:outage_dur ();
       let ok = ref true in
       let upper =
         (2. *. (bw /. 8.))
@@ -324,7 +324,7 @@ let prop_parking_lot_through_conservation =
     (fun (_seed, hops) ->
       let sim = Engine.Sim.create () in
       let lot =
-        Netsim.Parking_lot.create sim ~hops ~bandwidth:1e6 ~delay:0.002
+        Netsim.Parking_lot.create (Engine.Sim.runtime sim) ~hops ~bandwidth:1e6 ~delay:0.002
           ~queue:(fun () -> Netsim.Droptail.create ~limit_pkts:4)
           ()
       in
@@ -333,7 +333,7 @@ let prop_parking_lot_through_conservation =
       let delivered = ref 0 in
       Netsim.Parking_lot.set_dst_recv lot ~flow:1 (fun _ -> incr delivered);
       let src =
-        Traffic.Cbr.create sim ~flow:1 ~rate:1.5e6 ~pkt_size:1000
+        Traffic.Cbr.create (Engine.Sim.runtime sim) ~flow:1 ~rate:1.5e6 ~pkt_size:1000
           ~transmit:(Netsim.Parking_lot.src_sender lot ~flow:1)
           ()
       in

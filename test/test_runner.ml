@@ -266,7 +266,7 @@ let id_jobs =
       Exp.Job.make (Printf.sprintf "ids/%d" k) (fun _rng ->
           let sim = Engine.Sim.create () in
           let link =
-            Netsim.Link.create sim ~bandwidth:8e4 ~delay:0.01
+            Netsim.Link.create (Engine.Sim.runtime sim) ~bandwidth:8e4 ~delay:0.01
               ~queue:(Netsim.Droptail.create ~limit_pkts:4)
               ~label:(Printf.sprintf "l%d" k) ()
           in
@@ -279,7 +279,7 @@ let id_jobs =
                      (Netsim.Packet.make (Engine.Sim.runtime sim) ~flow:k ~seq ~size:1000 ~now:0.
                         Netsim.Packet.Data)
                  done));
-          Netsim.Faults.outage sim link ~at:0.2 ~duration:0.2 ();
+          Netsim.Faults.outage (Engine.Sim.runtime sim) link ~at:0.2 ~duration:0.2 ();
           Engine.Sim.run sim ~until:2.;
           [ ("received", Exp.Job.i !received) ]))
 

@@ -79,7 +79,7 @@ let sink_harness () =
   let sim = Engine.Sim.create () in
   let acks = ref [] in
   let sink =
-    Tcpsim.Tcp_sink.create sim ~config:(Tcpsim.Tcp_common.default ()) ~flow:1
+    Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config:(Tcpsim.Tcp_common.default ()) ~flow:1
       ~transmit:(fun pkt ->
         match pkt.Netsim.Packet.payload with
         | Netsim.Packet.Tcp_ack { ack; sack; _ } -> acks := (ack, sack) :: !acks
@@ -159,7 +159,7 @@ let test_sink_delack () =
   let sim = Engine.Sim.create () in
   let acks = ref 0 in
   let sink =
-    Tcpsim.Tcp_sink.create sim
+    Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim)
       ~config:(Tcpsim.Tcp_common.default ~delack:true ())
       ~flow:1
       ~transmit:(fun _ -> incr acks)
@@ -207,9 +207,9 @@ let wire ?(rtt = 0.1)
            | Some s -> Tcpsim.Tcp_sender.recv s pkt
            | None -> ()))
   in
-  let sink = Tcpsim.Tcp_sink.create sim ~config ~flow:1 ~transmit:to_sender () in
+  let sink = Tcpsim.Tcp_sink.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sender () in
   sink_cell := Some sink;
-  let sender = Tcpsim.Tcp_sender.create sim ~config ~flow:1 ~transmit:to_sink () in
+  let sender = Tcpsim.Tcp_sender.create (Engine.Sim.runtime sim) ~config ~flow:1 ~transmit:to_sink () in
   sender_cell := Some sender;
   { sim; sender; delivered }
 

@@ -247,7 +247,7 @@ let test_a2_at_least_five_rtts () =
 let test_tfrc_alone_fills_link () =
   let sim = Engine.Sim.create () in
   let db =
-    Netsim.Dumbbell.create sim
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim)
       ~bandwidth:(Engine.Units.mbps 1.5)
       ~delay:0.01
       ~queue:(Netsim.Dumbbell.Droptail_q 25) ()

@@ -1,0 +1,349 @@
+(* Tests for the arbitrary-topology layer: differential byte-identity of
+   the graph-backed builders against the hand-wired ones, failure-impact
+   classification on the transcontinental WAN, routing recomputation on
+   link-state changes, builder teardown/in-flight accounting, and graph
+   fuzz scenarios under parallel execution. *)
+
+module TB = Netsim.Topo_builders.Transcontinental
+
+(* --- Differential: graph builders vs hand-wired builders ------------------- *)
+
+(* Run the same scenario through both constructions and demand identical
+   outcomes down to the trace digest: the graph layer must not add,
+   remove, reorder or re-time a single event. *)
+let diff_case name (sc : Fuzz.Scenario.t) =
+  let a = Fuzz.Oracle.run ~builders:`Legacy sc in
+  let b = Fuzz.Oracle.run ~builders:`Graph sc in
+  Alcotest.(check (list string))
+    (name ^ ": legacy passes") [] (Fuzz.Oracle.failed_oracles a);
+  Alcotest.(check (list string))
+    (name ^ ": graph passes") [] (Fuzz.Oracle.failed_oracles b);
+  Alcotest.(check int) (name ^ ": digest") a.Fuzz.Oracle.digest b.Fuzz.Oracle.digest;
+  Alcotest.(check int) (name ^ ": events") a.Fuzz.Oracle.events b.Fuzz.Oracle.events;
+  Alcotest.(check int)
+    (name ^ ": delivered") a.Fuzz.Oracle.delivered b.Fuzz.Oracle.delivered
+
+let flow ?(proto = Fuzz.Scenario.Tfrc) ?(rtt_base = 0.06) ?(start = 0.) ?hop () =
+  { Fuzz.Scenario.proto; rtt_base; start; hop }
+
+let base_sc ~id ~topology ~flows ~faults ~duration =
+  {
+    Fuzz.Scenario.id;
+    sim_seed = 11;
+    topology;
+    bandwidth = 1.5e6;
+    delay = 0.005;
+    queue = Fuzz.Scenario.Droptail 25;
+    flows;
+    faults;
+    duration;
+  }
+
+let test_diff_fig2_dumbbell () =
+  diff_case "fig2 dumbbell"
+    (base_sc ~id:"diff/fig2" ~topology:Fuzz.Scenario.Dumbbell
+       ~flows:[ flow (); flow ~start:0.5 (); flow ~proto:Fuzz.Scenario.Tcp () ]
+       ~faults:[] ~duration:8.)
+
+let test_diff_dumbbell_link_faults () =
+  diff_case "dumbbell link faults"
+    (base_sc ~id:"diff/link-faults" ~topology:Fuzz.Scenario.Dumbbell
+       ~flows:[ flow (); flow ~proto:Fuzz.Scenario.Tcp ~start:0.3 () ]
+       ~faults:
+         [
+           Fuzz.Scenario.Outage { at = 3.; duration = 1.5 };
+           Fuzz.Scenario.Flap
+             { at = 6.; stop = 8.; period = 0.8; down_fraction = 0.5 };
+           Fuzz.Scenario.Route_change { at = 9.; bandwidth_factor = 0.5 };
+         ]
+       ~duration:12.)
+
+let test_diff_dumbbell_handler_faults () =
+  diff_case "dumbbell handler faults"
+    (base_sc ~id:"diff/handler-faults" ~topology:Fuzz.Scenario.Dumbbell
+       ~flows:[ flow (); flow ~proto:Fuzz.Scenario.Tfrcp ~start:0.2 () ]
+       ~faults:
+         [
+           Fuzz.Scenario.Reorder { p = 0.1; jitter = 0.02 };
+           Fuzz.Scenario.Duplicate { p = 0.05; delay = 0.01 };
+           Fuzz.Scenario.Corrupt { p = 0.03 };
+           Fuzz.Scenario.Fb_blackout { at = 4.; duration = 1. };
+         ]
+       ~duration:10.)
+
+let test_diff_path () =
+  diff_case "path"
+    (base_sc ~id:"diff/path" ~topology:Fuzz.Scenario.Path
+       ~flows:[ flow ~proto:Fuzz.Scenario.Rap (); flow ~start:0.4 () ]
+       ~faults:[ Fuzz.Scenario.Outage { at = 3.; duration = 1. } ]
+       ~duration:8.)
+
+let test_diff_parking_lot () =
+  diff_case "parking lot"
+    (base_sc ~id:"diff/parking-lot"
+       ~topology:(Fuzz.Scenario.Parking_lot 3)
+       ~flows:
+         [
+           flow ~rtt_base:0.1 ();
+           flow ~rtt_base:0.08 ~hop:2 ~start:0.3 ();
+           flow ~proto:Fuzz.Scenario.Tcp ~rtt_base:0.08 ~hop:1 ~start:0.6 ();
+         ]
+       ~faults:[ Fuzz.Scenario.Outage { at = 4.; duration = 1.5 } ]
+       ~duration:10.)
+
+(* --- Failure impact on the transcontinental WAN ---------------------------- *)
+
+let impact_kind =
+  Alcotest.testable
+    (fun ppf k -> Format.pp_print_string ppf (Netsim.Topology.impact_str k))
+    ( = )
+
+let make_wan () =
+  let sim = Engine.Sim.create () in
+  let wan = TB.create (Engine.Sim.runtime sim) ~queue:(fun () ->
+      Netsim.Droptail.create ~limit_pkts:40) ()
+  in
+  TB.add_flow wan ~flow:1 ~src:TB.Nyc ~dst:TB.Sfo ~access:0.002;
+  TB.add_flow wan ~flow:2 ~src:TB.Nyc ~dst:TB.Chi ~access:0.002;
+  TB.add_flow wan ~flow:3 ~src:TB.Atl ~dst:TB.Sfo ~access:0.002;
+  wan
+
+let impact_of wan label =
+  Netsim.Topology.impact (TB.topology wan) (snd (TB.link wan label))
+
+let kind flow impacts = List.assoc flow impacts
+
+let test_impact_healthy () =
+  let wan = make_wan () in
+  let chi_den = impact_of wan "chi-den" in
+  Alcotest.check impact_kind "coast re-routes around chi-den"
+    Netsim.Topology.Rerouted (kind 1 chi_den);
+  Alcotest.check impact_kind "short unaffected by chi-den"
+    Netsim.Topology.Unaffected (kind 2 chi_den);
+  Alcotest.check impact_kind "south unaffected by chi-den"
+    Netsim.Topology.Unaffected (kind 3 chi_den);
+  (* The ring has a detour for every single-segment failure. *)
+  let nyc_chi = impact_of wan "nyc-chi" in
+  Alcotest.check impact_kind "short re-routes the long way"
+    Netsim.Topology.Rerouted (kind 2 nyc_chi);
+  let atl_sfo = impact_of wan "atl-sfo" in
+  Alcotest.check impact_kind "south re-routes over the north path"
+    Netsim.Topology.Rerouted (kind 3 atl_sfo);
+  Alcotest.check impact_kind "coast does not use the detour when healthy"
+    Netsim.Topology.Unaffected (kind 1 atl_sfo)
+
+let set_segment wan label up =
+  Netsim.Link.set_up (fst (TB.link wan label)) up;
+  let rev =
+    match String.split_on_char '-' label with
+    | [ a; b ] -> b ^ "-" ^ a
+    | _ -> assert false
+  in
+  Netsim.Link.set_up (fst (TB.link wan rev)) up
+
+let test_impact_partition_when_detour_dark () =
+  let wan = make_wan () in
+  set_segment wan "nyc-atl" false;
+  set_segment wan "atl-sfo" false;
+  let chi_den = impact_of wan "chi-den" in
+  Alcotest.check impact_kind "coast partitioned without the detour"
+    Netsim.Topology.Partitioned (kind 1 chi_den);
+  Alcotest.check impact_kind "short still unaffected"
+    Netsim.Topology.Unaffected (kind 2 chi_den);
+  (* Bringing the detour back restores the re-route verdict. *)
+  set_segment wan "nyc-atl" true;
+  set_segment wan "atl-sfo" true;
+  Alcotest.check impact_kind "coast re-routes again"
+    Netsim.Topology.Rerouted (kind 1 (impact_of wan "chi-den"))
+
+let test_recompute_on_state_change () =
+  let wan = make_wan () in
+  ignore (impact_of wan "chi-den");
+  let before = Netsim.Topology.recomputes (TB.topology wan) in
+  (* A second query without any state change reuses the tables... *)
+  ignore (impact_of wan "chi-den");
+  Alcotest.(check int)
+    "no recompute without a state change" before
+    (Netsim.Topology.recomputes (TB.topology wan));
+  (* ...and a link outage invalidates them. *)
+  set_segment wan "chi-den" false;
+  ignore (impact_of wan "nyc-chi");
+  Alcotest.(check bool) "outage triggers a recompute" true
+    (Netsim.Topology.recomputes (TB.topology wan) > before)
+
+(* --- Teardown cancels in-flight deliveries --------------------------------- *)
+
+let mk_pkt rt ~now =
+  Netsim.Packet.make rt ~flow:1 ~seq:0 ~size:1000 ~now Netsim.Packet.Data
+
+let test_dumbbell_teardown () =
+  let sim = Engine.Sim.create () in
+  let rt = Engine.Sim.runtime sim in
+  let db =
+    Netsim.Dumbbell.create rt ~bandwidth:8e5 ~delay:0.005
+      ~queue:(Netsim.Dumbbell.Droptail_q 50) ()
+  in
+  (* rtt_base 0.1 puts 22.5 ms of scheduled access delay on each side. *)
+  Netsim.Dumbbell.add_flow db ~flow:1 ~rtt_base:0.1;
+  let received = ref 0 in
+  Netsim.Dumbbell.set_dst_recv db ~flow:1 (fun _ -> incr received);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         Netsim.Dumbbell.src_sender db ~flow:1 (mk_pkt rt ~now:0.)));
+  ignore
+    (Engine.Sim.at sim 0.01 (fun () ->
+         Alcotest.(check bool) "delivery pending mid-flight" true
+           (Netsim.Dumbbell.in_flight db > 0);
+         Netsim.Dumbbell.teardown db));
+  Engine.Sim.run sim ~until:1.;
+  Alcotest.(check int) "cancelled delivery never arrives" 0 !received;
+  Alcotest.(check int) "no pending handles" 0 (Netsim.Dumbbell.in_flight db)
+
+let test_parking_lot_teardown () =
+  let sim = Engine.Sim.create () in
+  let rt = Engine.Sim.runtime sim in
+  let pl =
+    Netsim.Parking_lot.create rt ~hops:2 ~bandwidth:8e5 ~delay:0.005
+      ~queue:(fun () -> Netsim.Droptail.create ~limit_pkts:50)
+      ()
+  in
+  Netsim.Parking_lot.add_through_flow pl ~flow:1 ~rtt_base:0.1;
+  let received = ref 0 in
+  Netsim.Parking_lot.set_dst_recv pl ~flow:1 (fun _ -> incr received);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         Netsim.Parking_lot.src_sender pl ~flow:1 (mk_pkt rt ~now:0.)));
+  ignore
+    (Engine.Sim.at sim 0.005 (fun () ->
+         Alcotest.(check bool) "delivery pending mid-flight" true
+           (Netsim.Parking_lot.in_flight pl > 0);
+         Netsim.Parking_lot.teardown pl));
+  Engine.Sim.run sim ~until:1.;
+  Alcotest.(check int) "cancelled delivery never arrives" 0 !received;
+  Alcotest.(check int) "no pending handles" 0 (Netsim.Parking_lot.in_flight pl)
+
+let test_topology_teardown () =
+  let sim = Engine.Sim.create () in
+  let rt = Engine.Sim.runtime sim in
+  let topo = Netsim.Topology.create rt () in
+  let a = Netsim.Topology.add_node topo in
+  let b = Netsim.Topology.add_node topo in
+  ignore (Netsim.Topology.add_wire topo ~src:a ~dst:b 0.05);
+  ignore (Netsim.Topology.add_wire topo ~src:b ~dst:a 0.05);
+  Netsim.Topology.add_flow topo ~flow:1 ~src:a ~dst:b;
+  let received = ref 0 in
+  Netsim.Topology.set_dst_recv topo ~flow:1 (fun _ -> incr received);
+  ignore
+    (Engine.Sim.at sim 0. (fun () ->
+         Netsim.Topology.src_sender topo ~flow:1 (mk_pkt rt ~now:0.)));
+  ignore
+    (Engine.Sim.at sim 0.01 (fun () ->
+         Alcotest.(check bool) "wire delivery pending" true
+           (Netsim.Topology.in_flight topo > 0);
+         Netsim.Topology.teardown topo));
+  Engine.Sim.run sim ~until:1.;
+  Alcotest.(check int) "cancelled delivery never arrives" 0 !received;
+  Alcotest.(check int) "no pending deliveries" 0 (Netsim.Topology.in_flight topo)
+
+(* --- Graph fuzz scenarios --------------------------------------------------- *)
+
+let graph_sc ~id ~nodes ~extra ~faults =
+  {
+    Fuzz.Scenario.id;
+    sim_seed = 23;
+    topology = Fuzz.Scenario.Graph { nodes; extra };
+    bandwidth = 1.5e6;
+    delay = 0.004;
+    queue = Fuzz.Scenario.Droptail 25;
+    flows = [ flow ~rtt_base:0.1 (); flow ~rtt_base:0.1 ~start:0.5 () ];
+    faults;
+    duration = 8.;
+  }
+
+(* The oracle runs every scenario twice and compares running trace
+   digests, so a pass certifies the graph build is deterministic. *)
+let test_graph_scenario_passes () =
+  let o =
+    Fuzz.Oracle.run
+      (graph_sc ~id:"graph/clean" ~nodes:4 ~extra:1 ~faults:[])
+  in
+  Alcotest.(check (list string)) "clean graph passes" []
+    (Fuzz.Oracle.failed_oracles o);
+  Alcotest.(check bool) "graph delivers traffic" true (o.Fuzz.Oracle.delivered > 0);
+  let o =
+    Fuzz.Oracle.run
+      (graph_sc ~id:"graph/outage" ~nodes:5 ~extra:2
+         ~faults:[ Fuzz.Scenario.Outage { at = 3.; duration = 2. } ])
+  in
+  Alcotest.(check (list string)) "graph with ring outage passes" []
+    (Fuzz.Oracle.failed_oracles o)
+
+(* Graph scenarios as runner jobs: -j 2 must reproduce -j 1 byte for
+   byte (digests included), like every other grid in the repo. *)
+let test_graph_parallel_identical () =
+  let scs =
+    [
+      graph_sc ~id:"graph/j/0" ~nodes:3 ~extra:1 ~faults:[];
+      graph_sc ~id:"graph/j/1" ~nodes:4 ~extra:2
+        ~faults:[ Fuzz.Scenario.Outage { at = 2.; duration = 1. } ];
+      graph_sc ~id:"graph/j/2" ~nodes:5 ~extra:0
+        ~faults:[ Fuzz.Scenario.Flap
+                    { at = 2.; stop = 5.; period = 1.; down_fraction = 0.5 } ];
+    ]
+  in
+  let jobs =
+    List.map
+      (fun sc ->
+        Exp.Job.make sc.Fuzz.Scenario.id (fun _rng ->
+            let o = Fuzz.Oracle.run sc in
+            [
+              ("digest", Exp.Job.i o.Fuzz.Oracle.digest);
+              ("events", Exp.Job.i o.Fuzz.Oracle.events);
+              ("delivered", Exp.Job.i o.Fuzz.Oracle.delivered);
+              ("failures", Exp.Job.i (List.length o.Fuzz.Oracle.failures));
+            ]))
+      scs
+  in
+  let r1 = Exp.Runner.run_jobs ~j:1 ~seed:5 jobs in
+  let r2 = Exp.Runner.run_jobs ~j:2 ~seed:5 jobs in
+  Alcotest.(check bool) "-j 2 graph results identical to -j 1" true (r1 = r2);
+  List.iter
+    (fun (key, res) ->
+      Alcotest.(check int) (key ^ " has no failures") 0
+        (Exp.Job.get_int res "failures"))
+    r1
+
+let () =
+  Alcotest.run "topology"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "fig2-like dumbbell" `Quick test_diff_fig2_dumbbell;
+          Alcotest.test_case "dumbbell link faults" `Quick
+            test_diff_dumbbell_link_faults;
+          Alcotest.test_case "dumbbell handler faults" `Quick
+            test_diff_dumbbell_handler_faults;
+          Alcotest.test_case "path" `Quick test_diff_path;
+          Alcotest.test_case "parking lot" `Quick test_diff_parking_lot;
+        ] );
+      ( "impact",
+        [
+          Alcotest.test_case "healthy graph" `Quick test_impact_healthy;
+          Alcotest.test_case "partition when detour dark" `Quick
+            test_impact_partition_when_detour_dark;
+          Alcotest.test_case "recompute on state change" `Quick
+            test_recompute_on_state_change;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "dumbbell teardown" `Quick test_dumbbell_teardown;
+          Alcotest.test_case "parking lot teardown" `Quick
+            test_parking_lot_teardown;
+          Alcotest.test_case "topology teardown" `Quick test_topology_teardown;
+        ] );
+      ( "graph-fuzz",
+        [
+          Alcotest.test_case "oracles pass" `Quick test_graph_scenario_passes;
+          Alcotest.test_case "-j 1 vs -j 2" `Quick test_graph_parallel_identical;
+        ] );
+    ]

@@ -352,7 +352,7 @@ let run_dumbbell_checked ~seed ~rogue =
   let sim = Engine.Sim.create ~trace:bus () in
   ignore seed;
   let db =
-    Netsim.Dumbbell.create sim ~bandwidth:(Engine.Units.mbps 2.) ~delay:0.01
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim) ~bandwidth:(Engine.Units.mbps 2.) ~delay:0.01
       ~queue:(Netsim.Dumbbell.Droptail_q 20) ()
   in
   let flow = 1 in
@@ -414,7 +414,7 @@ let test_sampler_traces_and_stops () =
   Engine.Trace.add_sink bus sink;
   let sim = Engine.Sim.create ~trace:bus () in
   let q = Netsim.Droptail.create ~limit_pkts:100 in
-  let sampler = Netsim.Flowmon.Queue_sampler.start sim ~period:0.1 ~queue:q in
+  let sampler = Netsim.Flowmon.Queue_sampler.start (Engine.Sim.runtime sim) ~period:0.1 ~queue:q in
   ignore
     (Engine.Sim.at sim 0.45 (fun () ->
          Netsim.Flowmon.Queue_sampler.stop sampler));

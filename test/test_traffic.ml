@@ -4,7 +4,7 @@ let test_cbr_rate () =
   let sim = Engine.Sim.create () in
   let bytes = ref 0 in
   let src =
-    Traffic.Cbr.create sim ~flow:1 ~rate:(Engine.Units.kbps 800.) ~pkt_size:1000
+    Traffic.Cbr.create (Engine.Sim.runtime sim) ~flow:1 ~rate:(Engine.Units.kbps 800.) ~pkt_size:1000
       ~transmit:(fun p -> bytes := !bytes + p.Netsim.Packet.size)
       ()
   in
@@ -21,7 +21,7 @@ let test_cbr_start_time () =
   let sim = Engine.Sim.create () in
   let first = ref None in
   let src =
-    Traffic.Cbr.create sim ~flow:1 ~rate:1e5 ~pkt_size:1000
+    Traffic.Cbr.create (Engine.Sim.runtime sim) ~flow:1 ~rate:1e5 ~pkt_size:1000
       ~transmit:(fun _ ->
         if !first = None then first := Some (Engine.Sim.now sim))
       ()
@@ -36,7 +36,7 @@ let test_cbr_stop () =
   let sim = Engine.Sim.create () in
   let count = ref 0 in
   let src =
-    Traffic.Cbr.create sim ~flow:1 ~rate:1e5 ~pkt_size:1000
+    Traffic.Cbr.create (Engine.Sim.runtime sim) ~flow:1 ~rate:1e5 ~pkt_size:1000
       ~transmit:(fun _ -> incr count)
       ()
   in
@@ -51,7 +51,7 @@ let test_onoff_duty_cycle () =
   let rng = Engine.Rng.create ~seed:3 in
   let bytes = ref 0 in
   let src =
-    Traffic.On_off.create sim rng ~flow:1 ~on_rate:(Engine.Units.kbps 500.)
+    Traffic.On_off.create (Engine.Sim.runtime sim) rng ~flow:1 ~on_rate:(Engine.Units.kbps 500.)
       ~pkt_size:1000 ~mean_on:1. ~mean_off:2.
       ~transmit:(fun p -> bytes := !bytes + p.Netsim.Packet.size)
       ()
@@ -73,7 +73,7 @@ let test_onoff_bursty () =
   let rng = Engine.Rng.create ~seed:4 in
   let ts = Stats.Time_series.create () in
   let src =
-    Traffic.On_off.create sim rng ~flow:1 ~on_rate:(Engine.Units.kbps 500.)
+    Traffic.On_off.create (Engine.Sim.runtime sim) rng ~flow:1 ~on_rate:(Engine.Units.kbps 500.)
       ~pkt_size:500 ~mean_on:1. ~mean_off:2.
       ~transmit:(fun p ->
         Stats.Time_series.add ts ~time:(Engine.Sim.now sim)
@@ -96,14 +96,14 @@ let test_onoff_validation () =
   Alcotest.check_raises "shape must exceed 1"
     (Invalid_argument "On_off.create: shape must exceed 1") (fun () ->
       ignore
-        (Traffic.On_off.create sim rng ~flow:1 ~on_rate:1e5 ~pkt_size:1000
+        (Traffic.On_off.create (Engine.Sim.runtime sim) rng ~flow:1 ~on_rate:1e5 ~pkt_size:1000
            ~mean_on:1. ~mean_off:2. ~shape:0.9 ~transmit:ignore ()))
 
 let test_web_mix_transfers_complete () =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed:7 in
   let db =
-    Netsim.Dumbbell.create sim
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim)
       ~bandwidth:(Engine.Units.mbps 10.)
       ~delay:0.01
       ~queue:(Netsim.Dumbbell.Droptail_q 100) ()
@@ -131,7 +131,7 @@ let test_web_mix_stop () =
   let sim = Engine.Sim.create () in
   let rng = Engine.Rng.create ~seed:8 in
   let db =
-    Netsim.Dumbbell.create sim
+    Netsim.Dumbbell.create (Engine.Sim.runtime sim)
       ~bandwidth:(Engine.Units.mbps 10.)
       ~delay:0.01
       ~queue:(Netsim.Dumbbell.Droptail_q 100) ()
